@@ -1,0 +1,32 @@
+; dotprod.s — a hand-written VX86 assembly example for vx86asm.
+;
+;   dune exec bin/vx86asm.exe -- run examples/dotprod.s
+;
+; Computes the dot product of two 8-element vectors living in .quad
+; data, prints nothing (we have no printf), and exits with the low byte
+; of the result as its status (2*1+3*2+...=240 -> exit 240 & 0xff).
+
+_start:
+    mov   rsi, vec_a
+    mov   rdi, vec_b
+    mov   rcx, 8
+    mov   rax, 0            ; accumulator
+loop:
+    mov   rdx, [rsi]
+    mov   rbx, [rdi]
+    imul  rdx, rbx
+    add   rax, rdx
+    add   rsi, 8
+    add   rdi, 8
+    sub   rcx, 1
+    jne   loop
+    and   rax, 0xff
+    mov   rdi, rax
+    mov   rax, 231          ; exit_group
+    syscall
+
+.align 8
+vec_a:
+    .quad 1, 2, 3, 4, 5, 6, 7, 8
+vec_b:
+    .quad 2, 3, 4, 5, 6, 7, 8, 9
