@@ -1,0 +1,161 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks: one Test.make per paper table or
+   figure, measuring the pipeline stage that dominates that experiment
+   (logging for Table I, BBV profiling for Fig. 9, ...).
+
+   Part 2 — regenerates every table and figure via the experiment
+   registry and prints them, so `dune exec bench/main.exe` reproduces
+   the paper's whole evaluation. *)
+
+open Bechamel
+open Toolkit
+
+let tiny_spec ?(threads = 1) name =
+  Elfie_workloads.Programs.spec
+    ~phases:
+      [ { kernel = Elfie_workloads.Kernels.Stream; reps = 1500 };
+        { kernel = Elfie_workloads.Kernels.Branchy; reps = 1200 } ]
+    ~outer_reps:6 ~threads ~ws_bytes:32768 name
+
+let tiny_rs ?threads name =
+  Elfie_workloads.Programs.run_spec (tiny_spec ?threads name)
+
+(* Shared inputs, built once. *)
+let pinball =
+  lazy
+    ((Elfie_pin.Logger.capture (tiny_rs "bench") ~name:"bench"
+        { Elfie_pin.Logger.start = 20_000L; length = 20_000L })
+       .Elfie_pin.Logger.pinball)
+
+let elfie_image =
+  lazy
+    (let pb = Lazy.force pinball in
+     Elfie_core.Pinball2elf.convert
+       ~options:
+         { Elfie_core.Pinball2elf.default_options with
+           marker = Some (Elfie_core.Pinball2elf.Ssc 1L) }
+       pb)
+
+let profile_points =
+  lazy
+    (let profile = Elfie_pin.Bbv.profile (tiny_rs "bench_bbv") ~slice_size:5_000L in
+     Array.of_list
+       (List.map
+          (Elfie_simpoint.Simpoint.project ~dims:15)
+          profile.Elfie_pin.Bbv.slices))
+
+(* table1: PinPlay logging (the overhead being measured in Table I). *)
+let bench_table1 =
+  Test.make ~name:"table1/pinplay-log-20k-region"
+    (Staged.stage (fun () ->
+         ignore
+           (Elfie_pin.Logger.capture (tiny_rs "t1") ~name:"t1"
+              { Elfie_pin.Logger.start = 5_000L; length = 20_000L })))
+
+(* fig9: native hardware measurement of a region ELFie. *)
+let bench_fig9 =
+  Test.make ~name:"fig9/native-elfie-run"
+    (Staged.stage (fun () ->
+         ignore (Elfie_core.Elfie_runner.run (Lazy.force elfie_image))))
+
+(* table2: whole-program native run (the validation baseline). *)
+let bench_table2 =
+  Test.make ~name:"table2/native-whole-program"
+    (Staged.stage (fun () -> ignore (Elfie_pin.Run.native (tiny_rs "t2"))))
+
+(* table3 & fig10: SimPoint clustering. *)
+let bench_fig10 =
+  Test.make ~name:"fig10/kmeans-phase-clustering"
+    (Staged.stage (fun () ->
+         let rng = Elfie_util.Rng.create 7L in
+         ignore
+           (Elfie_simpoint.Kmeans.best ~rng ~max_k:10 (Lazy.force profile_points))))
+
+(* fig11: constrained pinball simulation under Sniper. *)
+let bench_fig11 =
+  Test.make ~name:"fig11/sniper-pinball-sim"
+    (Staged.stage (fun () ->
+         ignore
+           (Elfie_sniper.Sniper.simulate_pinball
+              (Elfie_sniper.Sniper.gainestown ~cores:8)
+              (Lazy.force pinball))))
+
+(* table4: full-system CoreSim simulation of an ELFie. *)
+let bench_table4 =
+  Test.make ~name:"table4/coresim-full-system"
+    (Staged.stage (fun () ->
+         ignore
+           (Elfie_coresim.Coresim.simulate ~mode:Elfie_coresim.Coresim.Full_system
+              Elfie_coresim.Coresim.skylake (Lazy.force elfie_image))))
+
+(* table5: gem5 SE-mode simulation of an ELFie. *)
+let bench_table5 =
+  Test.make ~name:"table5/gem5-se-sim"
+    (Staged.stage (fun () ->
+         ignore
+           (Elfie_gem5.Gem5.simulate_se Elfie_gem5.Gem5.nehalem
+              (Lazy.force elfie_image))))
+
+(* Cross-cutting: pinball -> ELF conversion and ELF codec. *)
+let bench_convert =
+  Test.make ~name:"core/pinball2elf-convert"
+    (Staged.stage (fun () ->
+         ignore (Elfie_core.Pinball2elf.convert (Lazy.force pinball))))
+
+let bench_elf_codec =
+  Test.make ~name:"core/elf-write-read"
+    (Staged.stage (fun () ->
+         let img = Lazy.force elfie_image in
+         ignore (Elfie_elf.Image.read (Elfie_elf.Image.write img))))
+
+let tests =
+  Test.make_grouped ~name:"elfie"
+    [ bench_table1; bench_fig9; bench_table2; bench_fig10; bench_fig11;
+      bench_table4; bench_table5; bench_convert; bench_elf_codec ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Printf.printf "%-38s %16s\n" "micro-benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 56 '-');
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] ->
+                let human =
+                  if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+                  else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+                  else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+                  else Printf.sprintf "%.0f ns" est
+                in
+                Printf.printf "%-38s %16s\n" name human
+            | _ -> ())
+          tbl)
+    results;
+  print_newline ()
+
+let () =
+  print_endline "=== Bechamel micro-benchmarks (one per table/figure) ===";
+  run_benchmarks ();
+  print_endline "=== Paper evaluation: every table and figure ===\n";
+  List.iter
+    (fun (e : Elfie_harness.Registry.experiment) ->
+      Printf.printf "=== %s: %s ===\n%!" e.id e.title;
+      let t0 = Unix.gettimeofday () in
+      print_string (e.run ());
+      Printf.printf "(%.1f s)\n\n%!" (Unix.gettimeofday () -. t0))
+    Elfie_harness.Registry.all

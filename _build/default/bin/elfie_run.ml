@@ -1,0 +1,81 @@
+(* elfie_run: load and execute an ELFie natively on the Vkernel machine.
+
+     elfie_run region.elfie --sysstate /tmp/pbdir/region.sysstate --trials 3
+
+   The sysstate directory is installed into the process's (virtual)
+   working directory before the run, as if the ELFie were executed in
+   the sysstate/workdir of the paper. *)
+
+open Cmdliner
+
+let run path sysstate_dir seed trials max_ins disasm =
+  let ic = open_in_bin path in
+  let bytes = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  let image =
+    try Elfie_elf.Image.read bytes
+    with Elfie_elf.Image.Bad_elf msg ->
+      Printf.eprintf "%s: not a loadable ELFie: %s\n" path msg;
+      exit 2
+  in
+  Format.printf "%a@." Elfie_elf.Image.pp image;
+  if disasm then begin
+    match Elfie_elf.Image.find_section image ".elfie.text" with
+    | Some s ->
+        print_endline "startup code:";
+        List.iter
+          (fun (off, ins) ->
+            Printf.printf "  %8Lx: %s\n"
+              (Int64.add s.addr (Int64.of_int off))
+              (Elfie_isa.Insn.to_string ins))
+          (Elfie_isa.Codec.disassemble s.data ~off:0 ~count:40)
+    | None -> print_endline "(no .elfie.text section)"
+  end;
+  let fs_init fs =
+    match sysstate_dir with
+    | Some dir ->
+        let ss = Elfie_pin.Sysstate.load_dir ~dir in
+        Elfie_pin.Sysstate.install ss fs ~workdir:"/work"
+    | None -> ()
+  in
+  for i = 0 to trials - 1 do
+    let outcome =
+      Elfie_core.Elfie_runner.run
+        ~seed:(Int64.add seed (Int64.of_int i))
+        ~fs_init ~cwd:"/work" ~max_ins image
+    in
+    match outcome.load_error with
+    | Some msg -> Printf.printf "trial %d: process killed by loader: %s\n" i msg
+    | None ->
+        Printf.printf
+          "trial %d: graceful=%b region_instructions=%Ld cpi=%.3f%s%s\n" i
+          outcome.graceful outcome.app_retired outcome.region_cpi
+          (match outcome.fault with Some f -> " fault: " ^ f | None -> "")
+          (if outcome.stdout = "" then "" else " stdout: " ^ String.escaped outcome.stdout)
+  done
+
+let cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ELFIE" ~doc:"ELFie file.")
+  in
+  let sysstate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sysstate" ] ~docv:"DIR" ~doc:"Sysstate directory to install.")
+  in
+  let seed = Arg.(value & opt int64 11L & info [ "seed" ] ~doc:"Base scheduler seed.") in
+  let trials = Arg.(value & opt int 1 & info [ "trials" ] ~doc:"Number of runs.") in
+  let max_ins =
+    Arg.(
+      value & opt int64 100_000_000L
+      & info [ "max-ins" ] ~doc:"Safety cap on executed instructions.")
+  in
+  let disasm =
+    Arg.(value & flag & info [ "disassemble" ] ~doc:"Dump the startup code.")
+  in
+  Cmd.v
+    (Cmd.info "elfie_run" ~doc:"run an ELFie natively")
+    Term.(const run $ path $ sysstate $ seed $ trials $ max_ins $ disasm)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,37 @@
+(* Run any of the paper's tables/figures by id; `all` regenerates the
+   full evaluation. *)
+
+open Cmdliner
+
+let run_ids ids =
+  let targets =
+    match ids with
+    | [ "all" ] | [] -> Elfie_harness.Registry.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Elfie_harness.Registry.find id with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S; available: %s\n" id
+                  (String.concat ", " Elfie_harness.Registry.ids);
+                exit 2)
+          ids
+  in
+  List.iter
+    (fun (e : Elfie_harness.Registry.experiment) ->
+      Printf.printf "=== %s: %s ===\n" e.id e.title;
+      let t0 = Unix.gettimeofday () in
+      print_string (e.run ());
+      Printf.printf "(%.1f s)\n\n%!" (Unix.gettimeofday () -. t0))
+    targets
+
+let ids_arg =
+  let doc = "Experiment ids (fig9, fig10, fig11, table1..table5) or 'all'." in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"ID" ~doc)
+
+let cmd =
+  let doc = "regenerate the ELFies paper's evaluation tables and figures" in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run_ids $ ids_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,147 @@
+(* pinplay: the PinPlay logger/replayer CLI.
+
+     pinplay log    -b 525.x264_r -o /tmp/pbdir --start 100000 --length 50000
+     pinplay replay -d /tmp/pbdir -n <name> [--injection 0]
+     pinplay run    -b 525.x264_r
+
+   Benchmarks come from the bundled SPEC-like suite (see `pinplay list`). *)
+
+open Cmdliner
+
+let find_bench name =
+  match Elfie_workloads.Suite.find name with
+  | Some b -> b
+  | None ->
+      Printf.eprintf "unknown benchmark %S (try `pinplay list`)\n" name;
+      exit 2
+
+let bench_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark to execute.")
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Scheduler seed.")
+
+(* --- run -------------------------------------------------------------------- *)
+
+let run_native bench seed =
+  let b = find_bench bench in
+  let stats =
+    Elfie_pin.Run.native (Elfie_workloads.Programs.run_spec ~seed b.spec)
+  in
+  Printf.printf
+    "%s: %Ld instructions, %Ld cycles, CPI %.3f, clean=%b\nstdout: %s" bench
+    stats.retired stats.cycles stats.cpi stats.clean stats.stdout
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"run a benchmark natively")
+    Term.(const run_native $ bench_arg $ seed_arg)
+
+(* --- log -------------------------------------------------------------------- *)
+
+let log_region bench seed out name start length fat sysstate =
+  let b = find_bench bench in
+  let rs = Elfie_workloads.Programs.run_spec ~seed b.spec in
+  let result =
+    Elfie_pin.Logger.capture ~fat rs ~name { Elfie_pin.Logger.start; length }
+  in
+  Elfie_pinball.Pinball.save result.pinball ~dir:out;
+  Format.printf "%a@." Elfie_pinball.Pinball.pp_summary result.pinball;
+  if not result.reached_end then
+    print_endline "warning: program ended inside the region (truncated)";
+  if sysstate then begin
+    let ss = Elfie_pin.Sysstate.analyze result.pinball in
+    let dir = Filename.concat out (name ^ ".sysstate") in
+    Elfie_pin.Sysstate.save ss ~dir;
+    Format.printf "sysstate written to %s@.%a@." dir Elfie_pin.Sysstate.pp ss
+  end;
+  Printf.printf "pinball written to %s/%s.*\n" out name
+
+let log_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output pinball directory.")
+  in
+  let pb_name =
+    Arg.(value & opt string "pinball" & info [ "n"; "name" ] ~doc:"Pinball name.")
+  in
+  let start =
+    Arg.(
+      value & opt int64 0L
+      & info [ "start" ] ~doc:"Region start (aggregate instruction count).")
+  in
+  let length =
+    Arg.(value & opt int64 100_000L & info [ "length" ] ~doc:"Region length.")
+  in
+  let fat =
+    Arg.(
+      value & opt bool true
+      & info [ "log-fat" ] ~doc:"Record the whole memory image (-log:fat).")
+  in
+  let sysstate =
+    Arg.(
+      value & flag
+      & info [ "sysstate" ] ~doc:"Also run pinball_sysstate and save its output.")
+  in
+  Cmd.v
+    (Cmd.info "log" ~doc:"capture a region of execution as a pinball")
+    Term.(
+      const log_region $ bench_arg $ seed_arg $ out $ pb_name $ start $ length $ fat
+      $ sysstate)
+
+(* --- replay ----------------------------------------------------------------- *)
+
+let replay dir name injection =
+  let pb = Elfie_pinball.Pinball.load ~dir ~name in
+  let mode =
+    if injection then Elfie_pin.Replayer.Constrained
+    else Elfie_pin.Replayer.Injectionless { seed = 7L; fs_init = (fun _ -> ()) }
+  in
+  let r = Elfie_pin.Replayer.replay ~mode pb in
+  Printf.printf
+    "replayed %Ld instructions, matched_icounts=%b, divergences=%d, cycles=%Ld\n"
+    r.retired r.matched_icounts r.divergences r.cycles
+
+let replay_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Pinball directory.")
+  in
+  let pb_name =
+    Arg.(value & opt string "pinball" & info [ "n"; "name" ] ~doc:"Pinball name.")
+  in
+  let injection =
+    Arg.(
+      value & opt bool true
+      & info [ "injection" ]
+          ~doc:"Inject logged syscall results (0 mimics an ELFie run).")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"replay a pinball (constrained by default)")
+    Term.(const replay $ dir $ pb_name $ injection)
+
+(* --- list ------------------------------------------------------------------- *)
+
+let list_benchmarks () =
+  List.iter
+    (fun (b : Elfie_workloads.Suite.benchmark) ->
+      Printf.printf "%-20s %d thread(s), ~%Ld instructions\n" b.bname
+        b.spec.threads
+        (Elfie_workloads.Programs.approx_instructions b.spec))
+    Elfie_workloads.Suite.all
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"list available benchmarks")
+    Term.(const list_benchmarks $ const ())
+
+let () =
+  let doc = "PinPlay-style program record/replay toolkit (VX86)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "pinplay" ~doc) [ run_cmd; log_cmd; replay_cmd; list_cmd ]))

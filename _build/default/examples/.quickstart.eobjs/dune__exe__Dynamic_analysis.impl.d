@@ -1,0 +1,1 @@
+examples/dynamic_analysis.ml: Elfie_core Elfie_kernel Elfie_machine Elfie_pin Elfie_pinball Elfie_workloads Format Int64 Option Printf

@@ -1,0 +1,1 @@
+examples/mt_simulation.ml: Elfie_core Elfie_elf Elfie_machine Elfie_pin Elfie_pinball Elfie_sniper Elfie_workloads Int64 Option Printf

@@ -1,0 +1,1 @@
+examples/mt_simulation.mli:

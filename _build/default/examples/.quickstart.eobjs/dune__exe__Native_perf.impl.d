@@ -1,0 +1,1 @@
+examples/native_perf.ml: Array Elfie_core Elfie_perf Elfie_pin Elfie_workloads Format Int64 Option Printf

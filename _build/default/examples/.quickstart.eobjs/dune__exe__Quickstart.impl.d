@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Elfie_core Elfie_elf Elfie_pin Elfie_pinball Elfie_workloads Filename Format Int64 List Option Printf

@@ -1,0 +1,1 @@
+examples/simpoint_validation.ml: Array Elfie_core Elfie_perf Elfie_pin Elfie_simpoint Elfie_workloads Float Format List Printf Sys

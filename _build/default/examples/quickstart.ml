@@ -1,0 +1,73 @@
+(* Quickstart: the full ELFie pipeline on one benchmark, end to end.
+
+   1. run a program natively,
+   2. capture a region of its execution as a fat pinball,
+   3. replay the pinball (constrained, deterministic),
+   4. reconstruct OS state with pinball_sysstate,
+   5. convert the pinball to an ELFie with pinball2elf,
+   6. write genuine ELF bytes to disk, read them back,
+   7. run the ELFie natively — it starts exactly at the region start and
+      exits gracefully via its armed instruction counter.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A SPEC-like benchmark from the bundled suite. *)
+  let bench = Option.get (Elfie_workloads.Suite.find "525.x264_r") in
+  let rs = Elfie_workloads.Programs.run_spec bench.spec in
+
+  (* 1. Native run: the ground truth. *)
+  let stats = Elfie_pin.Run.native rs in
+  Printf.printf "native run : %Ld instructions, CPI %.3f, stdout %S\n"
+    stats.retired stats.cpi stats.stdout;
+
+  (* 2. Capture a 100k-instruction region from the middle. *)
+  let start = Int64.div stats.retired 2L in
+  let { Elfie_pin.Logger.pinball; reached_end } =
+    Elfie_pin.Logger.capture rs ~name:"quickstart_region"
+      { Elfie_pin.Logger.start; length = 100_000L }
+  in
+  assert reached_end;
+  Format.printf "captured   : %a@." Elfie_pinball.Pinball.pp_summary pinball;
+
+  (* 3. Constrained replay: exact per-thread instruction counts. *)
+  let replay = Elfie_pin.Replayer.replay pinball in
+  Printf.printf "replay     : matched=%b divergences=%d\n"
+    replay.matched_icounts replay.divergences;
+
+  (* 4. SYSSTATE: proxy files and heap state for native re-execution. *)
+  let sysstate = Elfie_pin.Sysstate.analyze pinball in
+  Format.printf "%a@." Elfie_pin.Sysstate.pp sysstate;
+
+  (* 5. pinball2elf. *)
+  let options =
+    {
+      Elfie_core.Pinball2elf.default_options with
+      sysstate = Some sysstate;
+      marker = Some (Elfie_core.Pinball2elf.Ssc 0x1001L);
+    }
+  in
+  let image = Elfie_core.Pinball2elf.convert ~options pinball in
+
+  (* 6. Byte-exact ELF serialization. *)
+  let bytes = Elfie_elf.Image.write image in
+  let path = Filename.temp_file "quickstart" ".elfie" in
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc;
+  Printf.printf "elfie file : %s (%d bytes, %d sections)\n" path
+    (Bytes.length bytes)
+    (List.length image.sections);
+  let ic = open_in_bin path in
+  let reread = Elfie_elf.Image.read (Bytes.of_string (really_input_string ic (in_channel_length ic))) in
+  close_in ic;
+
+  (* 7. Run it natively. *)
+  let outcome =
+    Elfie_core.Elfie_runner.run
+      ~fs_init:(fun fs -> Elfie_pin.Sysstate.install sysstate fs ~workdir:"/work")
+      ~cwd:"/work" reread
+  in
+  Printf.printf "elfie run  : graceful=%b region instructions=%Ld CPI=%.3f\n"
+    outcome.graceful outcome.app_retired outcome.region_cpi;
+  if not outcome.graceful then exit 1

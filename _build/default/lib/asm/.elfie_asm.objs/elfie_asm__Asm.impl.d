@@ -1,0 +1,1 @@
+lib/asm/asm.ml: Buffer Builder Bytes Elfie_isa Format Hashtbl Insn Int64 List Option Printf Reg String

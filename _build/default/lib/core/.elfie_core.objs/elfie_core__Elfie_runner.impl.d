@@ -1,0 +1,1 @@
+lib/core/elfie_runner.ml: Elfie_elf Elfie_kernel Elfie_machine Format Fs Int64 List Loader Machine Vkernel

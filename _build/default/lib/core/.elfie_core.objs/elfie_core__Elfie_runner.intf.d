@@ -1,0 +1,1 @@
+lib/core/elfie_runner.mli: Elfie_elf Elfie_kernel Elfie_machine

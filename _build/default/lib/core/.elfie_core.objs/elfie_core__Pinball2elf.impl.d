@@ -1,0 +1,1 @@
+lib/core/pinball2elf.ml: Abi Addr_space Array Buffer Builder Bytes Context Elfie_elf Elfie_isa Elfie_kernel Elfie_machine Elfie_pin Elfie_pinball Insn Int64 List Printf Reg String

@@ -1,0 +1,1 @@
+lib/core/pinball2elf.mli: Elfie_elf Elfie_isa Elfie_pin Elfie_pinball

@@ -1,0 +1,119 @@
+(* Native execution of ELFies on the Vkernel machine: the stand-in for
+   "just run the binary on Linux". See elfie_runner.mli. *)
+
+open Elfie_machine
+open Elfie_kernel
+
+type outcome = {
+  load_error : string option;
+  graceful : bool;
+  fault : string option;
+  app_retired : int64;
+  app_cycles : int64;
+  region_cpi : float;
+  slice_cpi : float;
+  total_retired : int64;
+  stdout : string;
+  threads : int;
+}
+
+let failed_outcome msg =
+  {
+    load_error = Some msg;
+    graceful = false;
+    fault = None;
+    app_retired = 0L;
+    app_cycles = 0L;
+    region_cpi = 0.0;
+    slice_cpi = 0.0;
+    total_retired = 0L;
+    stdout = "";
+    threads = 0;
+  }
+
+let run ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
+    ?(max_ins = 100_000_000L) ?timing ?(kernel_cost = true)
+    (image : Elfie_elf.Image.t) =
+  let machine =
+    Machine.create ?timing (Machine.Free { seed; quantum_min = 50; quantum_max = 200 })
+  in
+  let fs = Fs.create () in
+  fs_init fs;
+  let kernel =
+    Vkernel.create
+      ~config:{ Vkernel.default_config with seed; initial_cwd = cwd; kernel_cost }
+      fs
+  in
+  Vkernel.install kernel machine;
+  if kernel_cost then Machine.set_timer machine ~interval:8192 ~cycles:250 ~seed;
+  match Loader.load kernel machine image ~argv:[ "elfie" ] ~env:[] with
+  | exception Loader.Exec_failed msg -> failed_outcome msg
+  | _tid, _layout ->
+      Machine.run ~max_ins machine;
+      let threads = Machine.threads machine in
+      let armed = List.filter (fun th -> th.Machine.counter_target <> None) threads in
+      (* Graceful = every armed thread either hit its region instruction
+         count or exited cleanly through the application's own exit path
+         (a region covering the program's end terminates that way, with
+         spin-dependent per-thread counts). Faults and still-running
+         threads at the cap are the failures. *)
+      let graceful =
+        armed <> []
+        && List.for_all
+             (fun th ->
+               th.Machine.counter_fired || th.Machine.state = Machine.Exited 0)
+             armed
+      in
+      let fault =
+        List.find_map
+          (fun th ->
+            match th.Machine.state with
+            | Machine.Faulted f ->
+                Some (Format.asprintf "tid %d: %a" th.Machine.tid Machine.pp_fault f)
+            | Machine.Runnable | Machine.Exited _ -> None)
+          threads
+      in
+      let app_retired =
+        List.fold_left
+          (fun acc th -> Int64.add acc (Int64.sub th.Machine.retired th.Machine.arm_retired))
+          0L armed
+      in
+      let app_cycle_delta th = Int64.sub th.Machine.cycles th.Machine.arm_cycles in
+      let app_cycles = List.fold_left (fun m th -> max m (app_cycle_delta th)) 0L armed in
+      let cycles_sum = List.fold_left (fun a th -> Int64.add a (app_cycle_delta th)) 0L armed in
+      (* Slice-only CPI: counters re-read at the warmup mark, when present. *)
+      let slice_cpi =
+        let marked =
+          List.filter_map
+            (fun th ->
+              match th.Machine.mark_retired with
+              | Some mr when Int64.sub th.Machine.retired mr > 0L ->
+                  Some
+                    ( Int64.sub th.Machine.retired mr,
+                      Int64.sub th.Machine.cycles th.Machine.mark_cycles )
+              | Some _ | None -> None)
+            armed
+        in
+        match marked with
+        | [] ->
+            if app_retired = 0L then 0.0
+            else Int64.to_float cycles_sum /. Int64.to_float app_retired
+        | _ ->
+            let ins = List.fold_left (fun a (i, _) -> Int64.add a i) 0L marked in
+            let cyc = List.fold_left (fun a (_, c) -> Int64.add a c) 0L marked in
+            Int64.to_float cyc /. Int64.to_float ins
+      in
+      {
+        load_error = None;
+        graceful;
+        fault;
+        app_retired;
+        app_cycles;
+        region_cpi =
+          (if app_retired = 0L then 0.0
+           else Int64.to_float cycles_sum /. Int64.to_float app_retired);
+        slice_cpi;
+        total_retired = Machine.total_retired machine;
+        stdout = Vkernel.stdout_contents kernel;
+        threads = List.length threads;
+      }

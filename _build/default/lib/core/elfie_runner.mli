@@ -1,0 +1,48 @@
+(** Running ELFies natively.
+
+    Loads an ELFie through the system loader (so stack randomization and
+    the collision failure mode apply), lets its startup code rebuild the
+    checkpointed state, and executes the embedded region with a freely
+    scheduled machine — the "run it like any Linux binary" path of the
+    paper.
+
+    Success criterion is the paper's: the run is {e graceful} when every
+    thread's armed retired-instruction counter fired (each thread
+    executed its recorded region instruction count and exited), rather
+    than the ELFie diverging into an uncaptured page or failing a system
+    call. *)
+
+type outcome = {
+  load_error : string option;
+      (** loader refused the image (e.g. stack collision) *)
+  graceful : bool;
+      (** every armed thread hit its region instruction count or exited
+          cleanly via the application's own exit path *)
+  fault : string option;  (** first thread fault, if any *)
+  app_retired : int64;
+      (** instructions retired inside the region (post-arm), all threads *)
+  app_cycles : int64;  (** wall-clock proxy for the region (max thread) *)
+  region_cpi : float;
+  slice_cpi : float;
+      (** CPI measured from the warmup mark to exit when the ELFie was
+          generated with [warmup_mark]; equals [region_cpi] otherwise *)
+  total_retired : int64;  (** including startup/monitor overhead *)
+  stdout : string;
+  threads : int;
+}
+
+(** [run image] executes an ELFie natively.
+    @param seed scheduler seed — vary it across trials for MT variation
+    @param fs_init install SYSSTATE proxy files before the run
+    @param cwd the sysstate workdir the ELFie is executed in
+    @param max_ins safety cap for runaway (diverged) executions
+    @param kernel_cost charge ring-0 work, as real hardware would *)
+val run :
+  ?seed:int64 ->
+  ?fs_init:(Elfie_kernel.Fs.t -> unit) ->
+  ?cwd:string ->
+  ?max_ins:int64 ->
+  ?timing:Elfie_machine.Timing.config ->
+  ?kernel_cost:bool ->
+  Elfie_elf.Image.t ->
+  outcome

@@ -1,0 +1,1 @@
+lib/coresim/coresim.ml: Abi Addr_space Bytes Cache Char Context Elfie_isa Elfie_kernel Elfie_machine Elfie_pin Elfie_util Float Fs Insn Int64 Loader Machine Reg Vkernel

@@ -1,0 +1,1 @@
+lib/coresim/coresim.mli: Elfie_elf Elfie_kernel Elfie_machine

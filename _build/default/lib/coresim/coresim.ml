@@ -1,0 +1,208 @@
+open Elfie_isa
+open Elfie_machine
+open Elfie_kernel
+
+type mode = User_level | Full_system
+
+type config = {
+  dispatch_width : int;
+  l1 : Cache.config;
+  l2 : Cache.config;
+  llc : Cache.config;
+  dtlb_entries : int;
+  l1_miss_cycles : int;
+  l2_miss_cycles : int;
+  llc_miss_cycles : int;
+  tlb_miss_cycles : int;
+  mispredict_cycles : int;
+  kernel_cpi : float;
+  kernel_lines_per_syscall : int;
+  timer_interval_ins : int;
+  timer_kernel_ins : int;
+}
+
+let skylake =
+  {
+    dispatch_width = 4;
+    l1 = Cache.config ~size_bytes:32_768 ~ways:8 ~line_bytes:64;
+    l2 = Cache.config ~size_bytes:1_048_576 ~ways:16 ~line_bytes:64;
+    llc = Cache.config ~size_bytes:11_534_336 ~ways:11 ~line_bytes:64;
+    dtlb_entries = 64;
+    l1_miss_cycles = 10;
+    l2_miss_cycles = 35;
+    llc_miss_cycles = 170;
+    tlb_miss_cycles = 30;
+    mispredict_cycles = 16;
+    kernel_cpi = 9.0;
+    kernel_lines_per_syscall = 360;
+    timer_interval_ins = 25_000;
+    timer_kernel_ins = 400;
+  }
+
+type result = {
+  user_instructions : int64;
+  kernel_instructions : int64;
+  runtime_cycles : int64;
+  cpi : float;
+  data_footprint_bytes : int64;
+  dtlb_misses : int64;
+  llc_misses : int64;
+  syscalls : int64;
+}
+
+type model = {
+  cfg : config;
+  mode : mode;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  llc : Cache.t;
+  dtlb : Cache.t;
+  predictor : Bytes.t;
+  rng : Elfie_util.Rng.t;
+  mutable enabled : bool;
+  mutable cycles : float;
+  mutable user_ins : int64;
+  mutable kernel_ins : int64;
+  mutable syscalls : int64;
+  mutable window_start_ins : int64;
+  mutable window_start_cycles : float;
+}
+
+let predictor_entries = 4096
+
+let fresh_model cfg mode ~enabled =
+  {
+    cfg;
+    mode;
+    l1 = Cache.create cfg.l1;
+    l2 = Cache.create cfg.l2;
+    llc = Cache.create cfg.llc;
+    (* The DTLB is a fully-associative page-granular cache. *)
+    dtlb =
+      Cache.create
+        (Cache.config
+           ~size_bytes:(cfg.dtlb_entries * Addr_space.page_size)
+           ~ways:cfg.dtlb_entries ~line_bytes:Addr_space.page_size);
+    predictor = Bytes.make predictor_entries '\002';
+    rng = Elfie_util.Rng.create 0x5ca1ab1eL;
+    enabled;
+    cycles = 0.0;
+    user_ins = 0L;
+    kernel_ins = 0L;
+    syscalls = 0L;
+    window_start_ins = 0L;
+    window_start_cycles = 0.0;
+  }
+
+let cache_walk model addr =
+  if Cache.access model.l1 addr then 0
+  else if Cache.access model.l2 addr then model.cfg.l1_miss_cycles
+  else if Cache.access model.llc addr then model.cfg.l2_miss_cycles
+  else model.cfg.llc_miss_cycles
+
+let mem_access model addr =
+  let tlb_penalty =
+    if Cache.access model.dtlb addr then 0 else model.cfg.tlb_miss_cycles
+  in
+  model.cycles <- model.cycles +. float_of_int (tlb_penalty + cache_walk model addr)
+
+(* Kernel execution (full-system only): charge ring-0 instructions at
+   the kernel's (stall-inclusive) CPI, walk kernel data through the
+   cache hierarchy — evicting user lines and inflating the observed
+   footprint — and flush the TLB. The kernel's own working set is small
+   and hot (its stalls are folded into kernel_cpi), but its lines are
+   distinct from the application's. *)
+let kernel_work model kinstr =
+  model.kernel_ins <- Int64.add model.kernel_ins (Int64.of_int kinstr);
+  model.cycles <- model.cycles +. (float_of_int kinstr *. model.cfg.kernel_cpi);
+  let lines = max 16 (kinstr / 4) in
+  for _ = 1 to min lines model.cfg.kernel_lines_per_syscall do
+    let addr =
+      Int64.logor 0xffff_8800_0000_0000L
+        (Int64.mul 64L (Int64.of_int (Elfie_util.Rng.int model.rng 2048)))
+    in
+    ignore (cache_walk model addr)
+  done;
+  Cache.flush model.dtlb
+
+let branch model pc taken =
+  let idx =
+    abs (Int64.to_int (Int64.rem (Int64.shift_right_logical pc 1)
+                         (Int64.of_int predictor_entries)))
+  in
+  let counter = Char.code (Bytes.get model.predictor idx) in
+  let predicted = counter >= 2 in
+  Bytes.set model.predictor idx
+    (Char.chr (if taken then min 3 (counter + 1) else max 0 (counter - 1)));
+  if predicted <> taken then
+    model.cycles <- model.cycles +. float_of_int model.cfg.mispredict_cycles
+
+let simulate ?(mode = User_level) ?(from_marker = true) ?measure_after
+    ?(seed = 13L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
+    ?(max_ins = 100_000_000L) cfg image =
+  let machine =
+    Machine.create (Machine.Free { seed; quantum_min = 50; quantum_max = 200 })
+  in
+  let fs = Fs.create () in
+  fs_init fs;
+  let kernel =
+    Vkernel.create
+      ~config:{ Vkernel.default_config with seed; initial_cwd = cwd; kernel_cost = false }
+      fs
+  in
+  Vkernel.install kernel machine;
+  let _ = Loader.load kernel machine image ~argv:[ "elfie" ] ~env:[] in
+  let model = fresh_model cfg mode ~enabled:(not from_marker) in
+  let on_ins tid _pc ins =
+    if model.enabled then begin
+      model.user_ins <- Int64.add model.user_ins 1L;
+      model.cycles <- model.cycles +. (1.0 /. float_of_int model.cfg.dispatch_width);
+      (match measure_after with
+      | Some w when model.user_ins = w ->
+          model.window_start_ins <- model.user_ins;
+          model.window_start_cycles <- model.cycles
+      | Some _ | None -> ());
+      (match model.mode with
+      | Full_system
+        when Int64.rem model.user_ins (Int64.of_int cfg.timer_interval_ins) = 0L ->
+          kernel_work model cfg.timer_kernel_ins
+      | Full_system | User_level -> ());
+      match Insn.classify ins with
+      | Insn.K_syscall ->
+          model.syscalls <- Int64.add model.syscalls 1L;
+          (match model.mode with
+          | User_level -> ()
+          | Full_system ->
+              let nr =
+                Int64.to_int (Context.get (Machine.thread machine tid).Machine.ctx Reg.RAX)
+              in
+              kernel_work model (Abi.ring0_instructions nr ~bytes:64))
+      | K_alu | K_load | K_store | K_branch | K_call | K_vector | K_other -> ()
+    end
+  in
+  let tool =
+    {
+      (Elfie_pin.Pintool.empty ~name:"coresim") with
+      on_ins = Some on_ins;
+      on_mem_read = Some (fun _ addr _ -> if model.enabled then mem_access model addr);
+      on_mem_write = Some (fun _ addr _ -> if model.enabled then mem_access model addr);
+      on_branch = Some (fun _ pc _ taken -> if model.enabled then branch model pc taken);
+      on_marker = Some (fun _ _ -> model.enabled <- true);
+    }
+  in
+  let detach = Elfie_pin.Pintool.attach machine [ tool ] in
+  Machine.run ~max_ins machine;
+  detach ();
+  {
+    user_instructions = model.user_ins;
+    kernel_instructions = model.kernel_ins;
+    runtime_cycles = Int64.of_float (Float.round model.cycles);
+    cpi =
+      (let ins = Int64.sub model.user_ins model.window_start_ins in
+       let cyc = model.cycles -. model.window_start_cycles in
+       if ins <= 0L then 0.0 else cyc /. Int64.to_float ins);
+    data_footprint_bytes = Int64.of_int (Cache.footprint_lines model.llc * 64);
+    dtlb_misses = Int64.of_int (Cache.misses model.dtlb);
+    llc_misses = Int64.of_int (Cache.misses model.llc);
+    syscalls = model.syscalls;
+  }

@@ -1,0 +1,1 @@
+lib/criu/criu.ml: Addr_space Array Byteio Bytes Context Elfie_kernel Elfie_machine Elfie_util List Machine String Vkernel

@@ -1,0 +1,1 @@
+lib/criu/criu.mli: Elfie_kernel Elfie_machine

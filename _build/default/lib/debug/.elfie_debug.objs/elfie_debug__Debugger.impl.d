@@ -1,0 +1,1 @@
+lib/debug/debugger.ml: Addr_space Context Elfie_elf Elfie_isa Elfie_kernel Elfie_machine Format Fs Hashtbl Int64 List Loader Machine Option Printf Vkernel

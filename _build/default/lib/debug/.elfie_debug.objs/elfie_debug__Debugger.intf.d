@@ -1,0 +1,1 @@
+lib/debug/debugger.mli: Elfie_elf Elfie_isa Elfie_kernel Elfie_machine Format

@@ -1,0 +1,146 @@
+open Elfie_machine
+open Elfie_kernel
+
+type stop_reason =
+  | Breakpoint of { tid : int; addr : int64 }
+  | Step_done of int
+  | All_exited
+  | Thread_fault of { tid : int; message : string }
+  | Budget_exhausted
+
+let pp_stop fmt = function
+  | Breakpoint { tid; addr } ->
+      Format.fprintf fmt "breakpoint hit: thread %d at 0x%Lx" tid addr
+  | Step_done tid -> Format.fprintf fmt "stepped thread %d" tid
+  | All_exited -> Format.fprintf fmt "process exited"
+  | Thread_fault { tid; message } ->
+      Format.fprintf fmt "thread %d faulted: %s" tid message
+  | Budget_exhausted -> Format.fprintf fmt "instruction budget exhausted"
+
+type t = {
+  m : Machine.t;
+  image : Elfie_elf.Image.t;
+  bps : (int64, unit) Hashtbl.t;
+  mutable current_tid : int;
+  mutable rr_next : int;  (* round-robin cursor *)
+}
+
+let launch ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/") image =
+  let m =
+    Machine.create (Machine.Free { seed; quantum_min = 1; quantum_max = 1 })
+  in
+  let fs = Fs.create () in
+  fs_init fs;
+  let kernel =
+    Vkernel.create ~config:{ Vkernel.default_config with seed; initial_cwd = cwd } fs
+  in
+  Vkernel.install kernel m;
+  let tid, _ = Loader.load kernel m image ~argv:[ "elfie" ] ~env:[] in
+  { m; image; bps = Hashtbl.create 8; current_tid = tid; rr_next = 0 }
+
+let machine t = t.m
+let break_at t addr = Hashtbl.replace t.bps addr ()
+let clear_at t addr = Hashtbl.remove t.bps addr
+
+let breakpoints t =
+  Hashtbl.fold (fun a () acc -> a :: acc) t.bps [] |> List.sort Int64.unsigned_compare
+
+let break_symbol t name =
+  match Elfie_elf.Image.find_symbol t.image name with
+  | Some addr ->
+      break_at t addr;
+      Ok addr
+  | None -> Error (Printf.sprintf "no symbol %S in image" name)
+
+let runnable_tids t =
+  List.filter_map
+    (fun th -> if th.Machine.state = Machine.Runnable then Some th.Machine.tid else None)
+    (Machine.threads t.m)
+
+let fault_of th =
+  match th.Machine.state with
+  | Machine.Faulted f ->
+      Some
+        (Thread_fault
+           { tid = th.Machine.tid; message = Format.asprintf "%a" Machine.pp_fault f })
+  | Machine.Runnable | Machine.Exited _ -> None
+
+(* Advance exactly one instruction of [tid], reporting faults. *)
+let step_tid t tid =
+  Machine.step t.m tid;
+  t.current_tid <- tid;
+  match fault_of (Machine.thread t.m tid) with
+  | Some fault -> fault
+  | None -> Step_done tid
+
+let step ?tid t =
+  let tid = Option.value ~default:t.current_tid tid in
+  if (Machine.thread t.m tid).Machine.state <> Machine.Runnable then
+    if runnable_tids t = [] then All_exited
+    else step_tid t (List.hd (runnable_tids t))
+  else step_tid t tid
+
+let continue_ ?(budget = 50_000_000L) t =
+  let executed = ref 0L in
+  let rec loop () =
+    match runnable_tids t with
+    | [] -> All_exited
+    | tids ->
+        (* Round-robin across runnable threads, one instruction each. *)
+        let n = List.length tids in
+        let tid = List.nth tids (t.rr_next mod n) in
+        t.rr_next <- (t.rr_next + 1) mod max 1 n;
+        let rip = (Machine.thread t.m tid).Machine.ctx.Context.rip in
+        if Hashtbl.mem t.bps rip then begin
+          t.current_tid <- tid;
+          Breakpoint { tid; addr = rip }
+        end
+        else if !executed >= budget then Budget_exhausted
+        else begin
+          executed := Int64.add !executed 1L;
+          match step_tid t tid with
+          | Step_done _ -> loop ()
+          | stop -> stop
+        end
+  in
+  loop ()
+
+let registers t ~tid = (Machine.thread t.m tid).Machine.ctx
+
+let read_mem t addr len =
+  match Addr_space.read_bytes (Machine.mem t.m) addr len with
+  | b -> Some b
+  | exception Addr_space.Fault _ -> None
+
+let disassemble t ~addr ~count =
+  match read_mem t addr (count * 16) with
+  | None -> []
+  | Some buf ->
+      List.map
+        (fun (off, ins) -> (Int64.add addr (Int64.of_int off), ins))
+        (Elfie_isa.Codec.disassemble buf ~off:0 ~count)
+
+let symbols t =
+  List.map
+    (fun s -> (s.Elfie_elf.Image.sym_name, s.Elfie_elf.Image.value))
+    t.image.Elfie_elf.Image.symbols
+  |> List.sort (fun (_, a) (_, b) -> Int64.unsigned_compare a b)
+
+let symbol_near t addr =
+  List.fold_left
+    (fun best (name, value) ->
+      if Int64.unsigned_compare value addr <= 0 then Some (name, Int64.sub addr value)
+      else best)
+    None (symbols t)
+
+let thread_summary t =
+  List.map
+    (fun th ->
+      let state =
+        match th.Machine.state with
+        | Machine.Runnable -> "runnable"
+        | Exited n -> Printf.sprintf "exited %d" n
+        | Faulted f -> Format.asprintf "faulted (%a)" Machine.pp_fault f
+      in
+      (th.Machine.tid, state, th.Machine.ctx.Context.rip))
+    (Machine.threads t.m)

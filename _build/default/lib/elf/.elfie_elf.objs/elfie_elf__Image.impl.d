@@ -1,0 +1,1 @@
+lib/elf/image.ml: Array Buffer Byteio Bytes Consts Elfie_util Format Int64 List Printf

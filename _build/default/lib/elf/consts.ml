@@ -1,0 +1,45 @@
+(* ELF64 structure constants, per the TIS ELF specification v1.2. *)
+
+let magic = "\x7fELF"
+let elfclass64 = 2
+let elfdata2lsb = 1
+let ev_current = 1
+
+(* Object file types. *)
+let et_rel = 1
+let et_exec = 2
+
+(* Machine: official x86-64 is 62; VX86 images use an unassigned value so
+   they can never be confused with real binaries. "VX" little-endian. *)
+let em_vx86 = 0x5856
+
+(* Section types. *)
+let sht_null = 0
+let sht_progbits = 1
+let sht_symtab = 2
+let sht_strtab = 3
+let sht_note = 7
+let sht_nobits = 8
+
+(* Section flags. *)
+let shf_write = 0x1
+let shf_alloc = 0x2
+let shf_execinstr = 0x4
+
+(* Program header types and flags. *)
+let pt_load = 1
+let pf_x = 0x1
+let pf_w = 0x2
+let pf_r = 0x4
+
+(* Symbols. *)
+let shn_abs = 0xfff1
+let stb_global = 1
+let stt_func = 2
+let st_info ~bind ~typ = (bind lsl 4) lor (typ land 0xf)
+
+(* Fixed structure sizes. *)
+let ehsize = 64
+let phentsize = 56
+let shentsize = 64
+let symentsize = 24

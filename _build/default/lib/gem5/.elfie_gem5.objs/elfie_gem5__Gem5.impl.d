@@ -1,0 +1,1 @@
+lib/gem5/gem5.ml: Bytes Cache Char Elfie_isa Elfie_kernel Elfie_machine Elfie_pin Float Fs Insn Int64 Loader Machine Vkernel

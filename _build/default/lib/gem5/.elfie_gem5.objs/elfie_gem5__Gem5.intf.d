@@ -1,0 +1,1 @@
+lib/gem5/gem5.mli: Elfie_elf Elfie_kernel Elfie_machine

@@ -1,0 +1,153 @@
+open Elfie_isa
+open Elfie_machine
+open Elfie_kernel
+
+type cpu_config = {
+  name : string;
+  rob_entries : int;
+  issue_width : int;
+  lsq_entries : int;
+  int_regs : int;
+  l1 : Cache.config;
+  l2 : Cache.config;
+  l1_miss_cycles : int;
+  l2_miss_cycles : int;
+  mispredict_cycles : int;
+}
+
+let nehalem =
+  {
+    name = "nehalem-like";
+    rob_entries = 128;
+    issue_width = 4;
+    lsq_entries = 48;
+    int_regs = 128;
+    l1 = Cache.config ~size_bytes:32_768 ~ways:8 ~line_bytes:64;
+    l2 = Cache.config ~size_bytes:262_144 ~ways:8 ~line_bytes:64;
+    l1_miss_cycles = 10;
+    l2_miss_cycles = 180;
+    mispredict_cycles = 17;
+  }
+
+let haswell =
+  {
+    name = "haswell-like";
+    rob_entries = 192;
+    issue_width = 8;
+    lsq_entries = 72;
+    int_regs = 168;
+    l1 = Cache.config ~size_bytes:32_768 ~ways:8 ~line_bytes:64;
+    l2 = Cache.config ~size_bytes:262_144 ~ways:8 ~line_bytes:64;
+    l1_miss_cycles = 10;
+    l2_miss_cycles = 180;
+    mispredict_cycles = 14;
+  }
+
+type result = {
+  instructions : int64;
+  cycles : int64;
+  ipc : float;
+  l2_misses : int64;
+}
+
+type model = {
+  cfg : cpu_config;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  predictor : Bytes.t;
+  mutable enabled : bool;
+  mutable cycles : float;
+  mutable instructions : int64;
+  (* The overlap window hides part of each long-latency miss: a bigger
+     ROB/LSQ keeps more independent work in flight. *)
+  overlap_window : float;
+}
+
+let predictor_entries = 4096
+
+let fresh cfg ~enabled =
+  {
+    cfg;
+    l1 = Cache.create cfg.l1;
+    l2 = Cache.create cfg.l2;
+    predictor = Bytes.make predictor_entries '\002';
+    enabled;
+    cycles = 0.0;
+    instructions = 0L;
+    overlap_window =
+      float_of_int (cfg.rob_entries / cfg.issue_width)
+      +. (float_of_int cfg.lsq_entries /. 2.0)
+      +. (float_of_int (cfg.int_regs - 96) /. 4.0);
+  }
+
+let mem_access model addr =
+  let penalty =
+    if Cache.access model.l1 addr then 0.0
+    else if Cache.access model.l2 addr then float_of_int model.cfg.l1_miss_cycles
+    else
+      (* Interval model: the ROB keeps issuing under the miss until it
+         fills, so only the uncovered part of the latency stalls. *)
+      Float.max 12.0 (float_of_int model.cfg.l2_miss_cycles -. model.overlap_window)
+  in
+  model.cycles <- model.cycles +. penalty
+
+let branch model pc taken =
+  let idx =
+    abs (Int64.to_int (Int64.rem (Int64.shift_right_logical pc 1)
+                         (Int64.of_int predictor_entries)))
+  in
+  let counter = Char.code (Bytes.get model.predictor idx) in
+  let predicted = counter >= 2 in
+  Bytes.set model.predictor idx
+    (Char.chr (if taken then min 3 (counter + 1) else max 0 (counter - 1)));
+  if predicted <> taken then
+    model.cycles <- model.cycles +. float_of_int model.cfg.mispredict_cycles
+
+let simulate_se ?(from_marker = true) ?(seed = 13L) ?(fs_init = fun (_ : Fs.t) -> ())
+    ?(cwd = "/") ?(max_ins = 100_000_000L) cfg image =
+  let machine =
+    Machine.create (Machine.Free { seed; quantum_min = 50; quantum_max = 200 })
+  in
+  let fs = Fs.create () in
+  fs_init fs;
+  let kernel =
+    Vkernel.create
+      ~config:{ Vkernel.default_config with seed; initial_cwd = cwd; kernel_cost = false }
+      fs
+  in
+  Vkernel.install kernel machine;
+  let _ = Loader.load kernel machine image ~argv:[ "elfie" ] ~env:[] in
+  let model = fresh cfg ~enabled:(not from_marker) in
+  let on_ins _tid _pc ins =
+    if model.enabled then begin
+      model.instructions <- Int64.add model.instructions 1L;
+      model.cycles <- model.cycles +. (1.0 /. float_of_int model.cfg.issue_width);
+      match Insn.classify ins with
+      | Insn.K_vector ->
+          (* SSE2-era vector support: half throughput. *)
+          model.cycles <- model.cycles +. (1.0 /. float_of_int model.cfg.issue_width)
+      | K_syscall -> model.cycles <- model.cycles +. 120.0
+      | K_alu | K_load | K_store | K_branch | K_call | K_other -> ()
+    end
+  in
+  let tool =
+    {
+      (Elfie_pin.Pintool.empty ~name:"gem5-se") with
+      on_ins = Some on_ins;
+      on_mem_read = Some (fun _ addr _ -> if model.enabled then mem_access model addr);
+      on_mem_write = Some (fun _ addr _ -> if model.enabled then mem_access model addr);
+      on_branch = Some (fun _ pc _ taken -> if model.enabled then branch model pc taken);
+      on_marker = Some (fun _ _ -> model.enabled <- true);
+    }
+  in
+  let detach = Elfie_pin.Pintool.attach machine [ tool ] in
+  Machine.run ~max_ins machine;
+  detach ();
+  {
+    instructions = model.instructions;
+    cycles = Int64.of_float (Float.round model.cycles);
+    ipc =
+      (if model.cycles = 0.0 then 0.0
+       else Int64.to_float model.instructions /. model.cycles);
+    l2_misses = Int64.of_int (Cache.misses model.l2);
+  }

@@ -1,0 +1,1 @@
+lib/harness/exp_fig10.ml: Exp_ref Lazy List Pipeline Printf Render

@@ -1,0 +1,1 @@
+lib/harness/exp_fig9.ml: Buffer Elfie_perf Elfie_simpoint Elfie_workloads Lazy List Option Pipeline Render

@@ -1,0 +1,1 @@
+lib/harness/exp_ref.ml: Elfie_simpoint Elfie_workloads List Pipeline

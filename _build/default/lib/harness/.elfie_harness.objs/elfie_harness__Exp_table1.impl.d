@@ -1,0 +1,1 @@
+lib/harness/exp_table1.ml: Buffer Elfie_pin Elfie_workloads Int64 List Printf Render Unix

@@ -1,0 +1,1 @@
+lib/harness/exp_table2.ml: Elfie_simpoint Elfie_workloads Lazy Pipeline Render

@@ -1,0 +1,1 @@
+lib/harness/exp_table3.ml: Exp_ref Int64 Lazy List Pipeline Render

@@ -1,0 +1,1 @@
+lib/harness/exp_table4.ml: Elfie_coresim Elfie_pin Elfie_workloads Float Int64 Lazy Pipeline Printf Render

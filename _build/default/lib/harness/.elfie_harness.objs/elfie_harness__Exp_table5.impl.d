@@ -1,0 +1,1 @@
+lib/harness/exp_table5.ml: Elfie_gem5 Elfie_pin Elfie_simpoint Elfie_workloads Float Lazy List Pipeline Printf Render

@@ -1,0 +1,1 @@
+lib/harness/pipeline.ml: Array Elfie_core Elfie_coresim Elfie_kernel Elfie_perf Elfie_pin Elfie_simpoint Elfie_workloads Float Hashtbl List Option Printf

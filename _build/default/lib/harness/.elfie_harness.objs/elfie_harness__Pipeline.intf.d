@@ -1,0 +1,1 @@
+lib/harness/pipeline.mli: Elfie_elf Elfie_perf Elfie_pin Elfie_simpoint Elfie_workloads

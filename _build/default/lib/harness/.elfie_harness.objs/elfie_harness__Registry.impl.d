@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Exp_ablations Exp_fig10 Exp_fig11 Exp_fig9 Exp_table1 Exp_table2 Exp_table3 Exp_table4 Exp_table5 List

@@ -1,0 +1,1 @@
+lib/harness/render.ml: Buffer Float List Option Printf String

@@ -1,0 +1,21 @@
+(* Fig. 10: ELFie-based prediction errors for the long-running SPEC
+   CPU2017 ref stand-ins — the validation that is impractical with
+   whole-program simulation but fast on (simulated) native hardware. *)
+
+let run () =
+  let rs = Lazy.force Exp_ref.results in
+  let series =
+    List.map
+      (fun (name, v) -> (name, [ ("error", 100.0 *. v.Pipeline.elfie_error) ]))
+      rs
+  in
+  let mean_err =
+    let es = List.map (fun (_, v) -> v.Pipeline.elfie_error) rs in
+    List.fold_left ( +. ) 0.0 es /. float_of_int (max 1 (List.length es))
+  in
+  Render.bars ~unit_label:"%"
+    ~title:
+      "Fig. 10: SPEC CPU2017 ref PinPoints prediction errors (ELFie-based\n\
+       validation with alternate-region fallback)"
+    series
+  ^ Printf.sprintf "\nmean error: %s\n" (Render.pct mean_err)

@@ -1,0 +1,54 @@
+(* Fig. 9: prediction errors for SPEC CPU2017 train intrate regions,
+   comparing the traditional simulation-based validation against two
+   independent ELFie-based (native hardware) validation instances. *)
+
+module Simpoint = Elfie_simpoint.Simpoint
+
+let params = { Simpoint.default_params with max_k = 50 }
+
+let results =
+  lazy
+    (List.map
+       (fun b ->
+         ( b.Elfie_workloads.Suite.bname,
+           Pipeline.validate ~params ~trials:3 ~base_seed:2000L
+             ~second_base_seed:7000L ~with_simulation:true b ))
+       Elfie_workloads.Suite.spec2017_int_train)
+
+let run () =
+  let rs = Lazy.force results in
+  let series =
+    List.map
+      (fun (name, v) ->
+        ( name,
+          [ ("simulation", 100.0 *. Option.value ~default:0.0 v.Pipeline.sim_error);
+            ("ELFie-1", 100.0 *. v.Pipeline.elfie_error);
+            ("ELFie-2",
+             100.0 *. Option.value ~default:0.0 v.Pipeline.elfie_error2) ] ))
+      rs
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Render.bars ~unit_label:"%"
+       ~title:
+         "Fig. 9: CPI prediction error, simulation-based vs ELFie-based validation\n\
+          (SPEC CPU2017 train intrate stand-ins)"
+       series);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf
+    (Render.table
+       ~header:
+         [ "benchmark"; "k"; "coverage"; "whole CPI"; "pred CPI"; "err(sim)";
+           "err(ELFie-1)"; "err(ELFie-2)" ]
+       (List.map
+          (fun (name, v) ->
+            [ name; string_of_int v.Pipeline.k; Render.pct v.Pipeline.coverage;
+              Render.f3 v.Pipeline.native_whole.Elfie_perf.Perf.mean_cpi;
+              Render.f3 v.Pipeline.elfie_pred_cpi;
+              (match v.Pipeline.sim_error with Some e -> Render.pct e | None -> "-");
+              Render.pct v.Pipeline.elfie_error;
+              (match v.Pipeline.elfie_error2 with
+              | Some e -> Render.pct e
+              | None -> "-") ])
+          rs));
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(* Shared driver for the SPEC CPU2017 ref experiments: Table III (suite
+   statistics) and Fig. 10 (ELFie-based prediction errors) come from the
+   same validation pass over the int + fp ref stand-ins. *)
+
+module Simpoint = Elfie_simpoint.Simpoint
+
+let params = { Simpoint.default_params with max_k = 50 }
+
+let benchmarks () =
+  Elfie_workloads.Suite.spec2017_int_ref @ Elfie_workloads.Suite.spec2017_fp_ref
+
+let results =
+  lazy
+    (List.map
+       (fun b ->
+         (b.Elfie_workloads.Suite.bname,
+          Pipeline.validate ~params ~trials:2 ~base_seed:4000L b))
+       (benchmarks ()))

@@ -1,0 +1,16 @@
+(* Table III: basic statistics of the ref PinPoints runs — dynamic
+   instruction counts, slice counts, selected regions and ELFie
+   coverage. *)
+
+let run () =
+  let rs = Lazy.force Exp_ref.results in
+  "Table III: SPEC CPU2017 ref stand-ins, PinPoints statistics\n\n"
+  ^ Render.table
+      ~header:
+        [ "benchmark"; "instructions"; "slices"; "regions (k)"; "coverage" ]
+      (List.map
+         (fun (name, v) ->
+           [ name; Int64.to_string v.Pipeline.total_ins;
+             string_of_int v.Pipeline.num_slices; string_of_int v.Pipeline.k;
+             Render.pct v.Pipeline.coverage ])
+         rs)

@@ -1,0 +1,64 @@
+(* Table IV: application-level (SDE front-end) vs full-system (Simics
+   front-end) CoreSim simulation of one x264 region ELFie.
+
+   The paper's observation: the few extra ring-0 instructions of
+   full-system mode (~1.6% of the region) have a disproportionate
+   effect — longer runtime and a much larger data footprint — because
+   kernel code perturbs the TLB and cache hierarchy. *)
+
+module Coresim = Elfie_coresim.Coresim
+
+let region_elfie =
+  lazy
+    (let b =
+       match Elfie_workloads.Suite.find "525.x264_r" with
+       | Some b -> b
+       | None -> failwith "suite is missing 525.x264_r"
+     in
+     let rs = Elfie_workloads.Programs.run_spec b.spec in
+     let approx = Elfie_workloads.Programs.approx_instructions b.spec in
+     match
+       Pipeline.make_region_elfie rs ~name:"x264_tab4" ~warmup:0L
+         ~start:(Int64.div approx 3L) ~length:120_000L
+     with
+    | Some elfie -> elfie
+    | None -> failwith "could not capture the x264 region")
+
+let simulate mode =
+  let image, sysstate = Lazy.force region_elfie in
+  Coresim.simulate ~mode
+    ~fs_init:(fun fs -> Elfie_pin.Sysstate.install sysstate fs ~workdir:"/work")
+    ~cwd:"/work" Coresim.skylake image
+
+let results = lazy (simulate Coresim.User_level, simulate Coresim.Full_system)
+
+let run () =
+  let u, f = Lazy.force results in
+  let delta a b =
+    if a = 0.0 then "-" else Printf.sprintf "%+.1f%%" (100.0 *. (b -. a) /. a)
+  in
+  let i64 = Int64.to_float in
+  "Table IV: user-level vs full-system CoreSim, one x264 region ELFie\n\n"
+  ^ Render.table
+      ~header:[ "metric"; "user-level (SDE)"; "full-system (Simics)"; "delta" ]
+      [ [ "ring3 instructions"; Int64.to_string u.Coresim.user_instructions;
+          Int64.to_string f.Coresim.user_instructions;
+          delta (i64 u.Coresim.user_instructions) (i64 f.Coresim.user_instructions) ];
+        [ "ring0 instructions"; Int64.to_string u.Coresim.kernel_instructions;
+          Int64.to_string f.Coresim.kernel_instructions;
+          Printf.sprintf "+%.1f%% of total"
+            (100.0
+            *. i64 f.Coresim.kernel_instructions
+            /. Float.max 1.0 (i64 f.Coresim.user_instructions)) ];
+        [ "runtime (cycles)"; Int64.to_string u.Coresim.runtime_cycles;
+          Int64.to_string f.Coresim.runtime_cycles;
+          delta (i64 u.Coresim.runtime_cycles) (i64 f.Coresim.runtime_cycles) ];
+        [ "data footprint (bytes)"; Int64.to_string u.Coresim.data_footprint_bytes;
+          Int64.to_string f.Coresim.data_footprint_bytes;
+          delta (i64 u.Coresim.data_footprint_bytes) (i64 f.Coresim.data_footprint_bytes) ];
+        [ "DTLB misses"; Int64.to_string u.Coresim.dtlb_misses;
+          Int64.to_string f.Coresim.dtlb_misses;
+          delta (i64 u.Coresim.dtlb_misses) (i64 f.Coresim.dtlb_misses) ];
+        [ "LLC misses"; Int64.to_string u.Coresim.llc_misses;
+          Int64.to_string f.Coresim.llc_misses;
+          delta (i64 u.Coresim.llc_misses) (i64 f.Coresim.llc_misses) ] ]

@@ -1,0 +1,59 @@
+(* Table V: binary-driven gem5 SE-mode simulation of one SimPoint region
+   ELFie per SPEC CPU2006 stand-in, under Nehalem-like and Haswell-like
+   processor configurations — the resource-scaling study. *)
+
+module Simpoint = Elfie_simpoint.Simpoint
+module Gem5 = Elfie_gem5.Gem5
+
+type row = {
+  app : string;
+  total_slices : int;
+  rep_slice : int;
+  ipc_nehalem : float;
+  ipc_haswell : float;
+}
+
+let params =
+  (* One representative region per program, as in the paper's Table V. *)
+  { Simpoint.default_params with slice_size = 10_000L; warmup = 20_000L; max_k = 1 }
+
+let simulate (b : Elfie_workloads.Suite.benchmark) =
+  let rs = Elfie_workloads.Programs.run_spec b.spec in
+  let profile = Elfie_pin.Bbv.profile rs ~slice_size:params.Simpoint.slice_size in
+  let sel = Simpoint.select ~params profile in
+  let region = List.hd sel.Simpoint.regions in
+  match
+    Pipeline.make_region_elfie rs ~name:(b.bname ^ "_t5")
+      ~warmup:region.Simpoint.warmup_actual ~start:region.Simpoint.start
+      ~length:region.Simpoint.length
+  with
+  | None -> None
+  | Some (image, sysstate) ->
+      let fs_init fs = Elfie_pin.Sysstate.install sysstate fs ~workdir:"/work" in
+      let sim cfg = Gem5.simulate_se ~fs_init ~cwd:"/work" cfg image in
+      let n = sim Gem5.nehalem and h = sim Gem5.haswell in
+      Some
+        {
+          app = b.bname;
+          total_slices = sel.Simpoint.num_slices;
+          rep_slice = region.Simpoint.slice_index;
+          ipc_nehalem = n.Gem5.ipc;
+          ipc_haswell = h.Gem5.ipc;
+        }
+
+let results =
+  lazy (List.filter_map simulate Elfie_workloads.Suite.spec2006)
+
+let run () =
+  let rows = Lazy.force results in
+  "Table V: gem5 SE-mode IPC of SPEC CPU2006 region ELFies\n\n"
+  ^ Render.table
+      ~header:
+        [ "application"; "total slices"; "rep. slice"; "IPC Nehalem-like";
+          "IPC Haswell-like"; "speedup" ]
+      (List.map
+         (fun r ->
+           [ r.app; string_of_int r.total_slices; string_of_int r.rep_slice;
+             Render.f3 r.ipc_nehalem; Render.f3 r.ipc_haswell;
+             Printf.sprintf "%.2fx" (r.ipc_haswell /. Float.max 1e-9 r.ipc_nehalem) ])
+         rows)

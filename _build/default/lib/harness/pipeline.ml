@@ -1,0 +1,228 @@
+module Simpoint = Elfie_simpoint.Simpoint
+module Perf = Elfie_perf.Perf
+
+type region_outcome = {
+  region : Simpoint.region;
+  rank_used : int option;
+  elfie_sample : Perf.sample option;
+  elfie_sample2 : Perf.sample option;
+  sim_cpi : float option;
+}
+
+type validation = {
+  bench : string;
+  total_ins : int64;
+  num_slices : int;
+  k : int;
+  coverage : float;
+  native_whole : Perf.sample;
+  elfie_pred_cpi : float;
+  elfie_error : float;
+  elfie_error2 : float option;
+  sim_whole_cpi : float option;
+  sim_pred_cpi : float option;
+  sim_error : float option;
+  regions : region_outcome list;
+}
+
+let workdir = "/work"
+
+let make_region_elfie run_spec ~name ~warmup ~start ~length =
+  match
+    Elfie_pin.Logger.capture run_spec ~name
+      { Elfie_pin.Logger.start; length }
+  with
+  | exception Elfie_pin.Logger.Unsupported _ -> None
+  | { pinball; reached_end } ->
+      if not reached_end then None
+      else begin
+        let sysstate = Elfie_pin.Sysstate.analyze pinball in
+        let options =
+          {
+            Elfie_core.Pinball2elf.default_options with
+            sysstate = Some sysstate;
+            marker = Some (Elfie_core.Pinball2elf.Ssc 0x4649L);
+            warmup_mark = (if warmup > 0L then Some warmup else None);
+          }
+        in
+        Some (Elfie_core.Pinball2elf.convert ~options pinball, sysstate)
+      end
+
+let measure_elfie ?(trials = 3) ?(base_seed = 2000L) (image, sysstate) =
+  Perf.elfie_region ~trials ~base_seed
+    ~fs_init:(fun fs -> Elfie_pin.Sysstate.install sysstate fs ~workdir)
+    ~cwd:workdir image
+
+(* Simulate one region ELFie on the user-level CoreSim model, measuring
+   past the warmup prefix only (the traditional validation path). *)
+let simulate_region (image, sysstate) ~warmup =
+  let r =
+    Elfie_coresim.Coresim.simulate ~mode:Elfie_coresim.Coresim.User_level
+      ?measure_after:(if warmup > 0L then Some warmup else None)
+      ~fs_init:(fun fs -> Elfie_pin.Sysstate.install sysstate fs ~workdir)
+      ~cwd:workdir Elfie_coresim.Coresim.skylake image
+  in
+  r.Elfie_coresim.Coresim.cpi
+
+let validate ?(params = Simpoint.default_params) ?(trials = 3)
+    ?(base_seed = 2000L) ?second_base_seed ?(with_simulation = false)
+    ?(max_alternates = 3) (b : Elfie_workloads.Suite.benchmark) =
+  let run_spec = Elfie_workloads.Programs.run_spec b.spec in
+  let profile =
+    Elfie_pin.Bbv.profile run_spec ~slice_size:params.Simpoint.slice_size
+  in
+  let sel = Simpoint.select ~params profile in
+  let native_whole = Perf.whole_program ~trials ~base_seed run_spec in
+  (* Rank by rank: batch-capture all still-unresolved clusters' regions
+     in a single program execution, convert and measure each, and fall
+     back to the next alternate for clusters whose ELFie fails — the
+     paper's alternate-region-selection loop. *)
+  let clusters =
+    Array.to_list sel.Simpoint.alternates |> List.filter (fun l -> l <> [])
+  in
+  let resolved : (int, region_outcome) Hashtbl.t = Hashtbl.create 16 in
+  let rank = ref 0 in
+  let pending = ref clusters in
+  while !pending <> [] && !rank < max_alternates do
+    let wanted =
+      List.filter_map
+        (fun alts -> List.nth_opt alts !rank |> Option.map (fun r -> r))
+        !pending
+    in
+    let requests =
+      List.map
+        (fun (r : Simpoint.region) ->
+          ( Printf.sprintf "%s_c%d_r%d" b.bname r.cluster r.rank,
+            (r, { Elfie_pin.Logger.start = r.start; length = r.length }) ))
+        wanted
+    in
+    let captured =
+      Elfie_pin.Logger.capture_many run_spec
+        (List.map (fun (n, (_, req)) -> (n, req)) requests)
+    in
+    List.iter
+      (fun (name, (r, _)) ->
+        match List.assoc_opt name captured with
+        | Some { Elfie_pin.Logger.pinball; reached_end = true } ->
+            let sysstate = Elfie_pin.Sysstate.analyze pinball in
+            let options =
+              {
+                Elfie_core.Pinball2elf.default_options with
+                sysstate = Some sysstate;
+                marker = Some (Elfie_core.Pinball2elf.Ssc 0x4649L);
+                warmup_mark =
+                  (if r.Simpoint.warmup_actual > 0L then Some r.Simpoint.warmup_actual
+                   else None);
+              }
+            in
+            let elfie = (Elfie_core.Pinball2elf.convert ~options pinball, sysstate) in
+            let sample = measure_elfie ~trials ~base_seed elfie in
+            if sample.Perf.failures < trials then begin
+              let sample2 =
+                Option.map
+                  (fun seed -> measure_elfie ~trials ~base_seed:seed elfie)
+                  second_base_seed
+              in
+              let sim_cpi =
+                if with_simulation then
+                  Some (simulate_region elfie ~warmup:r.Simpoint.warmup_actual)
+                else None
+              in
+              Hashtbl.replace resolved r.Simpoint.cluster
+                {
+                  region = r;
+                  rank_used = Some r.Simpoint.rank;
+                  elfie_sample = Some sample;
+                  elfie_sample2 = sample2;
+                  sim_cpi;
+                }
+            end
+        | Some _ | None -> ())
+      requests;
+    pending :=
+      List.filter
+        (fun alts ->
+          match alts with
+          | (r : Simpoint.region) :: _ -> not (Hashtbl.mem resolved r.cluster)
+          | [] -> false)
+        !pending;
+    incr rank
+  done;
+  let regions =
+    List.map
+      (fun alts ->
+        let rep = List.hd alts in
+        match Hashtbl.find_opt resolved rep.Simpoint.cluster with
+        | Some outcome -> outcome
+        | None ->
+            { region = rep; rank_used = None; elfie_sample = None;
+              elfie_sample2 = None; sim_cpi = None })
+      clusters
+  in
+  let covered =
+    List.filter (fun ro -> ro.rank_used <> None) regions
+  in
+  let coverage =
+    List.fold_left (fun acc ro -> acc +. ro.region.Simpoint.weight) 0.0 covered
+  in
+  let weighted f =
+    let num, den =
+      List.fold_left
+        (fun (num, den) ro ->
+          match f ro with
+          | Some v -> (num +. (ro.region.Simpoint.weight *. v), den +. ro.region.Simpoint.weight)
+          | None -> (num, den))
+        (0.0, 0.0) covered
+    in
+    if den > 0.0 then Some (num /. den) else None
+  in
+  let elfie_pred_cpi =
+    Option.value ~default:0.0
+      (weighted (fun ro ->
+           Option.map (fun s -> s.Perf.mean_cpi) ro.elfie_sample))
+  in
+  let whole_cpi = native_whole.Perf.mean_cpi in
+  let rel_err whole pred =
+    if whole = 0.0 then 0.0 else Float.abs (whole -. pred) /. whole
+  in
+  let elfie_error2 =
+    if second_base_seed = None then None
+    else
+      weighted (fun ro -> Option.map (fun s -> s.Perf.mean_cpi) ro.elfie_sample2)
+      |> Option.map (rel_err whole_cpi)
+  in
+  let sim_whole_cpi, sim_pred_cpi, sim_error =
+    if with_simulation then begin
+      let image = Elfie_workloads.Programs.image b.spec in
+      let fs_init fs =
+        if b.spec.Elfie_workloads.Programs.file_io then
+          Elfie_kernel.Fs.add_file fs ~path:"/input.dat"
+            Elfie_workloads.Programs.input_file_content
+      in
+      let whole =
+        Elfie_coresim.Coresim.simulate ~mode:Elfie_coresim.Coresim.User_level
+          ~from_marker:false ~fs_init Elfie_coresim.Coresim.skylake image
+      in
+      let sim_whole = whole.Elfie_coresim.Coresim.cpi in
+      let pred = weighted (fun ro -> ro.sim_cpi) in
+      ( Some sim_whole,
+        pred,
+        Option.map (fun p -> rel_err sim_whole p) pred )
+    end
+    else (None, None, None)
+  in
+  {
+    bench = b.bname;
+    total_ins = sel.Simpoint.total_instructions;
+    num_slices = sel.Simpoint.num_slices;
+    k = sel.Simpoint.k;
+    coverage;
+    native_whole;
+    elfie_pred_cpi;
+    elfie_error = rel_err whole_cpi elfie_pred_cpi;
+    elfie_error2;
+    sim_whole_cpi;
+    sim_pred_cpi;
+    sim_error;
+    regions;
+  }

@@ -1,0 +1,64 @@
+(** The PinPoints pipeline: profile -> SimPoint -> pinballs -> ELFies ->
+    validation, shared by the Fig. 9/10 and Table II/III experiments.
+
+    Implements the paper's methodology end to end, including
+    {e alternate region selection}: when a cluster's representative
+    ELFie does not re-execute gracefully, the second- and third-best
+    representatives are tried, recovering coverage (Section I). *)
+
+type region_outcome = {
+  region : Elfie_simpoint.Simpoint.region;  (** the region actually used *)
+  rank_used : int option;  (** [None] when every alternate failed *)
+  elfie_sample : Elfie_perf.Perf.sample option;
+  elfie_sample2 : Elfie_perf.Perf.sample option;
+      (** an independent second measurement instance (when requested) *)
+  sim_cpi : float option;  (** CoreSim region CPI (when simulation is on) *)
+}
+
+type validation = {
+  bench : string;
+  total_ins : int64;
+  num_slices : int;
+  k : int;
+  coverage : float;  (** summed weight of gracefully executing ELFies *)
+  native_whole : Elfie_perf.Perf.sample;
+  elfie_pred_cpi : float;
+  elfie_error : float;  (** |whole - predicted| / whole, ELFie-based *)
+  elfie_error2 : float option;  (** second ELFie-based instance *)
+  sim_whole_cpi : float option;
+  sim_pred_cpi : float option;
+  sim_error : float option;  (** same, via whole-program simulation *)
+  regions : region_outcome list;
+}
+
+(** Build one region ELFie: capture a fat pinball over the region,
+    reconstruct sysstate, convert. Returns the image and the sysstate
+    (for installing proxy files before runs). [None] if the program
+    ended before the region start. *)
+val make_region_elfie :
+  Elfie_pin.Run.spec ->
+  name:string ->
+  warmup:int64 ->
+  start:int64 ->
+  length:int64 ->
+  (Elfie_elf.Image.t * Elfie_pin.Sysstate.t) option
+
+(** Measure a region ELFie natively over several trials. *)
+val measure_elfie :
+  ?trials:int ->
+  ?base_seed:int64 ->
+  Elfie_elf.Image.t * Elfie_pin.Sysstate.t ->
+  Elfie_perf.Perf.sample
+
+(** Full validation of simulation-region selection for one benchmark.
+    [second_base_seed] adds an independent second set of ELFie
+    measurements (Fig. 9 runs two instances). *)
+val validate :
+  ?params:Elfie_simpoint.Simpoint.params ->
+  ?trials:int ->
+  ?base_seed:int64 ->
+  ?second_base_seed:int64 ->
+  ?with_simulation:bool ->
+  ?max_alternates:int ->
+  Elfie_workloads.Suite.benchmark ->
+  validation

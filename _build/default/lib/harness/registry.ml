@@ -1,0 +1,45 @@
+type experiment = { id : string; title : string; run : unit -> string }
+
+let memo f =
+  let r = ref None in
+  fun () ->
+    match !r with
+    | Some v -> v
+    | None ->
+        let v = f () in
+        r := Some v;
+        v
+
+let all =
+  [
+    { id = "table1";
+      title = "Pinball vs ELFie properties and record/replay overheads";
+      run = memo Exp_table1.run };
+    { id = "fig9";
+      title = "Prediction error: simulation-based vs ELFie-based validation (train int)";
+      run = memo Exp_fig9.run };
+    { id = "table2";
+      title = "gcc PinPoints tuning: longer warmup reduces error";
+      run = memo Exp_table2.run };
+    { id = "table3";
+      title = "SPEC CPU2017 ref suite statistics";
+      run = memo Exp_table3.run };
+    { id = "fig10";
+      title = "SPEC CPU2017 ref PinPoints prediction errors (ELFie-based)";
+      run = memo Exp_fig10.run };
+    { id = "fig11";
+      title = "Sniper: multi-threaded ELFies vs pinballs";
+      run = memo Exp_fig11.run };
+    { id = "table4";
+      title = "CoreSim: application-level vs full-system simulation";
+      run = memo Exp_table4.run };
+    { id = "table5";
+      title = "gem5 SE-mode IPC, Nehalem-like vs Haswell-like";
+      run = memo Exp_table5.run };
+    { id = "ablations";
+      title = "Design-choice ablations (selection policy, fat/lean, alternates, warmup)";
+      run = memo Exp_ablations.run };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+let ids = List.map (fun e -> e.id) all

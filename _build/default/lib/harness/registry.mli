@@ -1,0 +1,12 @@
+(** Experiment registry: every table and figure of the paper's
+    evaluation, addressable by id. *)
+
+type experiment = {
+  id : string;  (** e.g. ["fig9"], ["table4"] *)
+  title : string;
+  run : unit -> string;  (** produce the rendered report (memoized) *)
+}
+
+val all : experiment list
+val find : string -> experiment option
+val ids : string list

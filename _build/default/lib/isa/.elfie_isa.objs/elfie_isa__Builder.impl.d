@@ -1,0 +1,1 @@
+lib/isa/builder.ml: Array Bytes Char Codec Elfie_util Hashtbl Insn Int64 Lazy List Printf Reg

@@ -1,0 +1,1 @@
+lib/isa/codec.ml: Byteio Bytes Elfie_util Insn Int64 List Printf Reg

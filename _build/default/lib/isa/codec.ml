@@ -1,0 +1,389 @@
+open Elfie_util
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+(* Opcode assignments. Stable: pinballs and ELFies persist these bytes. *)
+let op_mov_ri = 0x01
+and op_mov_rr = 0x02
+and op_load = 0x03
+and op_store = 0x04
+and op_lea = 0x05
+and op_alu_rr = 0x06
+and op_alu_ri = 0x07
+and op_shift_ri = 0x08
+and op_neg = 0x09
+and op_push = 0x0a
+and op_pop = 0x0b
+and op_jmp = 0x0c
+and op_jcc = 0x0d
+and op_jmp_r = 0x0e
+and op_call = 0x0f
+and op_call_r = 0x10
+and op_ret = 0x11
+and op_syscall = 0x12
+and op_cpuid = 0x13
+and op_nop = 0x14
+and op_ssc = 0x15
+and op_magic = 0x16
+and op_pause = 0x17
+and op_xchg = 0x18
+and op_cmpxchg = 0x19
+and op_ldctx = 0x1a
+and op_stctx = 0x1b
+and op_wrfsbase = 0x1c
+and op_wrgsbase = 0x1d
+and op_rdfsbase = 0x1e
+and op_rdgsbase = 0x1f
+and op_popf = 0x20
+and op_pushf = 0x21
+and op_vload = 0x22
+and op_vstore = 0x23
+and op_vop_rr = 0x24
+and op_hlt = 0x25
+and op_ud2 = 0x26
+and op_jmp_m = 0x27
+
+let width_code = function Insn.W8 -> 0 | W16 -> 1 | W32 -> 2 | W64 -> 3
+
+let width_of_code = function
+  | 0 -> Insn.W8
+  | 1 -> W16
+  | 2 -> W32
+  | 3 -> W64
+  | c -> invalid "width code %d" c
+
+let alu_code = function
+  | Insn.Add -> 0
+  | Sub -> 1
+  | And -> 2
+  | Or -> 3
+  | Xor -> 4
+  | Imul -> 5
+  | Cmp -> 6
+  | Test -> 7
+
+let alu_of_code = function
+  | 0 -> Insn.Add
+  | 1 -> Sub
+  | 2 -> And
+  | 3 -> Or
+  | 4 -> Xor
+  | 5 -> Imul
+  | 6 -> Cmp
+  | 7 -> Test
+  | c -> invalid "alu code %d" c
+
+let shift_code = function Insn.Shl -> 0 | Shr -> 1 | Sar -> 2
+
+let shift_of_code = function
+  | 0 -> Insn.Shl
+  | 1 -> Shr
+  | 2 -> Sar
+  | c -> invalid "shift code %d" c
+
+let cond_code = function
+  | Insn.Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Ge -> 3
+  | Le -> 4
+  | Gt -> 5
+  | Ult -> 6
+  | Uge -> 7
+
+let cond_of_code = function
+  | 0 -> Insn.Eq
+  | 1 -> Ne
+  | 2 -> Lt
+  | 3 -> Ge
+  | 4 -> Le
+  | 5 -> Gt
+  | 6 -> Ult
+  | 7 -> Uge
+  | c -> invalid "cond code %d" c
+
+let vop_code = function Insn.Vadd -> 0 | Vmul -> 1 | Vsub -> 2
+
+let vop_of_code = function
+  | 0 -> Insn.Vadd
+  | 1 -> Vmul
+  | 2 -> Vsub
+  | c -> invalid "vop code %d" c
+
+let scale_log2 = function
+  | 1 -> 0
+  | 2 -> 1
+  | 4 -> 2
+  | 8 -> 3
+  | s -> invalid_arg (Printf.sprintf "Codec: bad scale %d" s)
+
+let gpr w r = Byteio.Writer.u8 w (Reg.gpr_index r)
+
+let xmm w x =
+  if x < 0 || x >= Reg.xmm_count then
+    invalid_arg (Printf.sprintf "Codec: bad xmm %d" x);
+  Byteio.Writer.u8 w x
+
+let encode_mem w (m : Insn.mem) =
+  let flag =
+    (match m.base with Some _ -> 1 | None -> 0)
+    lor (match m.index with Some _ -> 2 | None -> 0)
+    lor (scale_log2 m.scale lsl 2)
+  in
+  Byteio.Writer.u8 w flag;
+  (match m.base with Some b -> gpr w b | None -> ());
+  (match m.index with Some i -> gpr w i | None -> ());
+  Byteio.Writer.u64 w m.disp
+
+let decode_gpr r =
+  let i = Byteio.Reader.u8 r in
+  if i > 15 then invalid "gpr index %d" i;
+  Reg.gpr_of_index i
+
+let decode_xmm r =
+  let i = Byteio.Reader.u8 r in
+  if i >= Reg.xmm_count then invalid "xmm index %d" i;
+  i
+
+let decode_mem r : Insn.mem =
+  let flag = Byteio.Reader.u8 r in
+  let base = if flag land 1 <> 0 then Some (decode_gpr r) else None in
+  let index = if flag land 2 <> 0 then Some (decode_gpr r) else None in
+  let scale = 1 lsl ((flag lsr 2) land 3) in
+  let disp = Byteio.Reader.u64 r in
+  { base; index; scale; disp }
+
+let imm32_ok v = v >= -0x8000_0000L && v <= 0x7fff_ffffL
+
+let encode w (ins : Insn.t) =
+  let u8 = Byteio.Writer.u8 w in
+  let i32 = Byteio.Writer.i32 w in
+  match ins with
+  | Mov_ri (r, v) ->
+      u8 op_mov_ri;
+      gpr w r;
+      Byteio.Writer.u64 w v
+  | Mov_rr (d, s) ->
+      u8 op_mov_rr;
+      gpr w d;
+      gpr w s
+  | Load (wd, r, m) ->
+      u8 op_load;
+      u8 (width_code wd);
+      gpr w r;
+      encode_mem w m
+  | Store (wd, m, r) ->
+      u8 op_store;
+      u8 (width_code wd);
+      encode_mem w m;
+      gpr w r
+  | Lea (r, m) ->
+      u8 op_lea;
+      gpr w r;
+      encode_mem w m
+  | Alu_rr (op, d, s) ->
+      u8 op_alu_rr;
+      u8 (alu_code op);
+      gpr w d;
+      gpr w s
+  | Alu_ri (op, d, v) ->
+      if not (imm32_ok v) then
+        invalid_arg (Printf.sprintf "Codec: imm32 out of range: %Ld" v);
+      u8 op_alu_ri;
+      u8 (alu_code op);
+      gpr w d;
+      i32 (Int64.to_int v)
+  | Shift_ri (op, d, n) ->
+      if n < 0 || n > 63 then invalid_arg "Codec: shift amount";
+      u8 op_shift_ri;
+      u8 (shift_code op);
+      gpr w d;
+      u8 n
+  | Neg r ->
+      u8 op_neg;
+      gpr w r
+  | Push r ->
+      u8 op_push;
+      gpr w r
+  | Pop r ->
+      u8 op_pop;
+      gpr w r
+  | Jmp rel ->
+      u8 op_jmp;
+      i32 rel
+  | Jcc (c, rel) ->
+      u8 op_jcc;
+      u8 (cond_code c);
+      i32 rel
+  | Jmp_r r ->
+      u8 op_jmp_r;
+      gpr w r
+  | Jmp_m m ->
+      u8 op_jmp_m;
+      encode_mem w m
+  | Call rel ->
+      u8 op_call;
+      i32 rel
+  | Call_r r ->
+      u8 op_call_r;
+      gpr w r
+  | Ret -> u8 op_ret
+  | Syscall -> u8 op_syscall
+  | Cpuid -> u8 op_cpuid
+  | Nop -> u8 op_nop
+  | Ssc_marker v ->
+      if v < 0L || v > 0xffff_ffffL then invalid_arg "Codec: ssc payload";
+      u8 op_ssc;
+      Byteio.Writer.u32 w (Int64.to_int v)
+  | Magic n ->
+      if n < 0 || n > 255 then invalid_arg "Codec: magic code";
+      u8 op_magic;
+      u8 n
+  | Pause -> u8 op_pause
+  | Xchg (r, m) ->
+      u8 op_xchg;
+      gpr w r;
+      encode_mem w m
+  | Cmpxchg (m, r) ->
+      u8 op_cmpxchg;
+      encode_mem w m;
+      gpr w r
+  | Ldctx r ->
+      u8 op_ldctx;
+      gpr w r
+  | Stctx r ->
+      u8 op_stctx;
+      gpr w r
+  | Wrfsbase r ->
+      u8 op_wrfsbase;
+      gpr w r
+  | Wrgsbase r ->
+      u8 op_wrgsbase;
+      gpr w r
+  | Rdfsbase r ->
+      u8 op_rdfsbase;
+      gpr w r
+  | Rdgsbase r ->
+      u8 op_rdgsbase;
+      gpr w r
+  | Popf -> u8 op_popf
+  | Pushf -> u8 op_pushf
+  | Vload (x, m) ->
+      u8 op_vload;
+      xmm w x;
+      encode_mem w m
+  | Vstore (m, x) ->
+      u8 op_vstore;
+      encode_mem w m;
+      xmm w x
+  | Vop_rr (op, d, s) ->
+      u8 op_vop_rr;
+      u8 (vop_code op);
+      xmm w d;
+      xmm w s
+  | Hlt -> u8 op_hlt
+  | Ud2 -> u8 op_ud2
+
+let encode_bytes ins =
+  let w = Byteio.Writer.create ~capacity:16 () in
+  encode w ins;
+  Byteio.Writer.contents w
+
+let length ins = Bytes.length (encode_bytes ins)
+
+let decode r : Insn.t =
+  let u8 () = Byteio.Reader.u8 r in
+  let i32 () = Byteio.Reader.i32 r in
+  let op = u8 () in
+  if op = op_mov_ri then
+    let d = decode_gpr r in
+    Mov_ri (d, Byteio.Reader.u64 r)
+  else if op = op_mov_rr then
+    let d = decode_gpr r in
+    Mov_rr (d, decode_gpr r)
+  else if op = op_load then
+    let wd = width_of_code (u8 ()) in
+    let d = decode_gpr r in
+    Load (wd, d, decode_mem r)
+  else if op = op_store then
+    let wd = width_of_code (u8 ()) in
+    let m = decode_mem r in
+    Store (wd, m, decode_gpr r)
+  else if op = op_lea then
+    let d = decode_gpr r in
+    Lea (d, decode_mem r)
+  else if op = op_alu_rr then
+    let a = alu_of_code (u8 ()) in
+    let d = decode_gpr r in
+    Alu_rr (a, d, decode_gpr r)
+  else if op = op_alu_ri then
+    let a = alu_of_code (u8 ()) in
+    let d = decode_gpr r in
+    Alu_ri (a, d, Int64.of_int (i32 ()))
+  else if op = op_shift_ri then
+    let s = shift_of_code (u8 ()) in
+    let d = decode_gpr r in
+    Shift_ri (s, d, u8 ())
+  else if op = op_neg then Neg (decode_gpr r)
+  else if op = op_push then Push (decode_gpr r)
+  else if op = op_pop then Pop (decode_gpr r)
+  else if op = op_jmp then Jmp (i32 ())
+  else if op = op_jcc then
+    let c = cond_of_code (u8 ()) in
+    Jcc (c, i32 ())
+  else if op = op_jmp_r then Jmp_r (decode_gpr r)
+  else if op = op_jmp_m then Jmp_m (decode_mem r)
+  else if op = op_call then Call (i32 ())
+  else if op = op_call_r then Call_r (decode_gpr r)
+  else if op = op_ret then Ret
+  else if op = op_syscall then Syscall
+  else if op = op_cpuid then Cpuid
+  else if op = op_nop then Nop
+  else if op = op_ssc then Ssc_marker (Int64.of_int (Byteio.Reader.u32 r))
+  else if op = op_magic then Magic (u8 ())
+  else if op = op_pause then Pause
+  else if op = op_xchg then
+    let g = decode_gpr r in
+    Xchg (g, decode_mem r)
+  else if op = op_cmpxchg then
+    let m = decode_mem r in
+    Cmpxchg (m, decode_gpr r)
+  else if op = op_ldctx then Ldctx (decode_gpr r)
+  else if op = op_stctx then Stctx (decode_gpr r)
+  else if op = op_wrfsbase then Wrfsbase (decode_gpr r)
+  else if op = op_wrgsbase then Wrgsbase (decode_gpr r)
+  else if op = op_rdfsbase then Rdfsbase (decode_gpr r)
+  else if op = op_rdgsbase then Rdgsbase (decode_gpr r)
+  else if op = op_popf then Popf
+  else if op = op_pushf then Pushf
+  else if op = op_vload then
+    let x = decode_xmm r in
+    Vload (x, decode_mem r)
+  else if op = op_vstore then
+    let m = decode_mem r in
+    Vstore (m, decode_xmm r)
+  else if op = op_vop_rr then
+    let v = vop_of_code (u8 ()) in
+    let d = decode_xmm r in
+    Vop_rr (v, d, decode_xmm r)
+  else if op = op_hlt then Hlt
+  else if op = op_ud2 then Ud2
+  else invalid "unknown opcode 0x%02x" op
+
+let decode_one buf off =
+  let r = Byteio.Reader.of_bytes buf in
+  Byteio.Reader.seek r off;
+  let ins = decode r in
+  (ins, Byteio.Reader.pos r - off)
+
+let disassemble buf ~off ~count =
+  let rec go off count acc =
+    if count = 0 || off >= Bytes.length buf then List.rev acc
+    else
+      match decode_one buf off with
+      | ins, len -> go (off + len) (count - 1) ((off, ins) :: acc)
+      | exception (Invalid _ | Byteio.Truncated _) -> List.rev acc
+  in
+  go off count []

@@ -1,0 +1,28 @@
+(** Binary encoding and decoding of VX86 instructions.
+
+    The encoding is variable-length (1 to 14 bytes), little-endian, and
+    self-synchronising only from instruction starts — like x86. Encoding
+    then decoding is the identity on every well-formed instruction
+    (property-tested), which is what lets pinball memory images, ELFie
+    text sections and the interpreter all share one byte-level format. *)
+
+(** Raised by {!decode} on an unknown opcode or malformed operand; the
+    machine turns this into an invalid-opcode fault. *)
+exception Invalid of string
+
+val encode : Elfie_util.Byteio.Writer.t -> Insn.t -> unit
+val encode_bytes : Insn.t -> bytes
+
+(** Encoded length in bytes of an instruction. *)
+val length : Insn.t -> int
+
+(** Decode one instruction at the reader's cursor, advancing it. *)
+val decode : Elfie_util.Byteio.Reader.t -> Insn.t
+
+(** [decode_one buf off] decodes the instruction at [off], returning it
+    with its encoded length. *)
+val decode_one : bytes -> int -> Insn.t * int
+
+(** Disassemble [n] instructions starting at [off], for debugging and
+    the [objdump]-style CLI. Stops early at a decode error. *)
+val disassemble : bytes -> off:int -> count:int -> (int * Insn.t) list

@@ -1,0 +1,83 @@
+type gpr =
+  | RAX
+  | RCX
+  | RDX
+  | RBX
+  | RSP
+  | RBP
+  | RSI
+  | RDI
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
+  | R14
+  | R15
+
+let all_gprs =
+  [ RAX; RCX; RDX; RBX; RSP; RBP; RSI; RDI; R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+let gpr_index = function
+  | RAX -> 0
+  | RCX -> 1
+  | RDX -> 2
+  | RBX -> 3
+  | RSP -> 4
+  | RBP -> 5
+  | RSI -> 6
+  | RDI -> 7
+  | R8 -> 8
+  | R9 -> 9
+  | R10 -> 10
+  | R11 -> 11
+  | R12 -> 12
+  | R13 -> 13
+  | R14 -> 14
+  | R15 -> 15
+
+let gpr_table = Array.of_list all_gprs
+
+let gpr_of_index i =
+  if i < 0 || i > 15 then invalid_arg (Printf.sprintf "Reg.gpr_of_index: %d" i);
+  gpr_table.(i)
+
+let gpr_name = function
+  | RAX -> "rax"
+  | RCX -> "rcx"
+  | RDX -> "rdx"
+  | RBX -> "rbx"
+  | RSP -> "rsp"
+  | RBP -> "rbp"
+  | RSI -> "rsi"
+  | RDI -> "rdi"
+  | R8 -> "r8"
+  | R9 -> "r9"
+  | R10 -> "r10"
+  | R11 -> "r11"
+  | R12 -> "r12"
+  | R13 -> "r13"
+  | R14 -> "r14"
+  | R15 -> "r15"
+
+let gpr_of_name s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun r -> gpr_name r = s) all_gprs
+
+let pp_gpr fmt r = Format.pp_print_string fmt (gpr_name r)
+let xmm_count = 16
+
+type flags = { mutable zf : bool; mutable sf : bool; mutable cf : bool; mutable ovf : bool }
+
+let fresh_flags () = { zf = false; sf = false; cf = false; ovf = false }
+let copy_flags f = { zf = f.zf; sf = f.sf; cf = f.cf; ovf = f.ovf }
+
+let flags_to_word f =
+  let bit b n = if b then Int64.shift_left 1L n else 0L in
+  List.fold_left Int64.logor 2L
+    [ bit f.cf 0; bit f.zf 6; bit f.sf 7; bit f.ovf 11 ]
+
+let flags_of_word w =
+  let bit n = Int64.logand (Int64.shift_right_logical w n) 1L = 1L in
+  { cf = bit 0; zf = bit 6; sf = bit 7; ovf = bit 11 }

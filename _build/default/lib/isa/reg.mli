@@ -1,0 +1,53 @@
+(** VX86 register file description.
+
+    VX86 is this project's x86-64 stand-in: 16 general-purpose 64-bit
+    registers with the x86 names and ordinal encoding, a flags register,
+    FS/GS segment bases, and 16 128-bit vector registers backing the
+    XSAVE-style extended state. *)
+
+type gpr =
+  | RAX
+  | RCX
+  | RDX
+  | RBX
+  | RSP
+  | RBP
+  | RSI
+  | RDI
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
+  | R14
+  | R15
+
+(** Encoding ordinal, 0..15, matching x86-64 ModRM numbering. *)
+val gpr_index : gpr -> int
+
+(** Inverse of [gpr_index]; raises [Invalid_argument] outside 0..15. *)
+val gpr_of_index : int -> gpr
+
+val all_gprs : gpr list
+val gpr_name : gpr -> string
+
+(** Parse a register name such as ["rax"] or ["r13"]. *)
+val gpr_of_name : string -> gpr option
+
+val pp_gpr : Format.formatter -> gpr -> unit
+
+(** Number of vector (XMM) registers. *)
+val xmm_count : int
+
+(** Status flags, stored unpacked for fast interpretation. *)
+type flags = { mutable zf : bool; mutable sf : bool; mutable cf : bool; mutable ovf : bool }
+
+val fresh_flags : unit -> flags
+val copy_flags : flags -> flags
+
+(** Pack to the low bits of an RFLAGS-like word (ZF=bit 6, SF=bit 7,
+    CF=bit 0, OF=bit 11, reserved bit 1 always set, as on x86). *)
+val flags_to_word : flags -> int64
+
+val flags_of_word : int64 -> flags

@@ -1,0 +1,1 @@
+lib/kernel/fs.ml: Bytes Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/kernel/loader.ml: Addr_space Bytes Context Elfie_elf Elfie_isa Elfie_machine Int64 List Machine Printf String Vkernel

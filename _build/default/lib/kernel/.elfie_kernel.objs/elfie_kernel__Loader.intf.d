@@ -1,0 +1,1 @@
+lib/kernel/loader.mli: Elfie_elf Elfie_machine Vkernel

@@ -1,0 +1,1 @@
+lib/kernel/vkernel.ml: Abi Addr_space Buffer Bytes Char Context Elfie_isa Elfie_machine Elfie_util Fs Hashtbl Int64 List Machine Option Reg String

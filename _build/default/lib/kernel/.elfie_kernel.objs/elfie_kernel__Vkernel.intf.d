@@ -1,0 +1,1 @@
+lib/kernel/vkernel.mli: Elfie_machine Fs

@@ -1,0 +1,43 @@
+(** The system ELF loader.
+
+    Mirrors the Linux semantics the paper's stack-collision analysis
+    depends on (Section II-B3):
+
+    + every allocatable segment of the image is mapped first;
+    + the initial stack is placed just under a fixed ceiling, lowered by
+      a per-process random offset (stack randomization);
+    + the loader reserves stack pages downward {e until it meets an
+      already-mapped page}; if the space obtained cannot even hold the
+      process arguments and environment, the process is killed before
+      any code runs ({!Exec_failed}).
+
+    An ELFie whose checkpointed stack pages were emitted as allocatable
+    sections can therefore die at load time; marking them
+    non-allocatable (the pinball2elf fix) keeps the loader happy. *)
+
+exception Exec_failed of string
+
+type layout = {
+  entry : int64;
+  initial_rsp : int64;
+  stack_top : int64;
+  stack_pages_reserved : int;
+}
+
+(** Full desired stack size, in pages. *)
+val stack_pages : int
+
+(** [load kernel machine image ~argv ~env] maps the image, builds the
+    initial stack (argc/argv/envp/auxv), sets the program break, and
+    creates thread 0 at the entry point. Returns the thread id and the
+    chosen layout.
+
+    Raises {!Exec_failed} on a non-executable image or a fatal stack
+    collision. *)
+val load :
+  Vkernel.t ->
+  Elfie_machine.Machine.t ->
+  Elfie_elf.Image.t ->
+  argv:string list ->
+  env:string list ->
+  int * layout

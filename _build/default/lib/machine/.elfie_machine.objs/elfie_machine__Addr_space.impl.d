@@ -1,0 +1,1 @@
+lib/machine/addr_space.ml: Bytes Char Hashtbl Int64 List

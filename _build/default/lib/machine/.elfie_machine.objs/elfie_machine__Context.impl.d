@@ -1,0 +1,1 @@
+lib/machine/context.ml: Array Bytes Elfie_isa Elfie_util Format List Reg

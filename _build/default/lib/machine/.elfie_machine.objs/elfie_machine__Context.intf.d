@@ -1,0 +1,1 @@
+lib/machine/context.mli: Elfie_isa Format

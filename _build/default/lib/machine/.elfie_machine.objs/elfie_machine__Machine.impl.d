@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Addr_space Array Bytes Codec Context Elfie_isa Elfie_util Format Hashtbl Insn Int64 List Printf Reg Timing

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Addr_space Context Elfie_isa Format Timing

@@ -1,0 +1,1 @@
+lib/machine/timing.ml: Bytes Cache Char Elfie_isa Insn Int64

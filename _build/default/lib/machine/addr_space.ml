@@ -1,0 +1,152 @@
+type access = Read | Write | Exec
+
+exception Fault of { addr : int64; access : access }
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = Int64.of_int (page_size - 1)
+let page_base addr = Int64.logand addr (Int64.lognot page_mask)
+let page_number addr = Int64.shift_right_logical addr page_bits
+let offset_in_page addr = Int64.to_int (Int64.logand addr page_mask)
+
+type t = { pages : (int64, bytes) Hashtbl.t; mutable generation : int }
+
+let create () = { pages = Hashtbl.create 256; generation = 0 }
+
+let find t addr = Hashtbl.find_opt t.pages (page_number addr)
+let is_mapped t addr = Hashtbl.mem t.pages (page_number addr)
+
+(* Page numbers covering [addr, addr+len). *)
+let range_pages addr len =
+  if len <= 0 then []
+  else
+    let first = page_number addr in
+    let last = page_number (Int64.add addr (Int64.of_int (len - 1))) in
+    let rec go n acc = if n < first then acc else go (Int64.sub n 1L) (n :: acc) in
+    go last []
+
+let map t ~addr ~len =
+  t.generation <- t.generation + 1;
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem t.pages n) then
+        Hashtbl.replace t.pages n (Bytes.make page_size '\000'))
+    (range_pages addr len)
+
+let unmap t ~addr ~len =
+  t.generation <- t.generation + 1;
+  List.iter (Hashtbl.remove t.pages) (range_pages addr len)
+
+let any_mapped t ~addr ~len =
+  List.exists (Hashtbl.mem t.pages) (range_pages addr len)
+
+let read_u8 t addr =
+  match find t addr with
+  | Some page -> Char.code (Bytes.get page (offset_in_page addr))
+  | None -> raise (Fault { addr; access = Read })
+
+let write_u8 t addr v =
+  match find t addr with
+  | Some page -> Bytes.set page (offset_in_page addr) (Char.chr (v land 0xff))
+  | None -> raise (Fault { addr; access = Write })
+
+(* Fast paths for aligned accesses fully inside one page. *)
+let read t addr width =
+  let off = offset_in_page addr in
+  match find t addr with
+  | Some page when off + width <= page_size -> (
+      match width with
+      | 1 -> Int64.of_int (Char.code (Bytes.get page off))
+      | 2 -> Int64.of_int (Bytes.get_uint16_le page off)
+      | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le page off)) 0xffff_ffffL
+      | 8 -> Bytes.get_int64_le page off
+      | _ -> invalid_arg "Addr_space.read: width")
+  | _ ->
+      let rec go i acc =
+        if i = width then acc
+        else
+          let b = read_u8 t (Int64.add addr (Int64.of_int i)) in
+          go (i + 1) (Int64.logor acc (Int64.shift_left (Int64.of_int b) (8 * i)))
+      in
+      go 0 0L
+
+let write t addr width v =
+  let off = offset_in_page addr in
+  match find t addr with
+  | Some page when off + width <= page_size -> (
+      match width with
+      | 1 -> Bytes.set_uint8 page off (Int64.to_int (Int64.logand v 0xffL))
+      | 2 -> Bytes.set_uint16_le page off (Int64.to_int (Int64.logand v 0xffffL))
+      | 4 -> Bytes.set_int32_le page off (Int64.to_int32 v)
+      | 8 -> Bytes.set_int64_le page off v
+      | _ -> invalid_arg "Addr_space.write: width")
+  | _ ->
+      for i = 0 to width - 1 do
+        let b = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL) in
+        write_u8 t (Int64.add addr (Int64.of_int i)) b
+      done
+
+let read_bytes t addr len =
+  let out = Bytes.create len in
+  let rec go i =
+    if i < len then begin
+      let a = Int64.add addr (Int64.of_int i) in
+      match find t a with
+      | None -> raise (Fault { addr = a; access = Read })
+      | Some page ->
+          let off = offset_in_page a in
+          let n = min (len - i) (page_size - off) in
+          Bytes.blit page off out i n;
+          go (i + n)
+    end
+  in
+  go 0;
+  out
+
+let write_bytes t addr src =
+  let len = Bytes.length src in
+  let rec go i =
+    if i < len then begin
+      let a = Int64.add addr (Int64.of_int i) in
+      match find t a with
+      | None -> raise (Fault { addr = a; access = Write })
+      | Some page ->
+          let off = offset_in_page a in
+          let n = min (len - i) (page_size - off) in
+          Bytes.blit src i page off n;
+          go (i + n)
+    end
+  in
+  go 0
+
+let store t addr src =
+  map t ~addr ~len:(Bytes.length src);
+  write_bytes t addr src
+
+let read_avail t addr len =
+  let rec usable i =
+    if i >= len then len
+    else
+      let a = Int64.add addr (Int64.of_int i) in
+      if is_mapped t a then usable (i + (page_size - offset_in_page a)) else i
+  in
+  let n = min len (usable 0) in
+  if n <= 0 then raise (Fault { addr; access = Exec });
+  read_bytes t addr n
+
+let pages t =
+  let all =
+    Hashtbl.fold
+      (fun n page acc -> (Int64.shift_left n page_bits, Bytes.copy page) :: acc)
+      t.pages []
+  in
+  List.sort (fun (a, _) (b, _) -> Int64.unsigned_compare a b) all
+
+let page_count t = Hashtbl.length t.pages
+
+let copy t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter (fun n page -> Hashtbl.replace pages n (Bytes.copy page)) t.pages;
+  { pages; generation = t.generation }
+
+let generation t = t.generation

@@ -1,0 +1,67 @@
+(** Paged virtual address space.
+
+    Pages are 4 KiB, allocated sparsely in a hash table keyed by page
+    number. Accessing an unmapped address raises {!Fault}, which the
+    machine turns into a thread-level page fault — this is how a
+    diverging ELFie "exits ungracefully" when it touches a page that was
+    not captured in its parent pinball. *)
+
+type access = Read | Write | Exec
+
+exception Fault of { addr : int64; access : access }
+
+val page_size : int
+val page_bits : int
+
+(** Base address of the page containing [addr]. *)
+val page_base : int64 -> int64
+
+type t
+
+val create : unit -> t
+
+(** [map t ~addr ~len] maps (zero-filled) every page overlapping
+    [addr, addr+len). Already-mapped pages keep their contents. *)
+val map : t -> addr:int64 -> len:int -> unit
+
+(** [unmap t ~addr ~len] drops every page overlapping the range. *)
+val unmap : t -> addr:int64 -> len:int -> unit
+
+val is_mapped : t -> int64 -> bool
+
+(** True if any page overlapping [addr, addr+len) is mapped. *)
+val any_mapped : t -> addr:int64 -> len:int -> bool
+
+val read_u8 : t -> int64 -> int
+val write_u8 : t -> int64 -> int -> unit
+
+(** [read t addr width] reads a [width]-byte little-endian value,
+    zero-extended. [width] is 1, 2, 4 or 8. May cross pages. *)
+val read : t -> int64 -> int -> int64
+
+val write : t -> int64 -> int -> int64 -> unit
+
+(** Bulk reads/writes; fault on any unmapped byte. *)
+val read_bytes : t -> int64 -> int -> bytes
+
+val write_bytes : t -> int64 -> bytes -> unit
+
+(** Like [write_bytes] but maps missing pages first (used by loaders). *)
+val store : t -> int64 -> bytes -> unit
+
+(** Read up to [len] bytes, stopping at the first unmapped page; used by
+    the instruction fetcher at mapping boundaries. *)
+val read_avail : t -> int64 -> int -> bytes
+
+(** All mapped pages as [(page_base, contents)], sorted by address. The
+    contents are copies. *)
+val pages : t -> (int64 * bytes) list
+
+val page_count : t -> int
+
+(** Deep copy (pinball logger snapshot). *)
+val copy : t -> t
+
+(** Monotonically increasing counter bumped on every [map]/[unmap]/
+    [store]; lets the executor invalidate decoded-instruction caches. *)
+val generation : t -> int

@@ -1,0 +1,78 @@
+type config = { size_bytes : int; ways : int; line_bytes : int }
+
+let config ~size_bytes ~ways ~line_bytes =
+  if line_bytes land (line_bytes - 1) <> 0 then invalid_arg "Cache: line size";
+  if size_bytes mod (ways * line_bytes) <> 0 then invalid_arg "Cache: geometry";
+  { size_bytes; ways; line_bytes }
+
+type t = {
+  cfg : config;
+  sets : int;
+  line_bits : int;
+  tags : int64 array;  (* sets * ways, -1L = invalid *)
+  lru : int array;  (* age per way; 0 = most recent *)
+  mutable hits : int;
+  mutable misses : int;
+  touched : (int64, unit) Hashtbl.t;
+}
+
+let create cfg =
+  let sets = cfg.size_bytes / (cfg.ways * cfg.line_bytes) in
+  let line_bits =
+    let rec go n b = if n = 1 then b else go (n lsr 1) (b + 1) in
+    go cfg.line_bytes 0
+  in
+  {
+    cfg;
+    sets;
+    line_bits;
+    tags = Array.make (sets * cfg.ways) (-1L);
+    lru = Array.make (sets * cfg.ways) 0;
+    hits = 0;
+    misses = 0;
+    touched = Hashtbl.create 1024;
+  }
+
+let access t addr =
+  let line = Int64.shift_right_logical addr t.line_bits in
+  if not (Hashtbl.mem t.touched line) then Hashtbl.replace t.touched line ();
+  let set = Int64.to_int (Int64.rem line (Int64.of_int t.sets)) in
+  let base = set * t.cfg.ways in
+  let hit_way = ref (-1) in
+  for w = 0 to t.cfg.ways - 1 do
+    if t.tags.(base + w) = line then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    t.hits <- t.hits + 1;
+    let age = t.lru.(base + !hit_way) in
+    for w = 0 to t.cfg.ways - 1 do
+      if t.lru.(base + w) < age then t.lru.(base + w) <- t.lru.(base + w) + 1
+    done;
+    t.lru.(base + !hit_way) <- 0;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* Evict the oldest way. *)
+    let victim = ref 0 in
+    for w = 1 to t.cfg.ways - 1 do
+      if t.lru.(base + w) > t.lru.(base + !victim) then victim := w
+    done;
+    for w = 0 to t.cfg.ways - 1 do
+      t.lru.(base + w) <- t.lru.(base + w) + 1
+    done;
+    t.tags.(base + !victim) <- line;
+    t.lru.(base + !victim) <- 0;
+    false
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+let footprint_lines t = Hashtbl.length t.touched
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  Hashtbl.reset t.touched
+
+let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1L)

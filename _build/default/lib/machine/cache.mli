@@ -1,0 +1,32 @@
+(** Set-associative cache model with LRU replacement.
+
+    Shared by the machine's built-in "hardware" timing model and by the
+    Sniper/CoreSim/gem5 simulator substrates. Purely a hit/miss model:
+    no data is stored, only tags. *)
+
+type config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;  (** power of two *)
+}
+
+val config : size_bytes:int -> ways:int -> line_bytes:int -> config
+
+type t
+
+val create : config -> t
+
+(** [access t addr] returns [true] on hit and updates LRU state;
+    on miss the line is filled. *)
+val access : t -> int64 -> bool
+
+val hits : t -> int
+val misses : t -> int
+
+(** Distinct lines ever touched — a data-footprint proxy. *)
+val footprint_lines : t -> int
+
+val reset_stats : t -> unit
+
+(** Drop all lines (e.g. a TLB flush perturbation), keeping stats. *)
+val flush : t -> unit

@@ -1,0 +1,85 @@
+open Elfie_isa
+
+type t = {
+  gprs : int64 array;
+  mutable rip : int64;
+  flags : Reg.flags;
+  mutable fs_base : int64;
+  mutable gs_base : int64;
+  xmm : bytes;
+}
+
+let xsave_size = 16 * Reg.xmm_count
+
+let create () =
+  {
+    gprs = Array.make 16 0L;
+    rip = 0L;
+    flags = Reg.fresh_flags ();
+    fs_base = 0L;
+    gs_base = 0L;
+    xmm = Bytes.make xsave_size '\000';
+  }
+
+let copy t =
+  {
+    gprs = Array.copy t.gprs;
+    rip = t.rip;
+    flags = Reg.copy_flags t.flags;
+    fs_base = t.fs_base;
+    gs_base = t.gs_base;
+    xmm = Bytes.copy t.xmm;
+  }
+
+let get t r = t.gprs.(Reg.gpr_index r)
+let set t r v = t.gprs.(Reg.gpr_index r) <- v
+
+let xmm_lane t i lane = Bytes.get_int64_le t.xmm ((i * 16) + (lane * 8))
+let set_xmm_lane t i lane v = Bytes.set_int64_le t.xmm ((i * 16) + (lane * 8)) v
+
+let xsave t = Bytes.copy t.xmm
+
+let xrstor t img =
+  if Bytes.length img < xsave_size then invalid_arg "Context.xrstor: short image";
+  Bytes.blit img 0 t.xmm 0 xsave_size
+
+let to_bytes t =
+  let w = Elfie_util.Byteio.Writer.create ~capacity:(xsave_size + 160) () in
+  Array.iter (Elfie_util.Byteio.Writer.u64 w) t.gprs;
+  Elfie_util.Byteio.Writer.u64 w t.rip;
+  Elfie_util.Byteio.Writer.u64 w (Reg.flags_to_word t.flags);
+  Elfie_util.Byteio.Writer.u64 w t.fs_base;
+  Elfie_util.Byteio.Writer.u64 w t.gs_base;
+  Elfie_util.Byteio.Writer.bytes w t.xmm;
+  Elfie_util.Byteio.Writer.contents w
+
+let of_bytes b =
+  let r = Elfie_util.Byteio.Reader.of_bytes b in
+  let t = create () in
+  for i = 0 to 15 do
+    t.gprs.(i) <- Elfie_util.Byteio.Reader.u64 r
+  done;
+  t.rip <- Elfie_util.Byteio.Reader.u64 r;
+  let fl = Reg.flags_of_word (Elfie_util.Byteio.Reader.u64 r) in
+  t.flags.zf <- fl.zf;
+  t.flags.sf <- fl.sf;
+  t.flags.cf <- fl.cf;
+  t.flags.ovf <- fl.ovf;
+  t.fs_base <- Elfie_util.Byteio.Reader.u64 r;
+  t.gs_base <- Elfie_util.Byteio.Reader.u64 r;
+  xrstor t (Elfie_util.Byteio.Reader.bytes r xsave_size);
+  t
+
+let equal a b =
+  a.gprs = b.gprs && a.rip = b.rip
+  && Reg.flags_to_word a.flags = Reg.flags_to_word b.flags
+  && a.fs_base = b.fs_base && a.gs_base = b.gs_base
+  && Bytes.equal a.xmm b.xmm
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>rip=0x%Lx flags=0x%Lx fs=0x%Lx gs=0x%Lx@," t.rip
+    (Reg.flags_to_word t.flags) t.fs_base t.gs_base;
+  List.iter
+    (fun r -> Format.fprintf fmt "%s=0x%Lx@," (Reg.gpr_name r) (get t r))
+    Reg.all_gprs;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,621 @@
+open Elfie_isa
+
+type fault =
+  | Page_fault of { addr : int64; access : Addr_space.access; pc : int64 }
+  | Invalid_opcode of int64
+  | Privileged of int64
+
+let pp_fault fmt = function
+  | Page_fault { addr; access; pc } ->
+      let a =
+        match access with
+        | Addr_space.Read -> "read"
+        | Write -> "write"
+        | Exec -> "exec"
+      in
+      Format.fprintf fmt "page fault (%s) at 0x%Lx, pc=0x%Lx" a addr pc
+  | Invalid_opcode pc -> Format.fprintf fmt "invalid opcode at pc=0x%Lx" pc
+  | Privileged pc -> Format.fprintf fmt "privileged instruction at pc=0x%Lx" pc
+
+type thread_state = Runnable | Exited of int | Faulted of fault
+
+type thread = {
+  tid : int;
+  ctx : Context.t;
+  mutable state : thread_state;
+  mutable retired : int64;
+  mutable cycles : int64;
+  mutable counter_target : int64 option;
+  mutable counter_fired : bool;
+  mutable arm_retired : int64;
+  mutable arm_cycles : int64;
+  mutable mark_target : int64 option;
+  mutable mark_retired : int64 option;
+  mutable mark_cycles : int64;
+  mutable timer_left : int;
+}
+
+type scheduler =
+  | Free of { seed : int64; quantum_min : int; quantum_max : int }
+  | Recorded of (int * int) list
+
+type hooks = {
+  mutable on_ins : (int -> int64 -> Insn.t -> unit) option;
+  mutable on_mem_read : (int -> int64 -> int -> unit) option;
+  mutable on_mem_write : (int -> int64 -> int -> unit) option;
+  mutable on_branch : (int -> int64 -> int64 -> bool -> unit) option;
+  mutable on_marker : (int -> Insn.t -> unit) option;
+  mutable on_thread_start : (int -> unit) option;
+  mutable on_thread_exit : (int -> int -> unit) option;
+}
+
+type syscall_action = Run_syscall | Skip_syscall
+
+type sched_state =
+  | S_free of {
+      rng : Elfie_util.Rng.t;
+      quantum_min : int;
+      quantum_max : int;
+      (* A quantum interrupted by a [run ~max_ins] boundary resumes on
+         the next call, so segmented driving (the multi-region logger)
+         produces exactly the interleaving of one continuous run. *)
+      mutable pending : (int * int) option;
+    }
+  | S_recorded of (int * int) list ref
+
+type t = {
+  mem : Addr_space.t;
+  mutable thread_list : thread list;  (* reversed *)
+  mutable thread_arr : thread array;
+  hooks : hooks;
+  timing : Timing.t;
+  sched : sched_state;
+  mutable syscall_handler : t -> int -> unit;
+  mutable syscall_filter : (t -> int -> syscall_action) option;
+  mutable stop_requested : bool;
+  mutable ring0 : int64;
+  mutable retired_total : int64;
+  mutable record_schedule : bool;
+  mutable schedule_rev : (int * int) list;
+  mutable schedule_cut : bool;
+  decode_cache : (int64, Insn.t * int) Hashtbl.t;
+  mutable decode_generation : int;
+  mutable timer : (int * int * Elfie_util.Rng.t) option;
+  mutable group_exit_status : int option;
+}
+
+let fresh_hooks () =
+  {
+    on_ins = None;
+    on_mem_read = None;
+    on_mem_write = None;
+    on_branch = None;
+    on_marker = None;
+    on_thread_start = None;
+    on_thread_exit = None;
+  }
+
+let create ?(timing = Timing.default) scheduler =
+  let sched =
+    match scheduler with
+    | Free { seed; quantum_min; quantum_max } ->
+        S_free
+          { rng = Elfie_util.Rng.create seed; quantum_min; quantum_max;
+            pending = None }
+    | Recorded slices -> S_recorded (ref slices)
+  in
+  {
+    mem = Addr_space.create ();
+    thread_list = [];
+    thread_arr = [||];
+    hooks = fresh_hooks ();
+    timing = Timing.create timing;
+    sched;
+    syscall_handler = (fun _ _ -> failwith "Machine: no syscall handler installed");
+    syscall_filter = None;
+    stop_requested = false;
+    ring0 = 0L;
+    retired_total = 0L;
+    record_schedule = false;
+    schedule_rev = [];
+    schedule_cut = false;
+    decode_cache = Hashtbl.create 4096;
+    decode_generation = -1;
+    timer = None;
+    group_exit_status = None;
+  }
+
+let mem t = t.mem
+let hooks t = t.hooks
+let timing t = t.timing
+let set_syscall_handler t h = t.syscall_handler <- h
+let set_syscall_filter t f = t.syscall_filter <- Some f
+
+let add_thread t ctx =
+  let tid = Array.length t.thread_arr in
+  let th =
+    {
+      tid;
+      ctx;
+      state = Runnable;
+      retired = 0L;
+      cycles = 0L;
+      counter_target = None;
+      counter_fired = false;
+      arm_retired = 0L;
+      arm_cycles = 0L;
+      mark_target = None;
+      mark_retired = None;
+      mark_cycles = 0L;
+      timer_left = max_int;
+    }
+  in
+  t.thread_list <- th :: t.thread_list;
+  t.thread_arr <- Array.of_list (List.rev t.thread_list);
+  (match t.timer with
+  | Some (interval, _, rng) ->
+      th.timer_left <- (interval / 2) + Elfie_util.Rng.int rng interval
+  | None -> ());
+  (match t.hooks.on_thread_start with Some f -> f tid | None -> ());
+  tid
+
+let thread t tid =
+  if tid < 0 || tid >= Array.length t.thread_arr then
+    invalid_arg (Printf.sprintf "Machine.thread: bad tid %d" tid);
+  t.thread_arr.(tid)
+
+let threads t = Array.to_list t.thread_arr
+
+let live_thread_count t =
+  Array.fold_left
+    (fun n th -> match th.state with Runnable -> n + 1 | _ -> n)
+    0 t.thread_arr
+
+let exit_thread t tid ~status =
+  let th = thread t tid in
+  if th.state = Runnable then begin
+    th.state <- Exited status;
+    match t.hooks.on_thread_exit with Some f -> f tid status | None -> ()
+  end
+
+let exit_all t ~status =
+  t.group_exit_status <- Some status;
+  Array.iter (fun th -> if th.state = Runnable then exit_thread t th.tid ~status)
+    t.thread_arr
+
+let group_exit_status t = t.group_exit_status
+
+let arm_counter t tid ~target =
+  let th = thread t tid in
+  th.counter_target <- Some target;
+  th.arm_retired <- th.retired;
+  th.arm_cycles <- th.cycles
+
+let arm_mark t tid ~target =
+  let th = thread t tid in
+  th.mark_target <- Some target
+
+let set_timer t ~interval ~cycles ~seed =
+  let rng = Elfie_util.Rng.create seed in
+  t.timer <- Some (interval, cycles, rng);
+  Array.iter
+    (fun th -> th.timer_left <- (interval / 2) + Elfie_util.Rng.int rng interval)
+    t.thread_arr
+
+let request_stop t = t.stop_requested <- true
+let stop_requested t = t.stop_requested
+
+let charge_ring0 t tid ~instructions ~cycles =
+  let th = thread t tid in
+  th.cycles <- Int64.add th.cycles (Int64.of_int cycles);
+  t.ring0 <- Int64.add t.ring0 (Int64.of_int instructions)
+
+let ring0_retired t = t.ring0
+let set_record_schedule t b = t.record_schedule <- b
+
+let recorded_schedule t = List.rev t.schedule_rev
+let cut_schedule t = t.schedule_cut <- true
+
+let total_retired t = t.retired_total
+
+let elapsed_cycles t =
+  Array.fold_left (fun acc th -> max acc th.cycles) 0L t.thread_arr
+
+let all_exited_cleanly t =
+  Array.for_all (fun th -> th.state = Exited 0) t.thread_arr
+
+(* --- Fetch with decode cache ------------------------------------------- *)
+
+let max_ins_bytes = 16
+
+let fetch t pc =
+  let gen = Addr_space.generation t.mem in
+  if gen <> t.decode_generation then begin
+    Hashtbl.reset t.decode_cache;
+    t.decode_generation <- gen
+  end;
+  match Hashtbl.find_opt t.decode_cache pc with
+  | Some entry -> entry
+  | None ->
+      let buf = Addr_space.read_avail t.mem pc max_ins_bytes in
+      let r = Elfie_util.Byteio.Reader.of_bytes buf in
+      let ins =
+        try Codec.decode r with
+        | Codec.Invalid _ -> raise (Addr_space.Fault { addr = pc; access = Exec })
+        | Elfie_util.Byteio.Truncated _ ->
+            (* Instruction runs off the end of mapped memory. *)
+            raise
+              (Addr_space.Fault
+                 {
+                   addr = Int64.add pc (Int64.of_int (Bytes.length buf));
+                   access = Exec;
+                 })
+      in
+      let entry = (ins, Elfie_util.Byteio.Reader.pos r) in
+      Hashtbl.replace t.decode_cache pc entry;
+      entry
+
+(* --- Instruction semantics --------------------------------------------- *)
+
+let effective_address ctx (m : Insn.mem) =
+  let base = match m.base with Some r -> Context.get ctx r | None -> 0L in
+  let index =
+    match m.index with
+    | Some r -> Int64.mul (Context.get ctx r) (Int64.of_int m.scale)
+    | None -> 0L
+  in
+  Int64.add (Int64.add base index) m.disp
+
+let truncate_width width v =
+  match width with
+  | Insn.W8 -> Int64.logand v 0xffL
+  | W16 -> Int64.logand v 0xffffL
+  | W32 -> Int64.logand v 0xffff_ffffL
+  | W64 -> v
+
+let set_zf_sf (flags : Reg.flags) r =
+  flags.zf <- r = 0L;
+  flags.sf <- r < 0L
+
+let exec_alu (flags : Reg.flags) op a b =
+  match op with
+  | Insn.Add ->
+      let r = Int64.add a b in
+      flags.cf <- Int64.unsigned_compare r a < 0;
+      flags.ovf <- (a >= 0L && b >= 0L && r < 0L) || (a < 0L && b < 0L && r >= 0L);
+      set_zf_sf flags r;
+      Some r
+  | Sub | Cmp ->
+      let r = Int64.sub a b in
+      flags.cf <- Int64.unsigned_compare a b < 0;
+      flags.ovf <-
+        ((a >= 0L && b < 0L && r < 0L) || (a < 0L && b >= 0L && r >= 0L));
+      set_zf_sf flags r;
+      if op = Sub then Some r else None
+  | And | Test ->
+      let r = Int64.logand a b in
+      flags.cf <- false;
+      flags.ovf <- false;
+      set_zf_sf flags r;
+      if op = And then Some r else None
+  | Or ->
+      let r = Int64.logor a b in
+      flags.cf <- false;
+      flags.ovf <- false;
+      set_zf_sf flags r;
+      Some r
+  | Xor ->
+      let r = Int64.logxor a b in
+      flags.cf <- false;
+      flags.ovf <- false;
+      set_zf_sf flags r;
+      Some r
+  | Imul ->
+      let r = Int64.mul a b in
+      flags.cf <- false;
+      flags.ovf <- false;
+      set_zf_sf flags r;
+      Some r
+
+let exec_shift (flags : Reg.flags) op v n =
+  if n = 0 then v
+  else begin
+    let r =
+      match op with
+      | Insn.Shl -> Int64.shift_left v n
+      | Shr -> Int64.shift_right_logical v n
+      | Sar -> Int64.shift_right v n
+    in
+    let last_out =
+      match op with
+      | Insn.Shl -> Int64.logand (Int64.shift_right_logical v (64 - n)) 1L
+      | Shr | Sar -> Int64.logand (Int64.shift_right_logical v (n - 1)) 1L
+    in
+    flags.cf <- last_out = 1L;
+    flags.ovf <- false;
+    set_zf_sf flags r;
+    r
+  end
+
+let eval_cond (flags : Reg.flags) = function
+  | Insn.Eq -> flags.zf
+  | Ne -> not flags.zf
+  | Lt -> flags.sf <> flags.ovf
+  | Ge -> flags.sf = flags.ovf
+  | Le -> flags.zf || flags.sf <> flags.ovf
+  | Gt -> (not flags.zf) && flags.sf = flags.ovf
+  | Ult -> flags.cf
+  | Uge -> not flags.cf
+
+let float_lane_op op a b =
+  let fa = Int64.float_of_bits a and fb = Int64.float_of_bits b in
+  let r =
+    match op with Insn.Vadd -> fa +. fb | Vmul -> fa *. fb | Vsub -> fa -. fb
+  in
+  Int64.bits_of_float r
+
+(* Execute [ins] for thread [th]; RIP already points past it. *)
+let execute t th pc ins =
+  let ctx = th.ctx in
+  let flags = ctx.Context.flags in
+  let tid = th.tid in
+  let cost = ref (Timing.ins_cost t.timing (Insn.classify ins)) in
+  let mem_read addr width =
+    (match t.hooks.on_mem_read with Some f -> f tid addr width | None -> ());
+    cost := !cost + Timing.mem_cost t.timing addr;
+    Addr_space.read t.mem addr width
+  in
+  let mem_write addr width v =
+    (match t.hooks.on_mem_write with Some f -> f tid addr width | None -> ());
+    cost := !cost + Timing.mem_cost t.timing addr;
+    Addr_space.write t.mem addr width v
+  in
+  let push v =
+    let sp = Int64.sub (Context.get ctx RSP) 8L in
+    Context.set ctx RSP sp;
+    mem_write sp 8 v
+  in
+  let pop () =
+    let sp = Context.get ctx RSP in
+    let v = mem_read sp 8 in
+    Context.set ctx RSP (Int64.add sp 8L);
+    v
+  in
+  let branch_to target taken =
+    cost := !cost + Timing.branch_cost t.timing ~pc ~taken;
+    (match t.hooks.on_branch with Some f -> f tid pc target taken | None -> ());
+    if taken then ctx.Context.rip <- target
+  in
+  (match ins with
+  | Insn.Mov_ri (r, v) -> Context.set ctx r v
+  | Mov_rr (d, s) -> Context.set ctx d (Context.get ctx s)
+  | Load (w, r, m) ->
+      let v = mem_read (effective_address ctx m) (Insn.width_bytes w) in
+      Context.set ctx r v
+  | Store (w, m, r) ->
+      let v = truncate_width w (Context.get ctx r) in
+      mem_write (effective_address ctx m) (Insn.width_bytes w) v
+  | Lea (r, m) -> Context.set ctx r (effective_address ctx m)
+  | Alu_rr (op, d, s) -> (
+      match exec_alu flags op (Context.get ctx d) (Context.get ctx s) with
+      | Some r -> Context.set ctx d r
+      | None -> ())
+  | Alu_ri (op, d, imm) -> (
+      match exec_alu flags op (Context.get ctx d) imm with
+      | Some r -> Context.set ctx d r
+      | None -> ())
+  | Shift_ri (op, d, n) -> Context.set ctx d (exec_shift flags op (Context.get ctx d) n)
+  | Neg d ->
+      let v = Context.get ctx d in
+      (match exec_alu flags Sub 0L v with
+      | Some r -> Context.set ctx d r
+      | None -> assert false)
+  | Push r -> push (Context.get ctx r)
+  | Pop r -> Context.set ctx r (pop ())
+  | Jmp rel -> branch_to (Int64.add ctx.Context.rip (Int64.of_int rel)) true
+  | Jcc (c, rel) ->
+      let taken = eval_cond flags c in
+      branch_to (Int64.add ctx.Context.rip (Int64.of_int rel)) taken
+  | Jmp_r r -> branch_to (Context.get ctx r) true
+  | Jmp_m m ->
+      let target = mem_read (effective_address ctx m) 8 in
+      branch_to target true
+  | Call rel ->
+      push ctx.Context.rip;
+      branch_to (Int64.add ctx.Context.rip (Int64.of_int rel)) true
+  | Call_r r ->
+      push ctx.Context.rip;
+      branch_to (Context.get ctx r) true
+  | Ret -> branch_to (pop ()) true
+  | Syscall ->
+      let action =
+        match t.syscall_filter with
+        | Some f -> f t tid
+        | None -> Run_syscall
+      in
+      (match action with
+      | Run_syscall -> t.syscall_handler t tid
+      | Skip_syscall -> ())
+  | Cpuid ->
+      (* Vendor string "VX86" in RBX; leaves a recognisable marker. *)
+      (match t.hooks.on_marker with Some f -> f tid ins | None -> ());
+      Context.set ctx RAX 1L;
+      Context.set ctx RBX 0x36385856L;
+      Context.set ctx RCX 0L;
+      Context.set ctx RDX 0L
+  | Nop -> ()
+  | Ssc_marker _ | Magic _ -> (
+      match t.hooks.on_marker with Some f -> f tid ins | None -> ())
+  | Pause -> cost := !cost + 10
+  | Xchg (r, m) ->
+      let addr = effective_address ctx m in
+      let old = mem_read addr 8 in
+      mem_write addr 8 (Context.get ctx r);
+      Context.set ctx r old
+  | Cmpxchg (m, r) ->
+      let addr = effective_address ctx m in
+      let old = mem_read addr 8 in
+      if old = Context.get ctx RAX then begin
+        mem_write addr 8 (Context.get ctx r);
+        flags.zf <- true
+      end
+      else begin
+        Context.set ctx RAX old;
+        flags.zf <- false
+      end
+  | Ldctx r ->
+      let img = Addr_space.read_bytes t.mem (Context.get ctx r) Context.xsave_size in
+      Context.xrstor ctx img
+  | Stctx r -> Addr_space.write_bytes t.mem (Context.get ctx r) (Context.xsave ctx)
+  | Wrfsbase r -> ctx.Context.fs_base <- Context.get ctx r
+  | Wrgsbase r -> ctx.Context.gs_base <- Context.get ctx r
+  | Rdfsbase r -> Context.set ctx r ctx.Context.fs_base
+  | Rdgsbase r -> Context.set ctx r ctx.Context.gs_base
+  | Popf ->
+      let fl = Reg.flags_of_word (pop ()) in
+      flags.zf <- fl.zf;
+      flags.sf <- fl.sf;
+      flags.cf <- fl.cf;
+      flags.ovf <- fl.ovf
+  | Pushf -> push (Reg.flags_to_word flags)
+  | Vload (x, m) ->
+      let addr = effective_address ctx m in
+      Context.set_xmm_lane ctx x 0 (mem_read addr 8);
+      Context.set_xmm_lane ctx x 1 (mem_read (Int64.add addr 8L) 8)
+  | Vstore (m, x) ->
+      let addr = effective_address ctx m in
+      mem_write addr 8 (Context.xmm_lane ctx x 0);
+      mem_write (Int64.add addr 8L) 8 (Context.xmm_lane ctx x 1)
+  | Vop_rr (op, d, s) ->
+      Context.set_xmm_lane ctx d 0
+        (float_lane_op op (Context.xmm_lane ctx d 0) (Context.xmm_lane ctx s 0));
+      Context.set_xmm_lane ctx d 1
+        (float_lane_op op (Context.xmm_lane ctx d 1) (Context.xmm_lane ctx s 1))
+  | Hlt -> raise (Addr_space.Fault { addr = pc; access = Exec })
+  | Ud2 -> raise (Addr_space.Fault { addr = pc; access = Exec }));
+  th.cycles <- Int64.add th.cycles (Int64.of_int !cost)
+
+let step t tid =
+  let th = thread t tid in
+  if th.state <> Runnable then invalid_arg "Machine.step: thread not runnable";
+  let pc = th.ctx.Context.rip in
+  match fetch t pc with
+  | exception Addr_space.Fault { addr; access = _ } ->
+      th.state <- Faulted (Page_fault { addr; access = Exec; pc })
+  | ins, len -> (
+      (match t.hooks.on_ins with Some f -> f tid pc ins | None -> ());
+      th.ctx.Context.rip <- Int64.add pc (Int64.of_int len);
+      match execute t th pc ins with
+      | () ->
+          th.retired <- Int64.add th.retired 1L;
+          t.retired_total <- Int64.add t.retired_total 1L;
+          (match t.timer with
+          | Some (interval, cycles, rng) ->
+              th.timer_left <- th.timer_left - 1;
+              if th.timer_left <= 0 then begin
+                th.cycles <- Int64.add th.cycles (Int64.of_int cycles);
+                t.ring0 <- Int64.add t.ring0 (Int64.of_int cycles);
+                th.timer_left <- (interval / 2) + Elfie_util.Rng.int rng interval
+              end
+          | None -> ());
+          (match th.mark_target with
+          | Some target when th.retired >= target ->
+              th.mark_target <- None;
+              th.mark_retired <- Some th.retired;
+              th.mark_cycles <- th.cycles
+          | Some _ | None -> ());
+          (match th.counter_target with
+          | Some target when th.retired >= target ->
+              (* The counter reaches its count even when this very
+                 instruction made the thread exit (e.g. a region ending
+                 in exit_group). *)
+              th.counter_fired <- true;
+              if th.state = Runnable then exit_thread t tid ~status:0
+          | Some _ | None -> ())
+      | exception Addr_space.Fault { addr; access } -> (
+          (* Ud2/Hlt reuse the fault exception with access=Exec, addr=pc. *)
+          match ins with
+          | Insn.Ud2 -> th.state <- Faulted (Invalid_opcode pc)
+          | Hlt -> th.state <- Faulted (Privileged pc)
+          | _ -> th.state <- Faulted (Page_fault { addr; access; pc })))
+
+(* Run up to [n] instructions of [tid]; returns how many retired. *)
+let run_quantum t tid n limit =
+  let th = thread t tid in
+  let executed = ref 0 in
+  while
+    th.state = Runnable && !executed < n && (not t.stop_requested)
+    && (match limit with Some l -> total_retired t < l | None -> true)
+  do
+    step t tid;
+    incr executed
+  done;
+  !executed
+
+let record_slice t tid n =
+  if t.record_schedule && n > 0 then begin
+    let merged =
+      match t.schedule_rev with
+      | (tid', n') :: rest when tid' = tid && not t.schedule_cut ->
+          (tid, n + n') :: rest
+      | rest -> (tid, n) :: rest
+    in
+    t.schedule_cut <- false;
+    t.schedule_rev <- merged
+  end
+
+let runnable_tids t =
+  let out = ref [] in
+  Array.iter (fun th -> if th.state = Runnable then out := th.tid :: !out) t.thread_arr;
+  List.rev !out
+
+let run ?max_ins t =
+  let continue_ () =
+    (not t.stop_requested)
+    && (match max_ins with Some l -> total_retired t < l | None -> true)
+  in
+  match t.sched with
+  | S_free s ->
+      let rec loop () =
+        if continue_ () then begin
+          match runnable_tids t with
+          | [] -> ()
+          | tids ->
+              let tid, quantum =
+                match s.pending with
+                | Some (tid, left) when (thread t tid).state = Runnable ->
+                    s.pending <- None;
+                    (tid, left)
+                | Some _ | None ->
+                    let tid =
+                      List.nth tids (Elfie_util.Rng.int s.rng (List.length tids))
+                    in
+                    let quantum =
+                      s.quantum_min
+                      + Elfie_util.Rng.int s.rng (s.quantum_max - s.quantum_min + 1)
+                    in
+                    (tid, quantum)
+              in
+              let n = run_quantum t tid quantum max_ins in
+              record_slice t tid n;
+              if n < quantum && (thread t tid).state = Runnable then
+                s.pending <- Some (tid, quantum - n);
+              loop ()
+        end
+      in
+      loop ()
+  | S_recorded slices ->
+      let rec loop () =
+        if continue_ () then
+          match !slices with
+          | [] -> ()
+          | (tid, n) :: rest ->
+              slices := rest;
+              let th = thread t tid in
+              if th.state = Runnable then begin
+                let executed = run_quantum t tid n max_ins in
+                ignore executed
+              end;
+              loop ()
+      in
+      loop ()

@@ -1,0 +1,154 @@
+(** The VX86 machine: threads, interpreter, scheduler, instrumentation.
+
+    This is the substrate everything runs on: native program execution
+    (the paper's "real hardware"), Pin-style instrumented execution (the
+    {!Elfie_pin} library attaches to the {!hooks}), constrained pinball
+    replay (a {!Recorded} scheduler plus a syscall filter), and ELFie
+    execution under the simulators.
+
+    The machine is kernel-agnostic: system calls trap to a pluggable
+    handler installed by {!Elfie_kernel}. *)
+
+type fault =
+  | Page_fault of { addr : int64; access : Addr_space.access; pc : int64 }
+  | Invalid_opcode of int64  (** pc *)
+  | Privileged of int64  (** [Hlt] in user mode *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type thread_state = Runnable | Exited of int | Faulted of fault
+
+type thread = {
+  tid : int;
+  ctx : Context.t;
+  mutable state : thread_state;
+  mutable retired : int64;  (** user instructions retired *)
+  mutable cycles : int64;
+  mutable counter_target : int64 option;
+      (** armed retired-instruction counter: reaching it exits the
+          thread gracefully (status 0) and sets [counter_fired] *)
+  mutable counter_fired : bool;
+  mutable arm_retired : int64;  (** retired count when the counter was armed *)
+  mutable arm_cycles : int64;  (** cycle count when the counter was armed *)
+  mutable mark_target : int64 option;
+      (** pending warmup mark: when [retired] reaches it, a snapshot is
+          taken (counters are read mid-run, as after a warmup phase) *)
+  mutable mark_retired : int64 option;
+  mutable mark_cycles : int64;
+  mutable timer_left : int;  (** instructions until the next timer tick *)
+}
+
+(** Thread interleaving policy. [Free] models real concurrency with
+    seeded pseudo-random quanta (run-to-run variation comes from the
+    seed); [Recorded] enforces a previously captured schedule, which is
+    what makes pinball replay *constrained*. *)
+type scheduler =
+  | Free of { seed : int64; quantum_min : int; quantum_max : int }
+  | Recorded of (int * int) list
+
+(** Instrumentation points. All default to [None]; the Pin layer and
+    simulators fill them in. *)
+type hooks = {
+  mutable on_ins : (int -> int64 -> Elfie_isa.Insn.t -> unit) option;
+      (** tid, pc, instruction — before execution *)
+  mutable on_mem_read : (int -> int64 -> int -> unit) option;
+      (** tid, address, width *)
+  mutable on_mem_write : (int -> int64 -> int -> unit) option;
+  mutable on_branch : (int -> int64 -> int64 -> bool -> unit) option;
+      (** tid, pc, target, taken — conditional branches only *)
+  mutable on_marker : (int -> Elfie_isa.Insn.t -> unit) option;
+  mutable on_thread_start : (int -> unit) option;
+  mutable on_thread_exit : (int -> int -> unit) option;  (** tid, status *)
+}
+
+type t
+
+(** Decision taken by the syscall filter before the kernel runs. *)
+type syscall_action = Run_syscall | Skip_syscall
+
+val create : ?timing:Timing.config -> scheduler -> t
+val mem : t -> Addr_space.t
+val hooks : t -> hooks
+val timing : t -> Timing.t
+
+(** Install the kernel's syscall handler. The handler runs with the
+    thread's RIP already advanced past the [Syscall] instruction. *)
+val set_syscall_handler : t -> (t -> int -> unit) -> unit
+
+(** Install a filter consulted before each system call; [Skip_syscall]
+    suppresses the kernel handler (replay-time injection). *)
+val set_syscall_filter : t -> (t -> int -> syscall_action) -> unit
+
+(** [add_thread t ctx] registers a new runnable thread; returns its tid.
+    Thread 0 is the initial thread by convention. *)
+val add_thread : t -> Context.t -> int
+
+val thread : t -> int -> thread
+val threads : t -> thread list
+val live_thread_count : t -> int
+
+(** Terminate one thread (used by [exit]) or the whole process. *)
+val exit_thread : t -> int -> status:int -> unit
+
+val exit_all : t -> status:int -> unit
+
+(** Status of the [exit_group]-style whole-process exit, if one
+    happened. Threads it killed did not fault or diverge. *)
+val group_exit_status : t -> int option
+
+(** Arm the retired-instruction performance counter of a thread. *)
+val arm_counter : t -> int -> target:int64 -> unit
+
+(** Schedule a mid-run counter snapshot (warmup boundary) at an absolute
+    retired count. *)
+val arm_mark : t -> int -> target:int64 -> unit
+
+(** Enable periodic timer interrupts: roughly every [interval] retired
+    instructions per thread (jittered by [seed]), [cycles] of kernel
+    work are charged to the running thread. This is the OS noise that
+    makes repeated native-hardware measurements differ run to run. *)
+val set_timer : t -> interval:int -> cycles:int -> seed:int64 -> unit
+
+(** Ask the run loop to stop at the next instruction boundary. *)
+val request_stop : t -> unit
+
+(** Whether a stop has been requested (drivers running their own
+    scheduling loop, like cycle-driven simulators, must poll this). *)
+val stop_requested : t -> bool
+
+(** Charge kernel-mode work to a thread: bumps its cycle count and the
+    machine's ring-0 instruction counter but not user retired counts. *)
+val charge_ring0 : t -> int -> instructions:int -> cycles:int -> unit
+
+val ring0_retired : t -> int64
+
+(** Record the interleaving of a [Free] run so it can later drive a
+    [Recorded] one. *)
+val set_record_schedule : t -> bool -> unit
+
+val recorded_schedule : t -> (int * int) list
+
+(** Force a boundary in the recorded schedule: the next quantum starts a
+    fresh entry even for the same thread. Used by observers that slice
+    the recording at known execution points. *)
+val cut_schedule : t -> unit
+
+(** Execute a single instruction of a thread. Faults are caught and
+    recorded in the thread state. Raises [Invalid_argument] if the
+    thread is not runnable. *)
+val step : t -> int -> unit
+
+(** Run until no thread is runnable, a stop is requested, or [max_ins]
+    user instructions have retired machine-wide. *)
+val run : ?max_ins:int64 -> t -> unit
+
+(** Sum of user instructions retired over all threads. *)
+val total_retired : t -> int64
+
+(** Wall-clock proxy: maximum per-thread cycle count (threads execute in
+    parallel on distinct cores). *)
+val elapsed_cycles : t -> int64
+
+(** True when every thread exited with status 0 (no faults, no nonzero
+    exits). *)
+val all_exited_cleanly : t -> bool

@@ -1,0 +1,82 @@
+open Elfie_isa
+
+type config = {
+  l1 : Cache.config;
+  l2 : Cache.config;
+  llc : Cache.config;
+  l1_miss_cycles : int;
+  l2_miss_cycles : int;
+  llc_miss_cycles : int;
+  mispredict_cycles : int;
+  base_cycles : Insn.klass -> int;
+}
+
+let default_base = function
+  | Insn.K_alu -> 1
+  | K_load -> 2
+  | K_store -> 1
+  | K_branch -> 1
+  | K_call -> 2
+  | K_syscall -> 50
+  | K_vector -> 3
+  | K_other -> 1
+
+let default =
+  {
+    l1 = Cache.config ~size_bytes:32_768 ~ways:8 ~line_bytes:64;
+    l2 = Cache.config ~size_bytes:262_144 ~ways:8 ~line_bytes:64;
+    llc = Cache.config ~size_bytes:8_388_608 ~ways:16 ~line_bytes:64;
+    l1_miss_cycles = 10;
+    l2_miss_cycles = 25;
+    llc_miss_cycles = 150;
+    mispredict_cycles = 15;
+    base_cycles = default_base;
+  }
+
+type t = {
+  cfg : config;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  llc : Cache.t;
+  predictor : Bytes.t;  (* 2-bit saturating counters *)
+}
+
+let predictor_entries = 4096
+
+let create cfg =
+  {
+    cfg;
+    l1 = Cache.create cfg.l1;
+    l2 = Cache.create cfg.l2;
+    llc = Cache.create cfg.llc;
+    predictor = Bytes.make predictor_entries '\002';
+  }
+
+let ins_cost t k = t.cfg.base_cycles k
+
+let mem_cost t addr =
+  if Cache.access t.l1 addr then 0
+  else if Cache.access t.l2 addr then t.cfg.l1_miss_cycles
+  else if Cache.access t.llc addr then t.cfg.l2_miss_cycles
+  else t.cfg.llc_miss_cycles
+
+let branch_cost t ~pc ~taken =
+  let idx = Int64.to_int (Int64.rem (Int64.shift_right_logical pc 1)
+                            (Int64.of_int predictor_entries)) in
+  let idx = abs idx in
+  let counter = Char.code (Bytes.get t.predictor idx) in
+  let predicted_taken = counter >= 2 in
+  let counter' =
+    if taken then min 3 (counter + 1) else max 0 (counter - 1)
+  in
+  Bytes.set t.predictor idx (Char.chr counter');
+  if predicted_taken = taken then 0 else t.cfg.mispredict_cycles
+
+let perturb t =
+  Cache.flush t.l1;
+  Cache.flush t.l2;
+  Bytes.fill t.predictor 0 predictor_entries '\002'
+
+let llc_footprint_lines t = Cache.footprint_lines t.llc
+let l1_misses t = Cache.misses t.l1
+let llc_misses t = Cache.misses t.llc

@@ -1,0 +1,45 @@
+(** The machine's built-in "hardware" timing model.
+
+    Native ELFie runs need a ground-truth cycles-per-instruction figure,
+    like the real hardware performance counters the paper reads with
+    [perf]. This model charges a base cost per instruction class plus
+    memory-hierarchy penalties (L1D/L2/LLC, LRU) and a bimodal
+    branch-predictor penalty. It is deliberately simple: experiments only
+    rely on CPI *differences between program phases* being real, which
+    cache and branch behaviour provide. *)
+
+type config = {
+  l1 : Cache.config;
+  l2 : Cache.config;
+  llc : Cache.config;
+  l1_miss_cycles : int;
+  l2_miss_cycles : int;
+  llc_miss_cycles : int;
+  mispredict_cycles : int;
+  base_cycles : Elfie_isa.Insn.klass -> int;
+}
+
+(** Gainestown-flavoured default (the paper's native testbed stand-in). *)
+val default : config
+
+type t
+
+val create : config -> t
+
+(** Base cost of executing one instruction of a class. *)
+val ins_cost : t -> Elfie_isa.Insn.klass -> int
+
+(** Penalty cycles for a data access at [addr]. *)
+val mem_cost : t -> int64 -> int
+
+(** Penalty cycles for a conditional branch at [pc] that was [taken],
+    updating the predictor. *)
+val branch_cost : t -> pc:int64 -> taken:bool -> int
+
+(** Flush caches and predictor state (used to model OS interference in
+    full-system simulation). *)
+val perturb : t -> unit
+
+val llc_footprint_lines : t -> int
+val l1_misses : t -> int
+val llc_misses : t -> int

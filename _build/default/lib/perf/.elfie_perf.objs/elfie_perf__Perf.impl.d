@@ -1,0 +1,1 @@
+lib/perf/perf.ml: Elfie_core Elfie_pin Format Int64 List

@@ -1,0 +1,1 @@
+lib/perf/perf.mli: Elfie_elf Elfie_kernel Elfie_pin Format

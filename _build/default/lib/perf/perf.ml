@@ -1,0 +1,65 @@
+type sample = {
+  mean_cpi : float;
+  stddev_cpi : float;
+  instructions : int64;
+  trials : int;
+  failures : int;
+}
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let whole_program ?(trials = 3) ?(base_seed = 1000L) spec =
+  let results =
+    List.init trials (fun i ->
+        let seed = Int64.add base_seed (Int64.of_int i) in
+        Elfie_pin.Run.native { spec with Elfie_pin.Run.seed })
+  in
+  let ok = List.filter (fun (s : Elfie_pin.Run.stats) -> s.clean) results in
+  let cpis = List.map (fun (s : Elfie_pin.Run.stats) -> s.cpi) ok in
+  let last = List.nth results (trials - 1) in
+  {
+    mean_cpi = mean cpis;
+    stddev_cpi = stddev cpis;
+    instructions = last.Elfie_pin.Run.retired;
+    trials;
+    failures = trials - List.length ok;
+  }
+
+let elfie_region ?(trials = 3) ?(base_seed = 2000L) ?fs_init ?cwd ?max_ins image =
+  let results =
+    List.init trials (fun i ->
+        let seed = Int64.add base_seed (Int64.of_int i) in
+        Elfie_core.Elfie_runner.run ~seed ?fs_init ?cwd ?max_ins image)
+  in
+  let ok =
+    List.filter (fun (o : Elfie_core.Elfie_runner.outcome) -> o.graceful) results
+  in
+  let cpis = List.map (fun (o : Elfie_core.Elfie_runner.outcome) -> o.slice_cpi) ok in
+  let instructions =
+    match ok with
+    | o :: _ -> o.Elfie_core.Elfie_runner.app_retired
+    | [] -> 0L
+  in
+  {
+    mean_cpi = mean cpis;
+    stddev_cpi = stddev cpis;
+    instructions;
+    trials;
+    failures = trials - List.length ok;
+  }
+
+let pp_sample fmt s =
+  Format.fprintf fmt "cpi %.4f +/- %.4f over %d trial(s) (%d failed, %Ld ins)"
+    s.mean_cpi s.stddev_cpi s.trials s.failures s.instructions

@@ -1,0 +1,37 @@
+(** Native hardware-counter measurement (the libperfle / perf-stat
+    analogue).
+
+    Real ELFies program hardware performance counters from their
+    callback routines and read them on exit; here the counters live in
+    the machine, and this module provides the measurement methodology on
+    top: repeated trials with distinct scheduler seeds (the paper
+    averages ten runs) and mean/stddev summaries for whole programs and
+    for ELFie regions. *)
+
+type sample = {
+  mean_cpi : float;
+  stddev_cpi : float;
+  instructions : int64;  (** of the last trial *)
+  trials : int;
+  failures : int;  (** trials that did not finish gracefully *)
+}
+
+val mean : float list -> float
+val stddev : float list -> float
+
+(** Measure a whole program natively, [trials] times. *)
+val whole_program : ?trials:int -> ?base_seed:int64 -> Elfie_pin.Run.spec -> sample
+
+(** Measure an ELFie region natively, [trials] times. Uses the slice-CPI
+    counter window (post-warmup) when the ELFie carries a warmup mark.
+    Failed (non-graceful) trials are excluded from the mean. *)
+val elfie_region :
+  ?trials:int ->
+  ?base_seed:int64 ->
+  ?fs_init:(Elfie_kernel.Fs.t -> unit) ->
+  ?cwd:string ->
+  ?max_ins:int64 ->
+  Elfie_elf.Image.t ->
+  sample
+
+val pp_sample : Format.formatter -> sample -> unit

@@ -1,0 +1,1 @@
+lib/pin/bbv.ml: Array Elfie_isa Elfie_machine Hashtbl Insn Int64 List Option Pintool Run

@@ -1,0 +1,1 @@
+lib/pin/bbv.mli: Pintool Run

@@ -1,0 +1,1 @@
+lib/pin/logger.ml: Addr_space Array Context Elfie_elf Elfie_isa Elfie_kernel Elfie_machine Elfie_pinball Hashtbl Int64 List Machine Option Pintool Printf Run Vkernel

@@ -1,0 +1,1 @@
+lib/pin/logger.mli: Elfie_machine Elfie_pinball Run

@@ -1,0 +1,1 @@
+lib/pin/pintool.ml: Elfie_isa Elfie_machine Int64 List Machine

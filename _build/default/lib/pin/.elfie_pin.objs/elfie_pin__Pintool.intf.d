@@ -1,0 +1,1 @@
+lib/pin/pintool.mli: Elfie_isa Elfie_machine

@@ -1,0 +1,1 @@
+lib/pin/replayer.ml: Addr_space Array Bytes Context Elfie_isa Elfie_kernel Elfie_machine Elfie_pinball Fs Int64 List Machine Pinball Vkernel

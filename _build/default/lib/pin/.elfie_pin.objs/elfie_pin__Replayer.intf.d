@@ -1,0 +1,1 @@
+lib/pin/replayer.mli: Elfie_kernel Elfie_machine Elfie_pinball

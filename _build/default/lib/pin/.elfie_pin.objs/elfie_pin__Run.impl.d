@@ -1,0 +1,1 @@
+lib/pin/run.ml: Array Elfie_elf Elfie_kernel Elfie_machine Fs Int64 List Loader Machine Vkernel

@@ -1,0 +1,1 @@
+lib/pin/run.mli: Elfie_elf Elfie_kernel Elfie_machine

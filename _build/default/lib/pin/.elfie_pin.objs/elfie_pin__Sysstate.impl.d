@@ -1,0 +1,1 @@
+lib/pin/sysstate.ml: Abi Array Buffer Bytes Elfie_kernel Elfie_pinball Filename Format Fs Hashtbl Int64 List Option Pinball Printf Scanf String Sys

@@ -1,0 +1,1 @@
+lib/pin/sysstate.mli: Elfie_kernel Elfie_pinball Format

@@ -1,0 +1,1 @@
+lib/pin/tools.ml: Elfie_isa Float Format Hashtbl Insn Int64 List Pintool

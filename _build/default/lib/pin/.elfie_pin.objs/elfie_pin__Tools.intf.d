@@ -1,0 +1,1 @@
+lib/pin/tools.mli: Format Pintool

@@ -1,0 +1,97 @@
+open Elfie_isa
+
+type slice = {
+  index : int;
+  vector : (int64 * int) array;
+  instructions : int64;
+}
+
+type profile = {
+  slices : slice list;
+  slice_size : int64;
+  total_instructions : int64;
+}
+
+type state = {
+  mutable current : (int64, int) Hashtbl.t;
+  mutable slice_icount : int64;
+  mutable total : int64;
+  mutable slices_rev : slice list;
+  mutable next_index : int;
+  (* Per-thread basic-block tracking. *)
+  mutable cur_block : int64 array;
+  mutable at_boundary : bool array;
+  slice_size : int64;
+}
+
+let ensure_tid st tid =
+  let n = Array.length st.cur_block in
+  if tid >= n then begin
+    let cur = Array.make (tid + 4) 0L in
+    let bnd = Array.make (tid + 4) true in
+    Array.blit st.cur_block 0 cur 0 n;
+    Array.blit st.at_boundary 0 bnd 0 n;
+    st.cur_block <- cur;
+    st.at_boundary <- bnd
+  end
+
+let finish_slice st =
+  let vector =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.current []
+    |> List.sort (fun (a, _) (b, _) -> Int64.unsigned_compare a b)
+    |> Array.of_list
+  in
+  st.slices_rev <-
+    { index = st.next_index; vector; instructions = st.slice_icount }
+    :: st.slices_rev;
+  st.next_index <- st.next_index + 1;
+  st.current <- Hashtbl.create 256;
+  st.slice_icount <- 0L
+
+let tool ~slice_size =
+  let st =
+    {
+      current = Hashtbl.create 256;
+      slice_icount = 0L;
+      total = 0L;
+      slices_rev = [];
+      next_index = 0;
+      cur_block = Array.make 8 0L;
+      at_boundary = Array.make 8 true;
+      slice_size;
+    }
+  in
+  let on_ins tid pc ins =
+    ensure_tid st tid;
+    if st.at_boundary.(tid) then begin
+      st.cur_block.(tid) <- pc;
+      st.at_boundary.(tid) <- false
+    end;
+    let block = st.cur_block.(tid) in
+    Hashtbl.replace st.current block
+      (1 + Option.value ~default:0 (Hashtbl.find_opt st.current block));
+    (match Insn.classify ins with
+    | Insn.K_branch | K_call | K_syscall -> st.at_boundary.(tid) <- true
+    | K_alu | K_load | K_store | K_vector | K_other -> ());
+    st.slice_icount <- Int64.add st.slice_icount 1L;
+    st.total <- Int64.add st.total 1L;
+    if st.slice_icount >= st.slice_size then finish_slice st
+  in
+  let t = { (Pintool.empty ~name:"bbv") with on_ins = Some on_ins } in
+  let finish () =
+    if st.slice_icount > 0L then finish_slice st;
+    {
+      slices = List.rev st.slices_rev;
+      slice_size = st.slice_size;
+      total_instructions = st.total;
+    }
+  in
+  (t, finish)
+
+let profile ?max_ins spec ~slice_size =
+  let machine, _kernel = Run.instantiate spec in
+  let t, finish = tool ~slice_size in
+  let detach = Pintool.attach machine [ t ] in
+  Elfie_machine.Machine.run ?max_ins machine;
+  detach ();
+  finish ()

@@ -1,0 +1,26 @@
+(** Basic-block-vector profiling (the SimPoint front-end).
+
+    Runs a program under Vpin instrumentation and emits one sparse
+    basic-block vector per fixed-size instruction slice: for each slice,
+    how many instructions retired inside each basic block (identified by
+    its start address). These vectors are the input to the k-means phase
+    clustering in {!Elfie_simpoint}. *)
+
+type slice = {
+  index : int;
+  vector : (int64 * int) array;  (** (block start, instructions), sorted *)
+  instructions : int64;  (** normally [slice_size]; last slice may be short *)
+}
+
+type profile = {
+  slices : slice list;
+  slice_size : int64;
+  total_instructions : int64;
+}
+
+(** Profile a full program run. *)
+val profile : ?max_ins:int64 -> Run.spec -> slice_size:int64 -> profile
+
+(** The profiling tool itself, for composing with other tools: returns
+    the tool and a function extracting the finished profile. *)
+val tool : slice_size:int64 -> Pintool.t * (unit -> profile)

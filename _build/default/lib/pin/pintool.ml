@@ -1,0 +1,97 @@
+open Elfie_machine
+
+type t = {
+  name : string;
+  on_ins : (int -> int64 -> Elfie_isa.Insn.t -> unit) option;
+  on_mem_read : (int -> int64 -> int -> unit) option;
+  on_mem_write : (int -> int64 -> int -> unit) option;
+  on_branch : (int -> int64 -> int64 -> bool -> unit) option;
+  on_marker : (int -> Elfie_isa.Insn.t -> unit) option;
+  on_thread_start : (int -> unit) option;
+  on_thread_exit : (int -> int -> unit) option;
+}
+
+let empty ~name =
+  {
+    name;
+    on_ins = None;
+    on_mem_read = None;
+    on_mem_write = None;
+    on_branch = None;
+    on_marker = None;
+    on_thread_start = None;
+    on_thread_exit = None;
+  }
+
+(* Chain the non-[None] callbacks of [fs] after [prev]. *)
+let chain1 prev fs =
+  match (prev, fs) with
+  | None, [] -> None
+  | _ ->
+      Some
+        (fun a ->
+          (match prev with Some f -> f a | None -> ());
+          List.iter (fun f -> f a) fs)
+
+let chain2 prev fs =
+  match (prev, fs) with
+  | None, [] -> None
+  | _ ->
+      Some
+        (fun a b ->
+          (match prev with Some f -> f a b | None -> ());
+          List.iter (fun f -> f a b) fs)
+
+let chain3 prev fs =
+  match (prev, fs) with
+  | None, [] -> None
+  | _ ->
+      Some
+        (fun a b c ->
+          (match prev with Some f -> f a b c | None -> ());
+          List.iter (fun f -> f a b c) fs)
+
+let chain4 prev fs =
+  match (prev, fs) with
+  | None, [] -> None
+  | _ ->
+      Some
+        (fun a b c d ->
+          (match prev with Some f -> f a b c d | None -> ());
+          List.iter (fun f -> f a b c d) fs)
+
+let attach machine tools =
+  let h = Machine.hooks machine in
+  let saved_ins = h.on_ins
+  and saved_mr = h.on_mem_read
+  and saved_mw = h.on_mem_write
+  and saved_br = h.on_branch
+  and saved_mk = h.on_marker
+  and saved_ts = h.on_thread_start
+  and saved_te = h.on_thread_exit in
+  let pick f = List.filter_map f tools in
+  h.on_ins <- chain3 saved_ins (pick (fun t -> t.on_ins));
+  h.on_mem_read <- chain3 saved_mr (pick (fun t -> t.on_mem_read));
+  h.on_mem_write <- chain3 saved_mw (pick (fun t -> t.on_mem_write));
+  h.on_branch <- chain4 saved_br (pick (fun t -> t.on_branch));
+  h.on_marker <- chain2 saved_mk (pick (fun t -> t.on_marker));
+  h.on_thread_start <- chain1 saved_ts (pick (fun t -> t.on_thread_start));
+  h.on_thread_exit <- chain2 saved_te (pick (fun t -> t.on_thread_exit));
+  fun () ->
+    h.on_ins <- saved_ins;
+    h.on_mem_read <- saved_mr;
+    h.on_mem_write <- saved_mw;
+    h.on_branch <- saved_br;
+    h.on_marker <- saved_mk;
+    h.on_thread_start <- saved_ts;
+    h.on_thread_exit <- saved_te
+
+let instruction_counter () =
+  let count = ref 0L in
+  let tool =
+    {
+      (empty ~name:"icount") with
+      on_ins = Some (fun _ _ _ -> count := Int64.add !count 1L);
+    }
+  in
+  (tool, fun () -> !count)

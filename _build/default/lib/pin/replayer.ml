@@ -1,0 +1,102 @@
+open Elfie_machine
+open Elfie_kernel
+open Elfie_pinball
+
+type mode =
+  | Constrained
+  | Injectionless of { seed : int64; fs_init : Fs.t -> unit }
+
+type result = {
+  per_thread_retired : int64 array;
+  matched_icounts : bool;
+  divergences : int;
+  retired : int64;
+  cycles : int64;
+  stdout : string;
+}
+
+let materialize ?(constrained = true) ?(seed = 7L) ?(fs_init = fun _ -> ())
+    (pb : Pinball.t) =
+  let scheduler =
+    if constrained then Machine.Recorded pb.schedule
+    else Machine.Free { seed; quantum_min = 50; quantum_max = 200 }
+  in
+  let machine = Machine.create scheduler in
+  (* Initial memory image. *)
+  List.iter (fun (addr, data) -> Addr_space.store (Machine.mem machine) addr data)
+    pb.pages;
+  (* Threads at region start, in tid order. *)
+  Array.iter
+    (fun ctx -> ignore (Machine.add_thread machine (Context.copy ctx)))
+    pb.contexts;
+  (* Kernel for re-executed syscalls (and everything, when injectionless). *)
+  let fs = Fs.create () in
+  fs_init fs;
+  let kernel = Vkernel.create ~config:{ Vkernel.default_config with seed } fs in
+  Vkernel.install kernel machine;
+  Vkernel.force_brk kernel pb.brk;
+  let divergences = ref 0 in
+  if constrained then begin
+    let queues = Array.map (fun l -> ref l) pb.injections in
+    Machine.set_syscall_filter machine (fun m tid ->
+        let actual_nr =
+          Int64.to_int (Context.get (Machine.thread m tid).Machine.ctx Elfie_isa.Reg.RAX)
+        in
+        if tid >= Array.length queues then begin
+          incr divergences;
+          Machine.Run_syscall
+        end
+        else
+          match !(queues.(tid)) with
+          | [] ->
+              incr divergences;
+              Machine.Run_syscall
+          | entry :: rest ->
+              queues.(tid) := rest;
+              if entry.Pinball.sys_nr <> actual_nr then incr divergences;
+              if entry.sys_reexec then Machine.Run_syscall
+              else begin
+                (* Inject: result register plus kernel memory effects. *)
+                let ctx = (Machine.thread m tid).Machine.ctx in
+                Context.set ctx Elfie_isa.Reg.RAX entry.sys_ret;
+                List.iter
+                  (fun (addr, data) ->
+                    Addr_space.store (Machine.mem m) addr (Bytes.of_string data))
+                  entry.sys_writes;
+                Machine.Skip_syscall
+              end)
+  end;
+  (machine, kernel, fun () -> !divergences)
+
+let replay ?(mode = Constrained) (pb : Pinball.t) =
+  let constrained, seed, fs_init =
+    match mode with
+    | Constrained -> (true, 7L, fun _ -> ())
+    | Injectionless { seed; fs_init } -> (false, seed, fs_init)
+  in
+  let machine, kernel, divergences = materialize ~constrained ~seed ~fs_init pb in
+  if not constrained then begin
+    (* Mimic the ELFie hardware-counter exit: stop each region-start
+       thread at its recorded instruction count. *)
+    Array.iteri (fun tid target -> Machine.arm_counter machine tid ~target) pb.icounts;
+    let cap = Int64.mul 3L (max 1L (Pinball.total_icount pb)) in
+    Machine.run ~max_ins:cap machine
+  end
+  else Machine.run machine;
+  let per_thread_retired =
+    Array.of_list (List.map (fun th -> th.Machine.retired) (Machine.threads machine))
+  in
+  let matched_icounts =
+    Array.length per_thread_retired >= Array.length pb.icounts
+    && Array.for_all
+         (fun i -> per_thread_retired.(i) = pb.icounts.(i))
+         (Array.init (Array.length pb.icounts) (fun i -> i))
+  in
+  {
+    per_thread_retired;
+    matched_icounts;
+    divergences = divergences ();
+    retired = Machine.total_retired machine;
+    cycles = Machine.elapsed_cycles machine;
+    stdout = Vkernel.stdout_contents kernel;
+  }

@@ -1,0 +1,40 @@
+(** The PinPlay replayer.
+
+    [Constrained] mode is faithful pinball replay: the recorded thread
+    schedule is enforced and data system calls are skipped, with results
+    and kernel memory side effects injected from the log — so replay
+    reproduces the captured region exactly (shared-memory access order
+    is repeated, per the paper's "constrained replay" guarantee).
+
+    [Injectionless] mode is the paper's [-replay:injection 0] switch: the
+    same initial state, but system calls re-execute natively and threads
+    are scheduled freely. It mimics ELFie execution while still under
+    Pin, and exists for debugging ELFie failures. *)
+
+type mode =
+  | Constrained
+  | Injectionless of { seed : int64; fs_init : Elfie_kernel.Fs.t -> unit }
+
+type result = {
+  per_thread_retired : int64 array;
+  matched_icounts : bool;
+      (** every region-start thread retired exactly its recorded count *)
+  divergences : int;  (** syscalls that did not line up with the log *)
+  retired : int64;
+  cycles : int64;
+  stdout : string;
+}
+
+(** Materialise the pinball into a fresh machine and run the region. *)
+val replay : ?mode:mode -> Elfie_pinball.Pinball.t -> result
+
+(** Build the machine/kernel pair positioned at region start without
+    running it — used by simulators that drive execution themselves.
+    Returns the per-tid injection queues already wired when
+    [constrained] is true. *)
+val materialize :
+  ?constrained:bool ->
+  ?seed:int64 ->
+  ?fs_init:(Elfie_kernel.Fs.t -> unit) ->
+  Elfie_pinball.Pinball.t ->
+  Elfie_machine.Machine.t * Elfie_kernel.Vkernel.t * (unit -> int)

@@ -1,0 +1,227 @@
+open Elfie_isa
+
+type 'a analysis = { tool : Pintool.t; result : unit -> 'a }
+
+(* Shared gating: enablement at the first marker, stop after [limit]
+   analysed instructions. Returns (enabled-check-and-count, marker hook). *)
+type gate = {
+  mutable g_enabled : bool;
+  mutable g_count : int64;
+  g_limit : int64 option;
+}
+
+let make_gate ~from_marker ~limit =
+  { g_enabled = not from_marker; g_count = 0L; g_limit = limit }
+
+let gate_tick g =
+  if not g.g_enabled then false
+  else
+    match g.g_limit with
+    | Some l when g.g_count >= l -> false
+    | Some _ | None ->
+        g.g_count <- Int64.add g.g_count 1L;
+        true
+
+let gate_active g =
+  g.g_enabled
+  && match g.g_limit with Some l -> g.g_count < l | None -> true
+
+let klass_name = function
+  | Insn.K_alu -> "alu"
+  | K_load -> "load"
+  | K_store -> "store"
+  | K_branch -> "branch"
+  | K_call -> "call"
+  | K_syscall -> "syscall"
+  | K_vector -> "vector"
+  | K_other -> "other"
+
+(* --- instruction mix -------------------------------------------------------- *)
+
+type mix = { mix_total : int64; mix_classes : (string * int64) list }
+
+let instruction_mix ?(from_marker = false) ?limit () =
+  let gate = make_gate ~from_marker ~limit in
+  let counts : (string, int64 ref) Hashtbl.t = Hashtbl.create 8 in
+  let on_ins _ _ ins =
+    if gate_tick gate then begin
+      let k = klass_name (Insn.classify ins) in
+      match Hashtbl.find_opt counts k with
+      | Some r -> r := Int64.add !r 1L
+      | None -> Hashtbl.replace counts k (ref 1L)
+    end
+  in
+  let tool =
+    {
+      (Pintool.empty ~name:"insmix") with
+      on_ins = Some on_ins;
+      on_marker = Some (fun _ _ -> gate.g_enabled <- true);
+    }
+  in
+  let result () =
+    let classes =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counts []
+      |> List.sort (fun (_, a) (_, b) -> Int64.compare b a)
+    in
+    { mix_total = gate.g_count; mix_classes = classes }
+  in
+  { tool; result }
+
+(* --- memory footprint --------------------------------------------------------- *)
+
+type footprint = {
+  fp_pages : int;
+  fp_lines : int;
+  fp_reads : int64;
+  fp_writes : int64;
+  fp_bytes_read : int64;
+  fp_bytes_written : int64;
+}
+
+let memory_footprint ?(from_marker = false) ?limit () =
+  let gate = make_gate ~from_marker ~limit in
+  let pages = Hashtbl.create 256 in
+  let lines = Hashtbl.create 1024 in
+  let reads = ref 0L and writes = ref 0L in
+  let bytes_read = ref 0L and bytes_written = ref 0L in
+  let touch addr =
+    Hashtbl.replace pages (Int64.shift_right_logical addr 12) ();
+    Hashtbl.replace lines (Int64.shift_right_logical addr 6) ()
+  in
+  let tool =
+    {
+      (Pintool.empty ~name:"footprint") with
+      on_ins = Some (fun _ _ _ -> ignore (gate_tick gate));
+      on_marker = Some (fun _ _ -> gate.g_enabled <- true);
+      on_mem_read =
+        Some
+          (fun _ addr w ->
+            if gate_active gate then begin
+              touch addr;
+              reads := Int64.add !reads 1L;
+              bytes_read := Int64.add !bytes_read (Int64.of_int w)
+            end);
+      on_mem_write =
+        Some
+          (fun _ addr w ->
+            if gate_active gate then begin
+              touch addr;
+              writes := Int64.add !writes 1L;
+              bytes_written := Int64.add !bytes_written (Int64.of_int w)
+            end);
+    }
+  in
+  let result () =
+    {
+      fp_pages = Hashtbl.length pages;
+      fp_lines = Hashtbl.length lines;
+      fp_reads = !reads;
+      fp_writes = !writes;
+      fp_bytes_read = !bytes_read;
+      fp_bytes_written = !bytes_written;
+    }
+  in
+  { tool; result }
+
+(* --- branch profile ------------------------------------------------------------ *)
+
+type branch_profile = {
+  br_executed : int64;
+  br_taken : int64;
+  br_hottest : (int64 * int) list;
+}
+
+let top_n n tbl =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < n)
+
+let branch_profile ?(from_marker = false) ?limit () =
+  let gate = make_gate ~from_marker ~limit in
+  let executed = ref 0L and taken = ref 0L in
+  let sites : (int64, int ref) Hashtbl.t = Hashtbl.create 256 in
+  let tool =
+    {
+      (Pintool.empty ~name:"branchprof") with
+      on_ins = Some (fun _ _ _ -> ignore (gate_tick gate));
+      on_marker = Some (fun _ _ -> gate.g_enabled <- true);
+      on_branch =
+        Some
+          (fun _ pc _ was_taken ->
+            if gate_active gate then begin
+              executed := Int64.add !executed 1L;
+              if was_taken then taken := Int64.add !taken 1L;
+              match Hashtbl.find_opt sites pc with
+              | Some r -> incr r
+              | None -> Hashtbl.replace sites pc (ref 1)
+            end);
+    }
+  in
+  let result () =
+    { br_executed = !executed; br_taken = !taken; br_hottest = top_n 10 sites }
+  in
+  { tool; result }
+
+(* --- block profile ------------------------------------------------------------- *)
+
+type block_profile = { bb_blocks : int; bb_hottest : (int64 * int) list }
+
+let block_profile ?(from_marker = false) ?limit () =
+  let gate = make_gate ~from_marker ~limit in
+  let heads : (int64, int ref) Hashtbl.t = Hashtbl.create 256 in
+  let at_boundary = ref true in
+  let tool =
+    {
+      (Pintool.empty ~name:"bbprof") with
+      on_marker = Some (fun _ _ -> gate.g_enabled <- true);
+      on_ins =
+        Some
+          (fun _ pc ins ->
+            if gate_tick gate then begin
+              if !at_boundary then begin
+                (match Hashtbl.find_opt heads pc with
+                | Some r -> incr r
+                | None -> Hashtbl.replace heads pc (ref 1));
+                at_boundary := false
+              end;
+              match Insn.classify ins with
+              | Insn.K_branch | K_call | K_syscall -> at_boundary := true
+              | K_alu | K_load | K_store | K_vector | K_other -> ()
+            end);
+    }
+  in
+  let result () =
+    { bb_blocks = Hashtbl.length heads; bb_hottest = top_n 10 heads }
+  in
+  { tool; result }
+
+(* --- printers -------------------------------------------------------------------- *)
+
+let pp_mix fmt m =
+  Format.fprintf fmt "@[<v>instruction mix over %Ld instructions:@," m.mix_total;
+  List.iter
+    (fun (k, n) ->
+      Format.fprintf fmt "  %-8s %10Ld (%.1f%%)@," k n
+        (100.0 *. Int64.to_float n /. Float.max 1.0 (Int64.to_float m.mix_total)))
+    m.mix_classes;
+  Format.fprintf fmt "@]"
+
+let pp_footprint fmt f =
+  Format.fprintf fmt
+    "@[<v>memory footprint: %d pages, %d cache lines@,\
+     reads: %Ld (%Ld bytes)  writes: %Ld (%Ld bytes)@]"
+    f.fp_pages f.fp_lines f.fp_reads f.fp_bytes_read f.fp_writes f.fp_bytes_written
+
+let pp_branch_profile fmt b =
+  Format.fprintf fmt "@[<v>branches: %Ld executed, %Ld taken (%.1f%%)@,"
+    b.br_executed b.br_taken
+    (100.0 *. Int64.to_float b.br_taken /. Float.max 1.0 (Int64.to_float b.br_executed));
+  List.iter
+    (fun (pc, n) -> Format.fprintf fmt "  0x%Lx: %d@," pc n)
+    b.br_hottest;
+  Format.fprintf fmt "@]"
+
+let pp_block_profile fmt b =
+  Format.fprintf fmt "@[<v>%d basic blocks; hottest:@," b.bb_blocks;
+  List.iter (fun (pc, n) -> Format.fprintf fmt "  0x%Lx: %d@," pc n) b.bb_hottest;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,1 @@
+lib/pinball/pinball.ml: Array Byteio Bytes Elfie_machine Elfie_util Filename Format Int64 List Printf String Sys

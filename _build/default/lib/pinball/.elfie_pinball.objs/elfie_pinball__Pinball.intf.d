@@ -1,0 +1,1 @@
+lib/pinball/pinball.mli: Elfie_machine Format

@@ -1,0 +1,248 @@
+open Elfie_util
+
+type syscall_entry = {
+  sys_nr : int;
+  sys_args : int64 array;
+  sys_path : string option;
+  sys_ret : int64;
+  sys_writes : (int64 * string) list;
+  sys_reexec : bool;
+}
+
+type t = {
+  name : string;
+  fat : bool;
+  contexts : Elfie_machine.Context.t array;
+  pages : (int64 * bytes) list;
+  icounts : int64 array;
+  schedule : (int * int) list;
+  injections : syscall_entry list array;
+  brk : int64;
+  symbols : (string * int64) list;
+}
+
+let num_threads t = Array.length t.contexts
+
+let total_icount t = Array.fold_left Int64.add 0L t.icounts
+
+let image_bytes t =
+  List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 t.pages
+
+(* --- Serialization ------------------------------------------------------ *)
+
+let text_magic = 0x56585054 (* "TPXV" *)
+let global_magic = 0x56584c47
+let inj_magic = 0x56584a49
+let order_magic = 0x5658524f
+
+let write_text t =
+  let w = Byteio.Writer.create ~capacity:(image_bytes t + 64) () in
+  Byteio.Writer.u32 w text_magic;
+  Byteio.Writer.u32 w (List.length t.pages);
+  List.iter
+    (fun (addr, data) ->
+      Byteio.Writer.u64 w addr;
+      Byteio.Writer.u32 w (Bytes.length data);
+      Byteio.Writer.bytes w data)
+    t.pages;
+  Bytes.to_string (Byteio.Writer.contents w)
+
+let read_text s =
+  let r = Byteio.Reader.of_string s in
+  if Byteio.Reader.u32 r <> text_magic then failwith "Pinball: bad .text magic";
+  let n = Byteio.Reader.u32 r in
+  List.init n (fun _ ->
+      let addr = Byteio.Reader.u64 r in
+      let len = Byteio.Reader.u32 r in
+      (addr, Byteio.Reader.bytes r len))
+
+let write_global t =
+  let w = Byteio.Writer.create () in
+  Byteio.Writer.u32 w global_magic;
+  Byteio.Writer.u8 w (if t.fat then 1 else 0);
+  Byteio.Writer.u32 w (Array.length t.contexts);
+  Array.iter (Byteio.Writer.u64 w) t.icounts;
+  Byteio.Writer.u64 w t.brk;
+  Byteio.Writer.u32 w (List.length t.symbols);
+  List.iter
+    (fun (name, value) ->
+      Byteio.Writer.u32 w (String.length name);
+      Byteio.Writer.string w name;
+      Byteio.Writer.u64 w value)
+    t.symbols;
+  Bytes.to_string (Byteio.Writer.contents w)
+
+let read_global s =
+  let r = Byteio.Reader.of_string s in
+  if Byteio.Reader.u32 r <> global_magic then failwith "Pinball: bad .global.log";
+  let fat = Byteio.Reader.u8 r = 1 in
+  let n = Byteio.Reader.u32 r in
+  let icounts = Array.init n (fun _ -> Byteio.Reader.u64 r) in
+  let brk = Byteio.Reader.u64 r in
+  let nsyms = Byteio.Reader.u32 r in
+  let symbols =
+    List.init nsyms (fun _ ->
+        let len = Byteio.Reader.u32 r in
+        let name = Byteio.Reader.string_n r len in
+        (name, Byteio.Reader.u64 r))
+  in
+  (fat, icounts, brk, symbols)
+
+let write_inj t =
+  let w = Byteio.Writer.create () in
+  Byteio.Writer.u32 w inj_magic;
+  Byteio.Writer.u32 w (Array.length t.injections);
+  Array.iter
+    (fun entries ->
+      Byteio.Writer.u32 w (List.length entries);
+      List.iter
+        (fun e ->
+          Byteio.Writer.u32 w e.sys_nr;
+          Array.iter (Byteio.Writer.u64 w) e.sys_args;
+          (match e.sys_path with
+          | Some p ->
+              Byteio.Writer.u32 w (String.length p);
+              Byteio.Writer.string w p
+          | None -> Byteio.Writer.u32 w 0xffff_ffff);
+          Byteio.Writer.u64 w e.sys_ret;
+          Byteio.Writer.u8 w (if e.sys_reexec then 1 else 0);
+          Byteio.Writer.u32 w (List.length e.sys_writes);
+          List.iter
+            (fun (addr, data) ->
+              Byteio.Writer.u64 w addr;
+              Byteio.Writer.u32 w (String.length data);
+              Byteio.Writer.string w data)
+            e.sys_writes)
+        entries)
+    t.injections;
+  Bytes.to_string (Byteio.Writer.contents w)
+
+let read_inj s =
+  let r = Byteio.Reader.of_string s in
+  if Byteio.Reader.u32 r <> inj_magic then failwith "Pinball: bad .inj magic";
+  let threads = Byteio.Reader.u32 r in
+  Array.init threads (fun _ ->
+      let n = Byteio.Reader.u32 r in
+      List.init n (fun _ ->
+          let sys_nr = Byteio.Reader.u32 r in
+          let sys_args = Array.init 6 (fun _ -> Byteio.Reader.u64 r) in
+          let sys_path =
+            let len = Byteio.Reader.u32 r in
+            if len = 0xffff_ffff then None else Some (Byteio.Reader.string_n r len)
+          in
+          let sys_ret = Byteio.Reader.u64 r in
+          let sys_reexec = Byteio.Reader.u8 r = 1 in
+          let nw = Byteio.Reader.u32 r in
+          let sys_writes =
+            List.init nw (fun _ ->
+                let addr = Byteio.Reader.u64 r in
+                let len = Byteio.Reader.u32 r in
+                (addr, Byteio.Reader.string_n r len))
+          in
+          { sys_nr; sys_args; sys_path; sys_ret; sys_writes; sys_reexec }))
+
+let write_order t =
+  let w = Byteio.Writer.create () in
+  Byteio.Writer.u32 w order_magic;
+  Byteio.Writer.u32 w (List.length t.schedule);
+  List.iter
+    (fun (tid, n) ->
+      Byteio.Writer.u32 w tid;
+      Byteio.Writer.u32 w n)
+    t.schedule;
+  Bytes.to_string (Byteio.Writer.contents w)
+
+let read_order s =
+  let r = Byteio.Reader.of_string s in
+  if Byteio.Reader.u32 r <> order_magic then failwith "Pinball: bad .order magic";
+  let n = Byteio.Reader.u32 r in
+  List.init n (fun _ ->
+      let tid = Byteio.Reader.u32 r in
+      (tid, Byteio.Reader.u32 r))
+
+let to_files t =
+  let regs =
+    Array.to_list
+      (Array.mapi
+         (fun i ctx ->
+           (Printf.sprintf "%d.reg" i,
+            Bytes.to_string (Elfie_machine.Context.to_bytes ctx)))
+         t.contexts)
+  in
+  [ ("text", write_text t); ("global.log", write_global t);
+    ("inj", write_inj t); ("order", write_order t) ]
+  @ regs
+
+let of_files ~name files =
+  let get suffix =
+    match List.assoc_opt suffix files with
+    | Some s -> s
+    | None -> failwith (Printf.sprintf "Pinball: missing %s file" suffix)
+  in
+  let fat, icounts, brk, symbols = read_global (get "global.log") in
+  let n = Array.length icounts in
+  let contexts =
+    Array.init n (fun i ->
+        Elfie_machine.Context.of_bytes
+          (Bytes.of_string (get (Printf.sprintf "%d.reg" i))))
+  in
+  {
+    name;
+    fat;
+    contexts;
+    pages = read_text (get "text");
+    icounts;
+    schedule = read_order (get "order");
+    injections = read_inj (get "inj");
+    brk;
+    symbols;
+  }
+
+let save t ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (suffix, content) ->
+      let path = Filename.concat dir (t.name ^ "." ^ suffix) in
+      let oc = open_out_bin path in
+      output_string oc content;
+      close_out oc)
+    (to_files t)
+
+let load ~dir ~name =
+  let read_file suffix =
+    let path = Filename.concat dir (name ^ "." ^ suffix) in
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Some (suffix, s)
+    end
+    else None
+  in
+  let n_threads =
+    match read_file "global.log" with
+    | Some (_, s) ->
+        let _, icounts, _, _ = read_global s in
+        Array.length icounts
+    | None -> failwith ("Pinball.load: no global.log for " ^ name)
+  in
+  let suffixes =
+    [ "text"; "global.log"; "inj"; "order" ]
+    @ List.init n_threads (Printf.sprintf "%d.reg")
+  in
+  of_files ~name (List.filter_map read_file suffixes)
+
+let equal a b =
+  a.fat = b.fat
+  && Array.length a.contexts = Array.length b.contexts
+  && Array.for_all2 Elfie_machine.Context.equal a.contexts b.contexts
+  && List.equal (fun (x, p) (y, q) -> x = y && Bytes.equal p q) a.pages b.pages
+  && a.icounts = b.icounts && a.schedule = b.schedule
+  && a.injections = b.injections && a.brk = b.brk && a.symbols = b.symbols
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "pinball %s: %d thread(s), %d pages (%d bytes), %Ld instructions, %s" t.name
+    (num_threads t) (List.length t.pages) (image_bytes t) (total_icount t)
+    (if t.fat then "fat" else "lean")

@@ -1,0 +1,1 @@
+lib/simpoint/simpoint.ml: Array Elfie_pin Elfie_util Float Format Fun Int64 Kmeans List

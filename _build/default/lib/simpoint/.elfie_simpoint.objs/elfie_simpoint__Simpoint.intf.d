@@ -1,0 +1,1 @@
+lib/simpoint/simpoint.mli: Elfie_pin Format

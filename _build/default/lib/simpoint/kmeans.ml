@@ -1,0 +1,145 @@
+type result = {
+  k : int;
+  assignments : int array;
+  centroids : float array array;
+  inertia : float;
+}
+
+let sq_dist a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+(* k-means++ seeding: each next centre drawn proportionally to squared
+   distance from the nearest already-chosen centre. *)
+let seed_centroids ~rng ~k points =
+  let n = Array.length points in
+  let centroids = Array.make k points.(0) in
+  centroids.(0) <- points.(Elfie_util.Rng.int rng n);
+  let d2 = Array.map (fun p -> sq_dist p centroids.(0)) points in
+  for c = 1 to k - 1 do
+    let total = Array.fold_left ( +. ) 0.0 d2 in
+    let chosen =
+      if total <= 0.0 then Elfie_util.Rng.int rng n
+      else begin
+        let target = Elfie_util.Rng.float rng *. total in
+        let acc = ref 0.0 and pick = ref (n - 1) and found = ref false in
+        Array.iteri
+          (fun i d ->
+            if not !found then begin
+              acc := !acc +. d;
+              if !acc >= target then begin
+                pick := i;
+                found := true
+              end
+            end)
+          d2;
+        !pick
+      end
+    in
+    centroids.(c) <- points.(chosen);
+    Array.iteri
+      (fun i p -> d2.(i) <- Float.min d2.(i) (sq_dist p centroids.(c)))
+      points
+  done;
+  Array.map Array.copy centroids
+
+let cluster ~rng ~k points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans.cluster: no points";
+  if k < 1 then invalid_arg "Kmeans.cluster: k < 1";
+  let k = min k n in
+  let dim = Array.length points.(0) in
+  let centroids = seed_centroids ~rng ~k points in
+  let assignments = Array.make n 0 in
+  let assign () =
+    let changed = ref false in
+    Array.iteri
+      (fun i p ->
+        let best = ref 0 and best_d = ref infinity in
+        for c = 0 to k - 1 do
+          let d = sq_dist p centroids.(c) in
+          if d < !best_d then begin
+            best_d := d;
+            best := c
+          end
+        done;
+        if assignments.(i) <> !best then begin
+          assignments.(i) <- !best;
+          changed := true
+        end)
+      points;
+    !changed
+  in
+  let update () =
+    let sums = Array.make_matrix k dim 0.0 in
+    let counts = Array.make k 0 in
+    Array.iteri
+      (fun i p ->
+        let c = assignments.(i) in
+        counts.(c) <- counts.(c) + 1;
+        for j = 0 to dim - 1 do
+          sums.(c).(j) <- sums.(c).(j) +. p.(j)
+        done)
+      points;
+    for c = 0 to k - 1 do
+      if counts.(c) > 0 then begin
+        for j = 0 to dim - 1 do
+          sums.(c).(j) <- sums.(c).(j) /. float_of_int counts.(c)
+        done;
+        centroids.(c) <- sums.(c)
+      end
+      else
+        (* Re-seed an empty cluster on a random point. *)
+        centroids.(c) <- Array.copy points.(Elfie_util.Rng.int rng n)
+    done
+  in
+  let rec iterate remaining =
+    let changed = assign () in
+    if changed && remaining > 0 then begin
+      update ();
+      iterate (remaining - 1)
+    end
+  in
+  iterate 50;
+  let inertia =
+    let acc = ref 0.0 in
+    Array.iteri (fun i p -> acc := !acc +. sq_dist p centroids.(assignments.(i))) points;
+    !acc
+  in
+  { k; assignments; centroids; inertia }
+
+let bic result points =
+  let n = float_of_int (Array.length points) in
+  let dim = float_of_int (Array.length points.(0)) in
+  let k = float_of_int result.k in
+  (* Spherical-Gaussian likelihood with a per-dimension variance
+     estimate; the n*d factor keeps the fit term commensurate with the
+     k*(d+1) parameter penalty at any dimensionality. *)
+  let variance = Float.max (result.inertia /. (n *. dim)) 1e-9 in
+  let log_likelihood = -0.5 *. n *. dim *. (log variance +. 1.0) in
+  let params = k *. (dim +. 1.0) in
+  log_likelihood -. (0.5 *. params *. log n)
+
+(* SimPoint's model-selection rule: score every k, then take the
+   *smallest* k whose BIC reaches 90% of the observed score range — a
+   plain argmax overfits, since BIC keeps creeping up with k. *)
+let best ~rng ~max_k points =
+  let n = Array.length points in
+  let candidates =
+    List.map
+      (fun k ->
+        let r = cluster ~rng ~k points in
+        (r, bic r points))
+      (List.init (min max_k n) (fun i -> i + 1))
+  in
+  let scores = List.map snd candidates in
+  let bmax = List.fold_left Float.max neg_infinity scores in
+  let bmin = List.fold_left Float.min infinity scores in
+  let threshold = bmin +. (0.9 *. (bmax -. bmin)) in
+  match List.find_opt (fun (_, s) -> s >= threshold) candidates with
+  | Some (r, _) -> r
+  | None -> fst (List.hd candidates)

@@ -1,0 +1,25 @@
+(** k-means clustering with k-means++ seeding and BIC model selection —
+    the SimPoint phase-classification core. *)
+
+type result = {
+  k : int;
+  assignments : int array;  (** cluster index per point *)
+  centroids : float array array;
+  inertia : float;  (** sum of squared distances to assigned centroids *)
+}
+
+(** [cluster ~rng ~k points] runs Lloyd's algorithm on row-major points.
+    Raises [Invalid_argument] on empty input or [k < 1]. *)
+val cluster :
+  rng:Elfie_util.Rng.t -> k:int -> float array array -> result
+
+(** [best ~rng ~max_k points] tries k = 1 .. max_k and picks the
+    smallest k whose BIC score reaches 90% of the observed range —
+    SimPoint's maxK model-selection rule. *)
+val best : rng:Elfie_util.Rng.t -> max_k:int -> float array array -> result
+
+(** Bayesian information criterion of a clustering (higher is better). *)
+val bic : result -> float array array -> float
+
+(** Squared Euclidean distance between equal-length vectors. *)
+val sq_dist : float array -> float array -> float

@@ -1,0 +1,54 @@
+(** SimPoint region selection over BBV profiles.
+
+    Slices' sparse basic-block vectors are normalised, randomly
+    projected to a low dimension, and clustered with k-means (BIC model
+    selection up to [max_k]). Each cluster yields a representative slice
+    (the one nearest the centroid) weighted by cluster population, plus
+    ranked {e alternates} — the second/third-best representatives the
+    paper uses to recover coverage when an ELFie fails to re-execute. *)
+
+type params = {
+  slice_size : int64;
+  warmup : int64;  (** instructions of warmup preceding each slice *)
+  max_k : int;
+  dims : int;  (** random-projection dimensionality (SimPoint uses 15) *)
+  seed : int64;
+}
+
+val default_params : params
+
+(** One selected simulation region: the representative slice plus its
+    warmup prefix. *)
+type region = {
+  cluster : int;
+  slice_index : int;
+  rank : int;  (** 0 = representative, 1+ = alternates *)
+  weight : float;  (** fraction of all slices in this cluster *)
+  start : int64;  (** region start, in program instructions *)
+  length : int64;  (** warmup + slice instructions *)
+  warmup_actual : int64;
+      (** warmup actually available (clipped at program start) *)
+}
+
+type selection = {
+  k : int;
+  regions : region list;  (** rank-0 region per cluster, by cluster id *)
+  alternates : region list array;
+      (** per cluster, regions ranked by distance (rank 0 first) *)
+  num_slices : int;
+  total_instructions : int64;
+  params : params;
+}
+
+(** Random-sign projection of a sparse BBV to [dims] dimensions,
+    normalised by slice length. *)
+val project : dims:int -> Elfie_pin.Bbv.slice -> float array
+
+val select : ?params:params -> Elfie_pin.Bbv.profile -> selection
+
+(** Weighted-sum projection of per-region metric values to a
+    whole-program estimate: [predict sel f] computes
+    [sum_i weight_i * f region_i]. *)
+val predict : selection -> (region -> float) -> float
+
+val pp_selection : Format.formatter -> selection -> unit

@@ -1,0 +1,1 @@
+lib/sniper/sniper.ml: Array Bytes Cache Char Elfie_isa Elfie_kernel Elfie_machine Elfie_pin Elfie_util Float Fs Hashtbl Insn Int64 List Loader Machine Option Vkernel

@@ -1,0 +1,1 @@
+lib/sniper/sniper.mli: Elfie_elf Elfie_kernel Elfie_machine Elfie_pinball

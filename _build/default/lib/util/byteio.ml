@@ -1,0 +1,96 @@
+exception Truncated of string
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 256) () = Buffer.create capacity
+  let length = Buffer.length
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u16 t v =
+    u8 t v;
+    u8 t (v lsr 8)
+
+  let u32 t v =
+    u16 t v;
+    u16 t (v lsr 16)
+
+  let u64 t v = Buffer.add_int64_le t v
+
+  let i32 t v =
+    if v < -0x8000_0000 || v > 0x7fff_ffff then
+      invalid_arg (Printf.sprintf "Byteio.Writer.i32: %d out of range" v);
+    u32 t (v land 0xffff_ffff)
+
+  let bytes t b = Buffer.add_bytes t b
+  let string t s = Buffer.add_string t s
+
+  let zeros t n =
+    for _ = 1 to n do
+      u8 t 0
+    done
+
+  let pad_to t n =
+    let len = length t in
+    if len > n then
+      invalid_arg (Printf.sprintf "Byteio.Writer.pad_to: at %d, past %d" len n);
+    zeros t (n - len)
+
+  let contents t = Buffer.to_bytes t
+end
+
+module Reader = struct
+  type t = { buf : bytes; mutable pos : int }
+
+  let of_bytes buf = { buf; pos = 0 }
+  let of_string s = of_bytes (Bytes.of_string s)
+  let pos t = t.pos
+  let length t = Bytes.length t.buf
+  let remaining t = length t - t.pos
+
+  let check t n what =
+    if t.pos + n > length t then
+      raise
+        (Truncated
+           (Printf.sprintf "%s: need %d bytes at offset %d, have %d" what n
+              t.pos (remaining t)))
+
+  let seek t off =
+    if off < 0 || off > length t then
+      raise (Truncated (Printf.sprintf "seek to %d in buffer of %d" off (length t)));
+    t.pos <- off
+
+  let u8 t =
+    check t 1 "u8";
+    let v = Char.code (Bytes.get t.buf t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let lo = u8 t in
+    let hi = u8 t in
+    lo lor (hi lsl 8)
+
+  let u32 t =
+    let lo = u16 t in
+    let hi = u16 t in
+    lo lor (hi lsl 16)
+
+  let u64 t =
+    check t 8 "u64";
+    let v = Bytes.get_int64_le t.buf t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let i32 t =
+    let v = u32 t in
+    if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+  let bytes t n =
+    check t n "bytes";
+    let b = Bytes.sub t.buf t.pos n in
+    t.pos <- t.pos + n;
+    b
+
+  let string_n t n = Bytes.to_string (bytes t n)
+end

@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let next64 t =
+  let ( +% ) = Int64.add and ( *% ) = Int64.mul in
+  let ( ^> ) v n = Int64.logxor v (Int64.shift_right_logical v n) in
+  t.state <- t.state +% 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = (z ^> 30) *% 0xBF58476D1CE4E5B9L in
+  let z = (z ^> 27) *% 0x94D049BB133111EBL in
+  z ^> 31
+
+let split t = create (next64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Masking to 62 bits keeps the value a non-negative OCaml int. *)
+  let v = Int64.to_int (Int64.logand (next64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+  v mod bound
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

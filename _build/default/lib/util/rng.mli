@@ -1,0 +1,28 @@
+(** Deterministic, seedable pseudo-random number generator (splitmix64).
+
+    Used wherever the system needs controlled non-determinism: the
+    free-run thread scheduler (run-to-run variation of multi-threaded
+    ELFie executions), stack-base randomization in the loader, and
+    k-means initialisation. A given seed always yields the same stream,
+    so every experiment in this repository is reproducible. *)
+
+type t
+
+val create : int64 -> t
+
+(** Independent child generator; advances the parent. *)
+val split : t -> t
+
+val next64 : t -> int64
+
+(** [int t bound] draws uniformly from [0, bound); [bound] must be
+    positive. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Fisher-Yates shuffle, in place. *)
+val shuffle : t -> 'a array -> unit

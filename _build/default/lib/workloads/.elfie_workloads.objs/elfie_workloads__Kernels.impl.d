@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Builder Elfie_isa Insn Int64 Layout List Reg

@@ -1,0 +1,1 @@
+lib/workloads/programs.ml: Abi Builder Bytes Char Elfie_elf Elfie_isa Elfie_kernel Elfie_pin Fs Insn Int64 Kernels Layout List Printf Reg String

@@ -1,0 +1,181 @@
+open Elfie_isa
+open Elfie_isa.Insn
+
+type t = Stream | Chase | Branchy | Alu | Vector | Mixed | Gather | Stencil
+
+let all = [ Stream; Chase; Branchy; Alu; Vector; Mixed; Gather; Stencil ]
+
+let name = function
+  | Stream -> "stream"
+  | Chase -> "chase"
+  | Branchy -> "branchy"
+  | Alu -> "alu"
+  | Vector -> "vector"
+  | Mixed -> "mixed"
+  | Gather -> "gather"
+  | Stencil -> "stencil"
+
+let ins_per_iter = function
+  | Stream -> 7
+  | Chase -> 5
+  | Branchy -> 9
+  | Alu -> 10
+  | Vector -> 8
+  | Mixed -> 10
+  | Gather -> 9
+  | Stencil -> 10
+
+let mov_imm b r v = Builder.ins b (Mov_ri (r, v))
+let slot base index scale = { base = Some base; index = Some index; scale; disp = 0L }
+
+(* Loop skeleton: RCX is the iteration counter. *)
+let loop_over b ~reps body =
+  mov_imm b Reg.RCX (Int64.of_int reps);
+  let head = Builder.here b in
+  body ();
+  Builder.ins b (Alu_ri (Sub, Reg.RCX, 1L));
+  Builder.jcc b Ne head
+
+let emit_gather b ~reps =
+  (* Walk the buffer sequentially, reading an index word and loading
+     through it: two loads per iteration, one regular and one irregular. *)
+  mov_imm b Reg.RDI 0L;
+  loop_over b ~reps (fun () ->
+      Builder.ins b (Load (W64, Reg.RAX, slot Reg.R12 Reg.RDI 1));
+      Builder.ins b (Alu_rr (And, Reg.RAX, Reg.R13));
+      Builder.ins b (Alu_ri (And, Reg.RAX, -8L));
+      Builder.ins b (Load (W64, Reg.RDX, slot Reg.R12 Reg.RAX 1));
+      Builder.ins b (Alu_ri (Add, Reg.RDX, 1L));
+      Builder.ins b (Alu_ri (Add, Reg.RDI, 8L));
+      Builder.ins b (Alu_rr (And, Reg.RDI, Reg.R13)))
+
+let emit_stencil b ~reps =
+  (* 3-point stencil over the whole working set; the +16 neighbour
+     displacement can reach just past the mask, which the buffer's
+     guard page absorbs. *)
+  mov_imm b Reg.RDI 0L;
+  loop_over b ~reps (fun () ->
+      Builder.ins b (Alu_rr (And, Reg.RDI, Reg.R13));
+      Builder.ins b (Load (W64, Reg.RAX, { (slot Reg.R12 Reg.RDI 1) with disp = 8L }));
+      Builder.ins b (Load (W64, Reg.RDX, slot Reg.R12 Reg.RDI 1));
+      Builder.ins b (Alu_rr (Add, Reg.RAX, Reg.RDX));
+      Builder.ins b (Load (W64, Reg.RDX, { (slot Reg.R12 Reg.RDI 1) with disp = 16L }));
+      Builder.ins b (Alu_rr (Add, Reg.RAX, Reg.RDX));
+      Builder.ins b (Shift_ri (Shr, Reg.RAX, 1));
+      Builder.ins b (Store (W64, { (slot Reg.R12 Reg.RDI 1) with disp = 8L }, Reg.RAX));
+      Builder.ins b (Alu_ri (Add, Reg.RDI, 8L)))
+
+let emit b kernel ~reps =
+  match kernel with
+  | Stream ->
+      mov_imm b Reg.RDI 0L;
+      loop_over b ~reps (fun () ->
+          Builder.ins b (Load (W64, Reg.RAX, slot Reg.R12 Reg.RDI 1));
+          Builder.ins b (Alu_ri (Add, Reg.RAX, 3L));
+          Builder.ins b (Store (W64, slot Reg.R12 Reg.RDI 1, Reg.RAX));
+          Builder.ins b (Alu_ri (Add, Reg.RDI, 64L));
+          Builder.ins b (Alu_rr (And, Reg.RDI, Reg.R13)))
+  | Chase ->
+      (* Other phases may scribble over the ring, so the loaded offset is
+         re-masked into the working set (keeps the access dependent). *)
+      mov_imm b Reg.RDI 0L;
+      loop_over b ~reps (fun () ->
+          Builder.ins b (Load (W64, Reg.RDI, slot Reg.R12 Reg.RDI 1));
+          Builder.ins b (Alu_rr (And, Reg.RDI, Reg.R13));
+          Builder.ins b (Alu_ri (And, Reg.RDI, -8L)))
+  | Branchy ->
+      mov_imm b Reg.RDI 88172645463325252L;
+      mov_imm b Reg.R8 6364136223846793005L;
+      loop_over b ~reps (fun () ->
+          Builder.ins b (Alu_rr (Imul, Reg.RDI, Reg.R8));
+          Builder.ins b (Alu_ri (Add, Reg.RDI, 99991L));
+          Builder.ins b (Alu_ri (Test, Reg.RDI, 16L));
+          let skip1 = Builder.new_label b in
+          Builder.jcc b Eq skip1;
+          Builder.ins b (Alu_ri (Add, Reg.R11, 7L));
+          Builder.bind b skip1;
+          Builder.ins b (Alu_ri (Test, Reg.RDI, 32L));
+          let skip2 = Builder.new_label b in
+          Builder.jcc b Eq skip2;
+          Builder.ins b (Alu_ri (Sub, Reg.R11, 3L));
+          Builder.bind b skip2)
+  | Alu ->
+      mov_imm b Reg.RAX 1L;
+      mov_imm b Reg.RDX 3L;
+      loop_over b ~reps (fun () ->
+          Builder.ins b (Alu_rr (Add, Reg.RAX, Reg.RDX));
+          Builder.ins b (Alu_ri (Xor, Reg.RAX, 0x55L));
+          Builder.ins b (Alu_rr (Add, Reg.R8, Reg.RAX));
+          Builder.ins b (Shift_ri (Shl, Reg.R8, 1));
+          Builder.ins b (Alu_rr (Xor, Reg.R8, Reg.RDX));
+          Builder.ins b (Alu_ri (Add, Reg.RDX, 1L));
+          Builder.ins b (Alu_rr (Sub, Reg.RAX, Reg.RDX));
+          Builder.ins b (Neg Reg.RAX))
+  | Vector ->
+      mov_imm b Reg.RDI 0L;
+      loop_over b ~reps (fun () ->
+          Builder.ins b (Vload (1, slot Reg.R12 Reg.RDI 1));
+          Builder.ins b (Vop_rr (Vmul, 1, 2));
+          Builder.ins b (Vop_rr (Vadd, 0, 1));
+          Builder.ins b (Vstore (slot Reg.R12 Reg.RDI 1, 1));
+          Builder.ins b (Alu_ri (Add, Reg.RDI, 16L));
+          Builder.ins b (Alu_rr (And, Reg.RDI, Reg.R13)))
+  | Mixed ->
+      mov_imm b Reg.RDI 0L;
+      loop_over b ~reps (fun () ->
+          Builder.ins b (Load (W64, Reg.RAX, slot Reg.R12 Reg.RDI 1));
+          Builder.ins b (Alu_rr (Add, Reg.RAX, Reg.R8));
+          Builder.ins b (Alu_ri (Test, Reg.RAX, 1L));
+          let skip = Builder.new_label b in
+          Builder.jcc b Eq skip;
+          Builder.ins b (Alu_ri (Add, Reg.R8, 1L));
+          Builder.bind b skip;
+          Builder.ins b (Store (W64, slot Reg.R12 Reg.RDI 1, Reg.RAX));
+          Builder.ins b (Alu_ri (Add, Reg.RDI, 32L));
+          Builder.ins b (Alu_rr (And, Reg.RDI, Reg.R13)))
+  | Gather -> emit_gather b ~reps
+  | Stencil -> emit_stencil b ~reps
+
+(* Build the pointer-permutation ring for Chase: buf[i] = (i*P + 1) mod n,
+   stored as byte offsets. R12/R13 must already hold base and mask. *)
+let emit_chase_ring b =
+  Builder.ins b (Mov_rr (Reg.RCX, Reg.R13));
+  Builder.ins b (Alu_ri (Add, Reg.RCX, 1L));
+  Builder.ins b (Shift_ri (Shr, Reg.RCX, 3));
+  (* R9 = n - 1, the index mask *)
+  Builder.ins b (Mov_rr (Reg.R9, Reg.RCX));
+  Builder.ins b (Alu_ri (Sub, Reg.R9, 1L));
+  mov_imm b Reg.RDI 0L;
+  mov_imm b Reg.RDX 12345L;
+  let head = Builder.here b in
+  Builder.ins b (Mov_rr (Reg.RAX, Reg.RDI));
+  Builder.ins b (Alu_rr (Imul, Reg.RAX, Reg.RDX));
+  Builder.ins b (Alu_ri (Add, Reg.RAX, 1L));
+  Builder.ins b (Alu_rr (And, Reg.RAX, Reg.R9));
+  Builder.ins b (Shift_ri (Shl, Reg.RAX, 3));
+  Builder.ins b (Store (W64, slot Reg.R12 Reg.RDI 8, Reg.RAX));
+  Builder.ins b (Alu_ri (Add, Reg.RDI, 1L));
+  Builder.ins b (Alu_ri (Sub, Reg.RCX, 1L));
+  Builder.jcc b Ne head
+
+(* Stage the vector constants through the scratch area and zero xmm0. *)
+let emit_vector_init b =
+  mov_imm b Reg.RAX (Int64.bits_of_float 1.0000001);
+  Builder.ins b (Store (W64, Insn.mem_abs Layout.vconst_addr, Reg.RAX));
+  Builder.ins b
+    (Store (W64, Insn.mem_abs (Int64.add Layout.vconst_addr 8L), Reg.RAX));
+  Builder.ins b (Vload (2, Insn.mem_abs Layout.vconst_addr));
+  mov_imm b Reg.RAX 0L;
+  Builder.ins b (Store (W64, Insn.mem_abs Layout.vconst_addr, Reg.RAX));
+  Builder.ins b
+    (Store (W64, Insn.mem_abs (Int64.add Layout.vconst_addr 8L), Reg.RAX));
+  Builder.ins b (Vload (0, Insn.mem_abs Layout.vconst_addr))
+
+let emit_init b kernels =
+  if List.mem Chase kernels || List.mem Gather kernels then emit_chase_ring b;
+  if List.mem Vector kernels then emit_vector_init b;
+  if List.mem Branchy kernels || List.mem Mixed kernels || List.mem Alu kernels
+  then begin
+    mov_imm b Reg.R11 0L;
+    mov_imm b Reg.R8 0L
+  end

@@ -1,0 +1,34 @@
+(** Compute kernels for synthetic benchmarks.
+
+    Each kernel is one inner loop with a distinctive microarchitectural
+    signature, so programs mixing them exhibit real program phases:
+    distinguishable basic-block vectors {e and} distinguishable CPI.
+
+    Register conventions (shared with {!Programs}): R12 holds the
+    thread's buffer base, R13 the buffer mask (working set - 1), RBX the
+    thread id, R15 an open input fd; kernels may clobber RAX, RCX, RDX,
+    RDI, RSI, R8-R11 and the flags. *)
+
+type t =
+  | Stream  (** strided load/add/store sweep — bandwidth bound *)
+  | Chase  (** pointer chasing over a permutation ring — latency bound *)
+  | Branchy  (** data-dependent branches on an LCG — mispredict bound *)
+  | Alu  (** dense register arithmetic — high IPC *)
+  | Vector  (** packed-double multiply-add sweep — FP pipeline *)
+  | Mixed  (** interleaved load/ALU/branch — "average" code *)
+  | Gather  (** index-vector-driven irregular loads — scatter/gather codes *)
+  | Stencil  (** 3-point neighbour load/compute/store sweep — PDE kernels *)
+
+val all : t list
+val name : t -> string
+
+(** [emit b k ~reps] appends the kernel's inner loop, executed [reps]
+    times, to the builder. *)
+val emit : Elfie_isa.Builder.t -> t -> reps:int -> unit
+
+(** Instructions per iteration of the kernel's inner loop. *)
+val ins_per_iter : t -> int
+
+(** Emit one-time initialisation (e.g. build the pointer ring for
+    [Chase], load vector constants) for the kernels in use. *)
+val emit_init : Elfie_isa.Builder.t -> t list -> unit

@@ -1,0 +1,19 @@
+(* Fixed virtual-memory layout of generated benchmark programs. *)
+
+let code_base = 0x40_0000L
+
+(* Read/write scratch area: vector-constant staging, timeval buffer. *)
+let scratch_base = 0x60_0000L
+let vconst_addr = scratch_base
+let timeval_addr = Int64.add scratch_base 0x40L
+let read_buf_addr = Int64.add scratch_base 0x80L
+
+(* Spin-barrier words: [count; generation]. *)
+let barrier_addr = Int64.add scratch_base 0x100L
+
+(* One 64 KiB stack per cloned worker thread. *)
+let worker_stack_base = 0x70_0000L
+let worker_stack_bytes = 0x1_0000
+
+(* Per-thread data buffers (working sets), one slice per thread. *)
+let buffer_base = 0x80_0000L

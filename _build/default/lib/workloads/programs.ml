@@ -1,0 +1,227 @@
+open Elfie_isa
+open Elfie_isa.Insn
+open Elfie_kernel
+
+type phase = { kernel : Kernels.t; reps : int }
+
+type spec = {
+  name : string;
+  phases : phase list;
+  outer_reps : int;
+  threads : int;
+  ws_bytes : int;
+  file_io : bool;
+  time_calls : bool;
+  heap_churn : bool;
+  roi_marker : int64 option;
+}
+
+let spec ?(phases = [ { kernel = Kernels.Mixed; reps = 1000 } ]) ?(outer_reps = 10)
+    ?(threads = 1) ?(ws_bytes = 65536) ?(file_io = false) ?(time_calls = false)
+    ?(heap_churn = false) ?roi_marker name =
+  { name; phases; outer_reps; threads; ws_bytes; file_io; time_calls; heap_churn;
+    roi_marker }
+
+let mov_imm b r v = Builder.ins b (Mov_ri (r, v))
+
+let emit_syscall b nr =
+  mov_imm b Reg.RAX (Int64.of_int nr);
+  Builder.ins b Insn.Syscall
+
+(* Centralized sense-reversing spin barrier over two shared words
+   [count; generation]; the paper's OpenMP active-wait analogue. *)
+let emit_barrier b ~threads =
+  let count = Insn.mem_abs Layout.barrier_addr in
+  let gen = Insn.mem_abs (Int64.add Layout.barrier_addr 8L) in
+  Builder.ins b (Load (W64, Reg.R9, gen));
+  let retry = Builder.here b in
+  Builder.ins b (Load (W64, Reg.RAX, count));
+  Builder.ins b (Mov_rr (Reg.R10, Reg.RAX));
+  Builder.ins b (Alu_ri (Add, Reg.R10, 1L));
+  Builder.ins b (Cmpxchg (count, Reg.R10));
+  Builder.jcc b Ne retry;
+  Builder.ins b (Alu_ri (Cmp, Reg.R10, Int64.of_int threads));
+  let wait = Builder.new_label b in
+  let done_ = Builder.new_label b in
+  Builder.jcc b Ne wait;
+  (* Last arriver: reset the count and advance the generation. *)
+  mov_imm b Reg.RAX 0L;
+  Builder.ins b (Store (W64, count, Reg.RAX));
+  Builder.ins b (Mov_rr (Reg.RAX, Reg.R9));
+  Builder.ins b (Alu_ri (Add, Reg.RAX, 1L));
+  Builder.ins b (Store (W64, gen, Reg.RAX));
+  Builder.jmp b done_;
+  Builder.bind b wait;
+  Builder.ins b Insn.Pause;
+  Builder.ins b (Load (W64, Reg.RAX, gen));
+  Builder.ins b (Alu_rr (Cmp, Reg.RAX, Reg.R9));
+  Builder.jcc b Eq wait;
+  Builder.bind b done_
+
+let build_code s =
+  if s.ws_bytes land (s.ws_bytes - 1) <> 0 then
+    invalid_arg "Programs: ws_bytes must be a power of two";
+  if s.threads < 1 then invalid_arg "Programs: threads";
+  let b = Builder.create () in
+  let worker = Builder.new_label ~name:"worker" b in
+  let path_str = Builder.new_label b in
+  let msg_str = Builder.new_label b in
+  let kernels = List.map (fun p -> p.kernel) s.phases in
+  let slice_base i =
+    Int64.add Layout.buffer_base (Int64.of_int (i * s.ws_bytes))
+  in
+  (* ---- _start: process setup on the initial thread ---- *)
+  let start = Builder.here ~name:"_start" b in
+  ignore start;
+  mov_imm b Reg.RBX 0L;
+  mov_imm b Reg.R12 (slice_base 0);
+  mov_imm b Reg.R13 (Int64.of_int (s.ws_bytes - 1));
+  if s.file_io then begin
+    Builder.mov_label b Reg.RDI path_str;
+    mov_imm b Reg.RSI 0L;
+    mov_imm b Reg.RDX 0L;
+    emit_syscall b Abi.sys_open;
+    Builder.ins b (Mov_rr (Reg.R15, Reg.RAX))
+  end;
+  (* Establish a heap: brk(0) then grow by 64 KiB. *)
+  mov_imm b Reg.RDI 0L;
+  emit_syscall b Abi.sys_brk;
+  Builder.ins b (Mov_rr (Reg.RDI, Reg.RAX));
+  Builder.ins b (Alu_ri (Add, Reg.RDI, 0x10000L));
+  emit_syscall b Abi.sys_brk;
+  (* Clone the worker pool; children inherit RBX/R12/R13 set just before. *)
+  for i = 1 to s.threads - 1 do
+    mov_imm b Reg.RBX (Int64.of_int i);
+    mov_imm b Reg.R12 (slice_base i);
+    Builder.mov_label b Reg.RDI worker;
+    mov_imm b Reg.RSI
+      (Int64.add Layout.worker_stack_base
+         (Int64.of_int (((i + 1) * Layout.worker_stack_bytes) - 64)));
+    emit_syscall b Abi.sys_clone
+  done;
+  if s.threads > 1 then begin
+    mov_imm b Reg.RBX 0L;
+    mov_imm b Reg.R12 (slice_base 0)
+  end;
+  (* ---- worker body (thread 0 falls through) ---- *)
+  Builder.bind b worker;
+  Kernels.emit_init b kernels;
+  mov_imm b Reg.R14 (Int64.of_int s.outer_reps);
+  let outer = Builder.here ~name:"outer_loop" b in
+  (match s.roi_marker with
+  | Some payload -> Builder.ins b (Ssc_marker payload)
+  | None -> ());
+  (* Thread-0-only per-iteration system activity. *)
+  if s.file_io || s.time_calls || s.heap_churn then begin
+    let skip_io = Builder.new_label b in
+    Builder.ins b (Alu_ri (Cmp, Reg.RBX, 0L));
+    Builder.jcc b Ne skip_io;
+    if s.file_io then begin
+      Builder.ins b (Mov_rr (Reg.RDI, Reg.R15));
+      mov_imm b Reg.RSI Layout.read_buf_addr;
+      mov_imm b Reg.RDX 64L;
+      emit_syscall b Abi.sys_read
+    end;
+    if s.time_calls then begin
+      mov_imm b Reg.RDI Layout.timeval_addr;
+      mov_imm b Reg.RSI 0L;
+      emit_syscall b Abi.sys_gettimeofday
+    end;
+    if s.heap_churn then begin
+      mov_imm b Reg.RDI 0L;
+      emit_syscall b Abi.sys_brk;
+      Builder.ins b (Mov_rr (Reg.RDI, Reg.RAX));
+      Builder.ins b (Alu_ri (Add, Reg.RDI, 4096L));
+      emit_syscall b Abi.sys_brk
+    end;
+    Builder.bind b skip_io
+  end;
+  List.iteri
+    (fun i p ->
+      let l = Builder.here ~name:(Printf.sprintf "phase_%d_%s" i (Kernels.name p.kernel)) b in
+      ignore l;
+      Kernels.emit b p.kernel ~reps:p.reps)
+    s.phases;
+  if s.threads > 1 then begin
+    (* Named so analyses can exclude spin-wait code (e.g. when picking a
+       region-end PC "outside any spin-loops", Section IV-B). *)
+    ignore (Builder.here ~name:"barrier_begin" b);
+    emit_barrier b ~threads:s.threads;
+    ignore (Builder.here ~name:"barrier_end" b)
+  end;
+  Builder.ins b (Alu_ri (Sub, Reg.R14, 1L));
+  Builder.jcc b Ne outer;
+  (* ---- termination ---- *)
+  let worker_exit = Builder.new_label b in
+  Builder.ins b (Alu_ri (Cmp, Reg.RBX, 0L));
+  Builder.jcc b Ne worker_exit;
+  mov_imm b Reg.RDI 1L;
+  Builder.mov_label b Reg.RSI msg_str;
+  mov_imm b Reg.RDX 5L;
+  emit_syscall b Abi.sys_write;
+  mov_imm b Reg.RDI 0L;
+  emit_syscall b Abi.sys_exit_group;
+  Builder.bind b worker_exit;
+  mov_imm b Reg.RDI 0L;
+  emit_syscall b Abi.sys_exit;
+  (* ---- embedded strings ---- *)
+  Builder.align b 8;
+  Builder.bind b path_str;
+  Builder.raw b (Bytes.of_string "input.dat\000");
+  Builder.bind b msg_str;
+  Builder.raw b (Bytes.of_string "done\n");
+  Builder.assemble b ~base:Layout.code_base
+
+let image s =
+  let prog = build_code s in
+  let code =
+    Elfie_elf.Image.section ~executable:true ~name:".text" ~addr:Layout.code_base
+      prog.Builder.code
+  in
+  let scratch =
+    Elfie_elf.Image.section ~writable:true ~name:".data.scratch"
+      ~addr:Layout.scratch_base
+      (Bytes.make 4096 '\000')
+  in
+  let buffers =
+    (* One guard page past the end: the stencil kernel's +16 neighbour
+       displacement may reach just past the masked working set. *)
+    Elfie_elf.Image.section ~writable:true ~name:".bss.buffers"
+      ~addr:Layout.buffer_base
+      (Bytes.make ((s.threads * s.ws_bytes) + 4096) '\000')
+  in
+  let stacks =
+    if s.threads > 1 then
+      [ Elfie_elf.Image.section ~writable:true ~name:".bss.stacks"
+          ~addr:Layout.worker_stack_base
+          (Bytes.make (s.threads * Layout.worker_stack_bytes) '\000') ]
+    else []
+  in
+  let symbols =
+    List.map
+      (fun (name, value) -> { Elfie_elf.Image.sym_name = name; value; func = true })
+      prog.Builder.symbols
+  in
+  {
+    Elfie_elf.Image.exec = true;
+    entry = Layout.code_base;
+    sections = [ code; scratch; buffers ] @ stacks;
+    symbols;
+  }
+
+let input_file_content =
+  String.init 65536 (fun i -> Char.chr (((i * 31) + 7) land 0xff))
+
+let run_spec ?(seed = 42L) s =
+  let fs_init fs =
+    if s.file_io then Fs.add_file fs ~path:"/input.dat" input_file_content
+  in
+  Elfie_pin.Run.spec ~argv:[ s.name ] ~fs_init ~seed (image s)
+
+let approx_instructions s =
+  let per_outer =
+    List.fold_left
+      (fun acc p -> acc + (p.reps * Kernels.ins_per_iter p.kernel) + 4)
+      8 s.phases
+  in
+  Int64.of_int (s.threads * s.outer_reps * per_outer)

@@ -1,0 +1,54 @@
+(** Synthetic benchmark program generator.
+
+    A {!spec} describes a phase-structured program: a sequence of
+    compute-kernel phases repeated [outer_reps] times, optionally with
+    file input, [gettimeofday] calls and heap growth per iteration (the
+    system-call behaviours the SYSSTATE machinery exists for), and an
+    OpenMP-style pool of [threads] spin-barrier-synchronised workers
+    (the paper's "active wait policy").
+
+    The generated binary is a genuine VX86 ELF executable, loadable by
+    the Vkernel loader, instrumentable with Vpin, checkpointable with
+    the logger — the stand-in for a SPEC benchmark build. *)
+
+type phase = { kernel : Kernels.t; reps : int }
+
+type spec = {
+  name : string;
+  phases : phase list;
+  outer_reps : int;
+  threads : int;
+  ws_bytes : int;  (** per-thread working set; must be a power of two *)
+  file_io : bool;  (** read [input.dat] each outer iteration (thread 0) *)
+  time_calls : bool;  (** call [gettimeofday] each outer iteration *)
+  heap_churn : bool;  (** grow the heap with [brk] each outer iteration *)
+  roi_marker : int64 option;
+      (** emit an SSC marker with this payload at the top of every outer
+          iteration — an application-defined region-of-interest trigger
+          for marker-delimited capture *)
+}
+
+val spec :
+  ?phases:phase list ->
+  ?outer_reps:int ->
+  ?threads:int ->
+  ?ws_bytes:int ->
+  ?file_io:bool ->
+  ?time_calls:bool ->
+  ?heap_churn:bool ->
+  ?roi_marker:int64 ->
+  string ->
+  spec
+
+(** Build the ELF image. Raises [Invalid_argument] on a bad spec. *)
+val image : spec -> Elfie_elf.Image.t
+
+(** A ready-to-run {!Elfie_pin.Run.spec}, with [input.dat] installed
+    when the program reads it. *)
+val run_spec : ?seed:int64 -> spec -> Elfie_pin.Run.spec
+
+(** Rough dynamic instruction count, for choosing region parameters. *)
+val approx_instructions : spec -> int64
+
+(** Contents of the [input.dat] file read by [file_io] programs. *)
+val input_file_content : string

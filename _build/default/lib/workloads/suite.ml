@@ -1,0 +1,160 @@
+type benchmark = { bname : string; spec : Programs.spec }
+
+open Kernels
+
+(* reps so that one phase retires roughly [ins] instructions *)
+let ph kernel ins = { Programs.kernel; reps = ins / ins_per_iter kernel }
+
+let mk ?(outer = 6) ?(threads = 1) ?(ws = 65536) ?(file_io = false)
+    ?(time_calls = false) ?(heap_churn = false) bname phases =
+  {
+    bname;
+    spec =
+      Programs.spec ~phases ~outer_reps:outer ~threads ~ws_bytes:ws ~file_io
+        ~time_calls ~heap_churn bname;
+  }
+
+(* --- SPEC CPU2017 intrate stand-ins -------------------------------------- *)
+
+let int_program ~scale ~outer name =
+  let p k i = ph k (i * scale) in
+  match name with
+  | "500.perlbench_r" ->
+      mk ~outer ~ws:32768 ~file_io:true name
+        [ p Branchy 70_000; p Mixed 80_000; p Alu 60_000 ]
+  | "502.gcc_r" ->
+      (* Notoriously hard to represent, as in the paper. 2 MiB working set: one stream traversal is ~229 k instructions,
+         so a 200 k warmup leaves the measured slice's lines cold in the
+         LLC while a 300 k warmup covers a full traversal — the Table II
+         sensitivity. The long dominant stream phase keeps most of its
+         slices a full traversal away from the preceding (memory-silent)
+         phases, so the cluster representative is warmup-sensitive. *)
+      ignore outer;
+      ignore p;
+      let q = ph in
+      mk ~outer:5 ~ws:2_097_152 ~file_io:true ~heap_churn:true name
+        [ q Alu 80_000; q Branchy 80_000; q Stream 1_000_000; q Branchy 60_000 ]
+  | "505.mcf_r" ->
+      (* Chase ring sized so one traversal (~40 k instructions) fits
+         inside the warmup; larger rings can never be warmed by a
+         bounded warmup prefix. *)
+      mk ~outer ~ws:65536 name [ p Chase 120_000; p Mixed 50_000 ]
+  | "520.omnetpp_r" ->
+      mk ~outer ~ws:65536 ~time_calls:true name
+        [ p Chase 80_000; p Branchy 70_000 ]
+  | "523.xalancbmk_r" ->
+      mk ~outer ~ws:65536 ~heap_churn:true name
+        [ p Mixed 80_000; p Branchy 60_000; p Chase 40_000 ]
+  | "525.x264_r" ->
+      mk ~outer ~ws:65536 name
+        [ p Vector 90_000; p Stream 70_000; p Mixed 50_000 ]
+  | "531.deepsjeng_r" ->
+      mk ~outer ~ws:32768 name [ p Branchy 90_000; p Alu 70_000 ]
+  | "541.leela_r" ->
+      mk ~outer ~ws:32768 name [ p Branchy 80_000; p Mixed 70_000 ]
+  | "548.exchange2_r" ->
+      mk ~outer ~ws:16384 name [ p Alu 100_000; p Branchy 60_000 ]
+  | "557.xz_r" ->
+      mk ~outer ~ws:131072 ~file_io:true name
+        [ p Stream 80_000; p Branchy 70_000; p Mixed 50_000 ]
+  | _ -> invalid_arg ("Suite.int_program: " ^ name)
+
+let int_names =
+  [ "500.perlbench_r"; "502.gcc_r"; "505.mcf_r"; "520.omnetpp_r";
+    "523.xalancbmk_r"; "525.x264_r"; "531.deepsjeng_r"; "541.leela_r";
+    "548.exchange2_r"; "557.xz_r" ]
+
+let spec2017_int_train = List.map (int_program ~scale:4 ~outer:4) int_names
+let spec2017_int_ref = List.map (int_program ~scale:4 ~outer:6) int_names
+
+(* --- SPEC CPU2017 fprate stand-ins ---------------------------------------- *)
+
+let fp_program ~scale ~outer name =
+  let p k i = ph k (i * scale) in
+  match name with
+  | "503.bwaves_r" ->
+      mk ~outer ~ws:262144 name [ p Vector 100_000; p Stream 80_000 ]
+  | "519.lbm_r" ->
+      mk ~outer ~ws:262144 name [ p Stream 120_000; p Vector 60_000 ]
+  | "538.imagick_r" ->
+      mk ~outer ~ws:65536 name [ p Vector 90_000; p Branchy 50_000; p Mixed 40_000 ]
+  | "544.nab_r" ->
+      mk ~outer ~ws:65536 name [ p Gather 80_000; p Vector 70_000 ]
+  | "549.fotonik3d_r" ->
+      mk ~outer ~ws:131072 name [ p Stencil 90_000; p Vector 80_000 ]
+  | "554.roms_r" ->
+      mk ~outer ~ws:131072 name [ p Stream 80_000; p Stencil 60_000; p Vector 50_000 ]
+  | _ -> invalid_arg ("Suite.fp_program: " ^ name)
+
+let fp_names =
+  [ "503.bwaves_r"; "519.lbm_r"; "538.imagick_r"; "544.nab_r";
+    "549.fotonik3d_r"; "554.roms_r" ]
+
+let spec2017_fp_ref = List.map (fp_program ~scale:4 ~outer:5) fp_names
+
+(* --- SPEC CPU2017 speed / OpenMP stand-ins (8 threads, active wait) ------- *)
+
+let speed_mt name =
+  let p = ph in
+  match name with
+  | "603.bwaves_s" ->
+      mk ~outer:5 ~threads:8 ~ws:65536 name [ p Vector 30_000; p Stream 25_000 ]
+  | "619.lbm_s" ->
+      mk ~outer:5 ~threads:8 ~ws:131072 name [ p Stream 40_000; p Vector 20_000 ]
+  | "638.imagick_s" ->
+      mk ~outer:5 ~threads:8 ~ws:32768 name [ p Vector 30_000; p Mixed 25_000 ]
+  | "644.nab_s" ->
+      mk ~outer:5 ~threads:8 ~ws:32768 name [ p Gather 25_000; p Alu 25_000 ]
+  | "649.fotonik3d_s" ->
+      mk ~outer:5 ~threads:8 ~ws:65536 name [ p Stencil 30_000; p Vector 25_000 ]
+  | "654.roms_s" ->
+      mk ~outer:5 ~threads:8 ~ws:65536 name [ p Stream 25_000; p Stencil 25_000 ]
+  | "657.xz_s.1" ->
+      (* Single-threaded, as in Fig. 11. *)
+      mk ~outer:5 ~threads:1 ~ws:131072 name [ p Stream 150_000; p Branchy 120_000 ]
+  | _ -> invalid_arg ("Suite.speed_mt: " ^ name)
+
+let spec2017_speed_mt =
+  List.map speed_mt
+    [ "603.bwaves_s"; "619.lbm_s"; "638.imagick_s"; "644.nab_s";
+      "649.fotonik3d_s"; "654.roms_s"; "657.xz_s.1" ]
+
+(* --- SPEC CPU2006 stand-ins (Table V) -------------------------------------- *)
+
+let cpu2006 name =
+  let p = ph in
+  match name with
+  | "400.perlbench" -> mk ~outer:4 ~ws:32768 name [ p Branchy 60_000; p Mixed 50_000 ]
+  | "401.bzip2" -> mk ~outer:4 ~ws:65536 name [ p Stream 60_000; p Branchy 50_000 ]
+  | "403.gcc" ->
+      mk ~outer:4 ~ws:131072 name [ p Alu 40_000; p Chase 40_000; p Branchy 40_000 ]
+  | "429.mcf" -> mk ~outer:4 ~ws:262144 name [ p Chase 90_000; p Mixed 30_000 ]
+  | "445.gobmk" -> mk ~outer:4 ~ws:32768 name [ p Branchy 70_000; p Alu 40_000 ]
+  | "456.hmmer" -> mk ~outer:4 ~ws:32768 name [ p Alu 70_000; p Stream 40_000 ]
+  | "458.sjeng" -> mk ~outer:4 ~ws:32768 name [ p Branchy 80_000; p Mixed 30_000 ]
+  | "462.libquantum" -> mk ~outer:4 ~ws:262144 name [ p Stream 90_000; p Alu 30_000 ]
+  | "464.h264ref" -> mk ~outer:4 ~ws:65536 name [ p Vector 60_000; p Mixed 50_000 ]
+  | "471.omnetpp" -> mk ~outer:4 ~ws:131072 name [ p Chase 60_000; p Branchy 50_000 ]
+  | "473.astar" -> mk ~outer:4 ~ws:131072 name [ p Chase 60_000; p Mixed 50_000 ]
+  | "483.xalancbmk" -> mk ~outer:4 ~ws:65536 name [ p Mixed 60_000; p Branchy 50_000 ]
+  | "410.bwaves" -> mk ~outer:4 ~ws:262144 name [ p Vector 70_000; p Stream 40_000 ]
+  | "433.milc" -> mk ~outer:4 ~ws:262144 name [ p Vector 60_000; p Gather 50_000 ]
+  | "444.namd" -> mk ~outer:4 ~ws:32768 name [ p Vector 70_000; p Alu 40_000 ]
+  | "447.dealII" -> mk ~outer:4 ~ws:65536 name [ p Vector 50_000; p Chase 50_000 ]
+  | "450.soplex" -> mk ~outer:4 ~ws:131072 name [ p Stencil 50_000; p Chase 50_000 ]
+  | "453.povray" -> mk ~outer:4 ~ws:32768 name [ p Vector 50_000; p Branchy 50_000 ]
+  | "470.lbm" -> mk ~outer:4 ~ws:262144 name [ p Stream 90_000; p Vector 30_000 ]
+  | _ -> invalid_arg ("Suite.cpu2006: " ^ name)
+
+let spec2006 =
+  List.map cpu2006
+    [ "400.perlbench"; "401.bzip2"; "403.gcc"; "429.mcf"; "445.gobmk";
+      "456.hmmer"; "458.sjeng"; "462.libquantum"; "464.h264ref"; "471.omnetpp";
+      "473.astar"; "483.xalancbmk"; "410.bwaves"; "433.milc"; "444.namd";
+      "447.dealII"; "450.soplex"; "453.povray"; "470.lbm" ]
+
+let all =
+  spec2017_int_train @ spec2017_int_ref @ spec2017_fp_ref @ spec2017_speed_mt
+  @ spec2006
+
+let find name = List.find_opt (fun b -> b.bname = name) all

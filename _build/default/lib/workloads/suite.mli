@@ -1,0 +1,31 @@
+(** The benchmark suite: named stand-ins for the SPEC programs the paper
+    evaluates.
+
+    Every entry is a {!Programs.spec} whose phase mixture gives it a
+    microarchitectural personality loosely matching its namesake
+    (pointer-chasing [mcf], vectorised [x264]/fp codes, branch-heavy
+    game engines, the notoriously phase-diverse [gcc], ...). Instruction
+    counts are scaled ~10⁴× down from SPEC so whole-program runs finish
+    in seconds while keeping the paper's
+    [slice ≪ warmup ≪ program] ratios. *)
+
+type benchmark = { bname : string; spec : Programs.spec }
+
+(** SPEC CPU2017 intrate stand-ins, train-sized (Fig. 9, Table II). *)
+val spec2017_int_train : benchmark list
+
+(** SPEC CPU2017 intrate stand-ins, ref-sized (Fig. 10, Table III). *)
+val spec2017_int_ref : benchmark list
+
+(** SPEC CPU2017 fprate stand-ins, ref-sized (Fig. 10, Table III). *)
+val spec2017_fp_ref : benchmark list
+
+(** SPEC CPU2017 speed/OpenMP stand-ins, 8 threads with active-wait spin
+    barriers; [657.xz_s] is single-threaded as in Fig. 11. *)
+val spec2017_speed_mt : benchmark list
+
+(** Nineteen SPEC CPU2006 stand-ins (Table V). *)
+val spec2006 : benchmark list
+
+val find : string -> benchmark option
+val all : benchmark list

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Builder Bytes Codec Elfie_asm Elfie_isa Elfie_machine Format Insn Int64 List Option Printf QCheck QCheck_alcotest Reg String Tutil

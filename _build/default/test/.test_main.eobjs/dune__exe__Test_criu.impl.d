@@ -1,0 +1,1 @@
+test/test_criu.ml: Alcotest Array Bytes Elfie_core Elfie_criu Elfie_elf Elfie_kernel Elfie_machine Elfie_pin Int64 List Tutil

@@ -1,0 +1,1 @@
+test/test_debug.ml: Alcotest Array Elfie_core Elfie_debug Elfie_isa Elfie_machine Elfie_pin Elfie_pinball Format List Option Tutil

@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Bytes Char Elfie_elf Image Int64 List Printf QCheck QCheck_alcotest Tutil

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Elfie_harness Elfie_perf Elfie_simpoint Elfie_workloads List Option String Tutil

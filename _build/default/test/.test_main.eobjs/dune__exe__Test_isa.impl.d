@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Builder Bytes Codec Elfie_isa Elfie_util Insn Int64 List Option QCheck QCheck_alcotest Reg Tutil

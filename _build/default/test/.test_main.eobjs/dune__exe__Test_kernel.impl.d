@@ -1,0 +1,1 @@
+test/test_kernel.ml: Abi Alcotest Builder Bytes Elfie_elf Elfie_isa Elfie_kernel Elfie_machine Format Fs Int64 List Loader Reg String Tutil Vkernel

@@ -1,0 +1,1 @@
+test/test_machine.ml: Addr_space Alcotest Array Builder Bytes Cache Char Context Elfie_isa Elfie_machine Insn Int64 List Machine QCheck QCheck_alcotest Reg String Timing Tutil

@@ -1,0 +1,1 @@
+test/test_pinball.ml: Alcotest Array Bytes Elfie_isa Elfie_machine Elfie_pinball Filename Int64 List Pinball Printf QCheck QCheck_alcotest Sys Tutil

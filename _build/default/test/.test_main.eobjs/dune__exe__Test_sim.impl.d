@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Elfie_core Elfie_coresim Elfie_gem5 Elfie_machine Elfie_pin Elfie_pinball Elfie_sniper Elfie_workloads Int64 Option Seq Tutil

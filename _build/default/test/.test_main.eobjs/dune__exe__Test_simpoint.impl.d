@@ -1,0 +1,1 @@
+test/test_simpoint.ml: Alcotest Array Elfie_pin Elfie_simpoint Elfie_util Float Fun Int64 List QCheck QCheck_alcotest Tutil

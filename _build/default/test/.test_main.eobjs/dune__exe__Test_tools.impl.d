@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Elfie_core Elfie_kernel Elfie_machine Elfie_pin Elfie_pinball Int64 List Tutil

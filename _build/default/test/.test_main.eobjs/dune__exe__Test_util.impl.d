@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Byteio Bytes Elfie_util Fun QCheck QCheck_alcotest Rng Tutil

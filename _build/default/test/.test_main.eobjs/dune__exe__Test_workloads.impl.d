@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Elfie_pin Elfie_workloads Float Int64 Kernels List Programs Suite Tutil

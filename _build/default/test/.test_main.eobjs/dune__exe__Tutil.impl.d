@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Builder Bytes Elfie_elf Elfie_isa Elfie_kernel Elfie_machine Elfie_pin Elfie_workloads Insn Int64 List Reg

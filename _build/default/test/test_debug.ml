@@ -1,0 +1,143 @@
+(* Tests for the Vgdb debugger, exercising the paper's recommended ELFie
+   debugging workflow. *)
+
+module Debugger = Elfie_debug.Debugger
+module Pinball2elf = Elfie_core.Pinball2elf
+
+let elfie () =
+  let pb = Tutil.tiny_pinball ~file_io:true "dbg" in
+  let ss = Elfie_pin.Sysstate.analyze pb in
+  let image =
+    Pinball2elf.convert
+      ~options:{ Pinball2elf.default_options with sysstate = Some ss }
+      pb
+  in
+  (pb, image, fun fs -> Elfie_pin.Sysstate.install ss fs ~workdir:"/work")
+
+let launch () =
+  let pb, image, fs_init = elfie () in
+  (pb, Debugger.launch ~fs_init ~cwd:"/work" image)
+
+let test_break_on_elfie_on_start () =
+  let _, dbg = launch () in
+  (match Debugger.break_symbol dbg "elfie_on_start" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Debugger.continue_ dbg with
+  | Debugger.Breakpoint { tid = 0; addr } ->
+      Alcotest.(check (option string))
+        "symbolized" (Some "elfie_on_start")
+        (Option.map fst (Debugger.symbol_near dbg addr));
+      (* At elfie_on_start all application pages are mapped (the paper's
+         guarantee): the app code page is readable. *)
+      Alcotest.(check bool) "app text mapped" true
+        (Debugger.read_mem dbg 0x40_0000L 16 <> None)
+  | other ->
+      Alcotest.failf "unexpected stop: %s" (Format.asprintf "%a" Debugger.pp_stop other)
+
+let test_break_on_application_symbol () =
+  (* Symbolic debugging of application code via pass-through symbols. *)
+  let _, dbg = launch () in
+  (match Debugger.break_symbol dbg "outer_loop" with
+  | Ok addr -> Alcotest.(check bool) "app address" true (addr >= 0x40_0000L)
+  | Error e -> Alcotest.fail e);
+  match Debugger.continue_ dbg with
+  | Debugger.Breakpoint { addr; _ } ->
+      Alcotest.(check (option string))
+        "stopped at app symbol" (Some "outer_loop")
+        (Option.map fst (Debugger.symbol_near dbg addr))
+  | other ->
+      Alcotest.failf "unexpected stop: %s" (Format.asprintf "%a" Debugger.pp_stop other)
+
+let test_step_advances_one_instruction () =
+  let _, dbg = launch () in
+  let rip tid = (Debugger.registers dbg ~tid).Elfie_machine.Context.rip in
+  let r0 = rip 0 in
+  (match Debugger.step ~tid:0 dbg with
+  | Debugger.Step_done 0 -> ()
+  | other -> Alcotest.failf "step: %s" (Format.asprintf "%a" Debugger.pp_stop other));
+  Alcotest.(check bool) "rip advanced" true (rip 0 <> r0)
+
+let test_disassemble_at_entry () =
+  let _, dbg = launch () in
+  let entry = (Debugger.registers dbg ~tid:0).Elfie_machine.Context.rip in
+  let listing = Debugger.disassemble dbg ~addr:entry ~count:5 in
+  Alcotest.(check int) "five instructions" 5 (List.length listing);
+  Alcotest.(check bool) "addresses ascend" true
+    (let addrs = List.map fst listing in
+     List.sort compare addrs = addrs)
+
+let test_run_to_exit () =
+  let _, dbg = launch () in
+  match Debugger.continue_ dbg with
+  | Debugger.All_exited ->
+      List.iter
+        (fun (_, state, _) ->
+          Alcotest.(check string) "clean exit" "exited 0" state)
+        (Debugger.thread_summary dbg)
+  | other ->
+      Alcotest.failf "expected exit, got %s" (Format.asprintf "%a" Debugger.pp_stop other)
+
+let test_budget () =
+  let _, dbg = launch () in
+  match Debugger.continue_ ~budget:100L dbg with
+  | Debugger.Budget_exhausted -> ()
+  | other -> Alcotest.failf "expected budget stop, got %s" (Format.asprintf "%a" Debugger.pp_stop other)
+
+let test_clear_breakpoint () =
+  let _, dbg = launch () in
+  (match Debugger.break_symbol dbg "thread_init" with
+  | Ok addr ->
+      Alcotest.(check int) "one bp" 1 (List.length (Debugger.breakpoints dbg));
+      Debugger.clear_at dbg addr
+  | Error e -> Alcotest.fail e);
+  match Debugger.continue_ dbg with
+  | Debugger.All_exited -> ()
+  | other -> Alcotest.failf "bp not cleared: %s" (Format.asprintf "%a" Debugger.pp_stop other)
+
+let test_unknown_symbol () =
+  let _, dbg = launch () in
+  match Debugger.break_symbol dbg "no_such_fn" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_registers_at_app_entry () =
+  (* Break at the thread entry's landing point (the checkpointed RIP) and
+     compare every GPR with the pinball's context: the startup code must
+     have restored the full register state. *)
+  let pb, dbg = launch () in
+  let ctx0 = pb.Elfie_pinball.Pinball.contexts.(0) in
+  Debugger.break_at dbg ctx0.Elfie_machine.Context.rip;
+  match Debugger.continue_ dbg with
+  | Debugger.Breakpoint { tid; addr } ->
+      Alcotest.check Tutil.i64 "at checkpointed rip" ctx0.Elfie_machine.Context.rip addr;
+      let regs = Debugger.registers dbg ~tid in
+      List.iter
+        (fun r ->
+          Alcotest.check Tutil.i64
+            (Elfie_isa.Reg.gpr_name r)
+            (Elfie_machine.Context.get ctx0 r)
+            (Elfie_machine.Context.get regs r))
+        Elfie_isa.Reg.all_gprs;
+      Alcotest.check Tutil.i64 "fs_base" ctx0.Elfie_machine.Context.fs_base
+        regs.Elfie_machine.Context.fs_base;
+      Alcotest.(check bytes) "xmm state"
+        (Elfie_machine.Context.xsave ctx0)
+        (Elfie_machine.Context.xsave regs)
+  | other ->
+      Alcotest.failf "unexpected stop: %s" (Format.asprintf "%a" Debugger.pp_stop other)
+
+let suite =
+  [
+    Alcotest.test_case "break on elfie_on_start" `Quick test_break_on_elfie_on_start;
+    Alcotest.test_case "break on application symbol" `Quick
+      test_break_on_application_symbol;
+    Alcotest.test_case "step" `Quick test_step_advances_one_instruction;
+    Alcotest.test_case "disassemble" `Quick test_disassemble_at_entry;
+    Alcotest.test_case "run to exit" `Quick test_run_to_exit;
+    Alcotest.test_case "budget" `Quick test_budget;
+    Alcotest.test_case "clear breakpoint" `Quick test_clear_breakpoint;
+    Alcotest.test_case "unknown symbol" `Quick test_unknown_symbol;
+    Alcotest.test_case "registers restored at app entry" `Quick
+      test_registers_at_app_entry;
+  ]

@@ -1,0 +1,101 @@
+(* Tests for the experiment harness: rendering, the registry, statistics
+   helpers and the validation pipeline. *)
+
+module Perf = Elfie_perf.Perf
+module Render = Elfie_harness.Render
+module Pipeline = Elfie_harness.Pipeline
+
+let test_table_alignment () =
+  let t = Render.table ~header:[ "a"; "bb" ] [ [ "xxx"; "y" ]; [ "z" ] ] in
+  let lines = String.split_on_char '\n' t in
+  Alcotest.(check int) "header+rule+2 rows (+nl)" 5 (List.length lines);
+  let widths = List.map String.length (List.filteri (fun i _ -> i < 4) lines) in
+  match widths with
+  | [ w1; w2; w3; w4 ] ->
+      Alcotest.(check bool) "aligned" true (w1 = w2 && w2 = w3 && w3 >= w4)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_bars_scaling () =
+  let out =
+    Render.bars ~title:"t" [ ("a", [ ("s", 1.0) ]); ("b", [ ("s", 2.0) ]) ]
+  in
+  Alcotest.(check bool) "contains hashes" true (String.contains out '#');
+  Alcotest.(check bool) "contains values" true
+    (String.length out > 0 && String.contains out '2')
+
+let test_pct () = Alcotest.(check string) "pct" "12.5%" (Render.pct 0.125)
+
+let test_registry_complete () =
+  let ids = Elfie_harness.Registry.ids in
+  List.iter
+    (fun id -> Alcotest.(check bool) id true (List.mem id ids))
+    [ "table1"; "table2"; "table3"; "table4"; "table5"; "fig9"; "fig10"; "fig11" ];
+  Alcotest.(check int) "no duplicates" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  Alcotest.(check bool) "find works" true
+    (Elfie_harness.Registry.find "fig9" <> None);
+  Alcotest.(check bool) "unknown id" true (Elfie_harness.Registry.find "fig99" = None)
+
+let test_perf_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Perf.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev" 1.0 (Perf.stddev [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "singleton stddev" 0.0 (Perf.stddev [ 5.0 ]);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Perf.mean [])
+
+let test_perf_whole_program () =
+  let s = Perf.whole_program ~trials:2 (Tutil.tiny_run_spec "perfwp") in
+  Alcotest.(check int) "no failures" 0 s.Perf.failures;
+  Alcotest.(check bool) "cpi positive" true (s.Perf.mean_cpi > 0.0);
+  (* Two trials with different timer seeds: nonzero spread. *)
+  Alcotest.(check bool) "spread" true (s.Perf.stddev_cpi > 0.0)
+
+let test_pipeline_validate_small () =
+  let b = { Elfie_workloads.Suite.bname = "tinyval"; spec = Tutil.tiny_spec "tinyval" } in
+  let params =
+    { Elfie_simpoint.Simpoint.default_params with
+      slice_size = 10_000L; warmup = 20_000L; max_k = 6 }
+  in
+  let v = Pipeline.validate ~params ~trials:2 b in
+  Alcotest.(check bool) "covered" true (v.Pipeline.coverage > 0.5);
+  Alcotest.(check bool) "prediction sane" true
+    (v.Pipeline.elfie_pred_cpi > 0.0 && v.Pipeline.elfie_error < 1.0);
+  Alcotest.(check bool) "regions reported" true (v.Pipeline.regions <> [])
+
+let test_make_region_elfie_none_past_end () =
+  let rs = Tutil.tiny_run_spec "prv" in
+  Alcotest.(check bool) "unreachable region" true
+    (Pipeline.make_region_elfie rs ~name:"x" ~warmup:0L ~start:99_000_000L
+       ~length:1_000L
+    = None)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_experiment_smoke () =
+  (* The cheap experiments run end to end and produce their headline
+     rows (memoized, so this also warms the bench harness path). *)
+  let out4 = (Option.get (Elfie_harness.Registry.find "table4")).run () in
+  Alcotest.(check bool) "table4 ring0 row" true
+    (contains ~sub:"ring0 instructions" out4);
+  Alcotest.(check bool) "table4 footprint row" true
+    (contains ~sub:"data footprint" out4);
+  let out11 = (Option.get (Elfie_harness.Registry.find "fig11")).run () in
+  Alcotest.(check bool) "fig11 has all apps" true
+    (contains ~sub:"657.xz_s.1" out11 && contains ~sub:"619.lbm_s" out11);
+  Alcotest.(check bool) "fig11 both modes" true
+    (contains ~sub:"pinball-sim" out11 && contains ~sub:"ELFie-sim" out11)
+
+let suite =
+  [
+    Alcotest.test_case "experiment smoke (table4, fig11)" `Slow test_experiment_smoke;
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "bars scaling" `Quick test_bars_scaling;
+    Alcotest.test_case "pct" `Quick test_pct;
+    Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "perf stats" `Quick test_perf_stats;
+    Alcotest.test_case "perf whole program" `Quick test_perf_whole_program;
+    Alcotest.test_case "pipeline validate (small)" `Slow test_pipeline_validate_small;
+    Alcotest.test_case "region past end" `Quick test_make_region_elfie_none_past_end;
+  ]

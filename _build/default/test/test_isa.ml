@@ -1,0 +1,279 @@
+(* Tests for the VX86 ISA: instruction codec round-trips (unit and
+   property) and the label-resolving program builder. *)
+
+open Elfie_isa
+open Elfie_isa.Insn
+
+let sample_mems =
+  [
+    mem_abs 0x1234L;
+    mem_base Reg.RSP;
+    mem_base ~disp:(-8L) Reg.RBP;
+    { base = Some Reg.R12; index = Some Reg.RDI; scale = 1; disp = 0L };
+    { base = Some Reg.RAX; index = Some Reg.RBX; scale = 8; disp = 0x7fff_ffff_0000L };
+    { base = None; index = Some Reg.RCX; scale = 4; disp = -64L };
+  ]
+
+(* One instance of every instruction form. *)
+let sample_instructions =
+  [ Mov_ri (Reg.RAX, 0xdead_beef_cafe_f00dL); Mov_rr (Reg.RSP, Reg.R15) ]
+  @ List.concat_map
+      (fun m ->
+        [ Load (W8, Reg.RAX, m); Load (W64, Reg.R9, m); Store (W32, m, Reg.RDX);
+          Store (W16, m, Reg.R14); Lea (Reg.RSI, m); Xchg (Reg.RBX, m);
+          Cmpxchg (m, Reg.RCX); Vload (3, m); Vstore (m, 15); Jmp_m m ])
+      sample_mems
+  @ [ Alu_rr (Add, Reg.RAX, Reg.RBX); Alu_rr (Test, Reg.R8, Reg.R9);
+      Alu_ri (Sub, Reg.RCX, -1L); Alu_ri (Cmp, Reg.RDI, 0x7fff_ffffL);
+      Shift_ri (Shl, Reg.RDX, 63); Shift_ri (Sar, Reg.RBP, 1); Neg Reg.R11;
+      Push Reg.RAX; Pop Reg.R15; Jmp (-5); Jcc (Eq, 100); Jcc (Uge, -1000);
+      Jmp_r Reg.RCX; Call 0x100; Call_r Reg.RDX; Ret; Syscall; Cpuid; Nop;
+      Ssc_marker 0xdeadbeefL; Magic 0x51; Pause; Ldctx Reg.RDI; Stctx Reg.RSI;
+      Wrfsbase Reg.RAX; Wrgsbase Reg.RBX; Rdfsbase Reg.RCX; Rdgsbase Reg.RDX;
+      Popf; Pushf; Vop_rr (Vadd, 0, 15); Vop_rr (Vmul, 7, 7); Hlt; Ud2 ]
+
+let test_roundtrip_every_form () =
+  List.iter
+    (fun ins ->
+      let bytes = Codec.encode_bytes ins in
+      let decoded, len = Codec.decode_one bytes 0 in
+      Alcotest.(check string)
+        (Insn.to_string ins ^ " roundtrip")
+        (Insn.to_string ins) (Insn.to_string decoded);
+      Alcotest.(check int) "consumed all bytes" (Bytes.length bytes) len)
+    sample_instructions
+
+let test_length_matches_encoding () =
+  List.iter
+    (fun ins ->
+      Alcotest.(check int)
+        (Insn.to_string ins ^ " length")
+        (Bytes.length (Codec.encode_bytes ins))
+        (Codec.length ins))
+    sample_instructions
+
+let test_max_length_bound () =
+  (* The fetcher reads 16 bytes; no encoding may exceed that. *)
+  List.iter
+    (fun ins ->
+      Alcotest.(check bool)
+        (Insn.to_string ins ^ " fits fetch window")
+        true
+        (Codec.length ins <= 16))
+    sample_instructions
+
+let test_decode_invalid_opcode () =
+  Alcotest.check_raises "opcode 0xff" (Codec.Invalid "unknown opcode 0xff")
+    (fun () -> ignore (Codec.decode_one (Bytes.make 4 '\xff') 0))
+
+let test_decode_bad_register () =
+  (* Mov_rr with an out-of-range register byte. *)
+  let b = Bytes.of_string "\x02\x10\x00" in
+  Alcotest.check_raises "gpr 16" (Codec.Invalid "gpr index 16") (fun () ->
+      ignore (Codec.decode_one b 0))
+
+let test_disassemble () =
+  let w = Elfie_util.Byteio.Writer.create () in
+  List.iter (Codec.encode w) [ Nop; Ret; Syscall ];
+  let listing =
+    Codec.disassemble (Elfie_util.Byteio.Writer.contents w) ~off:0 ~count:10
+  in
+  Alcotest.(check int) "three instructions" 3 (List.length listing);
+  Alcotest.(check string) "second is ret" "ret"
+    (Insn.to_string (snd (List.nth listing 1)))
+
+(* --- property: random instruction round-trips --------------------------- *)
+
+let gpr_gen = QCheck.Gen.map Reg.gpr_of_index (QCheck.Gen.int_range 0 15)
+
+let mem_gen =
+  let open QCheck.Gen in
+  let* base = opt gpr_gen in
+  let* index = opt gpr_gen in
+  let* scale = oneofl [ 1; 2; 4; 8 ] in
+  let* disp = map Int64.of_int (int_range (-1_000_000) 1_000_000) in
+  return { base; index; scale; disp }
+
+let ins_gen =
+  let open QCheck.Gen in
+  let alu = oneofl [ Add; Sub; And; Or; Xor; Imul; Cmp; Test ] in
+  let width = oneofl [ W8; W16; W32; W64 ] in
+  let cond = oneofl [ Eq; Ne; Lt; Ge; Le; Gt; Ult; Uge ] in
+  let imm32 = map Int64.of_int (int_range (-0x8000_0000) 0x7fff_ffff) in
+  let rel = int_range (-100_000) 100_000 in
+  oneof
+    [
+      map2 (fun r v -> Mov_ri (r, v)) gpr_gen (map Int64.of_int int);
+      map2 (fun a b -> Mov_rr (a, b)) gpr_gen gpr_gen;
+      map3 (fun w r m -> Load (w, r, m)) width gpr_gen mem_gen;
+      map3 (fun w m r -> Store (w, m, r)) width mem_gen gpr_gen;
+      map2 (fun r m -> Lea (r, m)) gpr_gen mem_gen;
+      map3 (fun op a b -> Alu_rr (op, a, b)) alu gpr_gen gpr_gen;
+      map3 (fun op r v -> Alu_ri (op, r, v)) alu gpr_gen imm32;
+      map3 (fun op r n -> Shift_ri (op, r, n)) (oneofl [ Shl; Shr; Sar ]) gpr_gen
+        (int_range 0 63);
+      map (fun r -> Push r) gpr_gen;
+      map (fun r -> Pop r) gpr_gen;
+      map (fun r -> Jmp r) rel;
+      map2 (fun c r -> Jcc (c, r)) cond rel;
+      map (fun m -> Jmp_m m) mem_gen;
+      map (fun r -> Call r) rel;
+      return Ret;
+      return Syscall;
+      return Nop;
+      map2 (fun r m -> Xchg (r, m)) gpr_gen mem_gen;
+      map2 (fun m r -> Cmpxchg (m, r)) mem_gen gpr_gen;
+      map3 (fun op a b -> Vop_rr (op, a, b)) (oneofl [ Vadd; Vmul; Vsub ])
+        (int_range 0 15) (int_range 0 15);
+    ]
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrip (random instructions)" ~count:2000
+    (QCheck.make ins_gen ~print:Insn.to_string) (fun ins ->
+      let decoded, len = Codec.decode_one (Codec.encode_bytes ins) 0 in
+      decoded = ins && len = Codec.length ins)
+
+(* --- builder ------------------------------------------------------------- *)
+
+let test_builder_backward_jump () =
+  let b = Builder.create () in
+  let top = Builder.here b in
+  Builder.ins b Nop;
+  Builder.jmp b top;
+  let prog = Builder.assemble b ~base:0x1000L in
+  (* jmp encodes rel past itself back to 0. *)
+  let decoded, _ = Codec.decode_one prog.Builder.code 1 in
+  Alcotest.(check string) "backward" "jmp .-6" (Insn.to_string decoded)
+
+let test_builder_forward_jump () =
+  let b = Builder.create () in
+  let target = Builder.new_label b in
+  Builder.jmp b target;
+  Builder.ins b Nop;
+  Builder.ins b Nop;
+  Builder.bind b target;
+  Builder.ins b Ret;
+  let prog = Builder.assemble b ~base:0L in
+  let decoded, _ = Codec.decode_one prog.Builder.code 0 in
+  Alcotest.(check string) "forward over two nops" "jmp .+2" (Insn.to_string decoded)
+
+let test_builder_symbols_and_resolve () =
+  let b = Builder.create () in
+  Builder.ins b Nop;
+  let f = Builder.here ~name:"f" b in
+  Builder.ins b Ret;
+  let prog = Builder.assemble b ~base:0x400000L in
+  Alcotest.(check (list (pair string Tutil.i64)))
+    "symbols" [ ("f", 0x400001L) ] prog.Builder.symbols;
+  Alcotest.check Tutil.i64 "resolve" 0x400001L (Builder.resolve b prog f)
+
+let test_builder_align_and_quad () =
+  let b = Builder.create () in
+  Builder.ins b Nop;
+  Builder.align b 8;
+  let data = Builder.here b in
+  Builder.quad b 0x1122334455667788L;
+  let prog = Builder.assemble b ~base:0L in
+  Alcotest.check Tutil.i64 "aligned" 8L (Builder.resolve b prog data);
+  let r = Elfie_util.Byteio.Reader.of_bytes prog.Builder.code in
+  Elfie_util.Byteio.Reader.seek r 8;
+  Alcotest.check Tutil.i64 "quad value" 0x1122334455667788L
+    (Elfie_util.Byteio.Reader.u64 r)
+
+let test_builder_mov_label () =
+  let b = Builder.create () in
+  let target = Builder.new_label b in
+  Builder.mov_label b Reg.RAX target;
+  Builder.bind b target;
+  Builder.ins b Ret;
+  let prog = Builder.assemble b ~base:0x5000L in
+  let decoded, _ = Codec.decode_one prog.Builder.code 0 in
+  (match decoded with
+  | Mov_ri (Reg.RAX, v) -> Alcotest.check Tutil.i64 "address" 0x500aL v
+  | _ -> Alcotest.fail "expected mov_ri");
+  ()
+
+let test_builder_jmp_mem () =
+  let b = Builder.create () in
+  let slot = Builder.new_label b in
+  Builder.jmp_mem b slot;
+  Builder.align b 8;
+  Builder.bind b slot;
+  Builder.quad b 0xdeadL;
+  let prog = Builder.assemble b ~base:0L in
+  let decoded, _ = Codec.decode_one prog.Builder.code 0 in
+  (match decoded with
+  | Jmp_m m -> Alcotest.check Tutil.i64 "slot address" 16L m.disp
+  | _ -> Alcotest.fail "expected jmp_m");
+  ()
+
+let test_builder_unbound_label () =
+  let b = Builder.create () in
+  let l = Builder.new_label ~name:"nowhere" b in
+  Builder.jmp b l;
+  Alcotest.check_raises "unbound" (Failure "Builder.assemble: unbound label nowhere")
+    (fun () -> ignore (Builder.assemble b ~base:0L))
+
+let test_builder_double_bind () =
+  let b = Builder.create () in
+  let l = Builder.here b in
+  Alcotest.check_raises "double bind" (Failure "Builder.bind: label bound twice")
+    (fun () -> Builder.bind b l)
+
+let test_builder_rebase () =
+  (* Assembling the same builder at two bases patches absolute refs. *)
+  let b = Builder.create () in
+  let l = Builder.new_label b in
+  Builder.mov_label b Reg.RBX l;
+  Builder.bind b l;
+  let p1 = Builder.assemble b ~base:0x1000L in
+  let p2 = Builder.assemble b ~base:0x2000L in
+  let v prog =
+    match fst (Codec.decode_one prog.Builder.code 0) with
+    | Mov_ri (_, v) -> v
+    | _ -> Alcotest.fail "mov expected"
+  in
+  Alcotest.check Tutil.i64 "base 1" 0x100aL (v p1);
+  Alcotest.check Tutil.i64 "base 2" 0x200aL (v p2)
+
+let test_flags_word_roundtrip () =
+  let f = Reg.fresh_flags () in
+  f.zf <- true;
+  f.ovf <- true;
+  let f' = Reg.flags_of_word (Reg.flags_to_word f) in
+  Alcotest.(check bool) "zf" true f'.Reg.zf;
+  Alcotest.(check bool) "sf" false f'.Reg.sf;
+  Alcotest.(check bool) "cf" false f'.Reg.cf;
+  Alcotest.(check bool) "of" true f'.Reg.ovf
+
+let test_gpr_names () =
+  List.iter
+    (fun r ->
+      Alcotest.(check (option string))
+        "name roundtrip"
+        (Some (Reg.gpr_name r))
+        (Option.map Reg.gpr_name (Reg.gpr_of_name (Reg.gpr_name r))))
+    Reg.all_gprs;
+  Alcotest.(check bool) "unknown name" true (Reg.gpr_of_name "bogus" = None)
+
+let suite =
+  [
+    Alcotest.test_case "codec roundtrip (every form)" `Quick test_roundtrip_every_form;
+    Alcotest.test_case "length matches encoding" `Quick test_length_matches_encoding;
+    Alcotest.test_case "encodings fit the fetch window" `Quick test_max_length_bound;
+    Alcotest.test_case "invalid opcode" `Quick test_decode_invalid_opcode;
+    Alcotest.test_case "invalid register" `Quick test_decode_bad_register;
+    Alcotest.test_case "disassemble" `Quick test_disassemble;
+    QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+    Alcotest.test_case "builder backward jump" `Quick test_builder_backward_jump;
+    Alcotest.test_case "builder forward jump" `Quick test_builder_forward_jump;
+    Alcotest.test_case "builder symbols/resolve" `Quick test_builder_symbols_and_resolve;
+    Alcotest.test_case "builder align/quad" `Quick test_builder_align_and_quad;
+    Alcotest.test_case "builder mov_label" `Quick test_builder_mov_label;
+    Alcotest.test_case "builder jmp_mem" `Quick test_builder_jmp_mem;
+    Alcotest.test_case "builder unbound label" `Quick test_builder_unbound_label;
+    Alcotest.test_case "builder double bind" `Quick test_builder_double_bind;
+    Alcotest.test_case "builder rebase" `Quick test_builder_rebase;
+    Alcotest.test_case "flags word roundtrip" `Quick test_flags_word_roundtrip;
+    Alcotest.test_case "gpr names" `Quick test_gpr_names;
+  ]

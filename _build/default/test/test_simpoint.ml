@@ -1,0 +1,169 @@
+(* Tests for k-means clustering and SimPoint region selection. *)
+
+module Kmeans = Elfie_simpoint.Kmeans
+module Simpoint = Elfie_simpoint.Simpoint
+
+let rng () = Elfie_util.Rng.create 123L
+
+(* Three well-separated blobs in 2D. *)
+let blobs () =
+  let r = rng () in
+  let blob cx cy =
+    List.init 20 (fun _ ->
+        [| cx +. Elfie_util.Rng.float r; cy +. Elfie_util.Rng.float r |])
+  in
+  Array.of_list (blob 0.0 0.0 @ blob 10.0 0.0 @ blob 0.0 10.0)
+
+let test_kmeans_recovers_blobs () =
+  let points = blobs () in
+  let result = Kmeans.cluster ~rng:(rng ()) ~k:3 points in
+  (* Points within a blob share a label; across blobs labels differ. *)
+  let label i = result.Kmeans.assignments.(i) in
+  for b = 0 to 2 do
+    for i = 1 to 19 do
+      Alcotest.(check int) "blob is one cluster" (label (b * 20)) (label ((b * 20) + i))
+    done
+  done;
+  Alcotest.(check bool) "distinct blobs distinct clusters" true
+    (label 0 <> label 20 && label 20 <> label 40 && label 0 <> label 40)
+
+let test_kmeans_best_picks_reasonable_k () =
+  let result = Kmeans.best ~rng:(rng ()) ~max_k:10 (blobs ()) in
+  Alcotest.(check bool) "k close to 3" true (result.Kmeans.k >= 2 && result.Kmeans.k <= 5)
+
+let test_kmeans_k1 () =
+  let result = Kmeans.cluster ~rng:(rng ()) ~k:1 (blobs ()) in
+  Alcotest.(check bool) "all in cluster 0" true
+    (Array.for_all (fun a -> a = 0) result.Kmeans.assignments)
+
+let test_kmeans_k_clamped () =
+  let points = [| [| 0.0 |]; [| 1.0 |] |] in
+  let result = Kmeans.cluster ~rng:(rng ()) ~k:10 points in
+  Alcotest.(check bool) "k clamped to n" true (result.Kmeans.k <= 2)
+
+let test_kmeans_empty_input () =
+  Alcotest.check_raises "no points" (Invalid_argument "Kmeans.cluster: no points")
+    (fun () -> ignore (Kmeans.cluster ~rng:(rng ()) ~k:2 [||]))
+
+let test_kmeans_inertia_decreases_with_k () =
+  let points = blobs () in
+  let i1 = (Kmeans.cluster ~rng:(rng ()) ~k:1 points).Kmeans.inertia in
+  let i3 = (Kmeans.cluster ~rng:(rng ()) ~k:3 points).Kmeans.inertia in
+  Alcotest.(check bool) "more clusters, less inertia" true (i3 < i1)
+
+let prop_assignments_nearest =
+  QCheck.Test.make ~name:"every point assigned to nearest centroid" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 4 40) (pair (float_bound_exclusive 100.0) (float_bound_exclusive 100.0)))
+    (fun pts ->
+      let points = Array.of_list (List.map (fun (a, b) -> [| a; b |]) pts) in
+      let r = Kmeans.cluster ~rng:(rng ()) ~k:3 points in
+      Array.for_all
+        (fun i ->
+          let d c = Kmeans.sq_dist points.(i) r.Kmeans.centroids.(c) in
+          let assigned = d r.Kmeans.assignments.(i) in
+          List.for_all (fun c -> assigned <= d c +. 1e-9)
+            (List.init r.Kmeans.k Fun.id))
+        (Array.init (Array.length points) Fun.id))
+
+(* --- simpoint over a real profile ----------------------------------------- *)
+
+let profile () =
+  Elfie_pin.Bbv.profile (Tutil.tiny_run_spec "sp") ~slice_size:5_000L
+
+let params =
+  { Simpoint.default_params with slice_size = 5_000L; warmup = 10_000L; max_k = 10 }
+
+let test_select_weights_sum () =
+  let sel = Simpoint.select ~params (profile ()) in
+  let sum = List.fold_left (fun a r -> a +. r.Simpoint.weight) 0.0 sel.Simpoint.regions in
+  Alcotest.(check (float 1e-9)) "weights sum to 1" 1.0 sum
+
+let test_select_finds_phases () =
+  let sel = Simpoint.select ~params (profile ()) in
+  (* The tiny benchmark alternates two kernels: at least 2 clusters. *)
+  Alcotest.(check bool) "k >= 2" true (sel.Simpoint.k >= 2)
+
+let test_regions_within_program () =
+  let sel = Simpoint.select ~params (profile ()) in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "start >= 0" true (r.Simpoint.start >= 0L);
+      Alcotest.(check bool) "fits in program" true
+        (Int64.add r.Simpoint.start r.Simpoint.length
+        <= Int64.add sel.Simpoint.total_instructions params.Simpoint.slice_size))
+    sel.Simpoint.regions
+
+let test_alternates_ranked () =
+  let sel = Simpoint.select ~params (profile ()) in
+  Array.iter
+    (fun alts ->
+      List.iteri
+        (fun i r -> Alcotest.(check int) "rank order" i r.Simpoint.rank)
+        alts)
+    sel.Simpoint.alternates
+
+let test_warmup_clipped_at_start () =
+  let sel = Simpoint.select ~params (profile ()) in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "warmup never exceeds configured" true
+        (r.Simpoint.warmup_actual <= params.Simpoint.warmup);
+      (* start + warmup lands exactly on the slice boundary *)
+      Alcotest.check Tutil.i64 "slice boundary"
+        (Int64.mul (Int64.of_int r.Simpoint.slice_index) params.Simpoint.slice_size)
+        (Int64.add r.Simpoint.start r.Simpoint.warmup_actual))
+    sel.Simpoint.regions
+
+let test_full_warmup_preferred () =
+  let sel = Simpoint.select ~params (profile ()) in
+  (* If a cluster has any member past the warmup horizon, its rank-0
+     representative must have full warmup. *)
+  let warmup_slices = Int64.to_int (Int64.div params.Simpoint.warmup params.Simpoint.slice_size) in
+  Array.iter
+    (fun alts ->
+      match alts with
+      | [] -> ()
+      | rep :: _ ->
+          let has_late =
+            List.exists (fun r -> r.Simpoint.slice_index >= warmup_slices) alts
+          in
+          if has_late then
+            Alcotest.(check bool) "rep has full warmup" true
+              (rep.Simpoint.slice_index >= warmup_slices))
+    sel.Simpoint.alternates
+
+let test_project_normalised_and_deterministic () =
+  let p = profile () in
+  let s = List.hd p.Elfie_pin.Bbv.slices in
+  let v1 = Simpoint.project ~dims:15 s and v2 = Simpoint.project ~dims:15 s in
+  Alcotest.(check bool) "deterministic" true (v1 = v2);
+  Alcotest.(check int) "dims" 15 (Array.length v1);
+  (* Normalised by slice length: components bounded by 1 in magnitude. *)
+  Array.iter
+    (fun x -> Alcotest.(check bool) "bounded" true (Float.abs x <= 1.0 +. 1e-9))
+    v1
+
+let test_predict_weighted_sum () =
+  let sel = Simpoint.select ~params (profile ()) in
+  Alcotest.(check (float 1e-9)) "constant metric" 1.0
+    (Simpoint.predict sel (fun _ -> 1.0))
+
+let suite =
+  [
+    Alcotest.test_case "kmeans recovers blobs" `Quick test_kmeans_recovers_blobs;
+    Alcotest.test_case "kmeans best picks k" `Quick test_kmeans_best_picks_reasonable_k;
+    Alcotest.test_case "kmeans k=1" `Quick test_kmeans_k1;
+    Alcotest.test_case "kmeans k clamped" `Quick test_kmeans_k_clamped;
+    Alcotest.test_case "kmeans empty input" `Quick test_kmeans_empty_input;
+    Alcotest.test_case "inertia decreases with k" `Quick
+      test_kmeans_inertia_decreases_with_k;
+    QCheck_alcotest.to_alcotest prop_assignments_nearest;
+    Alcotest.test_case "weights sum to 1" `Quick test_select_weights_sum;
+    Alcotest.test_case "finds phases" `Quick test_select_finds_phases;
+    Alcotest.test_case "regions within program" `Quick test_regions_within_program;
+    Alcotest.test_case "alternates ranked" `Quick test_alternates_ranked;
+    Alcotest.test_case "warmup clipped at start" `Quick test_warmup_clipped_at_start;
+    Alcotest.test_case "full-warmup preferred" `Quick test_full_warmup_preferred;
+    Alcotest.test_case "projection" `Quick test_project_normalised_and_deterministic;
+    Alcotest.test_case "predict weighted sum" `Quick test_predict_weighted_sum;
+  ]

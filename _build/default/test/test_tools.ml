@@ -1,0 +1,95 @@
+(* Tests for the Vpin analysis-tool library. *)
+
+module Tools = Elfie_pin.Tools
+
+let run_with tool =
+  let machine, _ = Elfie_pin.Run.instantiate (Tutil.tiny_run_spec "tools") in
+  let detach = Elfie_pin.Pintool.attach machine [ tool ] in
+  Elfie_machine.Machine.run machine;
+  detach ();
+  machine
+
+let test_instruction_mix_totals () =
+  let a = Tools.instruction_mix () in
+  let machine = run_with a.Tools.tool in
+  let m = a.Tools.result () in
+  Alcotest.check Tutil.i64 "total equals retired"
+    (Elfie_machine.Machine.total_retired machine)
+    m.Tools.mix_total;
+  let sum = List.fold_left (fun acc (_, n) -> Int64.add acc n) 0L m.Tools.mix_classes in
+  Alcotest.check Tutil.i64 "classes sum to total" m.Tools.mix_total sum;
+  Alcotest.(check bool) "has branches" true
+    (List.mem_assoc "branch" m.Tools.mix_classes)
+
+let test_mix_limit () =
+  let a = Tools.instruction_mix ~limit:5_000L () in
+  let _ = run_with a.Tools.tool in
+  Alcotest.check Tutil.i64 "stops at limit" 5_000L (a.Tools.result ()).Tools.mix_total
+
+let test_footprint_covers_working_set () =
+  let a = Tools.memory_footprint () in
+  let _ = run_with a.Tools.tool in
+  let f = a.Tools.result () in
+  (* 32 KiB working set = 8 pages (plus stack/scratch pages). *)
+  Alcotest.(check bool) "at least the buffer pages" true (f.Tools.fp_pages >= 8);
+  Alcotest.(check bool) "lines >= pages" true (f.Tools.fp_lines >= f.Tools.fp_pages);
+  Alcotest.(check bool) "bytes >= accesses" true
+    (f.Tools.fp_bytes_read >= f.Tools.fp_reads)
+
+let test_branch_profile_rates () =
+  let a = Tools.branch_profile () in
+  let _ = run_with a.Tools.tool in
+  let b = a.Tools.result () in
+  Alcotest.(check bool) "taken <= executed" true (b.Tools.br_taken <= b.Tools.br_executed);
+  Alcotest.(check bool) "hottest nonempty" true (b.Tools.br_hottest <> []);
+  Alcotest.(check bool) "top ten at most" true (List.length b.Tools.br_hottest <= 10)
+
+let test_block_profile () =
+  let a = Tools.block_profile () in
+  let _ = run_with a.Tools.tool in
+  let b = a.Tools.result () in
+  Alcotest.(check bool) "several blocks" true (b.Tools.bb_blocks > 5);
+  match b.Tools.bb_hottest with
+  | (_, hottest) :: _ ->
+      (* The hottest block is a kernel inner loop: thousands of runs. *)
+      Alcotest.(check bool) "hot block is hot" true (hottest > 1000)
+  | [] -> Alcotest.fail "no blocks"
+
+let test_from_marker_gating () =
+  (* Attached to an ELFie, a marker-gated tool must count only the
+     embedded region (plus its small post-arm epilogue), never the much
+     larger startup stack-copy code. *)
+  let pb = Tutil.tiny_pinball "toolgate" in
+  let image =
+    Elfie_core.Pinball2elf.convert
+      ~options:
+        { Elfie_core.Pinball2elf.default_options with
+          marker = Some (Elfie_core.Pinball2elf.Ssc 9L) }
+      pb
+  in
+  let machine =
+    Elfie_machine.Machine.create
+      (Elfie_machine.Machine.Free { seed = 3L; quantum_min = 50; quantum_max = 50 })
+  in
+  let kernel = Elfie_kernel.Vkernel.create (Elfie_kernel.Fs.create ()) in
+  Elfie_kernel.Vkernel.install kernel machine;
+  let _ = Elfie_kernel.Loader.load kernel machine image ~argv:[ "e" ] ~env:[] in
+  let a = Tools.instruction_mix ~from_marker:true () in
+  let detach = Elfie_pin.Pintool.attach machine [ a.Tools.tool ] in
+  Elfie_machine.Machine.run ~max_ins:10_000_000L machine;
+  detach ();
+  let m = a.Tools.result () in
+  let region = Elfie_pinball.Pinball.total_icount pb in
+  Alcotest.(check bool) "counts region only" true
+    (Int64.abs (Int64.sub m.Tools.mix_total region) < 16L)
+
+let suite =
+  [
+    Alcotest.test_case "instruction mix totals" `Quick test_instruction_mix_totals;
+    Alcotest.test_case "mix limit" `Quick test_mix_limit;
+    Alcotest.test_case "footprint covers working set" `Quick
+      test_footprint_covers_working_set;
+    Alcotest.test_case "branch profile rates" `Quick test_branch_profile_rates;
+    Alcotest.test_case "block profile" `Quick test_block_profile;
+    Alcotest.test_case "marker gating on ELFies" `Quick test_from_marker_gating;
+  ]

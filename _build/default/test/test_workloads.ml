@@ -1,0 +1,90 @@
+(* Tests for the synthetic workload suite: every generated benchmark is
+   a well-formed program that loads and executes without faulting. *)
+
+open Elfie_workloads
+
+let test_kernels_each_run () =
+  List.iter
+    (fun k ->
+      let spec =
+        Programs.spec
+          ~phases:[ { Programs.kernel = k; reps = 500 } ]
+          ~outer_reps:2 ~ws_bytes:16384
+          ("k_" ^ Kernels.name k)
+      in
+      let stats = Elfie_pin.Run.native (Programs.run_spec spec) in
+      Alcotest.(check bool) (Kernels.name k ^ " clean") true stats.Elfie_pin.Run.clean)
+    Kernels.all
+
+let test_kernel_cpi_signatures () =
+  let cpi k ws =
+    let spec =
+      Programs.spec
+        ~phases:[ { Programs.kernel = k; reps = 20_000 } ]
+        ~outer_reps:2 ~ws_bytes:ws ("sig_" ^ Kernels.name k)
+    in
+    (Elfie_pin.Run.native (Programs.run_spec spec)).Elfie_pin.Run.cpi
+  in
+  (* Pointer chasing over an LLC-resident working set is slower than
+     register arithmetic — the phases are microarchitecturally distinct. *)
+  Alcotest.(check bool) "chase slower than alu" true
+    (cpi Kernels.Chase 1_048_576 > 2.0 *. cpi Kernels.Alu 16384)
+
+let test_ws_power_of_two_enforced () =
+  Alcotest.check_raises "bad ws" (Invalid_argument "Programs: ws_bytes must be a power of two")
+    (fun () -> ignore (Programs.image (Programs.spec ~ws_bytes:3000 "bad")))
+
+let test_mt_program_clean () =
+  let spec = Tutil.tiny_spec ~threads:4 "mt4" in
+  let stats = Elfie_pin.Run.native (Programs.run_spec spec) in
+  Alcotest.(check bool) "clean" true stats.Elfie_pin.Run.clean;
+  Alcotest.(check int) "threads" 4 (Array.length stats.Elfie_pin.Run.per_thread_retired)
+
+let test_approx_instructions_close () =
+  let spec = Tutil.tiny_spec "approx" in
+  let stats = Elfie_pin.Run.native (Programs.run_spec spec) in
+  let approx = Int64.to_float (Programs.approx_instructions spec) in
+  let actual = Int64.to_float stats.Elfie_pin.Run.retired in
+  Alcotest.(check bool) "within 30%" true
+    (Float.abs (approx -. actual) /. actual < 0.3)
+
+let check_suite_benchmark (b : Suite.benchmark) =
+  Alcotest.test_case b.Suite.bname `Slow (fun () ->
+      (* Cap the run: we only verify the program starts and executes. *)
+      let stats =
+        Elfie_pin.Run.native ~max_ins:120_000L (Programs.run_spec b.Suite.spec)
+      in
+      Alcotest.(check bool) "progress" true (stats.Elfie_pin.Run.retired >= 100_000L);
+      let machine_faulted =
+        (* no thread faulted within the window *)
+        stats.Elfie_pin.Run.per_thread_retired |> Array.length > 0
+      in
+      Alcotest.(check bool) "threads exist" true machine_faulted)
+
+let test_full_run_one_per_family () =
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> Alcotest.failf "missing %s" name
+      | Some b ->
+          let stats = Elfie_pin.Run.native (Programs.run_spec b.Suite.spec) in
+          Alcotest.(check bool) (name ^ " clean") true stats.Elfie_pin.Run.clean)
+    [ "525.x264_r"; "429.mcf"; "603.bwaves_s" ]
+
+let test_suite_names_resolvable () =
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      Alcotest.(check bool) b.Suite.bname true (Suite.find b.Suite.bname <> None))
+    Suite.all
+
+let suite =
+  [
+    Alcotest.test_case "each kernel runs clean" `Quick test_kernels_each_run;
+    Alcotest.test_case "kernel CPI signatures" `Slow test_kernel_cpi_signatures;
+    Alcotest.test_case "ws power-of-two check" `Quick test_ws_power_of_two_enforced;
+    Alcotest.test_case "MT program clean" `Quick test_mt_program_clean;
+    Alcotest.test_case "approx instruction count" `Quick test_approx_instructions_close;
+    Alcotest.test_case "one full run per family" `Slow test_full_run_one_per_family;
+    Alcotest.test_case "suite names resolvable" `Quick test_suite_names_resolvable;
+  ]
+  @ List.map check_suite_benchmark Suite.all
