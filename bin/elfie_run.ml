@@ -13,10 +13,11 @@ let run path sysstate_dir seed trials max_ins disasm =
   let bytes = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
   close_in ic;
   let image =
-    try Elfie_elf.Image.read bytes
-    with Elfie_elf.Image.Bad_elf msg ->
-      Printf.eprintf "%s: not a loadable ELFie: %s\n" path msg;
-      exit 2
+    match Elfie_elf.Image.read_result ~artifact:path bytes with
+    | Ok image -> image
+    | Error d ->
+        Printf.eprintf "not a loadable ELFie: %s\n" (Elfie_util.Diag.to_string d);
+        exit 2
   in
   Format.printf "%a@." Elfie_elf.Image.pp image;
   if disasm then begin

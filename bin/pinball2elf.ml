@@ -143,10 +143,66 @@ let cmd =
       & info [ "dump-contexts" ] ~docv:"FILE"
           ~doc:"Also dump initial thread contexts as an assembly listing.")
   in
-  Cmd.v
-    (Cmd.info "pinball2elf" ~doc:"convert a pinball to an ELFie executable")
-    Term.(
-      const convert $ dir $ pb_name $ out $ marker $ sysstate $ no_counters $ monitor
-      $ object_only $ alloc_stack $ ldscript $ dump_contexts)
+  Term.(
+    const convert $ dir $ pb_name $ out $ marker $ sysstate $ no_counters $ monitor
+    $ object_only $ alloc_stack $ ldscript $ dump_contexts)
 
-let () = exit (Cmd.eval cmd)
+(* --- check ------------------------------------------------------------------ *)
+
+let check path fault_sweep =
+  let module Diag = Elfie_util.Diag in
+  let bytes =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | s -> Bytes.of_string s
+    | exception Sys_error msg ->
+        prerr_endline (Diag.to_string (Diag.v ~artifact:path Diag.Io_error msg));
+        exit 1
+  in
+  match Elfie_elf.Image.read_result ~artifact:path bytes with
+  | Error d ->
+      prerr_endline (Diag.to_string d);
+      exit 1
+  | Ok image -> (
+      if fault_sweep then begin
+        let report = Elfie_check.Fault_inject.run_elf image in
+        Format.printf "fault sweep: %a@." Elfie_check.Fault_inject.pp_report
+          report;
+        if Elfie_check.Fault_inject.crashes report <> [] then exit 1
+      end;
+      match Elfie_check.Validate.elf ~artifact:path image with
+      | [] ->
+          Printf.printf "%s: OK (%d sections, %d symbols, entry 0x%Lx)\n" path
+            (List.length image.sections)
+            (List.length image.symbols)
+            image.entry
+      | ds ->
+          List.iter (fun d -> prerr_endline (Diag.to_string d)) ds;
+          exit 1)
+
+let check_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ELFIE" ~doc:"ELFie (or any ELF image) to validate.")
+  in
+  let fault_sweep =
+    Arg.(
+      value & flag
+      & info [ "fault-sweep" ]
+          ~doc:
+            "Also corrupt the image across every fault class and verify that \
+             no corruption escapes as a crash.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"validate an ELFie image: parse + consistency checks")
+    Term.(const check $ path $ fault_sweep)
+
+let () =
+  let info = Cmd.info "pinball2elf" ~doc:"convert a pinball to an ELFie executable" in
+  exit (Cmd.eval (Cmd.group ~default:cmd info [ check_cmd ]))

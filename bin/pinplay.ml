@@ -127,6 +127,65 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"replay a pinball (constrained by default)")
     Term.(const replay $ dir $ pb_name $ injection)
 
+(* --- check ------------------------------------------------------------------ *)
+
+let check dir name do_replay fault_sweep =
+  let module Diag = Elfie_util.Diag in
+  let diags =
+    match Elfie_pinball.Pinball.load_result ~dir ~name with
+    | Error d -> [ d ]
+    | Ok pb ->
+        let structural = Elfie_check.Validate.pinball pb in
+        let replay =
+          if do_replay && structural = [] then
+            Elfie_check.Sentinel.cross_check pb
+          else []
+        in
+        if fault_sweep then begin
+          let report = Elfie_check.Fault_inject.run_pinball pb in
+          Format.printf "fault sweep: %a@." Elfie_check.Fault_inject.pp_report
+            report;
+          if Elfie_check.Fault_inject.crashes report <> [] then exit 1
+        end;
+        structural @ replay
+  in
+  match diags with
+  | [] -> Printf.printf "%s/%s.*: OK\n" dir name
+  | ds ->
+      List.iter (fun d -> Printf.eprintf "%s\n" (Diag.to_string d)) ds;
+      exit 1
+
+let check_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Pinball directory.")
+  in
+  let pb_name =
+    Arg.(value & opt string "pinball" & info [ "n"; "name" ] ~doc:"Pinball name.")
+  in
+  let do_replay =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Also run the replay divergence sentinel (constrained, then \
+             injection-less).")
+  in
+  let fault_sweep =
+    Arg.(
+      value & flag
+      & info [ "fault-sweep" ]
+          ~doc:
+            "Also corrupt the serialized pinball across every fault class and \
+             verify that no corruption escapes as a crash.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"validate a pinball: parse, consistency checks, optional replay")
+    Term.(const check $ dir $ pb_name $ do_replay $ fault_sweep)
+
 (* --- list ------------------------------------------------------------------- *)
 
 let list_benchmarks () =
@@ -144,4 +203,7 @@ let list_cmd =
 
 let () =
   let doc = "PinPlay-style program record/replay toolkit (VX86)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "pinplay" ~doc) [ run_cmd; log_cmd; replay_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "pinplay" ~doc)
+          [ run_cmd; log_cmd; replay_cmd; check_cmd; list_cmd ]))

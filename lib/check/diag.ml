@@ -1,0 +1,4 @@
+(* Re-export: the diagnostic type is defined in Elfie_util so that the
+   artifact readers (pinball, elf, sysstate) can raise it without
+   depending on this library; elfie_check is its public home. *)
+include Elfie_util.Diag

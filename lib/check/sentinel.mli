@@ -1,0 +1,29 @@
+(** Replay divergence sentinel.
+
+    Replays a pinball and reports the program counter and instruction
+    count of the first divergence from the recording as a
+    {!Elfie_util.Diag.t} ([Divergence] code, artifact
+    ["replay:<pinball-name>"]). An empty list means the replay was
+    faithful.
+
+    Two passes:
+    - {!constrained}: schedule-enforced, syscall-injected replay — any
+      divergence means the pinball's logs are internally inconsistent;
+    - {!injectionless}: the paper's [-replay:injection 0] cross-check —
+      free scheduling with native syscalls, mimicking ELFie execution;
+      only the per-thread retired-instruction contract is checked. *)
+
+val constrained : Elfie_pinball.Pinball.t -> Elfie_util.Diag.t list
+
+val injectionless :
+  ?seed:int64 ->
+  ?fs_init:(Elfie_kernel.Fs.t -> unit) ->
+  Elfie_pinball.Pinball.t ->
+  Elfie_util.Diag.t list
+
+(** {!constrained} first; if it is clean, {!injectionless}. *)
+val cross_check :
+  ?seed:int64 ->
+  ?fs_init:(Elfie_kernel.Fs.t -> unit) ->
+  Elfie_pinball.Pinball.t ->
+  Elfie_util.Diag.t list

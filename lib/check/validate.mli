@@ -1,0 +1,47 @@
+(** Consistency validation for pinballs and ELFies.
+
+    The readers ([Pinball.of_files], [Image.read]) reject structurally
+    malformed artifacts; these validators go further and check that a
+    well-formed artifact is {e internally consistent} — the conditions a
+    trustworthy ELFie conversion depends on. Each check failure is one
+    [Diag.t]; an empty list means the artifact passed.
+
+    Checks performed on a pinball:
+    - thread count agrees across register contexts, icounts and the
+      per-thread syscall logs ([Thread_mismatch]);
+    - region icounts are non-negative ([Count_out_of_range]);
+    - the recorded schedule only references recorded threads, and its
+      per-thread slice totals equal the recorded region icounts
+      ([Icount_mismatch]);
+    - the memory image is sorted and non-overlapping
+      ([Segment_overlap]);
+    - for fat pinballs: every thread's start PC and every carried
+      symbol lands inside the image ([Entry_out_of_bounds],
+      [Symbol_out_of_bounds]).
+
+    Checks performed on an ELF image: distinct section names,
+    power-of-two alignments, disjoint loadable segments, entry point in
+    executable memory, function symbols inside loaded memory. *)
+
+val pinball : Elfie_pinball.Pinball.t -> Elfie_util.Diag.t list
+
+val elf : ?artifact:string -> Elfie_elf.Image.t -> Elfie_util.Diag.t list
+
+(** Cross-checks between a pinball and the ELFie generated from it:
+    one thread entry point per pinball thread, and every checkpointed
+    page carried by some section. *)
+val pinball_vs_elfie :
+  Elfie_pinball.Pinball.t ->
+  ?artifact:string ->
+  Elfie_elf.Image.t ->
+  Elfie_util.Diag.t list
+
+(** Validate a pinball file set end to end: parse (reporting the
+    reader's diagnostic on failure), then run {!pinball}, plus file-set
+    level checks (orphan [N.reg] files beyond the declared thread
+    count). *)
+val file_set :
+  ?dir:string ->
+  name:string ->
+  (string * string) list ->
+  Elfie_util.Diag.t list

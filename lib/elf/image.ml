@@ -1,8 +1,13 @@
 open Elfie_util
 
-exception Bad_elf of string
+exception Bad_elf of Diag.t
 
-let bad fmt = Printf.ksprintf (fun s -> raise (Bad_elf s)) fmt
+(* The artifact name is patched in at the [read] boundary, where the
+   caller-supplied path is known. *)
+let bad ?offset ?(code = Diag.Malformed) fmt =
+  Printf.ksprintf
+    (fun s -> raise (Bad_elf (Diag.v ?offset ~artifact:"<elf-image>" code s)))
+    fmt
 
 type section_kind = Progbits | Nobits | Note
 
@@ -54,7 +59,8 @@ module Strtab = struct
 end
 
 let strtab_lookup data off =
-  if off >= Bytes.length data then bad "string table offset %d out of bounds" off;
+  if off >= Bytes.length data then
+    bad ~code:Diag.Count_out_of_range "string table offset %d out of bounds" off;
   let rec find_end i =
     if i >= Bytes.length data then bad "unterminated string table entry"
     else if Bytes.get data i = '\000' then i
@@ -253,16 +259,18 @@ type raw_shdr = {
 
 let read_exn buf =
   let len = Bytes.length buf in
-  if len < Consts.ehsize then bad "file too small for ELF header (%d bytes)" len;
+  if len < Consts.ehsize then
+    bad ~code:Diag.Truncated "file too small for ELF header (%d bytes)" len;
   let r = Byteio.Reader.of_bytes buf in
   let magic = Byteio.Reader.string_n r 4 in
-  if magic <> Consts.magic then bad "bad magic";
+  if magic <> Consts.magic then bad ~offset:0 ~code:Diag.Bad_magic "bad magic";
   let cls = Byteio.Reader.u8 r in
-  if cls <> Consts.elfclass64 then bad "not ELFCLASS64 (class=%d)" cls;
+  if cls <> Consts.elfclass64 then bad ~offset:4 "not ELFCLASS64 (class=%d)" cls;
   let data = Byteio.Reader.u8 r in
-  if data <> Consts.elfdata2lsb then bad "not little-endian (data=%d)" data;
+  if data <> Consts.elfdata2lsb then
+    bad ~offset:5 "not little-endian (data=%d)" data;
   let version = Byteio.Reader.u8 r in
-  if version <> Consts.ev_current then bad "bad ident version %d" version;
+  if version <> Consts.ev_current then bad ~offset:6 "bad ident version %d" version;
   Byteio.Reader.seek r 16;
   let etype = Byteio.Reader.u16 r in
   let exec =
@@ -285,8 +293,12 @@ let read_exn buf =
   let shnum = Byteio.Reader.u16 r in
   let shstrndx = Byteio.Reader.u16 r in
   if shoff < 0 || shoff + (shnum * Consts.shentsize) > len then
-    bad "section header table out of bounds";
-  if shstrndx >= shnum then bad "e_shstrndx out of range";
+    bad ~code:Diag.Count_out_of_range
+      "section header table out of bounds (shoff=%d shnum=%d len=%d)" shoff
+      shnum len;
+  if shstrndx >= shnum then
+    bad ~code:Diag.Count_out_of_range "e_shstrndx %d out of range (shnum=%d)"
+      shstrndx shnum;
   let shdrs =
     Array.init shnum (fun i ->
         Byteio.Reader.seek r (shoff + (i * Consts.shentsize));
@@ -307,7 +319,8 @@ let read_exn buf =
     if sh.rs_type = Consts.sht_nobits then Bytes.empty
     else begin
       if sh.rs_off < 0 || sh.rs_size < 0 || sh.rs_off + sh.rs_size > len then
-        bad "%s data out of bounds (off=%d size=%d)" what sh.rs_off sh.rs_size;
+        bad ~code:Diag.Count_out_of_range "%s data out of bounds (off=%d size=%d)"
+          what sh.rs_off sh.rs_size;
       Bytes.sub buf sh.rs_off sh.rs_size
     end
   in
@@ -320,8 +333,11 @@ let read_exn buf =
     (fun i sh ->
       if i = 0 || i = shstrndx then ()
       else if sh.rs_type = Consts.sht_symtab then begin
-        if sh.rs_entsize <> Consts.symentsize then bad "bad symtab entsize";
-        if sh.rs_link >= shnum then bad "symtab link out of range";
+        if sh.rs_entsize <> Consts.symentsize then
+          bad "bad symtab entsize %d" sh.rs_entsize;
+        if sh.rs_link >= shnum then
+          bad ~code:Diag.Count_out_of_range "symtab link %d out of range"
+            sh.rs_link;
         let strtab = section_data shdrs.(sh.rs_link) ".strtab" in
         let data = section_data sh ".symtab" in
         let count = Bytes.length data / Consts.symentsize in
@@ -368,8 +384,16 @@ let read_exn buf =
 
 (* Any cursor exhaustion inside the parser is a malformed file, not a
    programming error. *)
-let read buf =
-  try read_exn buf with Byteio.Truncated msg -> bad "truncated: %s" msg
+let read ?(artifact = "<elf-image>") buf =
+  try read_exn buf with
+  | Bad_elf d -> raise (Bad_elf { d with Diag.artifact })
+  | Byteio.Truncated msg ->
+      raise (Bad_elf (Diag.v ~artifact Diag.Truncated msg))
+
+let read_result ?artifact buf =
+  match read ?artifact buf with
+  | image -> Ok image
+  | exception Bad_elf d -> Error d
 
 let loadable t =
   List.filter_map

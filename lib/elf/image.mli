@@ -10,7 +10,9 @@
     [write] followed by [read] round-trips the typed view
     (property-tested). *)
 
-exception Bad_elf of string
+(** Raised by {!read} with a structured diagnostic: error code, artifact
+    name, byte offset of the offending field and a human message. *)
+exception Bad_elf of Elfie_util.Diag.t
 
 type section_kind = Progbits | Nobits | Note
 
@@ -52,8 +54,12 @@ val write : t -> bytes
 
 (** Parse and validate an ELF64 image; raises {!Bad_elf} on anything
     malformed (bad magic, wrong class/endianness/machine, out-of-bounds
-    headers, truncated section data). *)
-val read : bytes -> t
+    headers, truncated section data). [artifact] names the image in
+    diagnostics (e.g. its file path). *)
+val read : ?artifact:string -> bytes -> t
+
+(** Non-raising variant of {!read}. *)
+val read_result : ?artifact:string -> bytes -> (t, Elfie_util.Diag.t) result
 
 (** Segments the system loader would map: [(vaddr, data, flags)] for
     each allocatable section, where flags are [(r, w, x)]. *)

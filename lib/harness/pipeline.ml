@@ -9,6 +9,29 @@ type region_outcome = {
   sim_cpi : float option;
 }
 
+type deg_action =
+  | Seed_retried of { retries : int; seed : int64 }
+  | Alternate_used of { rank : int }
+  | Abandoned
+
+type degradation = {
+  deg_cluster : int;
+  deg_action : deg_action;
+  deg_detail : string;
+}
+
+let pp_degradation fmt d =
+  let action =
+    match d.deg_action with
+    | Seed_retried { retries; seed } ->
+        Printf.sprintf "recovered after %d seed retry(ies) (seed %Ld)" retries
+          seed
+    | Alternate_used { rank } ->
+        Printf.sprintf "fell back to alternate region rank %d" rank
+    | Abandoned -> "abandoned: every alternate failed"
+  in
+  Format.fprintf fmt "cluster %d: %s — %s" d.deg_cluster action d.deg_detail
+
 type validation = {
   bench : string;
   total_ins : int64;
@@ -23,6 +46,7 @@ type validation = {
   sim_pred_cpi : float option;
   sim_error : float option;
   regions : region_outcome list;
+  degradations : degradation list;
 }
 
 let workdir = "/work"
@@ -53,6 +77,21 @@ let measure_elfie ?(trials = 3) ?(base_seed = 2000L) (image, sysstate) =
     ~fs_init:(fun fs -> Elfie_pin.Sysstate.install sysstate fs ~workdir)
     ~cwd:workdir image
 
+(* Graceful recovery, layer 1: an ELFie whose trials all fail (the
+   classic cause is a stack collision with the randomized native stack)
+   is retried under different stack-randomization seeds before we give
+   up on the region. Returns the accepted sample plus how many retries
+   it took and the seed that worked. *)
+let measure_with_seed_retry ~trials ~base_seed ~max_seed_retries elfie =
+  let rec go retry =
+    let seed = Int64.add base_seed (Int64.of_int (1009 * retry)) in
+    let sample = measure_elfie ~trials ~base_seed:seed elfie in
+    if sample.Perf.failures < trials then Some (sample, retry, seed)
+    else if retry < max_seed_retries then go (retry + 1)
+    else None
+  in
+  go 0
+
 (* Simulate one region ELFie on the user-level CoreSim model, measuring
    past the warmup prefix only (the traditional validation path). *)
 let simulate_region (image, sysstate) ~warmup =
@@ -66,7 +105,9 @@ let simulate_region (image, sysstate) ~warmup =
 
 let validate ?(params = Simpoint.default_params) ?(trials = 3)
     ?(base_seed = 2000L) ?second_base_seed ?(with_simulation = false)
-    ?(max_alternates = 3) (b : Elfie_workloads.Suite.benchmark) =
+    ?(max_alternates = 3) ?(max_seed_retries = 2)
+    ?(elfie_options = fun (_ : Simpoint.region) o -> o)
+    (b : Elfie_workloads.Suite.benchmark) =
   let run_spec = Elfie_workloads.Programs.run_spec b.spec in
   let profile =
     Elfie_pin.Bbv.profile run_spec ~slice_size:params.Simpoint.slice_size
@@ -81,6 +122,8 @@ let validate ?(params = Simpoint.default_params) ?(trials = 3)
     Array.to_list sel.Simpoint.alternates |> List.filter (fun l -> l <> [])
   in
   let resolved : (int, region_outcome) Hashtbl.t = Hashtbl.create 16 in
+  let degradations = ref [] in
+  let degrade d = degradations := d :: !degradations in
   let rank = ref 0 in
   let pending = ref clusters in
   while !pending <> [] && !rank < max_alternates do
@@ -103,40 +146,65 @@ let validate ?(params = Simpoint.default_params) ?(trials = 3)
     List.iter
       (fun (name, (r, _)) ->
         match List.assoc_opt name captured with
-        | Some { Elfie_pin.Logger.pinball; reached_end = true } ->
+        | Some { Elfie_pin.Logger.pinball; reached_end = true } -> (
             let sysstate = Elfie_pin.Sysstate.analyze pinball in
             let options =
-              {
-                Elfie_core.Pinball2elf.default_options with
-                sysstate = Some sysstate;
-                marker = Some (Elfie_core.Pinball2elf.Ssc 0x4649L);
-                warmup_mark =
-                  (if r.Simpoint.warmup_actual > 0L then Some r.Simpoint.warmup_actual
-                   else None);
-              }
+              elfie_options r
+                {
+                  Elfie_core.Pinball2elf.default_options with
+                  sysstate = Some sysstate;
+                  marker = Some (Elfie_core.Pinball2elf.Ssc 0x4649L);
+                  warmup_mark =
+                    (if r.Simpoint.warmup_actual > 0L then
+                       Some r.Simpoint.warmup_actual
+                     else None);
+                }
             in
             let elfie = (Elfie_core.Pinball2elf.convert ~options pinball, sysstate) in
-            let sample = measure_elfie ~trials ~base_seed elfie in
-            if sample.Perf.failures < trials then begin
-              let sample2 =
-                Option.map
-                  (fun seed -> measure_elfie ~trials ~base_seed:seed elfie)
-                  second_base_seed
-              in
-              let sim_cpi =
-                if with_simulation then
-                  Some (simulate_region elfie ~warmup:r.Simpoint.warmup_actual)
-                else None
-              in
-              Hashtbl.replace resolved r.Simpoint.cluster
-                {
-                  region = r;
-                  rank_used = Some r.Simpoint.rank;
-                  elfie_sample = Some sample;
-                  elfie_sample2 = sample2;
-                  sim_cpi;
-                }
-            end
+            match
+              measure_with_seed_retry ~trials ~base_seed ~max_seed_retries elfie
+            with
+            | Some (sample, retries, seed) ->
+                if retries > 0 then
+                  degrade
+                    {
+                      deg_cluster = r.Simpoint.cluster;
+                      deg_action = Seed_retried { retries; seed };
+                      deg_detail =
+                        Printf.sprintf
+                          "region rank %d failed all %d trial(s) at base seed \
+                           %Ld"
+                          r.Simpoint.rank trials base_seed;
+                    };
+                if r.Simpoint.rank > 0 then
+                  degrade
+                    {
+                      deg_cluster = r.Simpoint.cluster;
+                      deg_action = Alternate_used { rank = r.Simpoint.rank };
+                      deg_detail =
+                        Printf.sprintf
+                          "higher-ranked representative(s) did not re-execute \
+                           gracefully";
+                    };
+                let sample2 =
+                  Option.map
+                    (fun seed -> measure_elfie ~trials ~base_seed:seed elfie)
+                    second_base_seed
+                in
+                let sim_cpi =
+                  if with_simulation then
+                    Some (simulate_region elfie ~warmup:r.Simpoint.warmup_actual)
+                  else None
+                in
+                Hashtbl.replace resolved r.Simpoint.cluster
+                  {
+                    region = r;
+                    rank_used = Some r.Simpoint.rank;
+                    elfie_sample = Some sample;
+                    elfie_sample2 = sample2;
+                    sim_cpi;
+                  }
+            | None -> ())
         | Some _ | None -> ())
       requests;
     pending :=
@@ -155,6 +223,17 @@ let validate ?(params = Simpoint.default_params) ?(trials = 3)
         match Hashtbl.find_opt resolved rep.Simpoint.cluster with
         | Some outcome -> outcome
         | None ->
+            degrade
+              {
+                deg_cluster = rep.Simpoint.cluster;
+                deg_action = Abandoned;
+                deg_detail =
+                  Printf.sprintf
+                    "no alternate among the first %d re-executed gracefully \
+                     (weight %.3f lost)"
+                    (min max_alternates (List.length alts))
+                    rep.Simpoint.weight;
+              };
             { region = rep; rank_used = None; elfie_sample = None;
               elfie_sample2 = None; sim_cpi = None })
       clusters
@@ -225,4 +304,5 @@ let validate ?(params = Simpoint.default_params) ?(trials = 3)
     sim_pred_cpi;
     sim_error;
     regions;
+    degradations = List.rev !degradations;
   }

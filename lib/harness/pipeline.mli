@@ -15,6 +15,27 @@ type region_outcome = {
   sim_cpi : float option;  (** CoreSim region CPI (when simulation is on) *)
 }
 
+(** Graceful-recovery audit trail. Every time the pipeline had to do
+    more than measure a region's first ELFie at the first seed — retry
+    with fresh stack-randomization seeds after an all-trials failure
+    (typically a stack collision), fall back to a lower-ranked alternate
+    region, or abandon a cluster entirely — one record lands here. *)
+type deg_action =
+  | Seed_retried of { retries : int; seed : int64 }
+      (** recovered after [retries] reseeds; [seed] is the base seed
+          that finally produced a graceful trial *)
+  | Alternate_used of { rank : int }
+      (** the cluster is represented by its rank-[rank] alternate *)
+  | Abandoned  (** no alternate re-executed gracefully; coverage lost *)
+
+type degradation = {
+  deg_cluster : int;
+  deg_action : deg_action;
+  deg_detail : string;
+}
+
+val pp_degradation : Format.formatter -> degradation -> unit
+
 type validation = {
   bench : string;
   total_ins : int64;
@@ -29,6 +50,7 @@ type validation = {
   sim_pred_cpi : float option;
   sim_error : float option;  (** same, via whole-program simulation *)
   regions : region_outcome list;
+  degradations : degradation list;  (** recovery actions, in order *)
 }
 
 (** Build one region ELFie: capture a fat pinball over the region,
@@ -52,7 +74,17 @@ val measure_elfie :
 
 (** Full validation of simulation-region selection for one benchmark.
     [second_base_seed] adds an independent second set of ELFie
-    measurements (Fig. 9 runs two instances). *)
+    measurements (Fig. 9 runs two instances).
+
+    Recovery: a region whose trials {e all} fail (e.g. its ELFie's
+    stack sections collide with the randomized native stack) is retried
+    up to [max_seed_retries] times under different stack-randomization
+    base seeds before the pipeline falls back to the cluster's next
+    ranked alternate region. Every recovery action is recorded in
+    [degradations].
+
+    [elfie_options] post-processes the conversion options per region —
+    primarily a hook for fault-injection tests. *)
 val validate :
   ?params:Elfie_simpoint.Simpoint.params ->
   ?trials:int ->
@@ -60,5 +92,10 @@ val validate :
   ?second_base_seed:int64 ->
   ?with_simulation:bool ->
   ?max_alternates:int ->
+  ?max_seed_retries:int ->
+  ?elfie_options:
+    (Elfie_simpoint.Simpoint.region ->
+     Elfie_core.Pinball2elf.options ->
+     Elfie_core.Pinball2elf.options) ->
   Elfie_workloads.Suite.benchmark ->
   validation

@@ -6,10 +6,18 @@ type mode =
   | Constrained
   | Injectionless of { seed : int64; fs_init : Fs.t -> unit }
 
+type divergence = {
+  div_tid : int;
+  div_pc : int64;
+  div_icount : int64;
+  div_what : string;
+}
+
 type result = {
   per_thread_retired : int64 array;
   matched_icounts : bool;
   divergences : int;
+  first_divergence : divergence option;
   retired : int64;
   cycles : int64;
   stdout : string;
@@ -36,6 +44,21 @@ let materialize ?(constrained = true) ?(seed = 7L) ?(fs_init = fun _ -> ())
   Vkernel.install kernel machine;
   Vkernel.force_brk kernel pb.brk;
   let divergences = ref 0 in
+  let first_div = ref None in
+  let diverge m tid what =
+    incr divergences;
+    if !first_div = None then begin
+      let th = Machine.thread m tid in
+      first_div :=
+        Some
+          {
+            div_tid = tid;
+            div_pc = th.Machine.ctx.Context.rip;
+            div_icount = th.Machine.retired;
+            div_what = what;
+          }
+    end
+  in
   if constrained then begin
     let queues = Array.map (fun l -> ref l) pb.injections in
     Machine.set_syscall_filter machine (fun m tid ->
@@ -43,17 +66,22 @@ let materialize ?(constrained = true) ?(seed = 7L) ?(fs_init = fun _ -> ())
           Int64.to_int (Context.get (Machine.thread m tid).Machine.ctx Elfie_isa.Reg.RAX)
         in
         if tid >= Array.length queues then begin
-          incr divergences;
+          diverge m tid
+            (Printf.sprintf "syscall %d from unrecorded thread" actual_nr);
           Machine.Run_syscall
         end
         else
           match !(queues.(tid)) with
           | [] ->
-              incr divergences;
+              diverge m tid
+                (Printf.sprintf "syscall %d beyond the recorded log" actual_nr);
               Machine.Run_syscall
           | entry :: rest ->
               queues.(tid) := rest;
-              if entry.Pinball.sys_nr <> actual_nr then incr divergences;
+              if entry.Pinball.sys_nr <> actual_nr then
+                diverge m tid
+                  (Printf.sprintf "syscall %d where the log recorded %d"
+                     actual_nr entry.Pinball.sys_nr);
               if entry.sys_reexec then Machine.Run_syscall
               else begin
                 (* Inject: result register plus kernel memory effects. *)
@@ -66,7 +94,7 @@ let materialize ?(constrained = true) ?(seed = 7L) ?(fs_init = fun _ -> ())
                 Machine.Skip_syscall
               end)
   end;
-  (machine, kernel, fun () -> !divergences)
+  (machine, kernel, fun () -> (!divergences, !first_div))
 
 let replay ?(mode = Constrained) (pb : Pinball.t) =
   let constrained, seed, fs_init =
@@ -74,7 +102,7 @@ let replay ?(mode = Constrained) (pb : Pinball.t) =
     | Constrained -> (true, 7L, fun _ -> ())
     | Injectionless { seed; fs_init } -> (false, seed, fs_init)
   in
-  let machine, kernel, divergences = materialize ~constrained ~seed ~fs_init pb in
+  let machine, kernel, div_state = materialize ~constrained ~seed ~fs_init pb in
   if not constrained then begin
     (* Mimic the ELFie hardware-counter exit: stop each region-start
        thread at its recorded instruction count. *)
@@ -92,10 +120,43 @@ let replay ?(mode = Constrained) (pb : Pinball.t) =
          (fun i -> per_thread_retired.(i) = pb.icounts.(i))
          (Array.init (Array.length pb.icounts) (fun i -> i))
   in
+  let divergences, first_divergence = div_state () in
+  (* An icount mismatch with no syscall-level divergence still pins the
+     first offending thread: report where it stopped. *)
+  let first_divergence =
+    if first_divergence <> None || matched_icounts then first_divergence
+    else
+      Array.to_list
+        (Array.init (Array.length pb.icounts) (fun i -> i))
+      |> List.find_map (fun tid ->
+             let recorded = pb.icounts.(tid) in
+             let actual =
+               if tid < Array.length per_thread_retired then
+                 per_thread_retired.(tid)
+               else 0L
+             in
+             if actual = recorded then None
+             else
+               let pc =
+                 if tid < Array.length per_thread_retired then
+                   (Machine.thread machine tid).Machine.ctx.Context.rip
+                 else 0L
+               in
+               Some
+                 {
+                   div_tid = tid;
+                   div_pc = pc;
+                   div_icount = actual;
+                   div_what =
+                     Printf.sprintf "retired %Ld instructions, recorded %Ld"
+                       actual recorded;
+                 })
+  in
   {
     per_thread_retired;
     matched_icounts;
-    divergences = divergences ();
+    divergences;
+    first_divergence;
     retired = Machine.total_retired machine;
     cycles = Machine.elapsed_cycles machine;
     stdout = Vkernel.stdout_contents kernel;

@@ -15,11 +15,25 @@ type mode =
   | Constrained
   | Injectionless of { seed : int64; fs_init : Elfie_kernel.Fs.t -> unit }
 
+(** Where replay first left the recorded execution: the thread, its
+    program counter and retired instruction count at that point, and a
+    description of what disagreed. *)
+type divergence = {
+  div_tid : int;
+  div_pc : int64;
+  div_icount : int64;
+  div_what : string;
+}
+
 type result = {
   per_thread_retired : int64 array;
   matched_icounts : bool;
       (** every region-start thread retired exactly its recorded count *)
   divergences : int;  (** syscalls that did not line up with the log *)
+  first_divergence : divergence option;
+      (** the first syscall-level divergence, or (when syscalls lined up
+          but counts did not) the first thread whose retired count
+          disagrees with the recording *)
   retired : int64;
   cycles : int64;
   stdout : string;
@@ -31,10 +45,13 @@ val replay : ?mode:mode -> Elfie_pinball.Pinball.t -> result
 (** Build the machine/kernel pair positioned at region start without
     running it — used by simulators that drive execution themselves.
     Returns the per-tid injection queues already wired when
-    [constrained] is true. *)
+    [constrained] is true; the closure reports the divergence count and
+    the first divergence seen so far. *)
 val materialize :
   ?constrained:bool ->
   ?seed:int64 ->
   ?fs_init:(Elfie_kernel.Fs.t -> unit) ->
   Elfie_pinball.Pinball.t ->
-  Elfie_machine.Machine.t * Elfie_kernel.Vkernel.t * (unit -> int)
+  Elfie_machine.Machine.t
+  * Elfie_kernel.Vkernel.t
+  * (unit -> int * divergence option)

@@ -92,11 +92,20 @@ let install t fs ~workdir =
 let to_files t =
   ("BRK.log", Printf.sprintf "0x%Lx 0x%Lx\n" t.brk_start t.brk_end) :: t.files
 
-let of_files files =
+let of_files ?(artifact = "<sysstate>") files =
+  let brk_art = Filename.concat artifact "BRK.log" in
   let brk_start, brk_end =
     match List.assoc_opt "BRK.log" files with
-    | Some s -> Scanf.sscanf s "0x%Lx 0x%Lx" (fun a b -> (a, b))
-    | None -> failwith "Sysstate.of_files: missing BRK.log"
+    | Some s -> (
+        match Scanf.sscanf s "0x%Lx 0x%Lx" (fun a b -> (a, b)) with
+        | v -> v
+        | exception (Scanf.Scan_failure _ | End_of_file | Failure _) ->
+            Elfie_util.Diag.fail ~artifact:brk_art Elfie_util.Diag.Malformed
+              "BRK.log does not contain two hex words (got %S)"
+              (String.sub s 0 (min 32 (String.length s))))
+    | None ->
+        Elfie_util.Diag.fail ~artifact:brk_art Elfie_util.Diag.Missing_file
+          "sysstate directory %s is missing BRK.log" artifact
   in
   let files = List.filter (fun (n, _) -> n <> "BRK.log") files in
   let fd_files =
@@ -139,16 +148,32 @@ let save t ~dir =
       close_out oc)
     (to_files t)
 
+let of_files_result ?artifact files =
+  Elfie_util.Diag.protect (fun () -> of_files ?artifact files)
+
 let load_dir ~dir =
   let files =
-    Sys.readdir dir |> Array.to_list
-    |> List.map (fun f ->
-           let ic = open_in_bin (Filename.concat dir f) in
-           let s = really_input_string ic (in_channel_length ic) in
-           close_in ic;
-           (decode_name f, s))
+    match Sys.readdir dir with
+    | names ->
+        Array.to_list names
+        |> List.map (fun f ->
+               let path = Filename.concat dir f in
+               match
+                 let ic = open_in_bin path in
+                 Fun.protect
+                   ~finally:(fun () -> close_in_noerr ic)
+                   (fun () -> really_input_string ic (in_channel_length ic))
+               with
+               | s -> (decode_name f, s)
+               | exception Sys_error msg ->
+                   Elfie_util.Diag.fail ~artifact:path Elfie_util.Diag.Io_error
+                     "%s" msg)
+    | exception Sys_error msg ->
+        Elfie_util.Diag.fail ~artifact:dir Elfie_util.Diag.Io_error "%s" msg
   in
-  of_files files
+  of_files ~artifact:dir files
+
+let load_dir_result ~dir = Elfie_util.Diag.protect (fun () -> load_dir ~dir)
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>sysstate: brk 0x%Lx..0x%Lx@," t.brk_start t.brk_end;

@@ -33,11 +33,22 @@ val install : t -> Elfie_kernel.Fs.t -> workdir:string -> unit
     directory): proxy files plus [BRK.log]. *)
 val to_files : t -> (string * string) list
 
-val of_files : (string * string) list -> t
+(** Rebuild from a file set; raises [Elfie_util.Diag.Error] on a missing
+    or malformed [BRK.log]. [artifact] names the directory in
+    diagnostics. *)
+val of_files : ?artifact:string -> (string * string) list -> t
+
+(** Non-raising variant of {!of_files}. *)
+val of_files_result :
+  ?artifact:string -> (string * string) list -> (t, Elfie_util.Diag.t) result
 
 (** Write/read the sysstate directory on the real filesystem (slashes in
-    proxy names are percent-encoded in file names). *)
+    proxy names are percent-encoded in file names). [load_dir] raises
+    [Elfie_util.Diag.Error] on unreadable or malformed members. *)
 val save : t -> dir:string -> unit
 
 val load_dir : dir:string -> t
+
+(** Non-raising variant of {!load_dir}. *)
+val load_dir_result : dir:string -> (t, Elfie_util.Diag.t) result
 val pp : Format.formatter -> t -> unit

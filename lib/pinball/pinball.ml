@@ -47,15 +47,6 @@ let write_text t =
     t.pages;
   Bytes.to_string (Byteio.Writer.contents w)
 
-let read_text s =
-  let r = Byteio.Reader.of_string s in
-  if Byteio.Reader.u32 r <> text_magic then failwith "Pinball: bad .text magic";
-  let n = Byteio.Reader.u32 r in
-  List.init n (fun _ ->
-      let addr = Byteio.Reader.u64 r in
-      let len = Byteio.Reader.u32 r in
-      (addr, Byteio.Reader.bytes r len))
-
 let write_global t =
   let w = Byteio.Writer.create () in
   Byteio.Writer.u32 w global_magic;
@@ -71,22 +62,6 @@ let write_global t =
       Byteio.Writer.u64 w value)
     t.symbols;
   Bytes.to_string (Byteio.Writer.contents w)
-
-let read_global s =
-  let r = Byteio.Reader.of_string s in
-  if Byteio.Reader.u32 r <> global_magic then failwith "Pinball: bad .global.log";
-  let fat = Byteio.Reader.u8 r = 1 in
-  let n = Byteio.Reader.u32 r in
-  let icounts = Array.init n (fun _ -> Byteio.Reader.u64 r) in
-  let brk = Byteio.Reader.u64 r in
-  let nsyms = Byteio.Reader.u32 r in
-  let symbols =
-    List.init nsyms (fun _ ->
-        let len = Byteio.Reader.u32 r in
-        let name = Byteio.Reader.string_n r len in
-        (name, Byteio.Reader.u64 r))
-  in
-  (fat, icounts, brk, symbols)
 
 let write_inj t =
   let w = Byteio.Writer.create () in
@@ -117,30 +92,6 @@ let write_inj t =
     t.injections;
   Bytes.to_string (Byteio.Writer.contents w)
 
-let read_inj s =
-  let r = Byteio.Reader.of_string s in
-  if Byteio.Reader.u32 r <> inj_magic then failwith "Pinball: bad .inj magic";
-  let threads = Byteio.Reader.u32 r in
-  Array.init threads (fun _ ->
-      let n = Byteio.Reader.u32 r in
-      List.init n (fun _ ->
-          let sys_nr = Byteio.Reader.u32 r in
-          let sys_args = Array.init 6 (fun _ -> Byteio.Reader.u64 r) in
-          let sys_path =
-            let len = Byteio.Reader.u32 r in
-            if len = 0xffff_ffff then None else Some (Byteio.Reader.string_n r len)
-          in
-          let sys_ret = Byteio.Reader.u64 r in
-          let sys_reexec = Byteio.Reader.u8 r = 1 in
-          let nw = Byteio.Reader.u32 r in
-          let sys_writes =
-            List.init nw (fun _ ->
-                let addr = Byteio.Reader.u64 r in
-                let len = Byteio.Reader.u32 r in
-                (addr, Byteio.Reader.string_n r len))
-          in
-          { sys_nr; sys_args; sys_path; sys_ret; sys_writes; sys_reexec }))
-
 let write_order t =
   let w = Byteio.Writer.create () in
   Byteio.Writer.u32 w order_magic;
@@ -152,13 +103,130 @@ let write_order t =
     t.schedule;
   Bytes.to_string (Byteio.Writer.contents w)
 
-let read_order s =
-  let r = Byteio.Reader.of_string s in
-  if Byteio.Reader.u32 r <> order_magic then failwith "Pinball: bad .order magic";
+(* --- Deserialization ----------------------------------------------------
+
+   Every member reader reports malformed input as a structured
+   [Diag.t]: magic/count checks raise [Diag.Error] directly; cursor
+   exhaustion inside Byteio surfaces as [Truncated] and is converted at
+   the member boundary. Count fields are checked against the bytes
+   actually present before any allocation, so an oversized count in a
+   corrupt file is a diagnostic, not a gigantic allocation or a hang. *)
+
+let expect_magic r ~artifact ~what expected =
+  let off = Byteio.Reader.pos r in
+  let m = Byteio.Reader.u32 r in
+  if m <> expected then
+    Diag.fail ~offset:off ~artifact Diag.Bad_magic
+      "bad %s magic 0x%08x (expected 0x%08x)" what m expected
+
+(* A count of entries each at least [entry_min] bytes long. *)
+let read_count r ~artifact ~what ~entry_min =
+  let off = Byteio.Reader.pos r in
   let n = Byteio.Reader.u32 r in
-  List.init n (fun _ ->
-      let tid = Byteio.Reader.u32 r in
-      (tid, Byteio.Reader.u32 r))
+  if n * entry_min > Byteio.Reader.remaining r then
+    Diag.fail ~offset:off ~artifact Diag.Count_out_of_range
+      "%s count %d cannot fit in the %d bytes that follow" what n
+      (Byteio.Reader.remaining r);
+  n
+
+let finish r ~artifact =
+  if Byteio.Reader.remaining r > 0 then
+    Diag.fail ~offset:(Byteio.Reader.pos r) ~artifact Diag.Malformed
+      "%d trailing bytes after the last field" (Byteio.Reader.remaining r)
+
+(* Run a member parser, converting cursor exhaustion to a diagnostic. *)
+let parse ~artifact fn s =
+  let r = Byteio.Reader.of_string s in
+  match fn r with
+  | v ->
+      finish r ~artifact;
+      v
+  | exception Byteio.Truncated msg ->
+      Diag.fail ~offset:(Byteio.Reader.pos r) ~artifact Diag.Truncated "%s" msg
+
+let read_text ~artifact s =
+  parse ~artifact
+    (fun r ->
+      expect_magic r ~artifact ~what:".text" text_magic;
+      let n = read_count r ~artifact ~what:"page" ~entry_min:12 in
+      List.init n (fun _ ->
+          let addr = Byteio.Reader.u64 r in
+          let len = read_count r ~artifact ~what:"page length" ~entry_min:1 in
+          (addr, Byteio.Reader.bytes r len)))
+    s
+
+let read_global ~artifact s =
+  parse ~artifact
+    (fun r ->
+      expect_magic r ~artifact ~what:".global.log" global_magic;
+      let fat_off = Byteio.Reader.pos r in
+      let fat_byte = Byteio.Reader.u8 r in
+      if fat_byte > 1 then
+        Diag.fail ~offset:fat_off ~artifact Diag.Malformed
+          "fat flag is %d (expected 0 or 1)" fat_byte;
+      let fat = fat_byte = 1 in
+      let n = read_count r ~artifact ~what:"thread" ~entry_min:8 in
+      let icounts = Array.init n (fun _ -> Byteio.Reader.u64 r) in
+      let brk = Byteio.Reader.u64 r in
+      let nsyms = read_count r ~artifact ~what:"symbol" ~entry_min:12 in
+      let symbols =
+        List.init nsyms (fun _ ->
+            let len = read_count r ~artifact ~what:"symbol name" ~entry_min:1 in
+            let name = Byteio.Reader.string_n r len in
+            (name, Byteio.Reader.u64 r))
+      in
+      (fat, icounts, brk, symbols))
+    s
+
+let read_inj ~artifact s =
+  parse ~artifact
+    (fun r ->
+      expect_magic r ~artifact ~what:".inj" inj_magic;
+      let threads = read_count r ~artifact ~what:"thread" ~entry_min:4 in
+      Array.init threads (fun _ ->
+          let n = read_count r ~artifact ~what:"injection entry" ~entry_min:69 in
+          List.init n (fun _ ->
+              let sys_nr = Byteio.Reader.u32 r in
+              let sys_args = Array.init 6 (fun _ -> Byteio.Reader.u64 r) in
+              let sys_path =
+                let off = Byteio.Reader.pos r in
+                let len = Byteio.Reader.u32 r in
+                if len = 0xffff_ffff then None
+                else if len > Byteio.Reader.remaining r then
+                  Diag.fail ~offset:off ~artifact Diag.Count_out_of_range
+                    "path length %d exceeds %d remaining bytes" len
+                    (Byteio.Reader.remaining r)
+                else Some (Byteio.Reader.string_n r len)
+              in
+              let sys_ret = Byteio.Reader.u64 r in
+              let sys_reexec = Byteio.Reader.u8 r = 1 in
+              let nw = read_count r ~artifact ~what:"kernel write" ~entry_min:12 in
+              let sys_writes =
+                List.init nw (fun _ ->
+                    let addr = Byteio.Reader.u64 r in
+                    let len =
+                      read_count r ~artifact ~what:"write length" ~entry_min:1
+                    in
+                    (addr, Byteio.Reader.string_n r len))
+              in
+              { sys_nr; sys_args; sys_path; sys_ret; sys_writes; sys_reexec })))
+    s
+
+let read_order ~artifact s =
+  parse ~artifact
+    (fun r ->
+      expect_magic r ~artifact ~what:".order" order_magic;
+      let n = read_count r ~artifact ~what:"schedule slice" ~entry_min:8 in
+      List.init n (fun _ ->
+          let tid = Byteio.Reader.u32 r in
+          (tid, Byteio.Reader.u32 r)))
+    s
+
+let read_reg ~artifact s =
+  match Elfie_machine.Context.of_bytes (Bytes.of_string s) with
+  | ctx -> ctx
+  | exception Byteio.Truncated msg ->
+      Diag.fail ~artifact Diag.Truncated "register file too short: %s" msg
 
 let to_files t =
   let regs =
@@ -173,30 +241,47 @@ let to_files t =
     ("inj", write_inj t); ("order", write_order t) ]
   @ regs
 
-let of_files ~name files =
+let member_path ?dir ~name suffix =
+  let file = name ^ "." ^ suffix in
+  match dir with Some d -> Filename.concat d file | None -> file
+
+let of_files_exn ?dir ~name files =
   let get suffix =
     match List.assoc_opt suffix files with
     | Some s -> s
-    | None -> failwith (Printf.sprintf "Pinball: missing %s file" suffix)
+    | None ->
+        Diag.fail ~artifact:(member_path ?dir ~name suffix) Diag.Missing_file
+          "pinball %S in %s is missing its %s member (expected file %s)" name
+          (Option.value ~default:"<memory>" dir)
+          suffix
+          (member_path ?dir ~name suffix)
   in
-  let fat, icounts, brk, symbols = read_global (get "global.log") in
+  let art suffix = member_path ?dir ~name suffix in
+  let fat, icounts, brk, symbols =
+    read_global ~artifact:(art "global.log") (get "global.log")
+  in
   let n = Array.length icounts in
   let contexts =
     Array.init n (fun i ->
-        Elfie_machine.Context.of_bytes
-          (Bytes.of_string (get (Printf.sprintf "%d.reg" i))))
+        let suffix = Printf.sprintf "%d.reg" i in
+        read_reg ~artifact:(art suffix) (get suffix))
   in
   {
     name;
     fat;
     contexts;
-    pages = read_text (get "text");
+    pages = read_text ~artifact:(art "text") (get "text");
     icounts;
-    schedule = read_order (get "order");
-    injections = read_inj (get "inj");
+    schedule = read_order ~artifact:(art "order") (get "order");
+    injections = read_inj ~artifact:(art "inj") (get "inj");
     brk;
     symbols;
   }
+
+let of_files ~name files = of_files_exn ~name files
+
+let of_files_result ?dir ~name files =
+  Diag.protect (fun () -> of_files_exn ?dir ~name files)
 
 let save t ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -208,30 +293,45 @@ let save t ~dir =
       close_out oc)
     (to_files t)
 
-let load ~dir ~name =
+let load_exn ~dir ~name =
   let read_file suffix =
-    let path = Filename.concat dir (name ^ "." ^ suffix) in
+    let path = member_path ~dir ~name suffix in
     if Sys.file_exists path then begin
-      let ic = open_in_bin path in
-      let len = in_channel_length ic in
-      let s = really_input_string ic len in
-      close_in ic;
-      Some (suffix, s)
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | s -> Some (suffix, s)
+      | exception Sys_error msg ->
+          Diag.fail ~artifact:path Diag.Io_error "%s" msg
     end
     else None
   in
   let n_threads =
     match read_file "global.log" with
     | Some (_, s) ->
-        let _, icounts, _, _ = read_global s in
+        let _, icounts, _, _ =
+          read_global ~artifact:(member_path ~dir ~name "global.log") s
+        in
         Array.length icounts
-    | None -> failwith ("Pinball.load: no global.log for " ^ name)
+    | None ->
+        Diag.fail
+          ~artifact:(member_path ~dir ~name "global.log")
+          Diag.Missing_file "no pinball named %S in %s (expected file %s)" name
+          dir
+          (member_path ~dir ~name "global.log")
   in
   let suffixes =
     [ "text"; "global.log"; "inj"; "order" ]
     @ List.init n_threads (Printf.sprintf "%d.reg")
   in
-  of_files ~name (List.filter_map read_file suffixes)
+  of_files_exn ~dir ~name (List.filter_map read_file suffixes)
+
+let load ~dir ~name = load_exn ~dir ~name
+
+let load_result ~dir ~name = Diag.protect (fun () -> load_exn ~dir ~name)
 
 let equal a b =
   a.fat = b.fat

@@ -53,15 +53,28 @@ val image_bytes : t -> int
     PinPlay naming. *)
 val to_files : t -> (string * string) list
 
-(** Rebuild from the file set; raises [Failure] on malformed or missing
-    pieces. *)
+(** Rebuild from the file set. Malformed or missing members raise
+    [Elfie_util.Diag.Error] carrying the member name, the error code and
+    the byte offset of the offending field. *)
 val of_files : name:string -> (string * string) list -> t
 
+(** Non-raising variant of {!of_files}. [dir], when given, is only used
+    to report full artifact paths in diagnostics. *)
+val of_files_result :
+  ?dir:string ->
+  name:string ->
+  (string * string) list ->
+  (t, Elfie_util.Diag.t) result
+
 (** Write/read a pinball as [dir/name.<suffix>] files on the real
-    filesystem. *)
+    filesystem. [load] raises [Elfie_util.Diag.Error] on missing or
+    malformed members; diagnostics name the full on-disk path. *)
 val save : t -> dir:string -> unit
 
 val load : dir:string -> name:string -> t
+
+(** Non-raising variant of {!load}. *)
+val load_result : dir:string -> name:string -> (t, Elfie_util.Diag.t) result
 
 (** Structural equality (for round-trip tests). *)
 val equal : t -> t -> bool

@@ -1,0 +1,54 @@
+(* The fault-injection suite (dune alias @fault, also part of the
+   default test run).
+
+   Sweeps every corruption class over a captured pinball and a converted
+   ELFie at higher iteration counts than the unit tests, and fails if
+   any corruption escapes the readers/validators as a raw exception. *)
+
+module Fault_inject = Elfie_check.Fault_inject
+
+let iterations = 40
+
+let capture_pinball () =
+  let spec =
+    Elfie_workloads.Programs.spec
+      ~phases:
+        [ { kernel = Elfie_workloads.Kernels.Stream; reps = 1500 };
+          { kernel = Elfie_workloads.Kernels.Branchy; reps = 1200 } ]
+      ~outer_reps:6 ~threads:1 ~ws_bytes:32768 ~file_io:false ~time_calls:false
+      "faultpb"
+  in
+  let rs = Elfie_workloads.Programs.run_spec ~seed:42L spec in
+  let r =
+    Elfie_pin.Logger.capture rs ~name:"faultpb"
+      { Elfie_pin.Logger.start = 20_000L; length = 30_000L }
+  in
+  r.Elfie_pin.Logger.pinball
+
+let check_report what report =
+  Format.printf "%s: %a@." what Fault_inject.pp_report report;
+  let crashed = Fault_inject.crashes report in
+  if crashed <> [] then begin
+    Format.printf "FAILED: %d corruption(s) escaped as raw exceptions@."
+      (List.length crashed);
+    exit 1
+  end;
+  if report.Fault_inject.diagnosed = 0 then begin
+    Format.printf "FAILED: no corruption was diagnosed — sweep is vacuous@.";
+    exit 1
+  end
+
+let () =
+  let pb = capture_pinball () in
+  check_report "pinball fault sweep" (Fault_inject.run_pinball ~iterations pb);
+  let sysstate = Elfie_pin.Sysstate.analyze pb in
+  let image =
+    Elfie_core.Pinball2elf.convert
+      ~options:
+        { Elfie_core.Pinball2elf.default_options with sysstate = Some sysstate }
+      pb
+  in
+  check_report "elfie fault sweep" (Fault_inject.run_elf ~iterations image);
+  Format.printf "fault suite passed: %d classes, %d cases per artifact@."
+    (List.length Fault_inject.all_faults)
+    (iterations * List.length Fault_inject.all_faults)

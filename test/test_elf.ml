@@ -146,11 +146,34 @@ let prop_reader_total_truncation =
       | exception Image.Bad_elf _ -> true
       | exception _ -> false)
 
+(* Rejections through the Result boundary carry a structured diagnostic:
+   the caller's artifact label and a non-empty message, never a bare
+   exception. *)
+let prop_diagnostics_structured =
+  let mutation_gen =
+    QCheck.Gen.(list_size (int_range 1 8) (pair (int_range 0 10_000) (int_range 0 255)))
+  in
+  QCheck.Test.make ~name:"corrupted images yield structured diagnostics"
+    ~count:300 (QCheck.make mutation_gen) (fun mutations ->
+      let b = Image.write (sample ()) in
+      List.iter
+        (fun (off, v) ->
+          if off < Bytes.length b then Bytes.set b off (Char.chr v))
+        mutations;
+      match Image.read_result ~artifact:"fuzzed.elfie" b with
+      | Ok _ -> true
+      | Error d ->
+          d.Elfie_util.Diag.artifact = "fuzzed.elfie"
+          && String.length d.Elfie_util.Diag.message > 0
+      | exception e ->
+          QCheck.Test.fail_reportf "escaped: %s" (Printexc.to_string e))
+
 let suite =
   [
     Alcotest.test_case "roundtrip" `Quick test_roundtrip;
     QCheck_alcotest.to_alcotest prop_reader_total;
     QCheck_alcotest.to_alcotest prop_reader_total_truncation;
+    QCheck_alcotest.to_alcotest prop_diagnostics_structured;
     Alcotest.test_case "magic bytes" `Quick test_magic_bytes;
     Alcotest.test_case "loadable excludes non-alloc" `Quick
       test_loadable_excludes_non_alloc;

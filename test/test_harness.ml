@@ -87,9 +87,80 @@ let test_experiment_smoke () =
   Alcotest.(check bool) "fig11 both modes" true
     (contains ~sub:"pinball-sim" out11 && contains ~sub:"ELFie-sim" out11)
 
+(* Graceful recovery, layer 2: regions whose ELFies never execute
+   gracefully (here: counters disarmed for every rank-0 representative,
+   so no trial at any seed can succeed) must fall back to the next
+   ranked alternate, and the fallback must be recorded. *)
+let test_recovery_alternate_region () =
+  let b =
+    { Elfie_workloads.Suite.bname = "tinyalt"; spec = Tutil.tiny_spec "tinyalt" }
+  in
+  let params =
+    { Elfie_simpoint.Simpoint.default_params with
+      slice_size = 10_000L; warmup = 20_000L; max_k = 6 }
+  in
+  let sabotage (r : Elfie_simpoint.Simpoint.region) options =
+    if r.Elfie_simpoint.Simpoint.rank = 0 then
+      { options with Elfie_core.Pinball2elf.arm_counters = false }
+    else options
+  in
+  let v =
+    Pipeline.validate ~params ~trials:2 ~max_seed_retries:1
+      ~elfie_options:sabotage b
+  in
+  Alcotest.(check bool) "still covered" true (v.Pipeline.coverage > 0.0);
+  Alcotest.(check bool) "no rank-0 region used" true
+    (List.for_all
+       (fun ro -> ro.Pipeline.rank_used <> Some 0)
+       v.Pipeline.regions);
+  Alcotest.(check bool) "alternate fallback recorded" true
+    (List.exists
+       (fun d ->
+         match d.Pipeline.deg_action with
+         | Pipeline.Alternate_used { rank } -> rank > 0
+         | _ -> false)
+       v.Pipeline.degradations)
+
+(* Graceful recovery, layer 1: an ELFie built with allocatable stack
+   sections and run under the capture's own seed collides with the
+   (identically randomized) native stack — the paper's stack-collision
+   failure. The pipeline must retry under fresh seeds or fall back to an
+   alternate region, and record what it did. *)
+let test_recovery_stack_collision () =
+  let b =
+    { Elfie_workloads.Suite.bname = "tinystk"; spec = Tutil.tiny_spec "tinystk" }
+  in
+  let params =
+    { Elfie_simpoint.Simpoint.default_params with
+      slice_size = 10_000L; warmup = 20_000L; max_k = 6 }
+  in
+  let alloc_stacks _r options =
+    { options with Elfie_core.Pinball2elf.alloc_stack_sections = true }
+  in
+  (* base_seed 42L = the capture seed: trial 0 reproduces the capture's
+     stack randomization exactly, so the collision is deterministic. *)
+  let v =
+    Pipeline.validate ~params ~trials:1 ~base_seed:42L ~max_seed_retries:4
+      ~elfie_options:alloc_stacks b
+  in
+  Alcotest.(check bool) "recovered coverage" true (v.Pipeline.coverage > 0.0);
+  Alcotest.(check bool) "degradation recorded" true
+    (v.Pipeline.degradations <> []);
+  Alcotest.(check bool) "recovery action is retry or alternate" true
+    (List.exists
+       (fun d ->
+         match d.Pipeline.deg_action with
+         | Pipeline.Seed_retried _ | Pipeline.Alternate_used _ -> true
+         | Pipeline.Abandoned -> false)
+       v.Pipeline.degradations)
+
 let suite =
   [
     Alcotest.test_case "experiment smoke (table4, fig11)" `Slow test_experiment_smoke;
+    Alcotest.test_case "recovery: alternate region" `Slow
+      test_recovery_alternate_region;
+    Alcotest.test_case "recovery: stack collision" `Slow
+      test_recovery_stack_collision;
     Alcotest.test_case "table alignment" `Quick test_table_alignment;
     Alcotest.test_case "bars scaling" `Quick test_bars_scaling;
     Alcotest.test_case "pct" `Quick test_pct;

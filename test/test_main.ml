@@ -7,4 +7,5 @@ let () =
       ("simpoint", Test_simpoint.suite); ("simulators", Test_sim.suite);
       ("workloads", Test_workloads.suite); ("harness", Test_harness.suite);
       ("asm", Test_asm.suite); ("debugger", Test_debug.suite);
-      ("pintools", Test_tools.suite); ("criu", Test_criu.suite) ]
+      ("pintools", Test_tools.suite); ("criu", Test_criu.suite);
+      ("check", Test_check.suite) ]

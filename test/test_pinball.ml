@@ -45,8 +45,30 @@ let test_file_set_names () =
 
 let test_missing_piece () =
   let files = List.remove_assoc "inj" (Pinball.to_files (sample ())) in
-  Alcotest.check_raises "missing inj" (Failure "Pinball: missing inj file")
-    (fun () -> ignore (Pinball.of_files ~name:"t" files))
+  match Pinball.of_files_result ~name:"t" files with
+  | Ok _ -> Alcotest.fail "missing inj member was accepted"
+  | Error d ->
+      Alcotest.(check bool)
+        "missing-file code" true
+        (d.Elfie_util.Diag.code = Elfie_util.Diag.Missing_file);
+      (* The message must name the expected file so the user can fix it. *)
+      Alcotest.(check bool)
+        "names the member" true
+        (Tutil.contains d.Elfie_util.Diag.message "t.inj")
+
+let test_load_error_names_dir () =
+  let dir = Filename.temp_file "pinball" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  match Pinball.load_result ~dir ~name:"ghost" with
+  | Ok _ -> Alcotest.fail "empty directory yielded a pinball"
+  | Error d ->
+      Alcotest.(check bool)
+        "names the directory" true
+        (Tutil.contains d.Elfie_util.Diag.message dir);
+      Alcotest.(check bool)
+        "names the expected file" true
+        (Tutil.contains d.Elfie_util.Diag.message "ghost.global.log")
 
 let test_disk_roundtrip () =
   let dir = Filename.temp_file "pinball" "" in
@@ -85,12 +107,54 @@ let prop_injection_roundtrip =
       let pb = { (sample ()) with Pinball.injections = [| entries; [] |] } in
       Pinball.equal pb (Pinball.of_files ~name:"t" (Pinball.to_files pb)))
 
+(* Any single-member corruption must yield either a parsed pinball or a
+   structured diagnostic — never another exception. *)
+let classify_corrupted files =
+  match Pinball.of_files_result ~name:"t" files with
+  | Ok _ | Error _ -> true
+  | exception e -> QCheck.Test.fail_reportf "escaped: %s" (Printexc.to_string e)
+
+let member_gen =
+  QCheck.Gen.oneofl [ "text"; "global.log"; "inj"; "order"; "0.reg"; "1.reg" ]
+
+let prop_bit_flip_total =
+  QCheck.Test.make ~name:"pinball reader total under bit flips" ~count:300
+    (QCheck.make
+       QCheck.Gen.(triple member_gen (int_bound 10_000) (int_bound 7)))
+    (fun (member, off, bit) ->
+      let files = Pinball.to_files (sample ()) in
+      let content = List.assoc member files in
+      QCheck.assume (String.length content > 0);
+      let off = off mod String.length content in
+      let b = Bytes.of_string content in
+      Bytes.set b off
+        (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl bit)));
+      classify_corrupted
+        (List.map
+           (fun (s, c) -> if s = member then (s, Bytes.to_string b) else (s, c))
+           files))
+
+let prop_truncation_total =
+  QCheck.Test.make ~name:"pinball reader total under truncation" ~count:300
+    (QCheck.make QCheck.Gen.(pair member_gen (int_bound 10_000)))
+    (fun (member, keep) ->
+      let files = Pinball.to_files (sample ()) in
+      let content = List.assoc member files in
+      let keep = if String.length content = 0 then 0 else keep mod String.length content in
+      classify_corrupted
+        (List.map
+           (fun (s, c) -> if s = member then (s, String.sub c 0 keep) else (s, c))
+           files))
+
 let suite =
   [
     Alcotest.test_case "files roundtrip" `Quick test_files_roundtrip;
     Alcotest.test_case "file-set names" `Quick test_file_set_names;
     Alcotest.test_case "missing piece fails" `Quick test_missing_piece;
+    Alcotest.test_case "load error names dir" `Quick test_load_error_names_dir;
     Alcotest.test_case "disk roundtrip" `Quick test_disk_roundtrip;
     Alcotest.test_case "accessors" `Quick test_accessors;
     QCheck_alcotest.to_alcotest prop_injection_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bit_flip_total;
+    QCheck_alcotest.to_alcotest prop_truncation_total;
   ]

@@ -4,6 +4,12 @@ open Elfie_isa
 
 let i64 = Alcotest.int64
 
+(* Substring check for asserting on diagnostic messages. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
 (* Build a tiny single-section executable image from builder code placed
    at [base], plus an optional zeroed data section. *)
 let image_of ?(base = 0x40_0000L) ?data_section b =
