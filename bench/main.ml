@@ -97,6 +97,18 @@ let bench_table5 =
            (Elfie_gem5.Gem5.simulate_se Elfie_gem5.Gem5.nehalem
               (Lazy.force elfie_image))))
 
+(* Cross-cutting: the supervised native-run path (watchdog pintool +
+   classification on top of fig9's raw run — the supervision overhead). *)
+let bench_supervised =
+  Test.make ~name:"supervise/native-elfie-run"
+    (Staged.stage (fun () ->
+         ignore
+           (Elfie_supervise.Supervisor.run_elfie ~job:"bench"
+              ~budget:
+                { Elfie_supervise.Supervisor.ins = Some 100_000_000L;
+                  wall_s = Some 30.0 }
+              (Lazy.force elfie_image))))
+
 (* Cross-cutting: pinball -> ELF conversion and ELF codec. *)
 let bench_convert =
   Test.make ~name:"core/pinball2elf-convert"
@@ -112,7 +124,8 @@ let bench_elf_codec =
 let tests =
   Test.make_grouped ~name:"elfie"
     [ bench_table1; bench_fig9; bench_table2; bench_fig10; bench_fig11;
-      bench_table4; bench_table5; bench_convert; bench_elf_codec ]
+      bench_table4; bench_table5; bench_supervised; bench_convert;
+      bench_elf_codec ]
 
 let run_benchmarks () =
   let ols =
@@ -152,10 +165,33 @@ let () =
   print_endline "=== Bechamel micro-benchmarks (one per table/figure) ===";
   run_benchmarks ();
   print_endline "=== Paper evaluation: every table and figure ===\n";
+  (* Each phase runs as a supervised job: a crashing experiment is
+     classified and quarantined instead of aborting the run, and the
+     per-phase timing table below comes from the supervisor reports. *)
+  let module Supervisor = Elfie_supervise.Supervisor in
+  let specs =
+    List.map
+      (fun (e : Elfie_harness.Registry.experiment) ->
+        {
+          Supervisor.name = e.id;
+          job_inputs = [ e.id; e.title ];
+          exec =
+            (fun ~seed:_ ~max_ins:_ ->
+              Printf.printf "=== %s: %s ===\n%!" e.id e.title;
+              print_string (e.run ());
+              print_newline ();
+              ((), Elfie_supervise.Classify.Graceful));
+        })
+      Elfie_harness.Registry.all
+  in
+  let results = Supervisor.run_batch specs in
+  Printf.printf "=== Per-phase supervised timings ===\n";
+  Printf.printf "%-10s %-14s %9s %10s\n" "phase" "classification" "attempts"
+    "wall";
+  Printf.printf "%s\n" (String.make 47 '-');
   List.iter
-    (fun (e : Elfie_harness.Registry.experiment) ->
-      Printf.printf "=== %s: %s ===\n%!" e.id e.title;
-      let t0 = Unix.gettimeofday () in
-      print_string (e.run ());
-      Printf.printf "(%.1f s)\n\n%!" (Unix.gettimeofday () -. t0))
-    Elfie_harness.Registry.all
+    (fun (name, (r : Supervisor.report), _) ->
+      Printf.printf "%-10s %-14s %9d %9.1fs\n" name
+        (Elfie_supervise.Classify.to_string r.final)
+        (List.length r.attempts) r.total_wall_s)
+    results

@@ -8,7 +8,8 @@
 
 open Cmdliner
 
-let run path sysstate_dir seed trials max_ins disasm =
+let run path sysstate_dir seed trials max_ins timeout_ins retries journal_path
+    resume disasm =
   let ic = open_in_bin path in
   let bytes = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
   close_in ic;
@@ -39,21 +40,49 @@ let run path sysstate_dir seed trials max_ins disasm =
         Elfie_pin.Sysstate.install ss fs ~workdir:"/work"
     | None -> ()
   in
+  let module Supervisor = Elfie_supervise.Supervisor in
+  let module Journal = Elfie_supervise.Journal in
+  let journal = Option.map Journal.open_file journal_path in
+  let budget =
+    {
+      Supervisor.ins = Some (Option.value ~default:max_ins timeout_ins);
+      wall_s = None;
+    }
+  in
   for i = 0 to trials - 1 do
-    let outcome =
-      Elfie_core.Elfie_runner.run
-        ~seed:(Int64.add seed (Int64.of_int i))
-        ~fs_init ~cwd:"/work" ~max_ins image
+    let policy =
+      {
+        Supervisor.default_policy with
+        retries;
+        base_seed = Int64.add seed (Int64.of_int i);
+      }
     in
-    match outcome.load_error with
-    | Some msg -> Printf.printf "trial %d: process killed by loader: %s\n" i msg
-    | None ->
-        Printf.printf
-          "trial %d: graceful=%b region_instructions=%Ld cpi=%.3f%s%s\n" i
-          outcome.graceful outcome.app_retired outcome.region_cpi
-          (match outcome.fault with Some f -> " fault: " ^ f | None -> "")
-          (if outcome.stdout = "" then "" else " stdout: " ^ String.escaped outcome.stdout)
-  done
+    let job = Printf.sprintf "%s#trial%d" (Filename.basename path) i in
+    let report, outcome =
+      Supervisor.run_elfie ~job ~policy ~budget ?journal ~resume
+        ~inputs:[ path; Int64.to_string seed; string_of_int i ]
+        ~fs_init ~cwd:"/work" image
+    in
+    if report.Supervisor.skipped then
+      Printf.printf "trial %d: skipped (journalled graceful)\n" i
+    else begin
+      (match outcome with
+      | Some o when o.Elfie_core.Elfie_runner.load_error <> None ->
+          Printf.printf "trial %d: process killed by loader: %s\n" i
+            (Option.get o.load_error)
+      | Some o ->
+          Printf.printf
+            "trial %d: graceful=%b region_instructions=%Ld cpi=%.3f%s%s\n" i
+            o.Elfie_core.Elfie_runner.graceful o.app_retired o.region_cpi
+            (match o.fault with Some f -> " fault: " ^ f | None -> "")
+            (if o.stdout = "" then ""
+             else " stdout: " ^ String.escaped o.stdout)
+      | None -> ());
+      if report.Supervisor.quarantined || List.length report.attempts > 1 then
+        Format.printf "  supervisor: %a@." Supervisor.pp_report report
+    end
+  done;
+  Option.iter Journal.close journal
 
 let cmd =
   let path =
@@ -72,11 +101,47 @@ let cmd =
       value & opt int64 100_000_000L
       & info [ "max-ins" ] ~doc:"Safety cap on executed instructions.")
   in
+  let timeout_ins =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "timeout-ins" ]
+          ~doc:
+            "Supervised instruction budget per attempt (overrides \
+             $(b,--max-ins)); a run stopped by it classifies as a runaway \
+             and gets one raised-budget retry.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ]
+          ~doc:
+            "Supervisor retry budget for transient failures (stack \
+             collisions, syscall failures); each retry reseeds stack \
+             randomization.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Append supervised job records to this journal file.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Skip trials whose latest journal record is graceful (same \
+             inputs); requires $(b,--journal).")
+  in
   let disasm =
     Arg.(value & flag & info [ "disassemble" ] ~doc:"Dump the startup code.")
   in
   Cmd.v
-    (Cmd.info "elfie_run" ~doc:"run an ELFie natively")
-    Term.(const run $ path $ sysstate $ seed $ trials $ max_ins $ disasm)
+    (Cmd.info "elfie_run" ~doc:"run an ELFie natively (supervised)")
+    Term.(
+      const run $ path $ sysstate $ seed $ trials $ max_ins $ timeout_ins
+      $ retries $ journal $ resume $ disasm)
 
 let () = exit (Cmd.eval cmd)

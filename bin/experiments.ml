@@ -1,9 +1,15 @@
 (* Run any of the paper's tables/figures by id; `all` regenerates the
-   full evaluation. *)
+   full evaluation. Each experiment executes as a supervised job: crashes
+   are classified and quarantined instead of killing the batch, and with
+   --journal/--resume a killed batch picks up where it left off,
+   skipping experiments already journalled as graceful. *)
 
 open Cmdliner
+module Supervisor = Elfie_supervise.Supervisor
+module Journal = Elfie_supervise.Journal
+module Classify = Elfie_supervise.Classify
 
-let run_ids ids =
+let run_ids ids retries timeout_ins journal_path resume =
   let targets =
     match ids with
     | [ "all" ] | [] -> Elfie_harness.Registry.all
@@ -18,20 +24,86 @@ let run_ids ids =
                 exit 2)
           ids
   in
+  let journal = Option.map Journal.open_file journal_path in
+  let policy = { Supervisor.default_policy with retries } in
+  let budget = { Supervisor.unlimited with ins = timeout_ins } in
+  let specs =
+    List.map
+      (fun (e : Elfie_harness.Registry.experiment) ->
+        {
+          Supervisor.name = e.id;
+          job_inputs = [ e.id; e.title ];
+          exec =
+            (fun ~seed:_ ~max_ins:_ ->
+              Printf.printf "=== %s: %s ===\n%!" e.id e.title;
+              let t0 = Unix.gettimeofday () in
+              let out = e.run () in
+              print_string out;
+              Printf.printf "(%.1f s)\n\n%!" (Unix.gettimeofday () -. t0);
+              (out, Classify.Graceful));
+        })
+      targets
+  in
+  let results = Supervisor.run_batch ~policy ~budget ?journal ~resume specs in
+  let quarantined =
+    List.filter (fun (_, r, _) -> r.Supervisor.quarantined) results
+  in
   List.iter
-    (fun (e : Elfie_harness.Registry.experiment) ->
-      Printf.printf "=== %s: %s ===\n" e.id e.title;
-      let t0 = Unix.gettimeofday () in
-      print_string (e.run ());
-      Printf.printf "(%.1f s)\n\n%!" (Unix.gettimeofday () -. t0))
-    targets
+    (fun (_, (r : Supervisor.report), _) ->
+      if r.skipped then
+        Printf.printf "=== %s: skipped (journalled graceful) ===\n\n" r.job
+      else if r.quarantined then
+        Format.printf "=== %s: QUARANTINED — %a ===@.@." r.job
+          Supervisor.pp_report r)
+    results;
+  Option.iter Journal.close journal;
+  if quarantined <> [] then begin
+    Printf.printf "%d experiment(s) quarantined; re-run with --journal/--resume \
+                   to retry only those.\n"
+      (List.length quarantined);
+    exit 1
+  end
 
 let ids_arg =
   let doc = "Experiment ids (fig9, fig10, fig11, table1..table5) or 'all'." in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"ID" ~doc)
 
+let retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ]
+        ~doc:"Supervisor retry budget per experiment for transient failures.")
+
+let timeout_ins_arg =
+  Arg.(
+    value
+    & opt (some int64) None
+    & info [ "timeout-ins" ]
+        ~doc:
+          "Instruction budget per supervised attempt, for execution paths \
+           that honour it.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:"Append one supervised record per experiment to this file.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Skip experiments whose latest journal record is graceful; \
+           previously failed or interrupted ones re-run. Requires \
+           $(b,--journal).")
+
 let cmd =
   let doc = "regenerate the ELFies paper's evaluation tables and figures" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run_ids $ ids_arg)
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(
+      const run_ids $ ids_arg $ retries_arg $ timeout_ins_arg $ journal_arg
+      $ resume_arg)
 
 let () = exit (Cmd.eval cmd)

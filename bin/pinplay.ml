@@ -96,16 +96,22 @@ let log_cmd =
 
 (* --- replay ----------------------------------------------------------------- *)
 
-let replay dir name injection =
+let replay dir name injection no_injection =
   let pb = Elfie_pinball.Pinball.load ~dir ~name in
   let mode =
-    if injection then Elfie_pin.Replayer.Constrained
+    if injection && not no_injection then Elfie_pin.Replayer.Constrained
     else Elfie_pin.Replayer.Injectionless { seed = 7L; fs_init = (fun _ -> ()) }
   in
   let r = Elfie_pin.Replayer.replay ~mode pb in
   Printf.printf
-    "replayed %Ld instructions, matched_icounts=%b, divergences=%d, cycles=%Ld\n"
+    "replayed %Ld instructions, matched_icounts=%b, divergences=%d, cycles=%Ld%s\n"
     r.retired r.matched_icounts r.divergences r.cycles
+    (if r.capped then " (stopped by instruction cap)" else "");
+  match r.first_divergence with
+  | Some d ->
+      Printf.printf "first divergence: tid %d pc=0x%Lx icount=%Ld (%s)\n"
+        d.Elfie_pin.Replayer.div_tid d.div_pc d.div_icount d.div_what
+  | None -> ()
 
 let replay_cmd =
   let dir =
@@ -123,9 +129,18 @@ let replay_cmd =
       & info [ "injection" ]
           ~doc:"Inject logged syscall results (0 mimics an ELFie run).")
   in
+  let no_injection =
+    Arg.(
+      value & flag
+      & info [ "no-injection" ]
+          ~doc:
+            "Replay without injection (the paper's -replay:injection 0): \
+             syscalls re-execute natively, threads schedule freely — the \
+             supervisor's escalation mode for debugging divergences.")
+  in
   Cmd.v
     (Cmd.info "replay" ~doc:"replay a pinball (constrained by default)")
-    Term.(const replay $ dir $ pb_name $ injection)
+    Term.(const replay $ dir $ pb_name $ injection $ no_injection)
 
 (* --- check ------------------------------------------------------------------ *)
 

@@ -198,6 +198,18 @@ let run_elf ?(iterations = 20) ?(seed = 0x600DF00DL) (image : Image.t) =
     cases;
   }
 
+(* --- Execution-hang injection --------------------------------------------- *)
+
+let hang_elfie ?(options = Elfie_core.Pinball2elf.default_options) pb =
+  let spin b =
+    let loop = Elfie_isa.Builder.here ~name:"hang" b in
+    Elfie_isa.Builder.ins b Elfie_isa.Insn.Pause;
+    Elfie_isa.Builder.jmp b loop
+  in
+  Elfie_core.Pinball2elf.convert
+    ~options:{ options with Elfie_core.Pinball2elf.extra_on_exit = Some spin }
+    pb
+
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>%d fault(s): %d diagnosed, %d benign, %d crashed@,"
     r.total r.diagnosed r.accepted

@@ -49,4 +49,16 @@ val run_pinball :
     [Image.read_result] + {!Validate.elf}. *)
 val run_elf : ?iterations:int -> ?seed:int64 -> Elfie_elf.Image.t -> report
 
+(** Convert [pb] into an ELFie whose exit path spins forever: the region
+    counters fire as usual, but the process loops past them and never
+    exits — the hang failure class. Such a run is {e not} graceful; only
+    a watchdog (the runner's instruction cap or a supervisor wall-clock
+    limit) can stop it, after which it classifies as a runaway. Extra
+    conversion [options] are honoured; the injected exit-path spin
+    overrides [extra_on_exit]. *)
+val hang_elfie :
+  ?options:Elfie_core.Pinball2elf.options ->
+  Elfie_pinball.Pinball.t ->
+  Elfie_elf.Image.t
+
 val pp_report : Format.formatter -> report -> unit

@@ -6,8 +6,12 @@ open Elfie_kernel
 
 type outcome = {
   load_error : string option;
+  stack_collision : bool;
   graceful : bool;
   fault : string option;
+  machine_fault : (Machine.fault * int * int64) option;
+  runaway : bool;
+  exit_status : int option;
   app_retired : int64;
   app_cycles : int64;
   region_cpi : float;
@@ -17,11 +21,15 @@ type outcome = {
   threads : int;
 }
 
-let failed_outcome msg =
+let failed_outcome ?(stack_collision = false) msg =
   {
     load_error = Some msg;
+    stack_collision;
     graceful = false;
     fault = None;
+    machine_fault = None;
+    runaway = false;
+    exit_status = None;
     app_retired = 0L;
     app_cycles = 0L;
     region_cpi = 0.0;
@@ -31,9 +39,11 @@ let failed_outcome msg =
     threads = 0;
   }
 
+let runaway_fault_message = "runaway: max_ins exceeded"
+
 let run ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
     ?(max_ins = 100_000_000L) ?timing ?(kernel_cost = true)
-    (image : Elfie_elf.Image.t) =
+    ?(on_machine = fun (_ : Machine.t) -> ()) (image : Elfie_elf.Image.t) =
   let machine =
     Machine.create ?timing (Machine.Free { seed; quantum_min = 50; quantum_max = 200 })
   in
@@ -48,30 +58,60 @@ let run ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
   if kernel_cost then Machine.set_timer machine ~interval:8192 ~cycles:250 ~seed;
   match Loader.load kernel machine image ~argv:[ "elfie" ] ~env:[] with
   | exception Loader.Exec_failed msg -> failed_outcome msg
+  | exception Loader.Stack_collision { reserved; needed; stack_top } ->
+      failed_outcome ~stack_collision:true
+        (Printf.sprintf
+           "stack collision: only %d pages below 0x%Lx available (%d needed)"
+           reserved stack_top needed)
   | _tid, _layout ->
+      on_machine machine;
       Machine.run ~max_ins machine;
       let threads = Machine.threads machine in
       let armed = List.filter (fun th -> th.Machine.counter_target <> None) threads in
       (* Graceful = every armed thread either hit its region instruction
          count or exited cleanly through the application's own exit path
          (a region covering the program's end terminates that way, with
-         spin-dependent per-thread counts). Faults and still-running
-         threads at the cap are the failures. *)
+         spin-dependent per-thread counts) — and the process actually
+         terminated. An ELFie that loops past its fired region counters
+         without exiting (the hang failure class) is not graceful: it is
+         whatever watchdog stopped it. *)
+      let still_running =
+        List.exists (fun th -> th.Machine.state = Machine.Runnable) threads
+      in
       let graceful =
         armed <> []
+        && (not still_running)
         && List.for_all
              (fun th ->
                th.Machine.counter_fired || th.Machine.state = Machine.Exited 0)
              armed
       in
-      let fault =
+      let machine_fault =
         List.find_map
           (fun th ->
             match th.Machine.state with
-            | Machine.Faulted f ->
-                Some (Format.asprintf "tid %d: %a" th.Machine.tid Machine.pp_fault f)
+            | Machine.Faulted f -> Some (f, th.Machine.tid, th.Machine.retired)
             | Machine.Runnable | Machine.Exited _ -> None)
           threads
+      in
+      (* A thread still runnable once [Machine.run] returns means the
+         machine-wide instruction cap stopped a run that was never going
+         to end on its own — the diverged-and-looping failure mode. *)
+      let runaway = (not graceful) && still_running in
+      let exit_status =
+        List.find_map
+          (fun th ->
+            match th.Machine.state with
+            | Machine.Exited s when s <> 0 && not th.Machine.counter_fired ->
+                Some s
+            | Machine.Exited _ | Machine.Runnable | Machine.Faulted _ -> None)
+          armed
+      in
+      let fault =
+        match machine_fault with
+        | Some (f, tid, _) ->
+            Some (Format.asprintf "tid %d: %a" tid Machine.pp_fault f)
+        | None -> if runaway then Some runaway_fault_message else None
       in
       let app_retired =
         List.fold_left
@@ -105,8 +145,12 @@ let run ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
       in
       {
         load_error = None;
+        stack_collision = false;
         graceful;
         fault;
+        machine_fault;
+        runaway;
+        exit_status;
         app_retired;
         app_cycles;
         region_cpi =

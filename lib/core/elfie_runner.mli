@@ -10,15 +10,35 @@
     thread's armed retired-instruction counter fired (each thread
     executed its recorded region instruction count and exited), rather
     than the ELFie diverging into an uncaptured page or failing a system
-    call. *)
+    call.
+
+    Failures are reported both as human-readable strings ([load_error],
+    [fault]) and as structured fields ([stack_collision],
+    [machine_fault], [runaway], [exit_status]) so supervision layers can
+    classify an outcome without matching on message text. *)
 
 type outcome = {
   load_error : string option;
       (** loader refused the image (e.g. stack collision) *)
+  stack_collision : bool;
+      (** the loader failure was specifically a stack collision *)
   graceful : bool;
       (** every armed thread hit its region instruction count or exited
-          cleanly via the application's own exit path *)
-  fault : string option;  (** first thread fault, if any *)
+          cleanly via the application's own exit path, {e and} the
+          process terminated — an ELFie looping past its fired region
+          counters (the hang class) is not graceful *)
+  fault : string option;
+      (** first thread fault, if any; a run stopped by the [max_ins] cap
+          reports ["runaway: max_ins exceeded"] *)
+  machine_fault : (Elfie_machine.Machine.fault * int * int64) option;
+      (** the first thread fault, structured: the fault, the faulting
+          thread id and its retired instruction count at the fault *)
+  runaway : bool;
+      (** the machine-wide [max_ins] cap stopped a non-graceful run that
+          still had runnable threads (divergence into an endless loop) *)
+  exit_status : int option;
+      (** first armed thread that exited non-zero before its counter
+          fired — the ELFie's own "a system call failed" abort path *)
   app_retired : int64;
       (** instructions retired inside the region (post-arm), all threads *)
   app_cycles : int64;  (** wall-clock proxy for the region (max thread) *)
@@ -31,12 +51,18 @@ type outcome = {
   threads : int;
 }
 
+(** The exact [fault] message reported when the [max_ins] cap trips. *)
+val runaway_fault_message : string
+
 (** [run image] executes an ELFie natively.
     @param seed scheduler seed — vary it across trials for MT variation
     @param fs_init install SYSSTATE proxy files before the run
     @param cwd the sysstate workdir the ELFie is executed in
     @param max_ins safety cap for runaway (diverged) executions
-    @param kernel_cost charge ring-0 work, as real hardware would *)
+    @param kernel_cost charge ring-0 work, as real hardware would
+    @param on_machine called with the machine after loading, before the
+    run starts — the supervisor's hook for attaching watchdog
+    instrumentation that can stop a wedged run mid-flight *)
 val run :
   ?seed:int64 ->
   ?fs_init:(Elfie_kernel.Fs.t -> unit) ->
@@ -44,5 +70,6 @@ val run :
   ?max_ins:int64 ->
   ?timing:Elfie_machine.Timing.config ->
   ?kernel_cost:bool ->
+  ?on_machine:(Elfie_machine.Machine.t -> unit) ->
   Elfie_elf.Image.t ->
   outcome

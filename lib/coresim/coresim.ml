@@ -48,6 +48,7 @@ type result = {
   dtlb_misses : int64;
   llc_misses : int64;
   syscalls : int64;
+  completed : bool;
 }
 
 type model = {
@@ -193,6 +194,11 @@ let simulate ?(mode = User_level) ?(from_marker = true) ?measure_after
   let detach = Elfie_pin.Pintool.attach machine [ tool ] in
   Machine.run ~max_ins machine;
   detach ();
+  let completed =
+    List.for_all
+      (fun th -> th.Machine.state <> Machine.Runnable)
+      (Machine.threads machine)
+  in
   {
     user_instructions = model.user_ins;
     kernel_instructions = model.kernel_ins;
@@ -205,4 +211,5 @@ let simulate ?(mode = User_level) ?(from_marker = true) ?measure_after
     dtlb_misses = Int64.of_int (Cache.misses model.dtlb);
     llc_misses = Int64.of_int (Cache.misses model.llc);
     syscalls = model.syscalls;
+    completed;
   }

@@ -51,6 +51,9 @@ type result = {
   dtlb_misses : int64;
   llc_misses : int64;
   syscalls : int64;
+  completed : bool;
+      (** every thread exited; [false] means the [max_ins] cap stopped a
+          run that was still executing (a runaway ELFie) *)
 }
 
 (** Simulate an ELF image. [measure_after] excludes the first N

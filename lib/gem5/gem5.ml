@@ -48,6 +48,7 @@ type result = {
   cycles : int64;
   ipc : float;
   l2_misses : int64;
+  completed : bool;
 }
 
 type model = {
@@ -150,4 +151,8 @@ let simulate_se ?(from_marker = true) ?(seed = 13L) ?(fs_init = fun (_ : Fs.t) -
       (if model.cycles = 0.0 then 0.0
        else Int64.to_float model.instructions /. model.cycles);
     l2_misses = Int64.of_int (Cache.misses model.l2);
+    completed =
+      List.for_all
+        (fun th -> th.Machine.state <> Machine.Runnable)
+        (Machine.threads machine);
   }

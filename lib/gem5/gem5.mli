@@ -37,6 +37,9 @@ type result = {
   cycles : int64;
   ipc : float;
   l2_misses : int64;
+  completed : bool;
+      (** every thread exited; [false] means the [max_ins] cap stopped a
+          run that was still executing (a runaway ELFie) *)
 }
 
 (** Simulate an ELF binary in SE mode. Timing starts at the first ROI

@@ -1,5 +1,7 @@
 module Simpoint = Elfie_simpoint.Simpoint
 module Perf = Elfie_perf.Perf
+module Supervisor = Elfie_supervise.Supervisor
+module Classify = Elfie_supervise.Classify
 
 type region_outcome = {
   region : Simpoint.region;
@@ -12,6 +14,7 @@ type region_outcome = {
 type deg_action =
   | Seed_retried of { retries : int; seed : int64 }
   | Alternate_used of { rank : int }
+  | Quarantined of { classification : Classify.t; attempts : int }
   | Abandoned
 
 type degradation = {
@@ -28,6 +31,9 @@ let pp_degradation fmt d =
           seed
     | Alternate_used { rank } ->
         Printf.sprintf "fell back to alternate region rank %d" rank
+    | Quarantined { classification; attempts } ->
+        Printf.sprintf "quarantined after %d attempt(s): %s" attempts
+          (Classify.to_string classification)
     | Abandoned -> "abandoned: every alternate failed"
   in
   Format.fprintf fmt "cluster %d: %s — %s" d.deg_cluster action d.deg_detail
@@ -77,35 +83,61 @@ let measure_elfie ?(trials = 3) ?(base_seed = 2000L) (image, sysstate) =
     ~fs_init:(fun fs -> Elfie_pin.Sysstate.install sysstate fs ~workdir)
     ~cwd:workdir image
 
-(* Graceful recovery, layer 1: an ELFie whose trials all fail (the
-   classic cause is a stack collision with the randomized native stack)
-   is retried under different stack-randomization seeds before we give
-   up on the region. Returns the accepted sample plus how many retries
-   it took and the seed that worked. *)
-let measure_with_seed_retry ~trials ~base_seed ~max_seed_retries elfie =
-  let rec go retry =
-    let seed = Int64.add base_seed (Int64.of_int (1009 * retry)) in
-    let sample = measure_elfie ~trials ~base_seed:seed elfie in
-    if sample.Perf.failures < trials then Some (sample, retry, seed)
-    else if retry < max_seed_retries then go (retry + 1)
-    else None
+(* Graceful recovery, layer 1 — driven by the supervisor: an ELFie whose
+   trials all fail (the classic cause is a stack collision with the
+   randomized native stack) is retried under fresh stack-randomization
+   seeds according to its crash classification: collisions and syscall
+   failures reseed up to [max_seed_retries] times, runaways get one
+   raised instruction budget, anything else quarantines immediately.
+   Returns the supervisor's report plus the accepted sample. *)
+let measure_supervised ~trials ~base_seed ~max_seed_retries ?journal ~job
+    (image, sysstate) =
+  let policy =
+    { Supervisor.default_policy with retries = max_seed_retries; base_seed }
   in
-  go 0
+  Supervisor.supervise ~job ~policy ?journal ~resume:false
+    ~inputs:[ job; Int64.to_string base_seed; string_of_int trials ]
+    (fun ~attempt_no:_ ~seed ~budget:_ ->
+      let sample, outcomes =
+        Perf.elfie_region_detailed ~trials ~base_seed:seed
+          ~fs_init:(fun fs -> Elfie_pin.Sysstate.install sysstate fs ~workdir)
+          ~cwd:workdir image
+      in
+      let cls =
+        if sample.Perf.failures < trials then Classify.Graceful
+        else
+          match
+            List.find_opt
+              (fun (o : Elfie_core.Elfie_runner.outcome) -> not o.graceful)
+              outcomes
+          with
+          | Some o -> Classify.of_outcome o
+          | None -> Classify.Backend_error "no trials ran"
+      in
+      (Some sample, cls))
 
 (* Simulate one region ELFie on the user-level CoreSim model, measuring
-   past the warmup prefix only (the traditional validation path). *)
-let simulate_region (image, sysstate) ~warmup =
-  let r =
-    Elfie_coresim.Coresim.simulate ~mode:Elfie_coresim.Coresim.User_level
-      ?measure_after:(if warmup > 0L then Some warmup else None)
-      ~fs_init:(fun fs -> Elfie_pin.Sysstate.install sysstate fs ~workdir)
-      ~cwd:workdir Elfie_coresim.Coresim.skylake image
-  in
-  r.Elfie_coresim.Coresim.cpi
+   past the warmup prefix only (the traditional validation path). A
+   simulation that the instruction cap had to stop classifies as a
+   runaway and is quarantined after one raised-budget retry. *)
+let simulate_region ?journal ~job (image, sysstate) ~warmup =
+  let budget = { Supervisor.unlimited with ins = Some 100_000_000L } in
+  Supervisor.run_backend ~job ~budget ?journal ~resume:false ~inputs:[ job ]
+    (fun ~seed:_ ~max_ins ->
+      let r =
+        Elfie_coresim.Coresim.simulate ~mode:Elfie_coresim.Coresim.User_level
+          ?measure_after:(if warmup > 0L then Some warmup else None)
+          ~fs_init:(fun fs -> Elfie_pin.Sysstate.install sysstate fs ~workdir)
+          ~cwd:workdir
+          ?max_ins Elfie_coresim.Coresim.skylake image
+      in
+      ( r.Elfie_coresim.Coresim.cpi,
+        if r.Elfie_coresim.Coresim.completed then Classify.Graceful
+        else Classify.Runaway ))
 
 let validate ?(params = Simpoint.default_params) ?(trials = 3)
     ?(base_seed = 2000L) ?second_base_seed ?(with_simulation = false)
-    ?(max_alternates = 3) ?(max_seed_retries = 2)
+    ?(max_alternates = 3) ?(max_seed_retries = 2) ?journal
     ?(elfie_options = fun (_ : Simpoint.region) o -> o)
     (b : Elfie_workloads.Suite.benchmark) =
   let run_spec = Elfie_workloads.Programs.run_spec b.spec in
@@ -161,21 +193,33 @@ let validate ?(params = Simpoint.default_params) ?(trials = 3)
                 }
             in
             let elfie = (Elfie_core.Pinball2elf.convert ~options pinball, sysstate) in
-            match
-              measure_with_seed_retry ~trials ~base_seed ~max_seed_retries elfie
-            with
-            | Some (sample, retries, seed) ->
-                if retries > 0 then
+            let report, sample =
+              measure_supervised ~trials ~base_seed ~max_seed_retries ?journal
+                ~job:name elfie
+            in
+            match sample with
+            | Some sample when not report.Supervisor.quarantined ->
+                let primary =
+                  List.filter
+                    (fun (a : Supervisor.attempt) -> not a.escalated)
+                    report.Supervisor.attempts
+                in
+                let retries = List.length primary - 1 in
+                if retries > 0 then begin
+                  let last = List.nth primary retries in
                   degrade
                     {
                       deg_cluster = r.Simpoint.cluster;
-                      deg_action = Seed_retried { retries; seed };
+                      deg_action =
+                        Seed_retried
+                          { retries; seed = last.Supervisor.attempt_seed };
                       deg_detail =
                         Printf.sprintf
                           "region rank %d failed all %d trial(s) at base seed \
                            %Ld"
                           r.Simpoint.rank trials base_seed;
-                    };
+                    }
+                end;
                 if r.Simpoint.rank > 0 then
                   degrade
                     {
@@ -192,8 +236,28 @@ let validate ?(params = Simpoint.default_params) ?(trials = 3)
                     second_base_seed
                 in
                 let sim_cpi =
-                  if with_simulation then
-                    Some (simulate_region elfie ~warmup:r.Simpoint.warmup_actual)
+                  if with_simulation then begin
+                    let sim_job = name ^ "_sim" in
+                    let sim_report, cpi =
+                      simulate_region ?journal ~job:sim_job elfie
+                        ~warmup:r.Simpoint.warmup_actual
+                    in
+                    if sim_report.Supervisor.quarantined then
+                      degrade
+                        {
+                          deg_cluster = r.Simpoint.cluster;
+                          deg_action =
+                            Quarantined
+                              {
+                                classification = sim_report.Supervisor.final;
+                                attempts =
+                                  List.length sim_report.Supervisor.attempts;
+                              };
+                          deg_detail =
+                            Printf.sprintf "simulation job %s" sim_job;
+                        };
+                    cpi
+                  end
                   else None
                 in
                 Hashtbl.replace resolved r.Simpoint.cluster
@@ -204,7 +268,21 @@ let validate ?(params = Simpoint.default_params) ?(trials = 3)
                     elfie_sample2 = sample2;
                     sim_cpi;
                   }
-            | None -> ())
+            | Some _ | None ->
+                (* The supervisor exhausted its retry budget (or hit an
+                   unretryable class): quarantine this alternate and let
+                   the loop fall back to the cluster's next rank. *)
+                degrade
+                  {
+                    deg_cluster = r.Simpoint.cluster;
+                    deg_action =
+                      Quarantined
+                        {
+                          classification = report.Supervisor.final;
+                          attempts = List.length report.Supervisor.attempts;
+                        };
+                    deg_detail = Printf.sprintf "region job %s" name;
+                  })
         | Some _ | None -> ())
       requests;
     pending :=

@@ -26,6 +26,12 @@ type deg_action =
           that finally produced a graceful trial *)
   | Alternate_used of { rank : int }
       (** the cluster is represented by its rank-[rank] alternate *)
+  | Quarantined of {
+      classification : Elfie_supervise.Classify.t;
+      attempts : int;
+    }
+      (** the supervisor exhausted its retry budget on this job (or hit
+          an unretryable classification); the job's result is excluded *)
   | Abandoned  (** no alternate re-executed gracefully; coverage lost *)
 
 type degradation = {
@@ -76,12 +82,17 @@ val measure_elfie :
     [second_base_seed] adds an independent second set of ELFie
     measurements (Fig. 9 runs two instances).
 
-    Recovery: a region whose trials {e all} fail (e.g. its ELFie's
-    stack sections collide with the randomized native stack) is retried
-    up to [max_seed_retries] times under different stack-randomization
-    base seeds before the pipeline falls back to the cluster's next
-    ranked alternate region. Every recovery action is recorded in
-    [degradations].
+    Recovery is driven by {!Elfie_supervise.Supervisor}: each region
+    measurement is a supervised job whose failures are {e classified}
+    (see {!Elfie_supervise.Classify}); stack collisions and syscall
+    failures are reseeded up to [max_seed_retries] times (e.g. when the
+    ELFie's stack sections collide with the randomized native stack),
+    runaway executions get one raised instruction budget, and
+    unretryable classes are quarantined before the pipeline falls back
+    to the cluster's next ranked alternate region. Every recovery action
+    — including quarantines — is recorded in [degradations], and, when
+    [journal] is given, every supervised job appends a record to it
+    (write-through only; the pipeline never skips from the journal).
 
     [elfie_options] post-processes the conversion options per region —
     primarily a hook for fault-injection tests. *)
@@ -93,6 +104,7 @@ val validate :
   ?with_simulation:bool ->
   ?max_alternates:int ->
   ?max_seed_retries:int ->
+  ?journal:Elfie_supervise.Journal.t ->
   ?elfie_options:
     (Elfie_simpoint.Simpoint.region ->
      Elfie_core.Pinball2elf.options ->

@@ -2,6 +2,9 @@ open Elfie_machine
 
 exception Exec_failed of string
 
+exception
+  Stack_collision of { reserved : int; needed : int; stack_top : int64 }
+
 type layout = {
   entry : int64;
   initial_rsp : int64;
@@ -79,10 +82,8 @@ let load kernel machine image ~argv ~env =
    done);
   if !reserved < min_stack_pages then
     raise
-      (Exec_failed
-         (Printf.sprintf
-            "stack collision: only %d pages below 0x%Lx available (%d needed)"
-            !reserved stack_top min_stack_pages));
+      (Stack_collision
+         { reserved = !reserved; needed = min_stack_pages; stack_top });
   let entry = image.Elfie_elf.Image.entry in
   let initial_rsp = build_stack mem ~rsp_top:stack_top ~entry ~argv ~env in
   (* 4. Initial thread. *)

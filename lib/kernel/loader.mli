@@ -9,13 +9,20 @@
     + the loader reserves stack pages downward {e until it meets an
       already-mapped page}; if the space obtained cannot even hold the
       process arguments and environment, the process is killed before
-      any code runs ({!Exec_failed}).
+      any code runs ({!Stack_collision}).
 
     An ELFie whose checkpointed stack pages were emitted as allocatable
     sections can therefore die at load time; marking them
     non-allocatable (the pinball2elf fix) keeps the loader happy. *)
 
 exception Exec_failed of string
+
+(** The fatal stack-collision case, raised as its own (structured)
+    exception so supervision layers can classify it without matching on
+    message text: only [reserved] of the [needed] minimum pages could be
+    reserved below the randomized [stack_top]. *)
+exception
+  Stack_collision of { reserved : int; needed : int; stack_top : int64 }
 
 type layout = {
   entry : int64;
@@ -32,8 +39,8 @@ val stack_pages : int
     creates thread 0 at the entry point. Returns the thread id and the
     chosen layout.
 
-    Raises {!Exec_failed} on a non-executable image or a fatal stack
-    collision. *)
+    Raises {!Exec_failed} on a non-executable image and
+    {!Stack_collision} on a fatal stack collision. *)
 val load :
   Vkernel.t ->
   Elfie_machine.Machine.t ->

@@ -37,11 +37,13 @@ let whole_program ?(trials = 3) ?(base_seed = 1000L) spec =
     failures = trials - List.length ok;
   }
 
-let elfie_region ?(trials = 3) ?(base_seed = 2000L) ?fs_init ?cwd ?max_ins image =
+let elfie_region_detailed ?(trials = 3) ?(base_seed = 2000L) ?fs_init ?cwd
+    ?max_ins ?on_machine image =
   let results =
     List.init trials (fun i ->
         let seed = Int64.add base_seed (Int64.of_int i) in
-        Elfie_core.Elfie_runner.run ~seed ?fs_init ?cwd ?max_ins image)
+        Elfie_core.Elfie_runner.run ~seed ?fs_init ?cwd ?max_ins ?on_machine
+          image)
   in
   let ok =
     List.filter (fun (o : Elfie_core.Elfie_runner.outcome) -> o.graceful) results
@@ -52,13 +54,17 @@ let elfie_region ?(trials = 3) ?(base_seed = 2000L) ?fs_init ?cwd ?max_ins image
     | o :: _ -> o.Elfie_core.Elfie_runner.app_retired
     | [] -> 0L
   in
-  {
-    mean_cpi = mean cpis;
-    stddev_cpi = stddev cpis;
-    instructions;
-    trials;
-    failures = trials - List.length ok;
-  }
+  ( {
+      mean_cpi = mean cpis;
+      stddev_cpi = stddev cpis;
+      instructions;
+      trials;
+      failures = trials - List.length ok;
+    },
+    results )
+
+let elfie_region ?trials ?base_seed ?fs_init ?cwd ?max_ins image =
+  fst (elfie_region_detailed ?trials ?base_seed ?fs_init ?cwd ?max_ins image)
 
 let pp_sample fmt s =
   Format.fprintf fmt "cpi %.4f +/- %.4f over %d trial(s) (%d failed, %Ld ins)"

@@ -34,4 +34,18 @@ val elfie_region :
   Elfie_elf.Image.t ->
   sample
 
+(** Like {!elfie_region}, but also returns every trial's raw outcome (in
+    trial order) so supervision layers can classify {e why} trials
+    failed instead of only counting them. [on_machine] is forwarded to
+    the runner — the hook watchdog instrumentation attaches through. *)
+val elfie_region_detailed :
+  ?trials:int ->
+  ?base_seed:int64 ->
+  ?fs_init:(Elfie_kernel.Fs.t -> unit) ->
+  ?cwd:string ->
+  ?max_ins:int64 ->
+  ?on_machine:(Elfie_machine.Machine.t -> unit) ->
+  Elfie_elf.Image.t ->
+  sample * Elfie_core.Elfie_runner.outcome list
+
 val pp_sample : Format.formatter -> sample -> unit

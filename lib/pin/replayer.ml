@@ -18,6 +18,7 @@ type result = {
   matched_icounts : bool;
   divergences : int;
   first_divergence : divergence option;
+  capped : bool;
   retired : int64;
   cycles : int64;
   stdout : string;
@@ -96,21 +97,34 @@ let materialize ?(constrained = true) ?(seed = 7L) ?(fs_init = fun _ -> ())
   end;
   (machine, kernel, fun () -> (!divergences, !first_div))
 
-let replay ?(mode = Constrained) (pb : Pinball.t) =
+let replay ?(mode = Constrained) ?max_ins (pb : Pinball.t) =
   let constrained, seed, fs_init =
     match mode with
     | Constrained -> (true, 7L, fun _ -> ())
     | Injectionless { seed; fs_init } -> (false, seed, fs_init)
   in
   let machine, kernel, div_state = materialize ~constrained ~seed ~fs_init pb in
-  if not constrained then begin
+  let cap =
+    (* Injection-less replay always needs a cap (free scheduling can
+       spin forever past a divergence); a caller-supplied cap also
+       bounds constrained replay, whose recorded schedule can wedge on
+       a divergent syscall log. *)
+    match max_ins with
+    | Some _ -> max_ins
+    | None ->
+        if constrained then None
+        else Some (Int64.mul 3L (max 1L (Pinball.total_icount pb)))
+  in
+  if not constrained then
     (* Mimic the ELFie hardware-counter exit: stop each region-start
        thread at its recorded instruction count. *)
     Array.iteri (fun tid target -> Machine.arm_counter machine tid ~target) pb.icounts;
-    let cap = Int64.mul 3L (max 1L (Pinball.total_icount pb)) in
-    Machine.run ~max_ins:cap machine
-  end
-  else Machine.run machine;
+  Machine.run ?max_ins:cap machine;
+  let capped =
+    match cap with
+    | Some l -> Machine.total_retired machine >= l
+    | None -> false
+  in
   let per_thread_retired =
     Array.of_list (List.map (fun th -> th.Machine.retired) (Machine.threads machine))
   in
@@ -157,6 +171,7 @@ let replay ?(mode = Constrained) (pb : Pinball.t) =
     matched_icounts;
     divergences;
     first_divergence;
+    capped;
     retired = Machine.total_retired machine;
     cycles = Machine.elapsed_cycles machine;
     stdout = Vkernel.stdout_contents kernel;

@@ -34,13 +34,19 @@ type result = {
       (** the first syscall-level divergence, or (when syscalls lined up
           but counts did not) the first thread whose retired count
           disagrees with the recording *)
+  capped : bool;
+      (** the instruction cap stopped the replay — a wedged or runaway
+          execution, not a finished one *)
   retired : int64;
   cycles : int64;
   stdout : string;
 }
 
-(** Materialise the pinball into a fresh machine and run the region. *)
-val replay : ?mode:mode -> Elfie_pinball.Pinball.t -> result
+(** Materialise the pinball into a fresh machine and run the region.
+    [max_ins] bounds the replay machine-wide; injection-less replay
+    defaults to 3x the recorded region icount (free scheduling can spin
+    forever past a divergence), constrained replay to unbounded. *)
+val replay : ?mode:mode -> ?max_ins:int64 -> Elfie_pinball.Pinball.t -> result
 
 (** Build the machine/kernel pair positioned at region start without
     running it — used by simulators that drive execution themselves.

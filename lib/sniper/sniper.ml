@@ -40,6 +40,7 @@ type result = {
   ipc : float;
   per_core_cycles : int64 array;
   end_condition_met : bool;
+  completed : bool;
 }
 
 type end_condition = { pc : int64; count : int }
@@ -171,7 +172,7 @@ let tool model machine end_condition =
     on_marker = Some (fun _ _ -> model.enabled <- true);
   }
 
-let collect model =
+let collect ?(completed = true) model =
   let per_core_cycles =
     Array.map (fun c -> Int64.of_float (Float.round c.cycles)) model.cores
   in
@@ -191,6 +192,7 @@ let collect model =
        else Int64.to_float instructions /. Int64.to_float runtime_cycles);
     per_core_cycles;
     end_condition_met = model.ec_met;
+    completed;
   }
 
 let simulate_elfie ?end_condition ?(from_marker = true) ?(seed = 13L)
@@ -246,7 +248,15 @@ let simulate_elfie ?end_condition ?(from_marker = true) ?(seed = 13L)
   in
   loop ();
   detach ();
-  collect model
+  (* Complete = the end condition fired or every thread exited; a loop
+     that stopped only because of the instruction cap did not finish. *)
+  let completed =
+    model.ec_met
+    || List.for_all
+         (fun th -> th.Machine.state <> Machine.Runnable)
+         (Machine.threads machine)
+  in
+  collect ~completed model
 
 let simulate_pinball ?end_condition cfg pb =
   let machine, _kernel, _div = Elfie_pin.Replayer.materialize ~constrained:true pb in

@@ -48,6 +48,9 @@ type result = {
   ipc : float;  (** aggregate instructions / runtime *)
   per_core_cycles : int64 array;
   end_condition_met : bool;
+  completed : bool;
+      (** the end condition fired or every thread exited; [false] means
+          the [max_ins] cap stopped a run that was still executing *)
 }
 
 (** End-of-simulation criterion: stop once the instruction at [pc] has

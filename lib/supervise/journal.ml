@@ -1,0 +1,104 @@
+type record = {
+  job : string;
+  inputs_hash : string;
+  attempts : int;
+  classification : Classify.t;
+  quarantined : bool;
+  wall_ms : float;
+}
+
+type t = {
+  mutable entries : record list;  (** newest first *)
+  oc : out_channel option;
+}
+
+let magic = "J1"
+
+let line_of_record r =
+  String.concat "\t"
+    [
+      magic;
+      Classify.escape r.job;
+      r.inputs_hash;
+      string_of_int r.attempts;
+      Classify.to_string r.classification;
+      (if r.quarantined then "1" else "0");
+      Printf.sprintf "%.3f" r.wall_ms;
+    ]
+
+let record_of_line line =
+  match String.split_on_char '\t' line with
+  | [ m; job; inputs_hash; attempts; cls; quarantined; wall_ms ] when m = magic
+    -> (
+      match
+        ( int_of_string_opt attempts,
+          Classify.of_string cls,
+          (match quarantined with "0" -> Some false | "1" -> Some true | _ -> None),
+          float_of_string_opt wall_ms )
+      with
+      | Some attempts, Some classification, Some quarantined, Some wall_ms ->
+          Some
+            {
+              job = Classify.unescape job;
+              inputs_hash;
+              attempts;
+              classification;
+              quarantined;
+              wall_ms;
+            }
+      | _ -> None)
+  | _ -> None
+
+let in_memory () = { entries = []; oc = None }
+
+let load_existing path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let entries = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         (* Tolerate torn/corrupt lines: the writer may have died
+            mid-record, and resuming should not fail on that. *)
+         match record_of_line line with
+         | Some r -> entries := r :: !entries
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !entries
+  end
+
+let open_file path =
+  let entries = load_existing path in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { entries; oc = Some oc }
+
+let close t =
+  match t.oc with None -> () | Some oc -> close_out oc
+
+let record t r =
+  t.entries <- r :: t.entries;
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      output_string oc (line_of_record r);
+      output_char oc '\n';
+      flush oc
+
+let records t = List.rev t.entries
+
+let find t ~job =
+  List.find_opt (fun r -> r.job = job) t.entries
+
+let should_skip t ~job ~inputs_hash =
+  match find t ~job with
+  | Some r ->
+      Classify.is_graceful r.classification
+      && (not r.quarantined)
+      && r.inputs_hash = inputs_hash
+  | None -> false
+
+let hash inputs =
+  Digest.to_hex (Digest.string (String.concat "\x00" inputs))

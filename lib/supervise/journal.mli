@@ -1,0 +1,62 @@
+(** Resumable experiment journal.
+
+    An append-only, line-oriented ledger of supervised jobs. Each record
+    carries the job name, a hash of the job's inputs, the number of
+    attempts the supervisor made, the final {!Classify.t}, whether the
+    job was quarantined and the wall time spent. Batch drivers
+    ([bin/experiments], [Pipeline.validate]) write one record per
+    finished job; on [--resume] the journal is read back and jobs whose
+    latest record is graceful — with an unchanged inputs hash — are
+    skipped, so a killed batch picks up where it left off.
+
+    The on-disk format is one record per line:
+
+    {v J1 <TAB> job <TAB> inputs_hash <TAB> attempts <TAB> classification <TAB> quarantined <TAB> wall_ms v}
+
+    Loading is tolerant: a truncated or corrupt trailing line (the
+    process died mid-write) is ignored rather than failing the resume.
+    When a job appears more than once, the latest record wins. *)
+
+type record = {
+  job : string;  (** unique job name within the batch *)
+  inputs_hash : string;  (** {!hash} of the job's inputs *)
+  attempts : int;  (** supervisor attempts, including the final one *)
+  classification : Classify.t;
+  quarantined : bool;
+  wall_ms : float;  (** wall time across all attempts *)
+}
+
+type t
+
+(** In-memory journal (no persistence) — for tests and one-shot runs. *)
+val in_memory : unit -> t
+
+(** Open (creating if needed) a journal file. Existing records are
+    loaded; subsequent {!record} calls append to the file and flush
+    line-by-line, so a killed process loses at most the record being
+    written. *)
+val open_file : string -> t
+
+val close : t -> unit
+
+(** Append a record (and persist it, for file-backed journals). *)
+val record : t -> record -> unit
+
+(** All records, oldest first (duplicates included). *)
+val records : t -> record list
+
+(** Latest record for [job], if any. *)
+val find : t -> job:string -> record option
+
+(** A resumed batch skips [job] iff its latest record is graceful, not
+    quarantined, and was produced from the same inputs hash. *)
+val should_skip : t -> job:string -> inputs_hash:string -> bool
+
+(** Hash a job's input strings into a stable hex digest. *)
+val hash : string list -> string
+
+(** Render one record as its journal line (without the newline). *)
+val line_of_record : record -> string
+
+(** Parse a journal line; [None] for malformed/truncated lines. *)
+val record_of_line : string -> record option

@@ -1,0 +1,137 @@
+(* The supervision suite (dune alias @supervise, also part of the
+   default test run): end-to-end watchdog, retry and escalation behavior
+   on real ELFies and pinball replays.
+
+   Covers the failure classes the unit tests can only synthesize:
+   - a hung ELFie (looping past its fired region counters) stopped by
+     the instruction-budget watchdog, classified Runaway and quarantined
+     after exactly one raised-budget retry;
+   - the same hang stopped preemptively by the wall-clock watchdog and
+     classified Timeout;
+   - a deterministic stack collision recovered by reseeded retries;
+   - a diverging constrained replay escalated to injection-less replay
+     for a first-divergence report, then quarantined. *)
+
+module Supervisor = Elfie_supervise.Supervisor
+module Classify = Elfie_supervise.Classify
+module Fault_inject = Elfie_check.Fault_inject
+
+let failf fmt = Format.kasprintf (fun s -> Format.printf "FAILED: %s@."s; exit 1) fmt
+
+let capture ?(file_io = false) ?(time_calls = false) name =
+  let spec =
+    Elfie_workloads.Programs.spec
+      ~phases:
+        [ { kernel = Elfie_workloads.Kernels.Stream; reps = 1500 };
+          { kernel = Elfie_workloads.Kernels.Branchy; reps = 1200 } ]
+      ~outer_reps:6 ~threads:1 ~ws_bytes:32768 ~file_io ~time_calls name
+  in
+  let rs = Elfie_workloads.Programs.run_spec ~seed:42L spec in
+  let r =
+    Elfie_pin.Logger.capture rs ~name
+      { Elfie_pin.Logger.start = 20_000L; length = 30_000L }
+  in
+  r.Elfie_pin.Logger.pinball
+
+let primary_attempts (r : Supervisor.report) =
+  List.filter (fun (a : Supervisor.attempt) -> not a.escalated) r.attempts
+
+let test_hang_runaway pb =
+  let image = Fault_inject.hang_elfie pb in
+  let budget = { Supervisor.ins = Some 500_000L; wall_s = None } in
+  let report, outcome = Supervisor.run_elfie ~job:"hang" ~budget image in
+  (match outcome with
+  | Some o ->
+      if o.Elfie_core.Elfie_runner.graceful then
+        failf "hung ELFie reported graceful";
+      if not o.runaway then failf "hung ELFie not flagged runaway";
+      if o.fault <> Some Elfie_core.Elfie_runner.runaway_fault_message then
+        failf "hung ELFie fault is %s"
+          (Option.value ~default:"<none>" o.fault)
+  | None -> failf "hang produced no outcome");
+  (match report.Supervisor.final with
+  | Classify.Runaway -> ()
+  | c -> failf "hang classified %s, expected runaway" (Classify.to_string c));
+  if not report.quarantined then failf "hang not quarantined";
+  let n = List.length (primary_attempts report) in
+  if n <> 2 then
+    failf "hang ran %d attempt(s), expected 2 (one raised-budget retry)" n;
+  Format.printf "hang: %a@." Supervisor.pp_report report
+
+let test_hang_timeout pb =
+  let image = Fault_inject.hang_elfie pb in
+  let budget = { Supervisor.ins = None; wall_s = Some 0.05 } in
+  let report, _ = Supervisor.run_elfie ~job:"hang-wall" ~budget image in
+  (match report.Supervisor.final with
+  | Classify.Timeout -> ()
+  | c -> failf "wall-stopped hang classified %s, expected timeout"
+           (Classify.to_string c));
+  if not report.quarantined then failf "wall-stopped hang not quarantined";
+  Format.printf "hang-wall: %a@." Supervisor.pp_report report
+
+let test_collision_reseed pb =
+  (* Allocatable stack sections (the historical bug) at the capture seed:
+     the collision is deterministic on attempt 0, so recovery must come
+     from the supervisor's reseeded retries. *)
+  let image =
+    Elfie_core.Pinball2elf.convert
+      ~options:
+        { Elfie_core.Pinball2elf.default_options with
+          alloc_stack_sections = true }
+      pb
+  in
+  let policy = { Supervisor.default_policy with retries = 6; base_seed = 42L } in
+  let report, _ = Supervisor.run_elfie ~job:"collide" ~policy image in
+  (match report.Supervisor.attempts with
+  | { classification = Classify.Stack_collision; _ } :: _ -> ()
+  | a :: _ ->
+      failf "first attempt classified %s, expected stack-collision"
+        (Classify.to_string a.classification)
+  | [] -> failf "no attempts recorded");
+  (match report.Supervisor.final with
+  | Classify.Graceful -> ()
+  | c -> failf "collision job ended %s, expected graceful recovery"
+           (Classify.to_string c));
+  if report.quarantined then failf "recovered collision job quarantined";
+  if List.length (primary_attempts report) < 2 then
+    failf "collision recovered without any retry";
+  Format.printf "collide: %a@." Supervisor.pp_report report
+
+let test_divergence_escalation () =
+  let pb = capture ~file_io:true ~time_calls:true "supdiv" in
+  let tampered =
+    {
+      pb with
+      Elfie_pinball.Pinball.injections =
+        Array.map
+          (List.map (fun e -> { e with Elfie_pinball.Pinball.sys_nr = 9999 }))
+          pb.Elfie_pinball.Pinball.injections;
+    }
+  in
+  let report, _ = Supervisor.run_replay ~job:"diverge" tampered in
+  (match report.Supervisor.final with
+  | Classify.Divergence _ -> ()
+  | c -> failf "tampered replay classified %s, expected divergence"
+           (Classify.to_string c));
+  if not report.quarantined then failf "divergence not quarantined";
+  (match
+     List.filter (fun (a : Supervisor.attempt) -> a.escalated) report.attempts
+   with
+  | [ esc ] -> (
+      match esc.note with
+      | Some note
+        when String.length note >= 13
+             && String.sub note 0 13 = "injectionless" -> ()
+      | note ->
+          failf "escalation note missing injectionless report: %s"
+            (Option.value ~default:"<none>" note))
+  | l -> failf "expected exactly one escalated attempt, got %d" (List.length l));
+  Format.printf "diverge: %a@." Supervisor.pp_report report
+
+let () =
+  let pb = capture "suppb" in
+  test_hang_runaway pb;
+  test_hang_timeout pb;
+  test_collision_reseed pb;
+  test_divergence_escalation ();
+  Format.printf "supervise suite passed@."

@@ -151,7 +151,7 @@ let test_recovery_stack_collision () =
        (fun d ->
          match d.Pipeline.deg_action with
          | Pipeline.Seed_retried _ | Pipeline.Alternate_used _ -> true
-         | Pipeline.Abandoned -> false)
+         | Pipeline.Quarantined _ | Pipeline.Abandoned -> false)
        v.Pipeline.degradations)
 
 let suite =

@@ -1,0 +1,255 @@
+(* Unit tests for the supervised execution layer: classification
+   round-trips, journal persistence and torn-write tolerance, the retry
+   loop's dispositions (synthetic jobs, no machine execution), and
+   batch resume from a truncated journal. *)
+
+module Supervisor = Elfie_supervise.Supervisor
+module Journal = Elfie_supervise.Journal
+module Classify = Elfie_supervise.Classify
+
+let all_classes =
+  [
+    Classify.Graceful;
+    Classify.Stack_collision;
+    Classify.Divergence { pc = 0xdead_beefL; icount = 123_456L };
+    Classify.Syscall_failure;
+    Classify.Timeout;
+    Classify.Runaway;
+    Classify.Backend_error "plain message";
+    Classify.Backend_error "tabs\tnewlines\nand %25 signs";
+  ]
+
+let test_classify_roundtrip () =
+  List.iter
+    (fun c ->
+      let s = Classify.to_string c in
+      String.iter
+        (fun ch ->
+          if ch = '\t' || ch = '\n' then
+            Alcotest.fail "separator leaked into rendering")
+        s;
+      match Classify.of_string s with
+      | Some c' -> Alcotest.(check bool) ("roundtrip " ^ s) true (c = c')
+      | None -> Alcotest.fail ("unparseable: " ^ s))
+    all_classes;
+  Alcotest.(check bool) "garbage rejected" true
+    (Classify.of_string "no-such-class" = None);
+  Alcotest.(check bool) "bad divergence rejected" true
+    (Classify.of_string "divergence:pc=zzz" = None)
+
+let record c =
+  {
+    Journal.job = "bench_c0_r0";
+    inputs_hash = Journal.hash [ "a"; "b" ];
+    attempts = 2;
+    classification = c;
+    quarantined = (not (Classify.is_graceful c));
+    wall_ms = 12.5;
+  }
+
+let test_journal_line_roundtrip () =
+  List.iter
+    (fun c ->
+      let r = record c in
+      match Journal.record_of_line (Journal.line_of_record r) with
+      | Some r' -> Alcotest.(check bool) "record roundtrip" true (r = r')
+      | None -> Alcotest.fail "journal line did not parse")
+    all_classes;
+  Alcotest.(check bool) "torn line ignored" true
+    (Journal.record_of_line "J1\tjob\tdeadbeef\t2\tgrace" = None);
+  Alcotest.(check bool) "wrong magic ignored" true
+    (Journal.record_of_line "J9\tjob\tx\t1\tgraceful\t0\t1.0" = None)
+
+let test_journal_file_tolerant_and_latest_wins () =
+  let path = Filename.temp_file "elfie_journal" ".j" in
+  let j = Journal.open_file path in
+  let h = Journal.hash [ "x" ] in
+  Journal.record j
+    { (record Classify.Runaway) with job = "a"; inputs_hash = h };
+  Journal.record j
+    { (record Classify.Graceful) with job = "a"; inputs_hash = h; quarantined = false };
+  Journal.close j;
+  (* Simulate a writer killed mid-record: append half a line. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "J1\tb\tdeadbeef\t1\tgrace";
+  close_out oc;
+  let j2 = Journal.open_file path in
+  Alcotest.(check int) "torn record dropped" 2 (List.length (Journal.records j2));
+  Alcotest.(check bool) "latest record wins, graceful skips" true
+    (Journal.should_skip j2 ~job:"a" ~inputs_hash:h);
+  Alcotest.(check bool) "changed inputs re-run" false
+    (Journal.should_skip j2 ~job:"a" ~inputs_hash:(Journal.hash [ "y" ]));
+  Alcotest.(check bool) "unknown job runs" false
+    (Journal.should_skip j2 ~job:"b" ~inputs_hash:h);
+  Journal.close j2;
+  Sys.remove path
+
+let test_retry_reseeds_collisions () =
+  let seeds = ref [] in
+  let report, value =
+    Supervisor.supervise ~job:"reseed"
+      ~policy:{ Supervisor.default_policy with retries = 3; base_seed = 100L }
+      (fun ~attempt_no ~seed ~budget:_ ->
+        seeds := seed :: !seeds;
+        if attempt_no < 2 then (None, Classify.Stack_collision)
+        else (Some "ok", Classify.Graceful))
+  in
+  Alcotest.(check bool) "graceful" true (report.Supervisor.final = Classify.Graceful);
+  Alcotest.(check bool) "not quarantined" false report.quarantined;
+  Alcotest.(check int) "three attempts" 3 (List.length report.attempts);
+  Alcotest.(check (option string)) "value" (Some "ok") value;
+  Alcotest.(check (list Tutil.i64)) "reseed schedule"
+    [ 100L; 1109L; 2118L ] (List.rev !seeds)
+
+let test_retry_budget_exhausted_quarantines () =
+  let report, _ =
+    Supervisor.supervise ~job:"always-collides"
+      ~policy:{ Supervisor.default_policy with retries = 2 }
+      (fun ~attempt_no:_ ~seed:_ ~budget:_ -> (None, Classify.Stack_collision))
+  in
+  Alcotest.(check bool) "quarantined" true report.Supervisor.quarantined;
+  Alcotest.(check int) "retries + 1 attempts" 3 (List.length report.attempts);
+  Alcotest.(check bool) "final is collision" true
+    (report.final = Classify.Stack_collision)
+
+let test_runaway_raises_budget_once () =
+  let budgets = ref [] in
+  let report, _ =
+    Supervisor.supervise ~job:"runaway"
+      ~budget:{ Supervisor.ins = Some 100L; wall_s = None }
+      (fun ~attempt_no:_ ~seed:_ ~budget ->
+        budgets := budget.Supervisor.ins :: !budgets;
+        (None, Classify.Runaway))
+  in
+  Alcotest.(check bool) "quarantined" true report.Supervisor.quarantined;
+  Alcotest.(check int) "one raised retry" 2 (List.length report.attempts);
+  Alcotest.(check (list (option Tutil.i64)))
+    "budget raised by the policy factor"
+    [ Some 100L; Some 400L ] (List.rev !budgets)
+
+let test_backend_error_immediate_quarantine () =
+  let runs = ref 0 in
+  let report, _ =
+    Supervisor.supervise ~job:"broken"
+      (fun ~attempt_no:_ ~seed:_ ~budget:_ ->
+        incr runs;
+        (None, Classify.Backend_error "unusable artifact"))
+  in
+  Alcotest.(check int) "no retries" 1 !runs;
+  Alcotest.(check bool) "quarantined" true report.Supervisor.quarantined
+
+let test_exception_is_classified () =
+  let report, value =
+    Supervisor.supervise ~job:"raises"
+      (fun ~attempt_no:_ ~seed:_ ~budget:_ -> failwith "boom")
+  in
+  Alcotest.(check bool) "no exception escapes, quarantined" true
+    report.Supervisor.quarantined;
+  (match report.final with
+  | Classify.Backend_error _ -> ()
+  | c ->
+      Alcotest.failf "expected backend-error, got %s" (Classify.to_string c));
+  Alcotest.(check bool) "no value" true (value = None)
+
+let test_divergence_triggers_escalation () =
+  let escalations = ref 0 in
+  let report, _ =
+    Supervisor.supervise ~job:"div"
+      ~escalate:(fun _cls ->
+        incr escalations;
+        Some (Classify.Graceful, "injectionless replay reproduced the region"))
+      (fun ~attempt_no:_ ~seed:_ ~budget:_ ->
+        (None, Classify.Divergence { pc = 0x1000L; icount = 7L }))
+  in
+  Alcotest.(check int) "escalated once" 1 !escalations;
+  Alcotest.(check bool) "still quarantined (escalation is diagnostic)" true
+    report.Supervisor.quarantined;
+  (match report.attempts with
+  | [ primary; esc ] ->
+      Alcotest.(check bool) "primary not escalated" false primary.escalated;
+      Alcotest.(check bool) "escalation recorded" true esc.escalated;
+      Alcotest.(check bool) "note kept" true (esc.note <> None)
+  | l -> Alcotest.failf "expected 2 attempts, got %d" (List.length l))
+
+(* The interrupted-batch scenario: run a batch through a journal, kill
+   the writer mid-record (truncate), then resume — journalled-graceful
+   jobs are skipped, the interrupted/failed ones re-run exactly once. *)
+let test_batch_resume_after_truncation () =
+  let path = Filename.temp_file "elfie_batch" ".j" in
+  Sys.remove path;
+  let runs : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let count name =
+    Hashtbl.replace runs name (1 + Option.value ~default:0 (Hashtbl.find_opt runs name))
+  in
+  let spec name cls =
+    {
+      Supervisor.name;
+      job_inputs = [ name ];
+      exec =
+        (fun ~seed:_ ~max_ins:_ ->
+          count name;
+          (name, cls ()));
+    }
+  in
+  let first = ref true in
+  let specs () =
+    [
+      spec "ok1" (fun () -> Classify.Graceful);
+      spec "ok2" (fun () -> Classify.Graceful);
+      spec "flaky" (fun () ->
+          if !first then Classify.Backend_error "first run dies"
+          else Classify.Graceful);
+    ]
+  in
+  let j = Journal.open_file path in
+  let results = Supervisor.run_batch ~journal:j ~resume:true (specs ()) in
+  Journal.close j;
+  Alcotest.(check int) "first batch: all ran" 3 (Hashtbl.length runs);
+  Alcotest.(check bool) "flaky quarantined" true
+    (match results with [ _; _; (_, r, _) ] -> r.Supervisor.quarantined | _ -> false);
+  (* Kill mid-write: chop the tail of the last (flaky) record. *)
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (String.sub contents 0 (String.length contents - 10));
+  close_out oc;
+  first := false;
+  let j2 = Journal.open_file path in
+  let results2 = Supervisor.run_batch ~journal:j2 ~resume:true (specs ()) in
+  Journal.close j2;
+  Sys.remove path;
+  let ran name = Option.value ~default:0 (Hashtbl.find_opt runs name) in
+  Alcotest.(check int) "ok1 skipped on resume" 1 (ran "ok1");
+  Alcotest.(check int) "ok2 skipped on resume" 1 (ran "ok2");
+  Alcotest.(check int) "flaky re-ran exactly once" 2 (ran "flaky");
+  (match results2 with
+  | [ (_, r1, _); (_, r2, _); (_, r3, v3) ] ->
+      Alcotest.(check bool) "ok1 skipped flag" true r1.Supervisor.skipped;
+      Alcotest.(check bool) "ok2 skipped flag" true r2.Supervisor.skipped;
+      Alcotest.(check bool) "flaky ran" false r3.Supervisor.skipped;
+      Alcotest.(check bool) "flaky now graceful" true
+        (r3.Supervisor.final = Classify.Graceful);
+      Alcotest.(check (option string)) "flaky value" (Some "flaky") v3
+  | _ -> Alcotest.fail "unexpected batch shape")
+
+let suite =
+  [
+    Alcotest.test_case "classify roundtrip" `Quick test_classify_roundtrip;
+    Alcotest.test_case "journal line roundtrip" `Quick test_journal_line_roundtrip;
+    Alcotest.test_case "journal torn write / latest wins" `Quick
+      test_journal_file_tolerant_and_latest_wins;
+    Alcotest.test_case "retry reseeds collisions" `Quick
+      test_retry_reseeds_collisions;
+    Alcotest.test_case "retry budget exhausted" `Quick
+      test_retry_budget_exhausted_quarantines;
+    Alcotest.test_case "runaway raises budget once" `Quick
+      test_runaway_raises_budget_once;
+    Alcotest.test_case "backend error quarantines" `Quick
+      test_backend_error_immediate_quarantine;
+    Alcotest.test_case "exceptions classified" `Quick test_exception_is_classified;
+    Alcotest.test_case "divergence escalates" `Quick
+      test_divergence_triggers_escalation;
+    Alcotest.test_case "batch resume after truncation" `Quick
+      test_batch_resume_after_truncation;
+  ]
