@@ -169,6 +169,13 @@ let () =
      classified and quarantined instead of aborting the run, and the
      per-phase timing table below comes from the supervisor reports. *)
   let module Supervisor = Elfie_supervise.Supervisor in
+  let module Trace = Elfie_obs.Trace in
+  let module Metrics = Elfie_obs.Metrics in
+  (* Observability snapshot per phase: how many trace events and native
+     runner invocations each experiment generated, read back as deltas of
+     the process-global tracer/metrics counters around its exec. *)
+  let m_loader = Metrics.counter "elfie_loader_runs_total" in
+  let obs_deltas : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
   let specs =
     List.map
       (fun (e : Elfie_harness.Registry.experiment) ->
@@ -178,20 +185,28 @@ let () =
           exec =
             (fun ~seed:_ ~max_ins:_ ->
               Printf.printf "=== %s: %s ===\n%!" e.id e.title;
+              let events0 = Trace.emitted () in
+              let runs0 = Metrics.total m_loader in
               print_string (e.run ());
               print_newline ();
+              Hashtbl.replace obs_deltas e.id
+                ( Trace.emitted () - events0,
+                  int_of_float (Metrics.total m_loader -. runs0) );
               ((), Elfie_supervise.Classify.Graceful));
         })
       Elfie_harness.Registry.all
   in
   let results = Supervisor.run_batch specs in
   Printf.printf "=== Per-phase supervised timings ===\n";
-  Printf.printf "%-10s %-14s %9s %10s\n" "phase" "classification" "attempts"
-    "wall";
-  Printf.printf "%s\n" (String.make 47 '-');
+  Printf.printf "%-10s %-14s %9s %10s %8s %8s\n" "phase" "classification"
+    "attempts" "wall" "events" "runs";
+  Printf.printf "%s\n" (String.make 65 '-');
   List.iter
     (fun (name, (r : Supervisor.report), _) ->
-      Printf.printf "%-10s %-14s %9d %9.1fs\n" name
+      let events, runs =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt obs_deltas name)
+      in
+      Printf.printf "%-10s %-14s %9d %9.1fs %8d %8d\n" name
         (Elfie_supervise.Classify.to_string r.final)
-        (List.length r.attempts) r.total_wall_s)
+        (List.length r.attempts) r.total_wall_s events runs)
     results

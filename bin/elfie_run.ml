@@ -9,7 +9,8 @@
 open Cmdliner
 
 let run path sysstate_dir seed trials max_ins timeout_ins retries journal_path
-    resume disasm =
+    resume disasm (trace, metrics, profile) =
+  Elfie_obs.Report.with_reporting ?trace ?metrics ?profile @@ fun () ->
   let ic = open_in_bin path in
   let bytes = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
   close_in ic;
@@ -82,7 +83,41 @@ let run path sysstate_dir seed trials max_ins timeout_ins retries journal_path
         Format.printf "  supervisor: %a@." Supervisor.pp_report report
     end
   done;
+  let skips, saved_ms = Supervisor.resume_savings () in
+  if skips > 0 then
+    Printf.printf "resume: skipped %d trial(s), saved ~%.0f ms\n" skips saved_ms;
   Option.iter Journal.close journal
+
+(* Shared observability flags: --trace/--metrics/--profile[=N]. *)
+let obs_flags =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON file (load it at \
+             ui.perfetto.dev or chrome://tracing).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a Prometheus text exposition of all metrics and print \
+             the summary table.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt ~vopt:(Some 97) (some int) None
+      & info [ "profile" ] ~docv:"N"
+          ~doc:
+            "Sample the PC every N retired instructions (default 97) and \
+             print the top-K hot-region report.")
+  in
+  Term.(const (fun t m p -> (t, m, p)) $ trace $ metrics $ profile)
 
 let cmd =
   let path =
@@ -142,6 +177,6 @@ let cmd =
     (Cmd.info "elfie_run" ~doc:"run an ELFie natively (supervised)")
     Term.(
       const run $ path $ sysstate $ seed $ trials $ max_ins $ timeout_ins
-      $ retries $ journal $ resume $ disasm)
+      $ retries $ journal $ resume $ disasm $ obs_flags)
 
 let () = exit (Cmd.eval cmd)

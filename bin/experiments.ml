@@ -9,7 +9,9 @@ module Supervisor = Elfie_supervise.Supervisor
 module Journal = Elfie_supervise.Journal
 module Classify = Elfie_supervise.Classify
 
-let run_ids ids retries timeout_ins journal_path resume =
+let run_ids ids retries timeout_ins journal_path resume
+    (trace, metrics, profile) =
+  Elfie_obs.Report.with_reporting ?trace ?metrics ?profile @@ fun () ->
   let targets =
     match ids with
     | [ "all" ] | [] -> Elfie_harness.Registry.all
@@ -56,6 +58,10 @@ let run_ids ids retries timeout_ins journal_path resume =
         Format.printf "=== %s: QUARANTINED — %a ===@.@." r.job
           Supervisor.pp_report r)
     results;
+  let skips, saved_ms = Supervisor.resume_savings () in
+  if skips > 0 then
+    Printf.printf "resume: skipped %d experiment(s), saved ~%.0f ms\n" skips
+      saved_ms;
   Option.iter Journal.close journal;
   if quarantined <> [] then begin
     Printf.printf "%d experiment(s) quarantined; re-run with --journal/--resume \
@@ -99,11 +105,42 @@ let resume_arg =
            previously failed or interrupted ones re-run. Requires \
            $(b,--journal).")
 
+(* Shared observability flags: --trace/--metrics/--profile[=N]. *)
+let obs_flags =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON file (load it at \
+             ui.perfetto.dev or chrome://tracing).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a Prometheus text exposition of all metrics and print \
+             the summary table.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt ~vopt:(Some 97) (some int) None
+      & info [ "profile" ] ~docv:"N"
+          ~doc:
+            "Sample the PC every N retired instructions (default 97) and \
+             print the top-K hot-region report.")
+  in
+  Term.(const (fun t m p -> (t, m, p)) $ trace $ metrics $ profile)
+
 let cmd =
   let doc = "regenerate the ELFies paper's evaluation tables and figures" in
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(
       const run_ids $ ids_arg $ retries_arg $ timeout_ins_arg $ journal_arg
-      $ resume_arg)
+      $ resume_arg $ obs_flags)
 
 let () = exit (Cmd.eval cmd)

@@ -24,9 +24,41 @@ let bench_arg =
 let seed_arg =
   Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Scheduler seed.")
 
+(* Shared observability flags: --trace/--metrics/--profile[=N]. *)
+let obs_flags =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON file (load it at \
+             ui.perfetto.dev or chrome://tracing).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a Prometheus text exposition of all metrics and print \
+             the summary table.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt ~vopt:(Some 97) (some int) None
+      & info [ "profile" ] ~docv:"N"
+          ~doc:
+            "Sample the PC every N retired instructions (default 97) and \
+             print the top-K hot-region report.")
+  in
+  Term.(const (fun t m p -> (t, m, p)) $ trace $ metrics $ profile)
+
 (* --- run -------------------------------------------------------------------- *)
 
-let run_native bench seed =
+let run_native bench seed (trace, metrics, profile) =
+  Elfie_obs.Report.with_reporting ?trace ?metrics ?profile @@ fun () ->
   let b = find_bench bench in
   let stats =
     Elfie_pin.Run.native (Elfie_workloads.Programs.run_spec ~seed b.spec)
@@ -38,11 +70,13 @@ let run_native bench seed =
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"run a benchmark natively")
-    Term.(const run_native $ bench_arg $ seed_arg)
+    Term.(const run_native $ bench_arg $ seed_arg $ obs_flags)
 
 (* --- log -------------------------------------------------------------------- *)
 
-let log_region bench seed out name start length fat sysstate =
+let log_region bench seed out name start length fat sysstate
+    (trace, metrics, profile) =
+  Elfie_obs.Report.with_reporting ?trace ?metrics ?profile @@ fun () ->
   let b = find_bench bench in
   let rs = Elfie_workloads.Programs.run_spec ~seed b.spec in
   let result =
@@ -92,11 +126,12 @@ let log_cmd =
     (Cmd.info "log" ~doc:"capture a region of execution as a pinball")
     Term.(
       const log_region $ bench_arg $ seed_arg $ out $ pb_name $ start $ length $ fat
-      $ sysstate)
+      $ sysstate $ obs_flags)
 
 (* --- replay ----------------------------------------------------------------- *)
 
-let replay dir name injection no_injection =
+let replay dir name injection no_injection (trace, metrics, profile) =
+  Elfie_obs.Report.with_reporting ?trace ?metrics ?profile @@ fun () ->
   let pb = Elfie_pinball.Pinball.load ~dir ~name in
   let mode =
     if injection && not no_injection then Elfie_pin.Replayer.Constrained
@@ -140,11 +175,12 @@ let replay_cmd =
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"replay a pinball (constrained by default)")
-    Term.(const replay $ dir $ pb_name $ injection $ no_injection)
+    Term.(const replay $ dir $ pb_name $ injection $ no_injection $ obs_flags)
 
 (* --- check ------------------------------------------------------------------ *)
 
-let check dir name do_replay fault_sweep =
+let check dir name do_replay fault_sweep (trace, metrics, profile) =
+  Elfie_obs.Report.with_reporting ?trace ?metrics ?profile @@ fun () ->
   let module Diag = Elfie_util.Diag in
   let diags =
     match Elfie_pinball.Pinball.load_result ~dir ~name with
@@ -199,7 +235,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"validate a pinball: parse, consistency checks, optional replay")
-    Term.(const check $ dir $ pb_name $ do_replay $ fault_sweep)
+    Term.(const check $ dir $ pb_name $ do_replay $ fault_sweep $ obs_flags)
 
 (* --- list ------------------------------------------------------------------- *)
 

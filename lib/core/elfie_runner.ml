@@ -4,6 +4,9 @@
 open Elfie_machine
 open Elfie_kernel
 
+module Trace = Elfie_obs.Trace
+module Metrics = Elfie_obs.Metrics
+
 type outcome = {
   load_error : string option;
   stack_collision : bool;
@@ -41,6 +44,33 @@ let failed_outcome ?(stack_collision = false) msg =
 
 let runaway_fault_message = "runaway: max_ins exceeded"
 
+let m_loader_runs =
+  Metrics.counter "elfie_loader_runs_total"
+    ~help:"ELFie loads attempted by the native runner, by result"
+
+let m_region_instructions =
+  Metrics.histogram "elfie_region_instructions"
+    ~buckets:[ 1e3; 1e4; 1e5; 1e6; 1e7; 1e8 ]
+    ~help:"Region instructions retired per graceful native run"
+
+let m_region_cpi =
+  Metrics.gauge "elfie_region_cpi"
+    ~help:"Region cycles-per-instruction of the most recent native run"
+
+let m_region_threads =
+  Metrics.gauge "elfie_region_threads"
+    ~help:"Threads alive at the end of the most recent native run"
+
+(* One label value per way a native run can end; also used as the
+   closing attr of the runner.region span. *)
+let outcome_result o =
+  if o.load_error <> None then
+    if o.stack_collision then "stack_collision" else "load_error"
+  else if o.graceful then "graceful"
+  else if o.runaway then "runaway"
+  else if o.machine_fault <> None then "fault"
+  else "failed"
+
 let run ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
     ?(max_ins = 100_000_000L) ?timing ?(kernel_cost = true)
     ?(on_machine = fun (_ : Machine.t) -> ()) (image : Elfie_elf.Image.t) =
@@ -56,15 +86,39 @@ let run ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
   in
   Vkernel.install kernel machine;
   if kernel_cost then Machine.set_timer machine ~interval:8192 ~cycles:250 ~seed;
+  let sp = Trace.begin_span "runner.region" ~attrs:[ ("seed", Trace.I seed) ] in
+  let finish o =
+    let result = outcome_result o in
+    Metrics.inc m_loader_runs ~labels:[ ("result", result) ];
+    if o.graceful then
+      Metrics.observe m_region_instructions (Int64.to_float o.app_retired);
+    Metrics.set m_region_cpi o.region_cpi;
+    Metrics.set m_region_threads (float_of_int o.threads);
+    Trace.end_span sp
+      ~attrs:
+        [
+          ("result", Trace.S result);
+          ("retired", Trace.I o.app_retired);
+          ("cpi", Trace.F o.region_cpi);
+        ];
+    o
+  in
+  let load_sp = Trace.begin_span "runner.load" in
   match Loader.load kernel machine image ~argv:[ "elfie" ] ~env:[] with
-  | exception Loader.Exec_failed msg -> failed_outcome msg
+  | exception Loader.Exec_failed msg ->
+      Trace.end_span load_sp ~attrs:[ ("error", Trace.S msg) ];
+      finish (failed_outcome msg)
   | exception Loader.Stack_collision { reserved; needed; stack_top } ->
-      failed_outcome ~stack_collision:true
-        (Printf.sprintf
-           "stack collision: only %d pages below 0x%Lx available (%d needed)"
-           reserved stack_top needed)
+      Trace.end_span load_sp ~attrs:[ ("error", Trace.S "stack collision") ];
+      finish
+        (failed_outcome ~stack_collision:true
+           (Printf.sprintf
+              "stack collision: only %d pages below 0x%Lx available (%d needed)"
+              reserved stack_top needed))
   | _tid, _layout ->
+      Trace.end_span load_sp;
       on_machine machine;
+      Elfie_pin.Tools.attach_global_profile machine;
       Machine.run ~max_ins machine;
       let threads = Machine.threads machine in
       let armed = List.filter (fun th -> th.Machine.counter_target <> None) threads in
@@ -143,6 +197,16 @@ let run ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
             let cyc = List.fold_left (fun a (_, c) -> Int64.add a c) 0L marked in
             Int64.to_float cyc /. Int64.to_float ins
       in
+      if List.exists (fun th -> th.Machine.mark_retired <> None) armed then
+        Trace.instant "runner.warmup" ~attrs:[ ("slice_cpi", Trace.F slice_cpi) ];
+      Trace.instant "runner.exit"
+        ~attrs:
+          [
+            ("graceful", Trace.B graceful);
+            ( "fault",
+              Trace.S (match fault with Some f -> f | None -> "none") );
+          ];
+      finish
       {
         load_error = None;
         stack_collision = false;

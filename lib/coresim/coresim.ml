@@ -2,6 +2,21 @@ open Elfie_isa
 open Elfie_machine
 open Elfie_kernel
 
+module Trace = Elfie_obs.Trace
+module Metrics = Elfie_obs.Metrics
+
+(* Shared across the simulator backends: each registers the same family
+   (the metrics registry is get-or-create by name) and labels its own
+   series with backend=<name>. *)
+let m_sim_instructions =
+  Metrics.counter "elfie_sim_instructions_total"
+    ~help:"User instructions simulated, by backend"
+
+let m_cache_miss_ratio =
+  Metrics.gauge "elfie_sim_cache_miss_ratio"
+    ~help:"Last-level cache misses per simulated user instruction of \
+           the most recent run, by backend"
+
 type mode = User_level | Full_system
 
 type config = {
@@ -152,7 +167,16 @@ let simulate ?(mode = User_level) ?(from_marker = true) ?measure_after
       fs
   in
   Vkernel.install kernel machine;
+  let sp =
+    Trace.begin_span "coresim.simulate"
+      ~attrs:
+        [
+          ( "mode",
+            Trace.S (match mode with User_level -> "user" | Full_system -> "full") );
+        ]
+  in
   let _ = Loader.load kernel machine image ~argv:[ "elfie" ] ~env:[] in
+  Elfie_pin.Tools.attach_global_profile machine;
   let model = fresh_model cfg mode ~enabled:(not from_marker) in
   let on_ins tid _pc ins =
     if model.enabled then begin
@@ -199,17 +223,33 @@ let simulate ?(mode = User_level) ?(from_marker = true) ?measure_after
       (fun th -> th.Machine.state <> Machine.Runnable)
       (Machine.threads machine)
   in
-  {
-    user_instructions = model.user_ins;
-    kernel_instructions = model.kernel_ins;
-    runtime_cycles = Int64.of_float (Float.round model.cycles);
-    cpi =
-      (let ins = Int64.sub model.user_ins model.window_start_ins in
-       let cyc = model.cycles -. model.window_start_cycles in
-       if ins <= 0L then 0.0 else cyc /. Int64.to_float ins);
-    data_footprint_bytes = Int64.of_int (Cache.footprint_lines model.llc * 64);
-    dtlb_misses = Int64.of_int (Cache.misses model.dtlb);
-    llc_misses = Int64.of_int (Cache.misses model.llc);
-    syscalls = model.syscalls;
-    completed;
-  }
+  let r =
+    {
+      user_instructions = model.user_ins;
+      kernel_instructions = model.kernel_ins;
+      runtime_cycles = Int64.of_float (Float.round model.cycles);
+      cpi =
+        (let ins = Int64.sub model.user_ins model.window_start_ins in
+         let cyc = model.cycles -. model.window_start_cycles in
+         if ins <= 0L then 0.0 else cyc /. Int64.to_float ins);
+      data_footprint_bytes = Int64.of_int (Cache.footprint_lines model.llc * 64);
+      dtlb_misses = Int64.of_int (Cache.misses model.dtlb);
+      llc_misses = Int64.of_int (Cache.misses model.llc);
+      syscalls = model.syscalls;
+      completed;
+    }
+  in
+  let backend = [ ("backend", "coresim") ] in
+  Metrics.inc m_sim_instructions ~labels:backend
+    ~by:(Int64.to_float r.user_instructions);
+  Metrics.set m_cache_miss_ratio ~labels:backend
+    (Int64.to_float r.llc_misses
+    /. Float.max 1.0 (Int64.to_float r.user_instructions));
+  Trace.end_span sp
+    ~attrs:
+      [
+        ("instructions", Trace.I r.user_instructions);
+        ("cpi", Trace.F r.cpi);
+        ("completed", Trace.B r.completed);
+      ];
+  r

@@ -2,6 +2,20 @@ open Elfie_isa
 open Elfie_machine
 open Elfie_kernel
 
+module Trace = Elfie_obs.Trace
+module Metrics = Elfie_obs.Metrics
+
+(* Same families Coresim registers — the registry is get-or-create by
+   name, so both handles resolve to one family. *)
+let m_sim_instructions =
+  Metrics.counter "elfie_sim_instructions_total"
+    ~help:"User instructions simulated, by backend"
+
+let m_cache_miss_ratio =
+  Metrics.gauge "elfie_sim_cache_miss_ratio"
+    ~help:"Last-level cache misses per simulated user instruction of \
+           the most recent run, by backend"
+
 type cpu_config = {
   name : string;
   rob_entries : int;
@@ -117,7 +131,12 @@ let simulate_se ?(from_marker = true) ?(seed = 13L) ?(fs_init = fun (_ : Fs.t) -
       fs
   in
   Vkernel.install kernel machine;
+  let sp =
+    Trace.begin_span "gem5.simulate"
+      ~attrs:[ ("cpu", Trace.S cfg.name); ("mode", Trace.S "se") ]
+  in
   let _ = Loader.load kernel machine image ~argv:[ "elfie" ] ~env:[] in
+  Elfie_pin.Tools.attach_global_profile machine;
   let model = fresh cfg ~enabled:(not from_marker) in
   let on_ins _tid _pc ins =
     if model.enabled then begin
@@ -144,15 +163,30 @@ let simulate_se ?(from_marker = true) ?(seed = 13L) ?(fs_init = fun (_ : Fs.t) -
   let detach = Elfie_pin.Pintool.attach machine [ tool ] in
   Machine.run ~max_ins machine;
   detach ();
-  {
-    instructions = model.instructions;
-    cycles = Int64.of_float (Float.round model.cycles);
-    ipc =
-      (if model.cycles = 0.0 then 0.0
-       else Int64.to_float model.instructions /. model.cycles);
-    l2_misses = Int64.of_int (Cache.misses model.l2);
-    completed =
-      List.for_all
-        (fun th -> th.Machine.state <> Machine.Runnable)
-        (Machine.threads machine);
-  }
+  let r =
+    {
+      instructions = model.instructions;
+      cycles = Int64.of_float (Float.round model.cycles);
+      ipc =
+        (if model.cycles = 0.0 then 0.0
+         else Int64.to_float model.instructions /. model.cycles);
+      l2_misses = Int64.of_int (Cache.misses model.l2);
+      completed =
+        List.for_all
+          (fun th -> th.Machine.state <> Machine.Runnable)
+          (Machine.threads machine);
+    }
+  in
+  let backend = [ ("backend", "gem5") ] in
+  Metrics.inc m_sim_instructions ~labels:backend
+    ~by:(Int64.to_float r.instructions);
+  Metrics.set m_cache_miss_ratio ~labels:backend
+    (Int64.to_float r.l2_misses /. Float.max 1.0 (Int64.to_float r.instructions));
+  Trace.end_span sp
+    ~attrs:
+      [
+        ("instructions", Trace.I r.instructions);
+        ("ipc", Trace.F r.ipc);
+        ("completed", Trace.B r.completed);
+      ];
+  r

@@ -2,6 +2,17 @@ module Simpoint = Elfie_simpoint.Simpoint
 module Perf = Elfie_perf.Perf
 module Supervisor = Elfie_supervise.Supervisor
 module Classify = Elfie_supervise.Classify
+module Trace = Elfie_obs.Trace
+module Metrics = Elfie_obs.Metrics
+
+let m_coverage =
+  Metrics.gauge "elfie_pipeline_coverage"
+    ~help:"Execution weight covered by gracefully re-executed regions \
+           in the most recent validation"
+
+let m_degradations =
+  Metrics.counter "elfie_pipeline_degradations_total"
+    ~help:"Graceful-degradation events during validation, by action"
 
 type region_outcome = {
   region : Simpoint.region;
@@ -142,10 +153,21 @@ let validate ?(params = Simpoint.default_params) ?(trials = 3)
     (b : Elfie_workloads.Suite.benchmark) =
   let run_spec = Elfie_workloads.Programs.run_spec b.spec in
   let profile =
-    Elfie_pin.Bbv.profile run_spec ~slice_size:params.Simpoint.slice_size
+    Trace.with_span "pipeline.profile"
+      ~attrs:[ ("bench", Trace.S b.bname) ]
+      (fun _ ->
+        Elfie_pin.Bbv.profile run_spec ~slice_size:params.Simpoint.slice_size)
   in
-  let sel = Simpoint.select ~params profile in
-  let native_whole = Perf.whole_program ~trials ~base_seed run_spec in
+  let sel =
+    Trace.with_span "pipeline.select" (fun sp ->
+        let sel = Simpoint.select ~params profile in
+        Trace.add_attr sp "k" (Trace.I (Int64.of_int sel.Simpoint.k));
+        sel)
+  in
+  let native_whole =
+    Trace.with_span "pipeline.native_whole" (fun _ ->
+        Perf.whole_program ~trials ~base_seed run_spec)
+  in
   (* Rank by rank: batch-capture all still-unresolved clusters' regions
      in a single program execution, convert and measure each, and fall
      back to the next alternate for clusters whose ELFie fails — the
@@ -155,9 +177,20 @@ let validate ?(params = Simpoint.default_params) ?(trials = 3)
   in
   let resolved : (int, region_outcome) Hashtbl.t = Hashtbl.create 16 in
   let degradations = ref [] in
-  let degrade d = degradations := d :: !degradations in
+  let degrade d =
+    let action =
+      match d.deg_action with
+      | Seed_retried _ -> "seed_retried"
+      | Alternate_used _ -> "alternate_used"
+      | Quarantined _ -> "quarantined"
+      | Abandoned -> "abandoned"
+    in
+    Metrics.inc m_degradations ~labels:[ ("action", action) ];
+    degradations := d :: !degradations
+  in
   let rank = ref 0 in
   let pending = ref clusters in
+  let regions_sp = Trace.begin_span "pipeline.regions" in
   while !pending <> [] && !rank < max_alternates do
     let wanted =
       List.filter_map
@@ -294,6 +327,9 @@ let validate ?(params = Simpoint.default_params) ?(trials = 3)
         !pending;
     incr rank
   done;
+  Trace.end_span regions_sp
+    ~attrs:[ ("resolved", Trace.I (Int64.of_int (Hashtbl.length resolved))) ];
+  let summarize_sp = Trace.begin_span "pipeline.summarize" in
   let regions =
     List.map
       (fun alts ->
@@ -368,6 +404,8 @@ let validate ?(params = Simpoint.default_params) ?(trials = 3)
     end
     else (None, None, None)
   in
+  Metrics.set m_coverage coverage;
+  Trace.end_span summarize_sp ~attrs:[ ("coverage", Trace.F coverage) ];
   {
     bench = b.bname;
     total_ins = sel.Simpoint.total_instructions;

@@ -1,0 +1,111 @@
+type t = {
+  itv : int;
+  mutable countdown : int;
+  mutable ins : int64;
+  mutable nsamples : int64;
+  pcs : (int64, int64) Hashtbl.t;
+  blocks : (int64, int64) Hashtbl.t;
+  mutable cur_block : int64 array;  (* per-tid current block head *)
+  mutable at_boundary : bool array;
+}
+
+let create ?(interval = 97) () =
+  if interval <= 0 then invalid_arg "Profile.create: interval must be positive";
+  {
+    itv = interval;
+    countdown = interval;
+    ins = 0L;
+    nsamples = 0L;
+    pcs = Hashtbl.create 1024;
+    blocks = Hashtbl.create 1024;
+    cur_block = Array.make 8 0L;
+    at_boundary = Array.make 8 true;
+  }
+
+let interval t = t.itv
+
+let ensure_tid t tid =
+  let n = Array.length t.cur_block in
+  if tid >= n then begin
+    let cur = Array.make (tid + 4) 0L in
+    let bnd = Array.make (tid + 4) true in
+    Array.blit t.cur_block 0 cur 0 n;
+    Array.blit t.at_boundary 0 bnd 0 n;
+    t.cur_block <- cur;
+    t.at_boundary <- bnd
+  end
+
+let bump tbl key =
+  Hashtbl.replace tbl key
+    (Int64.add 1L (Option.value ~default:0L (Hashtbl.find_opt tbl key)))
+
+let note t ~tid ~pc ~block_end =
+  ensure_tid t tid;
+  if t.at_boundary.(tid) then begin
+    t.cur_block.(tid) <- pc;
+    t.at_boundary.(tid) <- false
+  end;
+  bump t.blocks t.cur_block.(tid);
+  if block_end then t.at_boundary.(tid) <- true;
+  t.ins <- Int64.add t.ins 1L;
+  t.countdown <- t.countdown - 1;
+  if t.countdown = 0 then begin
+    t.countdown <- t.itv;
+    t.nsamples <- Int64.add t.nsamples 1L;
+    bump t.pcs pc
+  end
+
+let instructions t = t.ins
+let samples t = t.nsamples
+
+let top ?(k = 10) tbl =
+  Hashtbl.fold (fun pc n acc -> (pc, n) :: acc) tbl []
+  |> List.sort (fun (pa, na) (pb, nb) ->
+         match Int64.compare nb na with
+         | 0 -> Int64.unsigned_compare pa pb
+         | c -> c)
+  |> List.filteri (fun i _ -> i < k)
+
+let hot_pcs ?k t = top ?k t.pcs
+let hot_blocks ?k t = top ?k t.blocks
+
+let pct part whole =
+  if whole = 0L then 0.0
+  else 100.0 *. Int64.to_float part /. Int64.to_float whole
+
+let report ?(k = 10) t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "hot regions: %Ld sample(s) @ every %d ins, %Ld instruction(s), %d \
+        distinct pc(s)\n"
+       t.nsamples t.itv t.ins (Hashtbl.length t.pcs));
+  List.iter
+    (fun (pc, n) ->
+      Buffer.add_string b
+        (Printf.sprintf "  0x%-12Lx %8Ld sample(s)  %5.1f%%\n" pc n
+           (pct n t.nsamples)))
+    (hot_pcs ~k t);
+  Buffer.add_string b
+    (Printf.sprintf "hot blocks (top %d of %d, by instructions):\n" k
+       (Hashtbl.length t.blocks));
+  List.iter
+    (fun (pc, n) ->
+      Buffer.add_string b
+        (Printf.sprintf "  0x%-12Lx %8Ld ins        %5.1f%%\n" pc n
+           (pct n t.ins)))
+    (hot_blocks ~k t);
+  Buffer.contents b
+
+let reset t =
+  t.countdown <- t.itv;
+  t.ins <- 0L;
+  t.nsamples <- 0L;
+  Hashtbl.reset t.pcs;
+  Hashtbl.reset t.blocks;
+  Array.fill t.cur_block 0 (Array.length t.cur_block) 0L;
+  Array.fill t.at_boundary 0 (Array.length t.at_boundary) true
+
+let global_slot : t option ref = ref None
+let set_global p = global_slot := p
+let global () = !global_slot

@@ -1,0 +1,49 @@
+(** Hot-region profiling: deterministic PC sampling and per-basic-block
+    instruction counts.
+
+    The observability twin of the BBV machinery: a profiler fed one
+    call per retired instruction (wired into the machine through
+    {!Elfie_pin.Tools.profile_tool}) samples the program counter every
+    [interval] instructions into a hot-address histogram and charges
+    every instruction to its basic block (a block ends at a branch,
+    call or syscall). Sampling is count-driven, not timer-driven, so
+    the profile of a seeded run is bit-for-bit reproducible.
+
+    The {e global} profiler slot is how [--profile] reaches execution:
+    when set, {!Elfie_core.Elfie_runner} and the replayer attach it to
+    every machine they create. *)
+
+type t
+
+(** [create ()] makes an empty profiler sampling every [interval]
+    retired instructions (default 97 — co-prime with common loop
+    lengths). Raises [Invalid_argument] if [interval <= 0]. *)
+val create : ?interval:int -> unit -> t
+
+val interval : t -> int
+
+(** Feed one retired instruction. [block_end] marks instructions that
+    terminate a basic block (branch/call/syscall). *)
+val note : t -> tid:int -> pc:int64 -> block_end:bool -> unit
+
+(** Retired instructions seen / PC samples taken. *)
+val instructions : t -> int64
+
+val samples : t -> int64
+
+(** Top-[k] sampled PCs, by sample count descending (ties broken by
+    ascending address — deterministic). *)
+val hot_pcs : ?k:int -> t -> (int64 * int64) list
+
+(** Top-[k] basic blocks by instructions executed. *)
+val hot_blocks : ?k:int -> t -> (int64 * int64) list
+
+(** The top-K hot-region report, human-readable. *)
+val report : ?k:int -> t -> string
+
+val reset : t -> unit
+
+(** {1 The global profiler} *)
+
+val set_global : t option -> unit
+val global : unit -> t option

@@ -1,0 +1,224 @@
+type value = S of string | I of int64 | F of float | B of bool
+type attrs = (string * value) list
+
+type event =
+  | Span of {
+      name : string;
+      ts : float;
+      dur : float;
+      depth : int;
+      seq : int;
+      attrs : attrs;
+    }
+  | Instant of {
+      name : string; ts : float; depth : int; seq : int; attrs : attrs;
+    }
+
+let event_name = function Span { name; _ } | Instant { name; _ } -> name
+let event_attrs = function Span { attrs; _ } | Instant { attrs; _ } -> attrs
+let attr ev key = List.assoc_opt key (event_attrs ev)
+
+type span = {
+  sp_name : string;
+  sp_ts : float;
+  sp_seq : int;
+  sp_depth : int;
+  mutable sp_attrs : attrs;
+  mutable sp_live : bool;
+}
+
+let enabled_flag = ref true
+let capacity = ref 65536
+let epoch = ref (Unix.gettimeofday ())
+let seq = ref 0
+let depth = ref 0
+
+(* Newest-first; once full, later events are counted, not stored. *)
+let buf : event list ref = ref []
+let buf_len = ref 0
+let dropped_count = ref 0
+let emitted_count = ref 0
+
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+let set_capacity n = capacity := max 1 n
+
+let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
+
+let push ev =
+  incr emitted_count;
+  if !buf_len >= !capacity then incr dropped_count
+  else begin
+    buf := ev :: !buf;
+    incr buf_len
+  end
+
+let dummy_span =
+  { sp_name = ""; sp_ts = 0.0; sp_seq = 0; sp_depth = 0; sp_attrs = [];
+    sp_live = false }
+
+let begin_span ?(attrs = []) name =
+  if not !enabled_flag then dummy_span
+  else begin
+    incr seq;
+    let sp =
+      { sp_name = name; sp_ts = now_us (); sp_seq = !seq; sp_depth = !depth;
+        sp_attrs = attrs; sp_live = true }
+    in
+    incr depth;
+    sp
+  end
+
+let add_attr sp key v = if sp.sp_live then sp.sp_attrs <- sp.sp_attrs @ [ (key, v) ]
+
+let end_span ?(attrs = []) sp =
+  if sp.sp_live then begin
+    sp.sp_live <- false;
+    depth := max 0 (!depth - 1);
+    push
+      (Span
+         {
+           name = sp.sp_name;
+           ts = sp.sp_ts;
+           dur = Float.max 0.0 (now_us () -. sp.sp_ts);
+           depth = sp.sp_depth;
+           seq = sp.sp_seq;
+           attrs = sp.sp_attrs @ attrs;
+         })
+  end
+
+let with_span ?attrs name f =
+  let sp = begin_span ?attrs name in
+  match f sp with
+  | v ->
+      end_span sp;
+      v
+  | exception exn ->
+      end_span sp ~attrs:[ ("error", S (Printexc.to_string exn)) ];
+      raise exn
+
+let instant ?(attrs = []) name =
+  if !enabled_flag then begin
+    incr seq;
+    push (Instant { name; ts = now_us (); depth = !depth; seq = !seq; attrs })
+  end
+
+let events () = List.rev !buf
+let emitted () = !emitted_count
+let dropped () = !dropped_count
+
+let span_names () =
+  List.filter_map
+    (function Span { name; _ } -> Some name | Instant _ -> None)
+    (events ())
+
+let reset () =
+  buf := [];
+  buf_len := 0;
+  dropped_count := 0;
+  emitted_count := 0;
+  seq := 0;
+  depth := 0;
+  epoch := Unix.gettimeofday ()
+
+(* --- Chrome trace_event export --------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_value = function
+  | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | I i -> Int64.to_string i
+  | F f ->
+      if Float.is_finite f then Printf.sprintf "%.6g" f
+      else Printf.sprintf "\"%h\"" f
+  | B b -> if b then "true" else "false"
+
+let json_args attrs =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":%s" (json_escape k) (json_of_value v))
+         attrs)
+  ^ "}"
+
+let chrome_event = function
+  | Span { name; ts; dur; attrs; _ } ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":%s}"
+        (json_escape name) ts dur (json_args attrs)
+  | Instant { name; ts; attrs; _ } ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\",\"pid\":1,\"tid\":1,\"args\":%s}"
+        (json_escape name) ts (json_args attrs)
+
+let to_chrome () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (chrome_event ev))
+    (events ());
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let write_chrome path =
+  let oc = open_out_bin path in
+  output_string oc (to_chrome ());
+  output_char oc '\n';
+  close_out oc
+
+(* --- Human-readable tree ---------------------------------------------- *)
+
+let string_of_value = function
+  | S s -> s
+  | I i -> Int64.to_string i
+  | F f -> Printf.sprintf "%.4g" f
+  | B b -> string_of_bool b
+
+let pp_attrs fmt attrs =
+  if attrs <> [] then
+    Format.fprintf fmt " (%s)"
+      (String.concat ", "
+         (List.map (fun (k, v) -> k ^ "=" ^ string_of_value v) attrs))
+
+let pp_tree fmt () =
+  let by_seq =
+    List.sort
+      (fun a b ->
+        let s = function Span { seq; _ } | Instant { seq; _ } -> seq in
+        compare (s a) (s b))
+      (events ())
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Span { name; dur; depth; attrs; _ } ->
+          Format.fprintf fmt "%s%s %.3fms%a@." (String.make (2 * depth) ' ')
+            name (dur /. 1000.0) pp_attrs attrs
+      | Instant { name; depth; attrs; _ } ->
+          Format.fprintf fmt "%s- %s%a@." (String.make (2 * depth) ' ') name
+            pp_attrs attrs)
+    by_seq;
+  if !dropped_count > 0 then
+    Format.fprintf fmt "(%d event(s) dropped past the %d-event buffer)@."
+      !dropped_count !capacity
+
+let tree () = Format.asprintf "%a" pp_tree ()

@@ -4,6 +4,7 @@ type sample = {
   instructions : int64;
   trials : int;
   failures : int;
+  failure_classes : Elfie_supervise.Classify.t list;
 }
 
 let mean = function
@@ -35,6 +36,9 @@ let whole_program ?(trials = 3) ?(base_seed = 1000L) spec =
     instructions = last.Elfie_pin.Run.retired;
     trials;
     failures = trials - List.length ok;
+    (* The whole-program path only knows clean/not-clean; no outcome to
+       classify. *)
+    failure_classes = [];
   }
 
 let elfie_region_detailed ?(trials = 3) ?(base_seed = 2000L) ?fs_init ?cwd
@@ -54,12 +58,20 @@ let elfie_region_detailed ?(trials = 3) ?(base_seed = 2000L) ?fs_init ?cwd
     | o :: _ -> o.Elfie_core.Elfie_runner.app_retired
     | [] -> 0L
   in
+  let failure_classes =
+    List.filter_map
+      (fun (o : Elfie_core.Elfie_runner.outcome) ->
+        if o.graceful then None
+        else Some (Elfie_supervise.Classify.of_outcome o))
+      results
+  in
   ( {
       mean_cpi = mean cpis;
       stddev_cpi = stddev cpis;
       instructions;
       trials;
       failures = trials - List.length ok;
+      failure_classes;
     },
     results )
 
@@ -68,4 +80,20 @@ let elfie_region ?trials ?base_seed ?fs_init ?cwd ?max_ins image =
 
 let pp_sample fmt s =
   Format.fprintf fmt "cpi %.4f +/- %.4f over %d trial(s) (%d failed, %Ld ins)"
-    s.mean_cpi s.stddev_cpi s.trials s.failures s.instructions
+    s.mean_cpi s.stddev_cpi s.trials s.failures s.instructions;
+  if s.failure_classes <> [] then begin
+    (* Aggregate the per-trial crash classes: "2x runaway, 1x timeout". *)
+    let tally =
+      List.fold_left
+        (fun acc c ->
+          let key = Elfie_supervise.Classify.to_string c in
+          match List.assoc_opt key acc with
+          | Some n -> (key, n + 1) :: List.remove_assoc key acc
+          | None -> (key, 1) :: acc)
+        [] s.failure_classes
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    Format.fprintf fmt " [%s]"
+      (String.concat ", "
+         (List.map (fun (k, n) -> Printf.sprintf "%dx %s" n k) tally))
+  end

@@ -14,6 +14,10 @@ type sample = {
   instructions : int64;  (** of the last trial *)
   trials : int;
   failures : int;  (** trials that did not finish gracefully *)
+  failure_classes : Elfie_supervise.Classify.t list;
+      (** crash class of each failed trial, in trial order; empty for
+          {!whole_program}, which has no per-trial outcome to classify.
+          {!pp_sample} prints the aggregated tally. *)
 }
 
 val mean : float list -> float

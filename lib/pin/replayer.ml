@@ -2,9 +2,24 @@ open Elfie_machine
 open Elfie_kernel
 open Elfie_pinball
 
+module Trace = Elfie_obs.Trace
+module Metrics = Elfie_obs.Metrics
+
 type mode =
   | Constrained
   | Injectionless of { seed : int64; fs_init : Fs.t -> unit }
+
+let m_replays =
+  Metrics.counter "elfie_replays_total" ~help:"Pinball replays, by mode"
+
+let m_syscalls_replayed =
+  Metrics.counter "elfie_syscalls_replayed_total"
+    ~help:"Recorded syscalls consumed during constrained replay, by kind \
+           (injected = result written back, reexecuted = run natively)"
+
+let m_divergences =
+  Metrics.counter "elfie_replay_divergences_total"
+    ~help:"Divergences detected during replay"
 
 type divergence = {
   div_tid : int;
@@ -48,6 +63,7 @@ let materialize ?(constrained = true) ?(seed = 7L) ?(fs_init = fun _ -> ())
   let first_div = ref None in
   let diverge m tid what =
     incr divergences;
+    Metrics.inc m_divergences;
     if !first_div = None then begin
       let th = Machine.thread m tid in
       first_div :=
@@ -83,8 +99,13 @@ let materialize ?(constrained = true) ?(seed = 7L) ?(fs_init = fun _ -> ())
                 diverge m tid
                   (Printf.sprintf "syscall %d where the log recorded %d"
                      actual_nr entry.Pinball.sys_nr);
-              if entry.sys_reexec then Machine.Run_syscall
+              if entry.sys_reexec then begin
+                Metrics.inc m_syscalls_replayed
+                  ~labels:[ ("kind", "reexecuted") ];
+                Machine.Run_syscall
+              end
               else begin
+                Metrics.inc m_syscalls_replayed ~labels:[ ("kind", "injected") ];
                 (* Inject: result register plus kernel memory effects. *)
                 let ctx = (Machine.thread m tid).Machine.ctx in
                 Context.set ctx Elfie_isa.Reg.RAX entry.sys_ret;
@@ -103,7 +124,14 @@ let replay ?(mode = Constrained) ?max_ins (pb : Pinball.t) =
     | Constrained -> (true, 7L, fun _ -> ())
     | Injectionless { seed; fs_init } -> (false, seed, fs_init)
   in
+  let mode_name = if constrained then "constrained" else "injectionless" in
+  Metrics.inc m_replays ~labels:[ ("mode", mode_name) ];
+  let sp =
+    Trace.begin_span ("replay." ^ mode_name)
+      ~attrs:[ ("threads", Trace.I (Int64.of_int (Array.length pb.contexts))) ]
+  in
   let machine, kernel, div_state = materialize ~constrained ~seed ~fs_init pb in
+  Tools.attach_global_profile machine;
   let cap =
     (* Injection-less replay always needs a cap (free scheduling can
        spin forever past a divergence); a caller-supplied cap also
@@ -166,13 +194,24 @@ let replay ?(mode = Constrained) ?max_ins (pb : Pinball.t) =
                        actual recorded;
                  })
   in
-  {
-    per_thread_retired;
-    matched_icounts;
-    divergences;
-    first_divergence;
-    capped;
-    retired = Machine.total_retired machine;
-    cycles = Machine.elapsed_cycles machine;
-    stdout = Vkernel.stdout_contents kernel;
-  }
+  let result =
+    {
+      per_thread_retired;
+      matched_icounts;
+      divergences;
+      first_divergence;
+      capped;
+      retired = Machine.total_retired machine;
+      cycles = Machine.elapsed_cycles machine;
+      stdout = Vkernel.stdout_contents kernel;
+    }
+  in
+  Trace.end_span sp
+    ~attrs:
+      [
+        ("retired", Trace.I result.retired);
+        ("matched_icounts", Trace.B result.matched_icounts);
+        ("divergences", Trace.I (Int64.of_int result.divergences));
+        ("capped", Trace.B result.capped);
+      ];
+  result

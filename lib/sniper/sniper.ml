@@ -2,6 +2,20 @@ open Elfie_isa
 open Elfie_machine
 open Elfie_kernel
 
+module Trace = Elfie_obs.Trace
+module Metrics = Elfie_obs.Metrics
+
+(* Same families Coresim registers — the registry is get-or-create by
+   name, so both handles resolve to one family. *)
+let m_sim_instructions =
+  Metrics.counter "elfie_sim_instructions_total"
+    ~help:"User instructions simulated, by backend"
+
+let m_cache_miss_ratio =
+  Metrics.gauge "elfie_sim_cache_miss_ratio"
+    ~help:"Last-level cache misses per simulated user instruction of \
+           the most recent run, by backend"
+
 type config = {
   cores : int;
   dispatch_width : int;
@@ -172,6 +186,23 @@ let tool model machine end_condition =
     on_marker = Some (fun _ _ -> model.enabled <- true);
   }
 
+let record_metrics model r =
+  let backend = [ ("backend", "sniper") ] in
+  Metrics.inc m_sim_instructions ~labels:backend
+    ~by:(Int64.to_float r.instructions);
+  Metrics.set m_cache_miss_ratio ~labels:backend
+    (Int64.to_float (Int64.of_int (Cache.misses model.llc))
+    /. Float.max 1.0 (Int64.to_float r.instructions))
+
+let end_sim_span sp r =
+  Trace.end_span sp
+    ~attrs:
+      [
+        ("instructions", Trace.I r.instructions);
+        ("ipc", Trace.F r.ipc);
+        ("completed", Trace.B r.completed);
+      ]
+
 let collect ?(completed = true) model =
   let per_core_cycles =
     Array.map (fun c -> Int64.of_float (Float.round c.cycles)) model.cores
@@ -209,7 +240,16 @@ let simulate_elfie ?end_condition ?(from_marker = true) ?(seed = 13L)
       fs
   in
   Vkernel.install kernel machine;
+  let sp =
+    Trace.begin_span "sniper.simulate"
+      ~attrs:
+        [
+          ("source", Trace.S "elfie");
+          ("cores", Trace.I (Int64.of_int (cfg : config).cores));
+        ]
+  in
   let _ = Loader.load kernel machine image ~argv:[ "elfie" ] ~env:[] in
+  Elfie_pin.Tools.attach_global_profile machine;
   let model = fresh_model cfg ~enabled:(not from_marker) in
   let detach = Elfie_pin.Pintool.attach machine [ tool model machine end_condition ] in
   (* Cycle-driven scheduling: always advance the thread whose core is
@@ -256,12 +296,27 @@ let simulate_elfie ?end_condition ?(from_marker = true) ?(seed = 13L)
          (fun th -> th.Machine.state <> Machine.Runnable)
          (Machine.threads machine)
   in
-  collect ~completed model
+  let r = collect ~completed model in
+  record_metrics model r;
+  end_sim_span sp r;
+  r
 
 let simulate_pinball ?end_condition cfg pb =
+  let sp =
+    Trace.begin_span "sniper.simulate"
+      ~attrs:
+        [
+          ("source", Trace.S "pinball");
+          ("cores", Trace.I (Int64.of_int (cfg : config).cores));
+        ]
+  in
   let machine, _kernel, _div = Elfie_pin.Replayer.materialize ~constrained:true pb in
+  Elfie_pin.Tools.attach_global_profile machine;
   let model = fresh_model cfg ~enabled:true in
   let detach = Elfie_pin.Pintool.attach machine [ tool model machine end_condition ] in
   Machine.run machine;
   detach ();
-  collect model
+  let r = collect model in
+  record_metrics model r;
+  end_sim_span sp r;
+  r

@@ -5,6 +5,7 @@ type record = {
   classification : Classify.t;
   quarantined : bool;
   wall_ms : float;
+  attrs : (string * string) list;
 }
 
 type t = {
@@ -14,39 +15,89 @@ type t = {
 
 let magic = "J1"
 
+(* Attrs ride in an optional 8th field as k=v pairs joined by commas;
+   keys and values are percent-escaped so tabs, commas and '=' survive. *)
+let escape_kv s =
+  (* Classify.escape covers '%' and whitespace; the pair syntax also
+     needs ',' and '=' out of the way (Classify.unescape decodes any
+     %XX, so no matching change is needed on the read side). *)
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ',' -> Buffer.add_string buf "%2C"
+      | '=' -> Buffer.add_string buf "%3D"
+      | c -> Buffer.add_char buf c)
+    (Classify.escape s);
+  Buffer.contents buf
+
+let attrs_to_field attrs =
+  String.concat ","
+    (List.map (fun (k, v) -> escape_kv k ^ "=" ^ escape_kv v) attrs)
+
+let attrs_of_field field =
+  if field = "" then Some []
+  else
+    String.split_on_char ',' field
+    |> List.map (fun pair ->
+           match String.index_opt pair '=' with
+           | Some i ->
+               Some
+                 ( Classify.unescape (String.sub pair 0 i),
+                   Classify.unescape
+                     (String.sub pair (i + 1) (String.length pair - i - 1)) )
+           | None -> None)
+    |> List.fold_left
+         (fun acc kv ->
+           match (acc, kv) with
+           | Some l, Some kv -> Some (kv :: l)
+           | _ -> None)
+         (Some [])
+    |> Option.map List.rev
+
 let line_of_record r =
   String.concat "\t"
-    [
-      magic;
-      Classify.escape r.job;
-      r.inputs_hash;
-      string_of_int r.attempts;
-      Classify.to_string r.classification;
-      (if r.quarantined then "1" else "0");
-      Printf.sprintf "%.3f" r.wall_ms;
-    ]
+    ([
+       magic;
+       Classify.escape r.job;
+       r.inputs_hash;
+       string_of_int r.attempts;
+       Classify.to_string r.classification;
+       (if r.quarantined then "1" else "0");
+       Printf.sprintf "%.3f" r.wall_ms;
+     ]
+    @ if r.attrs = [] then [] else [ attrs_to_field r.attrs ])
 
 let record_of_line line =
+  let parse job inputs_hash attempts cls quarantined wall_ms attrs_field =
+    match
+      ( int_of_string_opt attempts,
+        Classify.of_string cls,
+        (match quarantined with "0" -> Some false | "1" -> Some true | _ -> None),
+        float_of_string_opt wall_ms,
+        attrs_of_field attrs_field )
+    with
+    | Some attempts, Some classification, Some quarantined, Some wall_ms,
+      Some attrs ->
+        Some
+          {
+            job = Classify.unescape job;
+            inputs_hash;
+            attempts;
+            classification;
+            quarantined;
+            wall_ms;
+            attrs;
+          }
+    | _ -> None
+  in
   match String.split_on_char '\t' line with
   | [ m; job; inputs_hash; attempts; cls; quarantined; wall_ms ] when m = magic
-    -> (
-      match
-        ( int_of_string_opt attempts,
-          Classify.of_string cls,
-          (match quarantined with "0" -> Some false | "1" -> Some true | _ -> None),
-          float_of_string_opt wall_ms )
-      with
-      | Some attempts, Some classification, Some quarantined, Some wall_ms ->
-          Some
-            {
-              job = Classify.unescape job;
-              inputs_hash;
-              attempts;
-              classification;
-              quarantined;
-              wall_ms;
-            }
-      | _ -> None)
+    ->
+      parse job inputs_hash attempts cls quarantined wall_ms ""
+  | [ m; job; inputs_hash; attempts; cls; quarantined; wall_ms; attrs ]
+    when m = magic ->
+      parse job inputs_hash attempts cls quarantined wall_ms attrs
   | _ -> None
 
 let in_memory () = { entries = []; oc = None }

@@ -11,11 +11,17 @@
 
     The on-disk format is one record per line:
 
-    {v J1 <TAB> job <TAB> inputs_hash <TAB> attempts <TAB> classification <TAB> quarantined <TAB> wall_ms v}
+    {v J1 <TAB> job <TAB> inputs_hash <TAB> attempts <TAB> classification <TAB> quarantined <TAB> wall_ms [<TAB> attrs] v}
 
-    Loading is tolerant: a truncated or corrupt trailing line (the
-    process died mid-write) is ignored rather than failing the resume.
-    When a job appears more than once, the latest record wins. *)
+    The trailing attrs field is optional (records written before it
+    existed parse fine without it) and carries percent-escaped [k=v]
+    pairs joined by commas — e.g. per-attempt class/duration breakdowns
+    sourced from the supervisor's trace spans.
+
+    Loading is tolerant: a truncated or corrupt line anywhere in the
+    file (the process died mid-write, or the file was appended to
+    concurrently) is ignored rather than failing the resume. When a job
+    appears more than once, the latest record wins. *)
 
 type record = {
   job : string;  (** unique job name within the batch *)
@@ -24,6 +30,8 @@ type record = {
   classification : Classify.t;
   quarantined : bool;
   wall_ms : float;  (** wall time across all attempts *)
+  attrs : (string * string) list;
+      (** optional free-form annotations ([[]] when absent) *)
 }
 
 type t

@@ -1,3 +1,6 @@
+module Trace = Elfie_obs.Trace
+module Metrics = Elfie_obs.Metrics
+
 type budget = { ins : int64 option; wall_s : float option }
 
 let unlimited = { ins = None; wall_s = None }
@@ -50,6 +53,35 @@ let pp_report fmt r =
     (if List.length r.attempts = 1 then "" else "s")
     (r.total_wall_s *. 1000.0)
 
+let m_runs =
+  Metrics.counter "elfie_runs_total"
+    ~help:"Supervised jobs finished, by final crash class"
+
+let m_attempts =
+  Metrics.counter "elfie_run_attempts_total"
+    ~help:"Individual supervised attempts (excluding escalations)"
+
+let m_retries =
+  Metrics.counter "elfie_retry_attempts_total"
+    ~help:"Attempts beyond the first for a supervised job"
+
+let m_wall =
+  Metrics.histogram "elfie_run_wall_seconds"
+    ~help:"Wall time per supervised job, all attempts included"
+
+let m_journal_skips =
+  Metrics.counter "elfie_journal_skips_total"
+    ~help:"Jobs skipped on --resume because the journal marks them done"
+
+let m_journal_saved_ms =
+  Metrics.counter "elfie_journal_saved_ms_total"
+    ~help:"Estimated wall milliseconds saved by --resume skips \
+           (the journaled wall time of each skipped job)"
+
+let resume_savings () =
+  ( int_of_float (Metrics.total m_journal_skips),
+    Metrics.total m_journal_saved_ms )
+
 (* What the retry loop does with a classified attempt. *)
 type disposition = Done | Retry | Retry_raised | Escalate | Quarantine
 
@@ -81,7 +113,19 @@ let supervise ~job ?(policy = default_policy) ?(budget = unlimited) ?journal
     | Some j when resume -> Journal.should_skip j ~job ~inputs_hash
     | Some _ | None -> false
   in
-  if skip then
+  if skip then begin
+    let saved_ms =
+      match journal with
+      | Some j -> (
+          match Journal.find j ~job with
+          | Some r -> r.Journal.wall_ms
+          | None -> 0.0)
+      | None -> 0.0
+    in
+    Metrics.inc m_journal_skips;
+    Metrics.inc m_journal_saved_ms ~by:saved_ms;
+    Trace.instant "supervisor.resume_skip"
+      ~attrs:[ ("job", Trace.S job); ("saved_ms", Trace.F saved_ms) ];
     ( {
         job;
         final = Classify.Graceful;
@@ -91,6 +135,7 @@ let supervise ~job ?(policy = default_policy) ?(budget = unlimited) ?journal
         total_wall_s = 0.0;
       },
       None )
+  end
   else begin
     let rng =
       Elfie_util.Rng.create
@@ -103,10 +148,17 @@ let supervise ~job ?(policy = default_policy) ?(budget = unlimited) ?journal
       match escalate with
       | None -> ()
       | Some f -> (
+          let esp =
+            Trace.begin_span "supervisor.escalate"
+              ~attrs:
+                [ ("job", Trace.S job); ("from", Trace.S (Classify.to_string cls)) ]
+          in
           let t0 = Unix.gettimeofday () in
           match (try f cls with exn -> Some (Classify.of_exn exn, "escalation raised")) with
-          | None -> ()
+          | None -> Trace.end_span esp
           | Some (esc_cls, note) ->
+              Trace.end_span esp
+                ~attrs:[ ("class", Trace.S (Classify.to_string esc_cls)) ];
               push
                 {
                   attempt_seed = policy.base_seed;
@@ -119,11 +171,24 @@ let supervise ~job ?(policy = default_policy) ?(budget = unlimited) ?journal
     let rec go ~attempt_no ~budget ~raised last_value =
       backoff policy rng ~attempt_no;
       let seed = seed_of policy attempt_no in
+      Metrics.inc m_attempts;
+      if attempt_no > 0 then Metrics.inc m_retries;
+      let asp =
+        Trace.begin_span "supervisor.attempt"
+          ~attrs:
+            [
+              ("job", Trace.S job);
+              ("attempt", Trace.I (Int64.of_int attempt_no));
+              ("seed", Trace.I seed);
+            ]
+      in
       let t0 = Unix.gettimeofday () in
       let value, cls =
         try run ~attempt_no ~seed ~budget
         with exn -> (None, Classify.of_exn exn)
       in
+      Trace.end_span asp
+        ~attrs:[ ("class", Trace.S (Classify.to_string cls)) ];
       let value = match value with None -> last_value | some -> some in
       push
         {
@@ -158,9 +223,24 @@ let supervise ~job ?(policy = default_policy) ?(budget = unlimited) ?journal
         total_wall_s;
       }
     in
+    Metrics.inc m_runs ~labels:[ ("class", Classify.to_string final) ];
+    Metrics.observe m_wall total_wall_s;
     (match journal with
     | None -> ()
     | Some j ->
+        (* Per-attempt breakdown as journal attrs, mirroring the
+           supervisor.attempt spans: class and duration of each try. *)
+        let attrs =
+          List.mapi
+            (fun i a ->
+              ( Printf.sprintf "%s%d"
+                  (if a.escalated then "escalation" else "attempt")
+                  i,
+                Printf.sprintf "%s:%.0fms"
+                  (Classify.to_string a.classification)
+                  (a.wall_s *. 1000.0) ))
+            report.attempts
+        in
         Journal.record j
           {
             Journal.job;
@@ -170,6 +250,7 @@ let supervise ~job ?(policy = default_policy) ?(budget = unlimited) ?journal
             classification = final;
             quarantined;
             wall_ms = total_wall_s *. 1000.0;
+            attrs;
           });
     (report, value)
   end

@@ -79,6 +79,14 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+(** Resume accounting for this process: how many supervised jobs were
+    skipped because the journal already marked them graceful, and the
+    estimated wall milliseconds those skips saved (the journaled wall
+    time of each skipped job). Backed by the
+    [elfie_journal_skips_total] / [elfie_journal_saved_ms_total]
+    metrics; batch drivers print it after a [--resume] run. *)
+val resume_savings : unit -> int * float
+
 (** {1 The generic loop} *)
 
 (** [supervise ~job run] drives [run] through the retry loop above.

@@ -8,4 +8,5 @@ let () =
       ("workloads", Test_workloads.suite); ("harness", Test_harness.suite);
       ("asm", Test_asm.suite); ("debugger", Test_debug.suite);
       ("pintools", Test_tools.suite); ("criu", Test_criu.suite);
-      ("check", Test_check.suite); ("supervise", Test_supervise.suite) ]
+      ("check", Test_check.suite); ("supervise", Test_supervise.suite);
+      ("obs", Test_obs.suite) ]

@@ -45,6 +45,7 @@ let record c =
     classification = c;
     quarantined = (not (Classify.is_graceful c));
     wall_ms = 12.5;
+    attrs = [];
   }
 
 let test_journal_line_roundtrip () =
@@ -59,6 +60,29 @@ let test_journal_line_roundtrip () =
     (Journal.record_of_line "J1\tjob\tdeadbeef\t2\tgrace" = None);
   Alcotest.(check bool) "wrong magic ignored" true
     (Journal.record_of_line "J9\tjob\tx\t1\tgraceful\t0\t1.0" = None)
+
+let test_journal_attrs_roundtrip () =
+  let r =
+    {
+      (record Classify.Graceful) with
+      Journal.attrs =
+        [
+          ("attempt0", "runaway:813ms");
+          ("attempt1", "graceful:42ms");
+          ("nasty", "tabs\tcommas,equals=and %25 signs");
+        ];
+    }
+  in
+  let line = Journal.line_of_record r in
+  Alcotest.(check bool) "attrs line stays single-line" false
+    (String.contains line '\n');
+  (match Journal.record_of_line line with
+  | Some r' -> Alcotest.(check bool) "attrs roundtrip" true (r = r')
+  | None -> Alcotest.fail "attrs line did not parse");
+  (* A pre-attrs (7-field) line still parses, with empty attrs. *)
+  match Journal.record_of_line (Journal.line_of_record (record Classify.Graceful)) with
+  | Some r' -> Alcotest.(check bool) "7-field line parses" true (r'.Journal.attrs = [])
+  | None -> Alcotest.fail "7-field line did not parse"
 
 let test_journal_file_tolerant_and_latest_wins () =
   let path = Filename.temp_file "elfie_journal" ".j" in
@@ -82,6 +106,35 @@ let test_journal_file_tolerant_and_latest_wins () =
   Alcotest.(check bool) "unknown job runs" false
     (Journal.should_skip j2 ~job:"b" ~inputs_hash:h);
   Journal.close j2;
+  Sys.remove path
+
+(* A torn FIRST line — not just a torn trailing one: e.g. the head of the
+   file was clobbered by a partial copy, or an older writer died on its
+   very first record. Every later record must still load. *)
+let test_journal_torn_first_line () =
+  let path = Filename.temp_file "elfie_journal_first" ".j" in
+  let h = Journal.hash [ "x" ] in
+  let oc = open_out_bin path in
+  output_string oc "J1\tfirst\tdeadbeef\t1\tgrace";
+  output_char oc '\n';
+  output_string oc
+    (Journal.line_of_record
+       { (record Classify.Graceful) with job = "a"; inputs_hash = h;
+         quarantined = false });
+  output_char oc '\n';
+  output_string oc
+    (Journal.line_of_record
+       { (record Classify.Runaway) with job = "b"; inputs_hash = h });
+  output_char oc '\n';
+  close_out oc;
+  let j = Journal.open_file path in
+  Alcotest.(check int) "torn first line dropped, rest kept" 2
+    (List.length (Journal.records j));
+  Alcotest.(check bool) "later graceful record still skips" true
+    (Journal.should_skip j ~job:"a" ~inputs_hash:h);
+  Alcotest.(check bool) "torn job does not skip" false
+    (Journal.should_skip j ~job:"first" ~inputs_hash:h);
+  Journal.close j;
   Sys.remove path
 
 let test_retry_reseeds_collisions () =
@@ -237,8 +290,12 @@ let suite =
   [
     Alcotest.test_case "classify roundtrip" `Quick test_classify_roundtrip;
     Alcotest.test_case "journal line roundtrip" `Quick test_journal_line_roundtrip;
+    Alcotest.test_case "journal attrs roundtrip" `Quick
+      test_journal_attrs_roundtrip;
     Alcotest.test_case "journal torn write / latest wins" `Quick
       test_journal_file_tolerant_and_latest_wins;
+    Alcotest.test_case "journal torn first line" `Quick
+      test_journal_torn_first_line;
     Alcotest.test_case "retry reseeds collisions" `Quick
       test_retry_reseeds_collisions;
     Alcotest.test_case "retry budget exhausted" `Quick
