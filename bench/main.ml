@@ -11,6 +11,76 @@
 open Bechamel
 open Toolkit
 
+(* --- machine-core microbenchmark (BENCH_core.json) ---------------------
+
+   Interpreted instructions/second on a stream+branchy kernel, hook-free
+   (the translated-block fast path) and with an instruction-counting
+   pintool attached. Written to BENCH_core.json so future PRs have a
+   perf trajectory to compare against. *)
+
+let core_kernels =
+  ref
+    [ { Elfie_workloads.Programs.kernel = Elfie_workloads.Kernels.Stream;
+        reps = 4000 };
+      { kernel = Elfie_workloads.Kernels.Branchy; reps = 4000 } ]
+
+let core_spec () =
+  Elfie_workloads.Programs.spec ~phases:!core_kernels ~outer_reps:200 ~threads:1
+    ~ws_bytes:65536 "core"
+
+let core_max_ins = 2_000_000L
+
+let run_core ~hooks ~seed =
+  let rs = Elfie_workloads.Programs.run_spec ~seed (core_spec ()) in
+  let machine, _kernel = Elfie_pin.Run.instantiate rs in
+  if hooks then begin
+    let counted = ref 0L in
+    let tool =
+      {
+        (Elfie_pin.Pintool.empty ~name:"bench-count") with
+        on_ins = Some (fun _ _ _ -> counted := Int64.add !counted 1L);
+      }
+    in
+    let (_ : unit -> unit) = Elfie_pin.Pintool.attach machine [ tool ] in
+    ()
+  end;
+  let t0 = Unix.gettimeofday () in
+  Elfie_machine.Machine.run ~max_ins:core_max_ins machine;
+  let wall = Unix.gettimeofday () -. t0 in
+  (Elfie_machine.Machine.total_retired machine, wall)
+
+let json_escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let core_bench () =
+  let trials = 3 in
+  let bench name hooks =
+    let runs =
+      List.init trials (fun i -> run_core ~hooks ~seed:(Int64.of_int (100 + i)))
+    in
+    let ins, best_wall =
+      List.fold_left
+        (fun (bi, bw) (ins, w) -> if w < bw then (ins, w) else (bi, bw))
+        (0L, infinity) runs
+    in
+    let ips = Int64.to_float ins /. best_wall in
+    Printf.printf "%-28s %12.0f ins/s  (%Ld ins, best of %d, %.3f s)\n%!" name
+      ips ins trials best_wall;
+    Printf.sprintf
+      "    { \"name\": \"%s\", \"ins_per_sec\": %.0f, \"wall_s\": %.6f, \
+       \"instructions\": %Ld, \"trials\": %d }"
+      (json_escape name) ips best_wall ins trials
+  in
+  print_endline "=== Machine-core microbenchmark ===";
+  let free = bench "core/hook-free" false in
+  let hooked = bench "core/with-ins-hook" true in
+  let rows = [ free; hooked ] in
+  let oc = open_out "BENCH_core.json" in
+  Printf.fprintf oc "{\n  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" rows);
+  close_out oc;
+  Printf.printf "wrote BENCH_core.json (jobs default: %d)\n\n%!"
+    (Elfie_util.Pool.default_jobs ())
+
 let tiny_spec ?(threads = 1) name =
   Elfie_workloads.Programs.spec
     ~phases:
@@ -162,6 +232,37 @@ let run_benchmarks () =
   print_newline ()
 
 let () =
+  let jobs = ref 0 in
+  let core_only = ref false in
+  let rec parse = function
+    | "--jobs" :: n :: rest ->
+        jobs := (try int_of_string n with _ -> 0);
+        parse rest
+    | "--core-only" :: rest ->
+        core_only := true;
+        parse rest
+    | "--core-kernel" :: k :: rest ->
+        (* Diagnostic: run the core microbenchmark on a single kernel
+           (implies --core-only). *)
+        (match
+           List.find_opt
+             (fun kn -> Elfie_workloads.Kernels.name kn = k)
+             Elfie_workloads.Kernels.all
+         with
+        | Some kn ->
+            core_kernels :=
+              [ { Elfie_workloads.Programs.kernel = kn; reps = 8000 } ];
+            core_only := true
+        | None -> Printf.eprintf "unknown kernel %s\n" k);
+        parse rest
+    | _ :: rest -> parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  Elfie_util.Pool.set_default_jobs
+    (if !jobs <= 0 then Elfie_util.Pool.recommended () else !jobs);
+  core_bench ();
+  if !core_only then exit 0;
   print_endline "=== Bechamel micro-benchmarks (one per table/figure) ===";
   run_benchmarks ();
   print_endline "=== Paper evaluation: every table and figure ===\n";

@@ -9,7 +9,9 @@
 open Cmdliner
 
 let run path sysstate_dir seed trials max_ins timeout_ins retries journal_path
-    resume disasm (trace, metrics, profile) =
+    resume disasm (trace, metrics, profile, jobs) =
+  Elfie_util.Pool.set_default_jobs
+    (if jobs = 0 then Elfie_util.Pool.recommended () else jobs);
   Elfie_obs.Report.with_reporting ?trace ?metrics ?profile @@ fun () ->
   let ic = open_in_bin path in
   let bytes = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
@@ -117,7 +119,17 @@ let obs_flags =
             "Sample the PC every N retired instructions (default 97) and \
              print the top-K hot-region report.")
   in
-  Term.(const (fun t m p -> (t, m, p)) $ trace $ metrics $ profile)
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Run up to N independent machine executions (trials, region \
+             measurements) concurrently on separate domains; 0 means the \
+             host's recommended domain count. Results are identical at \
+             any value.")
+  in
+  Term.(const (fun t m p j -> (t, m, p, j)) $ trace $ metrics $ profile $ jobs)
 
 let cmd =
   let path =

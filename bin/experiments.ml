@@ -10,7 +10,9 @@ module Journal = Elfie_supervise.Journal
 module Classify = Elfie_supervise.Classify
 
 let run_ids ids retries timeout_ins journal_path resume
-    (trace, metrics, profile) =
+    (trace, metrics, profile, jobs) =
+  Elfie_util.Pool.set_default_jobs
+    (if jobs = 0 then Elfie_util.Pool.recommended () else jobs);
   Elfie_obs.Report.with_reporting ?trace ?metrics ?profile @@ fun () ->
   let targets =
     match ids with
@@ -134,7 +136,17 @@ let obs_flags =
             "Sample the PC every N retired instructions (default 97) and \
              print the top-K hot-region report.")
   in
-  Term.(const (fun t m p -> (t, m, p)) $ trace $ metrics $ profile)
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Run up to N independent machine executions (trials, per-rank \
+             region measurements, Fig. 9 benchmarks) concurrently on \
+             separate domains; 0 means the host's recommended domain \
+             count. Results are identical at any value.")
+  in
+  Term.(const (fun t m p j -> (t, m, p, j)) $ trace $ metrics $ profile $ jobs)
 
 let cmd =
   let doc = "regenerate the ELFies paper's evaluation tables and figures" in

@@ -53,11 +53,22 @@ let obs_flags =
             "Sample the PC every N retired instructions (default 97) and \
              print the top-K hot-region report.")
   in
-  Term.(const (fun t m p -> (t, m, p)) $ trace $ metrics $ profile)
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Run up to N independent machine executions concurrently on \
+             separate domains; 0 means the host's recommended domain \
+             count. Results are identical at any value.")
+  in
+  Term.(const (fun t m p j -> (t, m, p, j)) $ trace $ metrics $ profile $ jobs)
 
 (* --- run -------------------------------------------------------------------- *)
 
-let run_native bench seed (trace, metrics, profile) =
+let run_native bench seed (trace, metrics, profile, jobs) =
+  Elfie_util.Pool.set_default_jobs
+    (if jobs = 0 then Elfie_util.Pool.recommended () else jobs);
   Elfie_obs.Report.with_reporting ?trace ?metrics ?profile @@ fun () ->
   let b = find_bench bench in
   let stats =
@@ -75,7 +86,9 @@ let run_cmd =
 (* --- log -------------------------------------------------------------------- *)
 
 let log_region bench seed out name start length fat sysstate
-    (trace, metrics, profile) =
+    (trace, metrics, profile, jobs) =
+  Elfie_util.Pool.set_default_jobs
+    (if jobs = 0 then Elfie_util.Pool.recommended () else jobs);
   Elfie_obs.Report.with_reporting ?trace ?metrics ?profile @@ fun () ->
   let b = find_bench bench in
   let rs = Elfie_workloads.Programs.run_spec ~seed b.spec in
@@ -130,7 +143,9 @@ let log_cmd =
 
 (* --- replay ----------------------------------------------------------------- *)
 
-let replay dir name injection no_injection (trace, metrics, profile) =
+let replay dir name injection no_injection (trace, metrics, profile, jobs) =
+  Elfie_util.Pool.set_default_jobs
+    (if jobs = 0 then Elfie_util.Pool.recommended () else jobs);
   Elfie_obs.Report.with_reporting ?trace ?metrics ?profile @@ fun () ->
   let pb = Elfie_pinball.Pinball.load ~dir ~name in
   let mode =
@@ -179,7 +194,9 @@ let replay_cmd =
 
 (* --- check ------------------------------------------------------------------ *)
 
-let check dir name do_replay fault_sweep (trace, metrics, profile) =
+let check dir name do_replay fault_sweep (trace, metrics, profile, jobs) =
+  Elfie_util.Pool.set_default_jobs
+    (if jobs = 0 then Elfie_util.Pool.recommended () else jobs);
   Elfie_obs.Report.with_reporting ?trace ?metrics ?profile @@ fun () ->
   let module Diag = Elfie_util.Diag in
   let diags =

@@ -8,7 +8,9 @@ let params = { Simpoint.default_params with max_k = 50 }
 
 let results =
   lazy
-    (List.map
+    ((* Benchmarks validate independently (fixed seeds, one pipeline
+        each), so the whole figure fans out across pool domains. *)
+     Elfie_util.Pool.map
        (fun b ->
          ( b.Elfie_workloads.Suite.bname,
            Pipeline.validate ~params ~trials:3 ~base_seed:2000L

@@ -146,7 +146,22 @@ let simulate_region ?journal ~job (image, sysstate) ~warmup =
         if r.Elfie_coresim.Coresim.completed then Classify.Graceful
         else Classify.Runaway ))
 
-let validate ?(params = Simpoint.default_params) ?(trials = 3)
+(* Pure per-request outcome of one region measurement, produced on a
+   pool worker and merged into the shared tables afterwards (in request
+   order) so parallel validation reports the same degradation sequence
+   as sequential. *)
+type req_result =
+  | Req_skipped
+  | Req_ok of {
+      sample : Perf.sample;
+      seed_retry : (int * int64) option;  (* retries, last seed *)
+      sample2 : Perf.sample option;
+      sim_cpi : float option;
+      sim_quarantine : (Classify.t * int) option;
+    }
+  | Req_quarantined of { classification : Classify.t; attempts : int }
+
+let validate ?jobs ?(params = Simpoint.default_params) ?(trials = 3)
     ?(base_seed = 2000L) ?second_base_seed ?(with_simulation = false)
     ?(max_alternates = 3) ?(max_seed_retries = 2) ?journal
     ?(elfie_options = fun (_ : Simpoint.region) o -> o)
@@ -208,116 +223,135 @@ let validate ?(params = Simpoint.default_params) ?(trials = 3)
       Elfie_pin.Logger.capture_many run_spec
         (List.map (fun (n, (_, req)) -> (n, req)) requests)
     in
-    List.iter
-      (fun (name, (r, _)) ->
-        match List.assoc_opt name captured with
-        | Some { Elfie_pin.Logger.pinball; reached_end = true } -> (
-            let sysstate = Elfie_pin.Sysstate.analyze pinball in
-            let options =
-              elfie_options r
-                {
-                  Elfie_core.Pinball2elf.default_options with
-                  sysstate = Some sysstate;
-                  marker = Some (Elfie_core.Pinball2elf.Ssc 0x4649L);
-                  warmup_mark =
-                    (if r.Simpoint.warmup_actual > 0L then
-                       Some r.Simpoint.warmup_actual
-                     else None);
-                }
-            in
-            let elfie = (Elfie_core.Pinball2elf.convert ~options pinball, sysstate) in
-            let report, sample =
-              measure_supervised ~trials ~base_seed ~max_seed_retries ?journal
-                ~job:name elfie
-            in
-            match sample with
-            | Some sample when not report.Supervisor.quarantined ->
-                let primary =
-                  List.filter
-                    (fun (a : Supervisor.attempt) -> not a.escalated)
-                    report.Supervisor.attempts
-                in
-                let retries = List.length primary - 1 in
-                if retries > 0 then begin
+    (* Each request is an independent job (its seeds derive from the job
+       name and [base_seed], not from execution order), so one rank's
+       regions measure in parallel on the pool; results merge below in
+       request order, keeping [degradations] and [resolved]
+       deterministic. *)
+    let process (name, (r, _)) =
+      match List.assoc_opt name captured with
+      | Some { Elfie_pin.Logger.pinball; reached_end = true } -> (
+          let sysstate = Elfie_pin.Sysstate.analyze pinball in
+          let options =
+            elfie_options r
+              {
+                Elfie_core.Pinball2elf.default_options with
+                sysstate = Some sysstate;
+                marker = Some (Elfie_core.Pinball2elf.Ssc 0x4649L);
+                warmup_mark =
+                  (if r.Simpoint.warmup_actual > 0L then
+                     Some r.Simpoint.warmup_actual
+                   else None);
+              }
+          in
+          let elfie =
+            (Elfie_core.Pinball2elf.convert ~options pinball, sysstate)
+          in
+          let report, sample =
+            measure_supervised ~trials ~base_seed ~max_seed_retries ?journal
+              ~job:name elfie
+          in
+          match sample with
+          | Some sample when not report.Supervisor.quarantined ->
+              let primary =
+                List.filter
+                  (fun (a : Supervisor.attempt) -> not a.escalated)
+                  report.Supervisor.attempts
+              in
+              let retries = List.length primary - 1 in
+              let seed_retry =
+                if retries > 0 then
                   let last = List.nth primary retries in
-                  degrade
-                    {
-                      deg_cluster = r.Simpoint.cluster;
-                      deg_action =
-                        Seed_retried
-                          { retries; seed = last.Supervisor.attempt_seed };
-                      deg_detail =
-                        Printf.sprintf
-                          "region rank %d failed all %d trial(s) at base seed \
-                           %Ld"
-                          r.Simpoint.rank trials base_seed;
-                    }
-                end;
-                if r.Simpoint.rank > 0 then
-                  degrade
-                    {
-                      deg_cluster = r.Simpoint.cluster;
-                      deg_action = Alternate_used { rank = r.Simpoint.rank };
-                      deg_detail =
-                        Printf.sprintf
-                          "higher-ranked representative(s) did not re-execute \
-                           gracefully";
-                    };
-                let sample2 =
-                  Option.map
-                    (fun seed -> measure_elfie ~trials ~base_seed:seed elfie)
-                    second_base_seed
-                in
-                let sim_cpi =
-                  if with_simulation then begin
-                    let sim_job = name ^ "_sim" in
-                    let sim_report, cpi =
-                      simulate_region ?journal ~job:sim_job elfie
-                        ~warmup:r.Simpoint.warmup_actual
-                    in
+                  Some (retries, last.Supervisor.attempt_seed)
+                else None
+              in
+              let sample2 =
+                Option.map
+                  (fun seed -> measure_elfie ~trials ~base_seed:seed elfie)
+                  second_base_seed
+              in
+              let sim_cpi, sim_quarantine =
+                if with_simulation then begin
+                  let sim_job = name ^ "_sim" in
+                  let sim_report, cpi =
+                    simulate_region ?journal ~job:sim_job elfie
+                      ~warmup:r.Simpoint.warmup_actual
+                  in
+                  ( cpi,
                     if sim_report.Supervisor.quarantined then
-                      degrade
-                        {
-                          deg_cluster = r.Simpoint.cluster;
-                          deg_action =
-                            Quarantined
-                              {
-                                classification = sim_report.Supervisor.final;
-                                attempts =
-                                  List.length sim_report.Supervisor.attempts;
-                              };
-                          deg_detail =
-                            Printf.sprintf "simulation job %s" sim_job;
-                        };
-                    cpi
-                  end
-                  else None
-                in
-                Hashtbl.replace resolved r.Simpoint.cluster
-                  {
-                    region = r;
-                    rank_used = Some r.Simpoint.rank;
-                    elfie_sample = Some sample;
-                    elfie_sample2 = sample2;
-                    sim_cpi;
-                  }
-            | Some _ | None ->
-                (* The supervisor exhausted its retry budget (or hit an
-                   unretryable class): quarantine this alternate and let
-                   the loop fall back to the cluster's next rank. *)
+                      Some
+                        ( sim_report.Supervisor.final,
+                          List.length sim_report.Supervisor.attempts )
+                    else None )
+                end
+                else (None, None)
+              in
+              Req_ok { sample; seed_retry; sample2; sim_cpi; sim_quarantine }
+          | Some _ | None ->
+              (* The supervisor exhausted its retry budget (or hit an
+                 unretryable class): quarantine this alternate and let
+                 the loop fall back to the cluster's next rank. *)
+              Req_quarantined
+                {
+                  classification = report.Supervisor.final;
+                  attempts = List.length report.Supervisor.attempts;
+                })
+      | Some _ | None -> Req_skipped
+    in
+    let results = Elfie_util.Pool.map ?jobs process requests in
+    List.iter2
+      (fun (name, (r, _)) result ->
+        match result with
+        | Req_skipped -> ()
+        | Req_ok { sample; seed_retry; sample2; sim_cpi; sim_quarantine } ->
+            (match seed_retry with
+            | Some (retries, seed) ->
                 degrade
                   {
                     deg_cluster = r.Simpoint.cluster;
-                    deg_action =
-                      Quarantined
-                        {
-                          classification = report.Supervisor.final;
-                          attempts = List.length report.Supervisor.attempts;
-                        };
-                    deg_detail = Printf.sprintf "region job %s" name;
-                  })
-        | Some _ | None -> ())
-      requests;
+                    deg_action = Seed_retried { retries; seed };
+                    deg_detail =
+                      Printf.sprintf
+                        "region rank %d failed all %d trial(s) at base seed \
+                         %Ld"
+                        r.Simpoint.rank trials base_seed;
+                  }
+            | None -> ());
+            if r.Simpoint.rank > 0 then
+              degrade
+                {
+                  deg_cluster = r.Simpoint.cluster;
+                  deg_action = Alternate_used { rank = r.Simpoint.rank };
+                  deg_detail =
+                    Printf.sprintf
+                      "higher-ranked representative(s) did not re-execute \
+                       gracefully";
+                };
+            (match sim_quarantine with
+            | Some (classification, attempts) ->
+                degrade
+                  {
+                    deg_cluster = r.Simpoint.cluster;
+                    deg_action = Quarantined { classification; attempts };
+                    deg_detail = Printf.sprintf "simulation job %s_sim" name;
+                  }
+            | None -> ());
+            Hashtbl.replace resolved r.Simpoint.cluster
+              {
+                region = r;
+                rank_used = Some r.Simpoint.rank;
+                elfie_sample = Some sample;
+                elfie_sample2 = sample2;
+                sim_cpi;
+              }
+        | Req_quarantined { classification; attempts } ->
+            degrade
+              {
+                deg_cluster = r.Simpoint.cluster;
+                deg_action = Quarantined { classification; attempts };
+                deg_detail = Printf.sprintf "region job %s" name;
+              })
+      requests results;
     pending :=
       List.filter
         (fun alts ->

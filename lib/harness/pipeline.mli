@@ -95,8 +95,16 @@ val measure_elfie :
     (write-through only; the pipeline never skips from the journal).
 
     [elfie_options] post-processes the conversion options per region —
-    primarily a hook for fault-injection tests. *)
+    primarily a hook for fault-injection tests.
+
+    [jobs] caps how many region measurements of one rank run
+    concurrently on {!Elfie_util.Pool} domains (default: the pool's
+    process default, i.e. the [--jobs] flag). Region seeds are fixed
+    per job name, and per-rank results are merged in request order, so
+    the validation — samples, degradation sequence, coverage — is
+    identical at any [jobs] value. *)
 val validate :
+  ?jobs:int ->
   ?params:Elfie_simpoint.Simpoint.params ->
   ?trials:int ->
   ?base_seed:int64 ->

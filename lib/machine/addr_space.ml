@@ -9,11 +9,60 @@ let page_base addr = Int64.logand addr (Int64.lognot page_mask)
 let page_number addr = Int64.shift_right_logical addr page_bits
 let offset_in_page addr = Int64.to_int (Int64.logand addr page_mask)
 
-type t = { pages : (int64, bytes) Hashtbl.t; mutable generation : int }
+(* A page carries its backing store plus a code bit: once the executor
+   has decoded instructions out of a page, any later write to it must
+   bump the generation counter so translated-block caches invalidate
+   (self-modifying code). The bit makes that a single load on the write
+   path instead of a code-range lookup. *)
+type page = { data : bytes; mutable is_code : bool }
 
-let create () = { pages = Hashtbl.create 256; generation = 0 }
+(* Soft-TLB: a small direct-mapped cache of recent page-number ->
+   page translations in front of the hash table. Only [unmap] can make
+   an entry stale (mapping never replaces an existing page), so entries
+   are flushed wholesale there. *)
+let tlb_bits = 6
+let tlb_size = 1 lsl tlb_bits
+let tlb_mask = Int64.of_int (tlb_size - 1)
+let no_page = { data = Bytes.create 0; is_code = false }
 
-let find t addr = Hashtbl.find_opt t.pages (page_number addr)
+type t = {
+  pages : (int64, page) Hashtbl.t;
+  mutable generation : int;
+  tlb_tags : int64 array;  (* page number, or -1L for empty *)
+  tlb_pages : page array;
+}
+
+let create () =
+  {
+    pages = Hashtbl.create 256;
+    generation = 0;
+    tlb_tags = Array.make tlb_size (-1L);
+    tlb_pages = Array.make tlb_size no_page;
+  }
+
+let tlb_flush t =
+  Array.fill t.tlb_tags 0 tlb_size (-1L);
+  Array.fill t.tlb_pages 0 tlb_size no_page
+
+(* TLB-accelerated page lookup; raises [Not_found] when unmapped.
+   Page numbers are non-negative ([page_number] shifts logically), so
+   the -1L empty tag can never false-hit. *)
+let[@inline] lookup t pn =
+  let slot = Int64.to_int (Int64.logand pn tlb_mask) in
+  if Int64.equal (Array.unsafe_get t.tlb_tags slot) pn then
+    Array.unsafe_get t.tlb_pages slot
+  else begin
+    let page = Hashtbl.find t.pages pn in
+    Array.unsafe_set t.tlb_tags slot pn;
+    Array.unsafe_set t.tlb_pages slot page;
+    page
+  end
+
+let find t addr =
+  match lookup t (page_number addr) with
+  | page -> Some page
+  | exception Not_found -> None
+
 let is_mapped t addr = Hashtbl.mem t.pages (page_number addr)
 
 (* Page numbers covering [addr, addr+len). *)
@@ -30,36 +79,53 @@ let map t ~addr ~len =
   List.iter
     (fun n ->
       if not (Hashtbl.mem t.pages n) then
-        Hashtbl.replace t.pages n (Bytes.make page_size '\000'))
+        Hashtbl.replace t.pages n
+          { data = Bytes.make page_size '\000'; is_code = false })
     (range_pages addr len)
 
 let unmap t ~addr ~len =
   t.generation <- t.generation + 1;
-  List.iter (Hashtbl.remove t.pages) (range_pages addr len)
+  List.iter (Hashtbl.remove t.pages) (range_pages addr len);
+  tlb_flush t
 
 let any_mapped t ~addr ~len =
   List.exists (Hashtbl.mem t.pages) (range_pages addr len)
 
+let note_code t ~addr ~len =
+  List.iter
+    (fun n ->
+      match Hashtbl.find_opt t.pages n with
+      | Some page -> page.is_code <- true
+      | None -> ())
+    (range_pages addr len)
+
+(* Writes into pages holding decoded instructions invalidate block
+   caches; plain data writes leave the generation alone. *)
+let[@inline] dirty t page = if page.is_code then t.generation <- t.generation + 1
+
 let read_u8 t addr =
-  match find t addr with
-  | Some page -> Char.code (Bytes.get page (offset_in_page addr))
-  | None -> raise (Fault { addr; access = Read })
+  match lookup t (page_number addr) with
+  | page -> Char.code (Bytes.unsafe_get page.data (offset_in_page addr))
+  | exception Not_found -> raise (Fault { addr; access = Read })
 
 let write_u8 t addr v =
-  match find t addr with
-  | Some page -> Bytes.set page (offset_in_page addr) (Char.chr (v land 0xff))
-  | None -> raise (Fault { addr; access = Write })
+  match lookup t (page_number addr) with
+  | page ->
+      dirty t page;
+      Bytes.set page.data (offset_in_page addr) (Char.chr (v land 0xff))
+  | exception Not_found -> raise (Fault { addr; access = Write })
 
-(* Fast paths for aligned accesses fully inside one page. *)
+(* Fast paths for accesses fully inside one page. *)
 let read t addr width =
   let off = offset_in_page addr in
   match find t addr with
   | Some page when off + width <= page_size -> (
+      let data = page.data in
       match width with
-      | 1 -> Int64.of_int (Char.code (Bytes.get page off))
-      | 2 -> Int64.of_int (Bytes.get_uint16_le page off)
-      | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le page off)) 0xffff_ffffL
-      | 8 -> Bytes.get_int64_le page off
+      | 1 -> Int64.of_int (Char.code (Bytes.get data off))
+      | 2 -> Int64.of_int (Bytes.get_uint16_le data off)
+      | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le data off)) 0xffff_ffffL
+      | 8 -> Bytes.get_int64_le data off
       | _ -> invalid_arg "Addr_space.read: width")
   | _ ->
       let rec go i acc =
@@ -74,17 +140,41 @@ let write t addr width v =
   let off = offset_in_page addr in
   match find t addr with
   | Some page when off + width <= page_size -> (
+      dirty t page;
+      let data = page.data in
       match width with
-      | 1 -> Bytes.set_uint8 page off (Int64.to_int (Int64.logand v 0xffL))
-      | 2 -> Bytes.set_uint16_le page off (Int64.to_int (Int64.logand v 0xffffL))
-      | 4 -> Bytes.set_int32_le page off (Int64.to_int32 v)
-      | 8 -> Bytes.set_int64_le page off v
+      | 1 -> Bytes.set_uint8 data off (Int64.to_int (Int64.logand v 0xffL))
+      | 2 -> Bytes.set_uint16_le data off (Int64.to_int (Int64.logand v 0xffffL))
+      | 4 -> Bytes.set_int32_le data off (Int64.to_int32 v)
+      | 8 -> Bytes.set_int64_le data off v
       | _ -> invalid_arg "Addr_space.write: width")
   | _ ->
       for i = 0 to width - 1 do
         let b = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL) in
         write_u8 t (Int64.add addr (Int64.of_int i)) b
       done
+
+(* Word-granularity fast paths: one TLB probe and one [Bytes] accessor
+   when the quadword stays inside a page — the overwhelmingly common
+   case for stack and heap traffic. The general [read]/[write] fallback
+   preserves exact fault addresses at page crossings. *)
+let read_u64 t addr =
+  let off = offset_in_page addr in
+  if off <= page_size - 8 then
+    match lookup t (page_number addr) with
+    | page -> Bytes.get_int64_le page.data off
+    | exception Not_found -> raise (Fault { addr; access = Read })
+  else read t addr 8
+
+let write_u64 t addr v =
+  let off = offset_in_page addr in
+  if off <= page_size - 8 then
+    match lookup t (page_number addr) with
+    | page ->
+        dirty t page;
+        Bytes.set_int64_le page.data off v
+    | exception Not_found -> raise (Fault { addr; access = Write })
+  else write t addr 8 v
 
 let read_bytes t addr len =
   let out = Bytes.create len in
@@ -96,7 +186,7 @@ let read_bytes t addr len =
       | Some page ->
           let off = offset_in_page a in
           let n = min (len - i) (page_size - off) in
-          Bytes.blit page off out i n;
+          Bytes.blit page.data off out i n;
           go (i + n)
     end
   in
@@ -111,9 +201,10 @@ let write_bytes t addr src =
       match find t a with
       | None -> raise (Fault { addr = a; access = Write })
       | Some page ->
+          dirty t page;
           let off = offset_in_page a in
           let n = min (len - i) (page_size - off) in
-          Bytes.blit src i page off n;
+          Bytes.blit src i page.data off n;
           go (i + n)
     end
   in
@@ -137,7 +228,8 @@ let read_avail t addr len =
 let pages t =
   let all =
     Hashtbl.fold
-      (fun n page acc -> (Int64.shift_left n page_bits, Bytes.copy page) :: acc)
+      (fun n page acc ->
+        (Int64.shift_left n page_bits, Bytes.copy page.data) :: acc)
       t.pages []
   in
   List.sort (fun (a, _) (b, _) -> Int64.unsigned_compare a b) all
@@ -146,7 +238,15 @@ let page_count t = Hashtbl.length t.pages
 
 let copy t =
   let pages = Hashtbl.create (Hashtbl.length t.pages) in
-  Hashtbl.iter (fun n page -> Hashtbl.replace pages n (Bytes.copy page)) t.pages;
-  { pages; generation = t.generation }
+  Hashtbl.iter
+    (fun n page ->
+      Hashtbl.replace pages n { data = Bytes.copy page.data; is_code = page.is_code })
+    t.pages;
+  {
+    pages;
+    generation = t.generation;
+    tlb_tags = Array.make tlb_size (-1L);
+    tlb_pages = Array.make tlb_size no_page;
+  }
 
 let generation t = t.generation

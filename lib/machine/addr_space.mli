@@ -41,6 +41,14 @@ val read : t -> int64 -> int -> int64
 
 val write : t -> int64 -> int -> int64 -> unit
 
+(** Quadword fast paths: a single page lookup and [Bytes] accessor when
+    the access stays inside one page, falling back to [read]/[write]
+    at page crossings. Semantically identical to [read t addr 8] /
+    [write t addr 8 v], including fault addresses. *)
+val read_u64 : t -> int64 -> int64
+
+val write_u64 : t -> int64 -> int64 -> unit
+
 (** Bulk reads/writes; fault on any unmapped byte. *)
 val read_bytes : t -> int64 -> int -> bytes
 
@@ -62,6 +70,15 @@ val page_count : t -> int
 (** Deep copy (pinball logger snapshot). *)
 val copy : t -> t
 
+(** [note_code t ~addr ~len] marks every mapped page overlapping
+    [addr, addr+len) as holding decoded instructions. The executor calls
+    this when it translates a block; from then on any write landing in
+    those pages bumps {!generation} (page-granularity self-modifying
+    code detection). *)
+val note_code : t -> addr:int64 -> len:int -> unit
+
 (** Monotonically increasing counter bumped on every [map]/[unmap]/
-    [store]; lets the executor invalidate decoded-instruction caches. *)
+    [store] and on every write into a page previously marked by
+    {!note_code}; lets the executor invalidate translated-block and
+    decoded-instruction caches, including under self-modifying code. *)
 val generation : t -> int

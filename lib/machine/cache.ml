@@ -8,15 +8,21 @@ let config ~size_bytes ~ways ~line_bytes =
 type t = {
   cfg : config;
   sets : int;
+  set_mask : int;  (* sets - 1 when sets is a power of two, else 0 *)
   line_bits : int;
   tags : int64 array;  (* sets * ways, -1L = invalid *)
   lru : int array;  (* age per way; 0 = most recent *)
   mutable hits : int;
   mutable misses : int;
+  (* First-touch filter: streams hit the same line many times in a row,
+     so remembering the last line skips the footprint-set probe on the
+     common path without changing the set's contents. *)
+  mutable last_line : int64;
+  track : bool;
   touched : (int64, unit) Hashtbl.t;
 }
 
-let create cfg =
+let create ?(track_footprint = true) cfg =
   let sets = cfg.size_bytes / (cfg.ways * cfg.line_bytes) in
   let line_bits =
     let rec go n b = if n = 1 then b else go (n lsr 1) (b + 1) in
@@ -25,27 +31,44 @@ let create cfg =
   {
     cfg;
     sets;
+    set_mask = (if sets land (sets - 1) = 0 then sets - 1 else 0);
     line_bits;
     tags = Array.make (sets * cfg.ways) (-1L);
     lru = Array.make (sets * cfg.ways) 0;
     hits = 0;
     misses = 0;
-    touched = Hashtbl.create 1024;
+    last_line = -1L;
+    track = track_footprint;
+    touched = Hashtbl.create (if track_footprint then 1024 else 1);
   }
 
 let access t addr =
   let line = Int64.shift_right_logical addr t.line_bits in
-  if not (Hashtbl.mem t.touched line) then Hashtbl.replace t.touched line ();
-  let set = Int64.to_int (Int64.rem line (Int64.of_int t.sets)) in
-  let base = set * t.cfg.ways in
+  if t.track && not (Int64.equal line t.last_line) then begin
+    t.last_line <- line;
+    if not (Hashtbl.mem t.touched line) then Hashtbl.replace t.touched line ()
+  end;
+  let set =
+    (* Lines are non-negative, so masking equals [Int64.rem] for
+       power-of-two set counts (every default geometry). *)
+    if t.set_mask <> 0 then Int64.to_int line land t.set_mask
+    else Int64.to_int (Int64.rem line (Int64.of_int t.sets))
+  in
+  let ways = t.cfg.ways in
+  let base = set * ways in
   let hit_way = ref (-1) in
-  for w = 0 to t.cfg.ways - 1 do
-    if t.tags.(base + w) = line then hit_way := w
+  let w = ref 0 in
+  while !hit_way < 0 && !w < ways do
+    (* A line occupies at most one way (inserted only after a full-scan
+       miss), so stopping at the first match is exact. *)
+    if Int64.equal (Array.unsafe_get t.tags (base + !w)) line then
+      hit_way := !w;
+    incr w
   done;
   if !hit_way >= 0 then begin
     t.hits <- t.hits + 1;
     let age = t.lru.(base + !hit_way) in
-    for w = 0 to t.cfg.ways - 1 do
+    for w = 0 to ways - 1 do
       if t.lru.(base + w) < age then t.lru.(base + w) <- t.lru.(base + w) + 1
     done;
     t.lru.(base + !hit_way) <- 0;
@@ -55,10 +78,10 @@ let access t addr =
     t.misses <- t.misses + 1;
     (* Evict the oldest way. *)
     let victim = ref 0 in
-    for w = 1 to t.cfg.ways - 1 do
+    for w = 1 to ways - 1 do
       if t.lru.(base + w) > t.lru.(base + !victim) then victim := w
     done;
-    for w = 0 to t.cfg.ways - 1 do
+    for w = 0 to ways - 1 do
       t.lru.(base + w) <- t.lru.(base + w) + 1
     done;
     t.tags.(base + !victim) <- line;
@@ -73,6 +96,7 @@ let footprint_lines t = Hashtbl.length t.touched
 let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;
+  t.last_line <- (-1L);
   Hashtbl.reset t.touched
 
 let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1L)

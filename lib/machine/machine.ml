@@ -63,7 +63,28 @@ type sched_state =
     }
   | S_recorded of (int * int) list ref
 
-type t = {
+(* A translated basic block: a straight-line run of decoded instructions
+   ending at the first branch/call/syscall/marker (or the translation
+   window). Executing one replays the per-instruction interpreter
+   exactly, but pays fetch, decode, static cost classification and
+   micro-op specialisation once per block instead of once per
+   instruction. [bb_uops] holds each instruction compiled to a closure
+   with operands pre-resolved (register indices, addressing mode); it is
+   only entered on the hook-free batch path. *)
+type bb = {
+  bb_pc : int64 array;  (* pc of each instruction *)
+  bb_ins : Insn.t array;
+  bb_next : int64 array;  (* pc just past each instruction *)
+  bb_cost : int array;  (* static per-class cost (Timing.ins_cost) *)
+  bb_prefix : int array;  (* length n+1; prefix.(i) = sum of bb_cost.(<i) *)
+  bb_uops : (t -> thread -> unit) array;
+  bb_ends_block : bool;  (* last instruction is a branch/call/syscall *)
+  (* The terminator is a plain branch/call/ret (no syscall, marker or
+     trap), so a hook-free batch may run the whole block including it. *)
+  bb_tail_batchable : bool;
+}
+
+and t = {
   mem : Addr_space.t;
   mutable thread_list : thread list;  (* reversed *)
   mutable thread_arr : thread array;
@@ -78,11 +99,44 @@ type t = {
   mutable record_schedule : bool;
   mutable schedule_rev : (int * int) list;
   mutable schedule_cut : bool;
-  decode_cache : (int64, Insn.t * int) Hashtbl.t;
+  block_cache : (int64, bb) Hashtbl.t;
   mutable decode_generation : int;
   mutable timer : (int * int * Elfie_util.Rng.t) option;
   mutable group_exit_status : int option;
+  (* Cycle cost accumulator for the instruction currently in [execute];
+     a field rather than a per-call ref so the interpreter allocates
+     nothing per instruction. Not reentrant — syscall handlers run
+     inside [execute] but never recurse into it. *)
+  mutable exec_cost : int;
+  (* Dynamic (cache, branch, pause) cycle cost accumulated by micro-ops
+     across one hook-free batch; static class costs come from
+     [bb_prefix]. Zeroed at batch start and flushed into the thread's
+     cycle count at batch end. *)
+  mutable dyn_cost : int;
+  (* Direct-mapped front memo for the block cache: hot loops (whose
+     bodies typically span a handful of blocks) fetch translations with
+     an unboxed int64 compare instead of an int64-keyed hash probe.
+     [block_memo_pc.(slot) = -1L] marks an empty slot. *)
+  block_memo_pc : int64 array;
+  block_memo : bb array;
+  mutable block_observer :
+    (tid:int -> pcs:int64 array -> n:int -> ends_block:bool -> unit) option;
 }
+
+let block_memo_size = 64 (* power of two *)
+
+(* Placeholder behind [block_memo_pc.(slot) = -1L], never matching a pc. *)
+let dummy_bb =
+  {
+    bb_pc = [||];
+    bb_ins = [||];
+    bb_next = [||];
+    bb_cost = [||];
+    bb_prefix = [| 0 |];
+    bb_uops = [||];
+    bb_ends_block = false;
+    bb_tail_batchable = false;
+  }
 
 let fresh_hooks () =
   {
@@ -119,10 +173,15 @@ let create ?(timing = Timing.default) scheduler =
     record_schedule = false;
     schedule_rev = [];
     schedule_cut = false;
-    decode_cache = Hashtbl.create 4096;
+    block_cache = Hashtbl.create 1024;
     decode_generation = -1;
     timer = None;
     group_exit_status = None;
+    exec_cost = 0;
+    dyn_cost = 0;
+    block_memo_pc = Array.make block_memo_size (-1L);
+    block_memo = Array.make block_memo_size dummy_bb;
+    block_observer = None;
   }
 
 let mem t = t.mem
@@ -224,36 +283,10 @@ let elapsed_cycles t =
 let all_exited_cleanly t =
   Array.for_all (fun th -> th.state = Exited 0) t.thread_arr
 
-(* --- Fetch with decode cache ------------------------------------------- *)
+(* --- Fetch with basic-block translation cache -------------------------- *)
 
-let max_ins_bytes = 16
-
-let fetch t pc =
-  let gen = Addr_space.generation t.mem in
-  if gen <> t.decode_generation then begin
-    Hashtbl.reset t.decode_cache;
-    t.decode_generation <- gen
-  end;
-  match Hashtbl.find_opt t.decode_cache pc with
-  | Some entry -> entry
-  | None ->
-      let buf = Addr_space.read_avail t.mem pc max_ins_bytes in
-      let r = Elfie_util.Byteio.Reader.of_bytes buf in
-      let ins =
-        try Codec.decode r with
-        | Codec.Invalid _ -> raise (Addr_space.Fault { addr = pc; access = Exec })
-        | Elfie_util.Byteio.Truncated _ ->
-            (* Instruction runs off the end of mapped memory. *)
-            raise
-              (Addr_space.Fault
-                 {
-                   addr = Int64.add pc (Int64.of_int (Bytes.length buf));
-                   access = Exec;
-                 })
-      in
-      let entry = (ins, Elfie_util.Byteio.Reader.pos r) in
-      Hashtbl.replace t.decode_cache pc entry;
-      entry
+let set_block_observer t f = t.block_observer <- f
+let translated_blocks t = Hashtbl.length t.block_cache
 
 (* --- Instruction semantics --------------------------------------------- *)
 
@@ -277,45 +310,60 @@ let set_zf_sf (flags : Reg.flags) r =
   flags.zf <- r = 0L;
   flags.sf <- r < 0L
 
-let exec_alu (flags : Reg.flags) op a b =
-  match op with
-  | Insn.Add ->
-      let r = Int64.add a b in
-      flags.cf <- Int64.unsigned_compare r a < 0;
-      flags.ovf <- (a >= 0L && b >= 0L && r < 0L) || (a < 0L && b < 0L && r >= 0L);
-      set_zf_sf flags r;
-      Some r
-  | Sub | Cmp ->
-      let r = Int64.sub a b in
-      flags.cf <- Int64.unsigned_compare a b < 0;
-      flags.ovf <-
-        ((a >= 0L && b < 0L && r < 0L) || (a < 0L && b >= 0L && r >= 0L));
-      set_zf_sf flags r;
-      if op = Sub then Some r else None
-  | And | Test ->
-      let r = Int64.logand a b in
-      flags.cf <- false;
-      flags.ovf <- false;
-      set_zf_sf flags r;
-      if op = And then Some r else None
-  | Or ->
-      let r = Int64.logor a b in
-      flags.cf <- false;
-      flags.ovf <- false;
-      set_zf_sf flags r;
-      Some r
-  | Xor ->
-      let r = Int64.logxor a b in
-      flags.cf <- false;
-      flags.ovf <- false;
-      set_zf_sf flags r;
-      Some r
-  | Imul ->
-      let r = Int64.mul a b in
-      flags.cf <- false;
-      flags.ovf <- false;
-      set_zf_sf flags r;
-      Some r
+(* ALU flag semantics, one function per operation so the micro-op
+   compiler can resolve the operation once per block. The result is
+   always returned; [alu_writes] says whether it lands in a register. *)
+let alu_add (flags : Reg.flags) a b =
+  let r = Int64.add a b in
+  flags.cf <- Int64.unsigned_compare r a < 0;
+  flags.ovf <- (a >= 0L && b >= 0L && r < 0L) || (a < 0L && b < 0L && r >= 0L);
+  set_zf_sf flags r;
+  r
+
+let alu_sub (flags : Reg.flags) a b =
+  let r = Int64.sub a b in
+  flags.cf <- Int64.unsigned_compare a b < 0;
+  flags.ovf <- (a >= 0L && b < 0L && r < 0L) || (a < 0L && b >= 0L && r >= 0L);
+  set_zf_sf flags r;
+  r
+
+let alu_and (flags : Reg.flags) a b =
+  let r = Int64.logand a b in
+  flags.cf <- false;
+  flags.ovf <- false;
+  set_zf_sf flags r;
+  r
+
+let alu_or (flags : Reg.flags) a b =
+  let r = Int64.logor a b in
+  flags.cf <- false;
+  flags.ovf <- false;
+  set_zf_sf flags r;
+  r
+
+let alu_xor (flags : Reg.flags) a b =
+  let r = Int64.logxor a b in
+  flags.cf <- false;
+  flags.ovf <- false;
+  set_zf_sf flags r;
+  r
+
+let alu_imul (flags : Reg.flags) a b =
+  let r = Int64.mul a b in
+  flags.cf <- false;
+  flags.ovf <- false;
+  set_zf_sf flags r;
+  r
+
+let alu_fn = function
+  | Insn.Add -> alu_add
+  | Sub | Cmp -> alu_sub
+  | And | Test -> alu_and
+  | Or -> alu_or
+  | Xor -> alu_xor
+  | Imul -> alu_imul
+
+let alu_writes = function Insn.Cmp | Insn.Test -> false | _ -> true
 
 let exec_shift (flags : Reg.flags) op v n =
   if n = 0 then v
@@ -354,79 +402,98 @@ let float_lane_op op a b =
   in
   Int64.bits_of_float r
 
-(* Execute [ins] for thread [th]; RIP already points past it. *)
-let execute t th pc ins =
+(* Memory helpers for [execute]: the hook dispatch, the stateful cache
+   cost and the access itself, with quadword variants hitting the
+   [Addr_space] fast paths. Top-level functions accumulating into
+   [t.exec_cost] so the interpreter allocates no closures. *)
+let[@inline] mem_read t tid addr width =
+  (match t.hooks.on_mem_read with Some f -> f tid addr width | None -> ());
+  t.exec_cost <- t.exec_cost + Timing.mem_cost t.timing addr;
+  Addr_space.read t.mem addr width
+
+let[@inline] mem_read64 t tid addr =
+  (match t.hooks.on_mem_read with Some f -> f tid addr 8 | None -> ());
+  t.exec_cost <- t.exec_cost + Timing.mem_cost t.timing addr;
+  Addr_space.read_u64 t.mem addr
+
+let[@inline] mem_write t tid addr width v =
+  (match t.hooks.on_mem_write with Some f -> f tid addr width | None -> ());
+  t.exec_cost <- t.exec_cost + Timing.mem_cost t.timing addr;
+  Addr_space.write t.mem addr width v
+
+let[@inline] mem_write64 t tid addr v =
+  (match t.hooks.on_mem_write with Some f -> f tid addr 8 | None -> ());
+  t.exec_cost <- t.exec_cost + Timing.mem_cost t.timing addr;
+  Addr_space.write_u64 t.mem addr v
+
+let[@inline] push t tid ctx v =
+  let sp = Int64.sub (Context.get ctx RSP) 8L in
+  Context.set ctx RSP sp;
+  mem_write64 t tid sp v
+
+let[@inline] pop t tid ctx =
+  let sp = Context.get ctx RSP in
+  let v = mem_read64 t tid sp in
+  Context.set ctx RSP (Int64.add sp 8L);
+  v
+
+let[@inline] branch_to t tid ctx pc target taken =
+  t.exec_cost <- t.exec_cost + Timing.branch_cost t.timing ~pc ~taken;
+  (match t.hooks.on_branch with Some f -> f tid pc target taken | None -> ());
+  if taken then ctx.Context.rip <- target
+
+(* Execute [ins] for thread [th]; RIP already points past it.
+   [base_cost] is the instruction's static class cost, precomputed at
+   translation time. *)
+let execute t th pc ins base_cost =
   let ctx = th.ctx in
   let flags = ctx.Context.flags in
   let tid = th.tid in
-  let cost = ref (Timing.ins_cost t.timing (Insn.classify ins)) in
-  let mem_read addr width =
-    (match t.hooks.on_mem_read with Some f -> f tid addr width | None -> ());
-    cost := !cost + Timing.mem_cost t.timing addr;
-    Addr_space.read t.mem addr width
-  in
-  let mem_write addr width v =
-    (match t.hooks.on_mem_write with Some f -> f tid addr width | None -> ());
-    cost := !cost + Timing.mem_cost t.timing addr;
-    Addr_space.write t.mem addr width v
-  in
-  let push v =
-    let sp = Int64.sub (Context.get ctx RSP) 8L in
-    Context.set ctx RSP sp;
-    mem_write sp 8 v
-  in
-  let pop () =
-    let sp = Context.get ctx RSP in
-    let v = mem_read sp 8 in
-    Context.set ctx RSP (Int64.add sp 8L);
-    v
-  in
-  let branch_to target taken =
-    cost := !cost + Timing.branch_cost t.timing ~pc ~taken;
-    (match t.hooks.on_branch with Some f -> f tid pc target taken | None -> ());
-    if taken then ctx.Context.rip <- target
-  in
+  t.exec_cost <- base_cost;
   (match ins with
   | Insn.Mov_ri (r, v) -> Context.set ctx r v
   | Mov_rr (d, s) -> Context.set ctx d (Context.get ctx s)
   | Load (w, r, m) ->
-      let v = mem_read (effective_address ctx m) (Insn.width_bytes w) in
+      let addr = effective_address ctx m in
+      let v =
+        match w with
+        | Insn.W64 -> mem_read64 t tid addr
+        | w -> mem_read t tid addr (Insn.width_bytes w)
+      in
       Context.set ctx r v
   | Store (w, m, r) ->
       let v = truncate_width w (Context.get ctx r) in
-      mem_write (effective_address ctx m) (Insn.width_bytes w) v
+      let addr = effective_address ctx m in
+      (match w with
+      | Insn.W64 -> mem_write64 t tid addr v
+      | w -> mem_write t tid addr (Insn.width_bytes w) v)
   | Lea (r, m) -> Context.set ctx r (effective_address ctx m)
-  | Alu_rr (op, d, s) -> (
-      match exec_alu flags op (Context.get ctx d) (Context.get ctx s) with
-      | Some r -> Context.set ctx d r
-      | None -> ())
-  | Alu_ri (op, d, imm) -> (
-      match exec_alu flags op (Context.get ctx d) imm with
-      | Some r -> Context.set ctx d r
-      | None -> ())
+  | Alu_rr (op, d, s) ->
+      let r = (alu_fn op) flags (Context.get ctx d) (Context.get ctx s) in
+      if alu_writes op then Context.set ctx d r
+  | Alu_ri (op, d, imm) ->
+      let r = (alu_fn op) flags (Context.get ctx d) imm in
+      if alu_writes op then Context.set ctx d r
   | Shift_ri (op, d, n) -> Context.set ctx d (exec_shift flags op (Context.get ctx d) n)
-  | Neg d ->
-      let v = Context.get ctx d in
-      (match exec_alu flags Sub 0L v with
-      | Some r -> Context.set ctx d r
-      | None -> assert false)
-  | Push r -> push (Context.get ctx r)
-  | Pop r -> Context.set ctx r (pop ())
-  | Jmp rel -> branch_to (Int64.add ctx.Context.rip (Int64.of_int rel)) true
+  | Neg d -> Context.set ctx d (alu_sub flags 0L (Context.get ctx d))
+  | Push r -> push t tid ctx (Context.get ctx r)
+  | Pop r -> Context.set ctx r (pop t tid ctx)
+  | Jmp rel ->
+      branch_to t tid ctx pc (Int64.add ctx.Context.rip (Int64.of_int rel)) true
   | Jcc (c, rel) ->
       let taken = eval_cond flags c in
-      branch_to (Int64.add ctx.Context.rip (Int64.of_int rel)) taken
-  | Jmp_r r -> branch_to (Context.get ctx r) true
+      branch_to t tid ctx pc (Int64.add ctx.Context.rip (Int64.of_int rel)) taken
+  | Jmp_r r -> branch_to t tid ctx pc (Context.get ctx r) true
   | Jmp_m m ->
-      let target = mem_read (effective_address ctx m) 8 in
-      branch_to target true
+      let target = mem_read64 t tid (effective_address ctx m) in
+      branch_to t tid ctx pc target true
   | Call rel ->
-      push ctx.Context.rip;
-      branch_to (Int64.add ctx.Context.rip (Int64.of_int rel)) true
+      push t tid ctx ctx.Context.rip;
+      branch_to t tid ctx pc (Int64.add ctx.Context.rip (Int64.of_int rel)) true
   | Call_r r ->
-      push ctx.Context.rip;
-      branch_to (Context.get ctx r) true
-  | Ret -> branch_to (pop ()) true
+      push t tid ctx ctx.Context.rip;
+      branch_to t tid ctx pc (Context.get ctx r) true
+  | Ret -> branch_to t tid ctx pc (pop t tid ctx) true
   | Syscall ->
       let action =
         match t.syscall_filter with
@@ -446,17 +513,17 @@ let execute t th pc ins =
   | Nop -> ()
   | Ssc_marker _ | Magic _ -> (
       match t.hooks.on_marker with Some f -> f tid ins | None -> ())
-  | Pause -> cost := !cost + 10
+  | Pause -> t.exec_cost <- t.exec_cost + 10
   | Xchg (r, m) ->
       let addr = effective_address ctx m in
-      let old = mem_read addr 8 in
-      mem_write addr 8 (Context.get ctx r);
+      let old = mem_read64 t tid addr in
+      mem_write64 t tid addr (Context.get ctx r);
       Context.set ctx r old
   | Cmpxchg (m, r) ->
       let addr = effective_address ctx m in
-      let old = mem_read addr 8 in
+      let old = mem_read64 t tid addr in
       if old = Context.get ctx RAX then begin
-        mem_write addr 8 (Context.get ctx r);
+        mem_write64 t tid addr (Context.get ctx r);
         flags.zf <- true
       end
       else begin
@@ -472,20 +539,20 @@ let execute t th pc ins =
   | Rdfsbase r -> Context.set ctx r ctx.Context.fs_base
   | Rdgsbase r -> Context.set ctx r ctx.Context.gs_base
   | Popf ->
-      let fl = Reg.flags_of_word (pop ()) in
+      let fl = Reg.flags_of_word (pop t tid ctx) in
       flags.zf <- fl.zf;
       flags.sf <- fl.sf;
       flags.cf <- fl.cf;
       flags.ovf <- fl.ovf
-  | Pushf -> push (Reg.flags_to_word flags)
+  | Pushf -> push t tid ctx (Reg.flags_to_word flags)
   | Vload (x, m) ->
       let addr = effective_address ctx m in
-      Context.set_xmm_lane ctx x 0 (mem_read addr 8);
-      Context.set_xmm_lane ctx x 1 (mem_read (Int64.add addr 8L) 8)
+      Context.set_xmm_lane ctx x 0 (mem_read64 t tid addr);
+      Context.set_xmm_lane ctx x 1 (mem_read64 t tid (Int64.add addr 8L))
   | Vstore (m, x) ->
       let addr = effective_address ctx m in
-      mem_write addr 8 (Context.xmm_lane ctx x 0);
-      mem_write (Int64.add addr 8L) 8 (Context.xmm_lane ctx x 1)
+      mem_write64 t tid addr (Context.xmm_lane ctx x 0);
+      mem_write64 t tid (Int64.add addr 8L) (Context.xmm_lane ctx x 1)
   | Vop_rr (op, d, s) ->
       Context.set_xmm_lane ctx d 0
         (float_lane_op op (Context.xmm_lane ctx d 0) (Context.xmm_lane ctx s 0));
@@ -493,62 +560,593 @@ let execute t th pc ins =
         (float_lane_op op (Context.xmm_lane ctx d 1) (Context.xmm_lane ctx s 1))
   | Hlt -> raise (Addr_space.Fault { addr = pc; access = Exec })
   | Ud2 -> raise (Addr_space.Fault { addr = pc; access = Exec }));
-  th.cycles <- Int64.add th.cycles (Int64.of_int !cost)
+  th.cycles <- Int64.add th.cycles (Int64.of_int t.exec_cost)
+
+(* --- Micro-op compilation ---------------------------------------------- *)
+
+(* Addressing mode resolved at translation time: base/index register
+   indices and the scale multiply are baked into the closure. Matches
+   [effective_address] exactly (scale only applies to the index). *)
+let compile_addr (m : Insn.mem) : int64 array -> int64 =
+  let disp = m.disp in
+  match (m.base, m.index) with
+  | None, None -> fun _ -> disp
+  | Some b, None ->
+      let bi = Reg.gpr_index b in
+      fun g -> Int64.add (Array.unsafe_get g bi) disp
+  | None, Some x ->
+      let xi = Reg.gpr_index x in
+      if m.scale = 1 then fun g -> Int64.add (Array.unsafe_get g xi) disp
+      else
+        let s = Int64.of_int m.scale in
+        fun g -> Int64.add (Int64.mul (Array.unsafe_get g xi) s) disp
+  | Some b, Some x ->
+      let bi = Reg.gpr_index b and xi = Reg.gpr_index x in
+      if m.scale = 1 then
+        fun g ->
+          Int64.add
+            (Int64.add (Array.unsafe_get g bi) (Array.unsafe_get g xi))
+            disp
+      else
+        let s = Int64.of_int m.scale in
+        fun g ->
+          Int64.add
+            (Int64.add (Array.unsafe_get g bi)
+               (Int64.mul (Array.unsafe_get g xi) s))
+            disp
+
+let rsp_index = Reg.gpr_index Reg.RSP
+
+let cond_fn = function
+  | Insn.Eq -> fun (f : Reg.flags) -> f.zf
+  | Ne -> fun (f : Reg.flags) -> not f.zf
+  | Lt -> fun (f : Reg.flags) -> f.sf <> f.ovf
+  | Ge -> fun (f : Reg.flags) -> f.sf = f.ovf
+  | Le -> fun (f : Reg.flags) -> f.zf || f.sf <> f.ovf
+  | Gt -> fun (f : Reg.flags) -> (not f.zf) && f.sf = f.ovf
+  | Ult -> fun (f : Reg.flags) -> f.cf
+  | Uge -> fun (f : Reg.flags) -> not f.cf
+
+(* Compile one instruction to its hook-free batch form. Contract: the
+   closure performs exactly what [execute] does when every hook is
+   absent, except that (a) static class cost is accounted by the caller
+   through [bb_prefix] and (b) dynamic cost (cache misses, branch
+   prediction, [Pause]) is accumulated into [t.dyn_cost]. Cache and
+   predictor state are touched in the same order as [execute], and a
+   faulting micro-op leaves the faulting access's cost out of
+   [dyn_cost], mirroring [execute] discarding [exec_cost] when the
+   fault unwinds it.
+
+   [pc] is the instruction's address and [next] the address just past
+   it — both block-translation constants, so a branch's relative target
+   is resolved here, at compile time ([execute] sees RIP already
+   advanced to [next], hence target = next + rel). Branches only ever
+   terminate a block; they are compiled so a hook-free batch can retire
+   the terminator too. Syscalls, markers and traps always run through
+   [execute].
+
+   Unlike [execute], a micro-op does NOT expect RIP to be advanced
+   beforehand — the caller skips that per-instruction store, and the
+   batch loop repairs RIP once on exit. The forms that observe RIP bake
+   in the [next] constant instead: every branch sets RIP
+   unconditionally (a non-taken [Jcc] writes [next]), calls push
+   [next], and the [execute] fallback advances RIP itself. *)
+let compile_ins ~pc ~next (ins : Insn.t) : t -> thread -> unit =
+  match ins with
+  | Insn.Jmp rel ->
+      let target = Int64.add next (Int64.of_int rel) in
+      fun t th ->
+        t.dyn_cost <-
+          t.dyn_cost + Timing.branch_cost t.timing ~pc ~taken:true;
+        th.ctx.Context.rip <- target
+  | Jcc (c, rel) ->
+      let cond = cond_fn c in
+      let target = Int64.add next (Int64.of_int rel) in
+      fun t th ->
+        let ctx = th.ctx in
+        let taken = cond ctx.Context.flags in
+        t.dyn_cost <- t.dyn_cost + Timing.branch_cost t.timing ~pc ~taken;
+        ctx.Context.rip <- (if taken then target else next)
+  | Jmp_r r ->
+      let ri = Reg.gpr_index r in
+      fun t th ->
+        let ctx = th.ctx in
+        let target = Array.unsafe_get ctx.Context.gprs ri in
+        t.dyn_cost <-
+          t.dyn_cost + Timing.branch_cost t.timing ~pc ~taken:true;
+        ctx.Context.rip <- target
+  | Jmp_m m ->
+      let a = compile_addr m in
+      fun t th ->
+        let ctx = th.ctx in
+        let addr = a ctx.Context.gprs in
+        let c = Timing.mem_cost t.timing addr in
+        let target = Addr_space.read_u64 t.mem addr in
+        t.dyn_cost <-
+          t.dyn_cost + c + Timing.branch_cost t.timing ~pc ~taken:true;
+        ctx.Context.rip <- target
+  | Call rel ->
+      let target = Int64.add next (Int64.of_int rel) in
+      fun t th ->
+        let ctx = th.ctx in
+        let g = ctx.Context.gprs in
+        let sp = Int64.sub (Array.unsafe_get g rsp_index) 8L in
+        Array.unsafe_set g rsp_index sp;
+        let c = Timing.mem_cost t.timing sp in
+        Addr_space.write_u64 t.mem sp next;
+        t.dyn_cost <-
+          t.dyn_cost + c + Timing.branch_cost t.timing ~pc ~taken:true;
+        ctx.Context.rip <- target
+  | Call_r r ->
+      let ri = Reg.gpr_index r in
+      fun t th ->
+        let ctx = th.ctx in
+        let g = ctx.Context.gprs in
+        let sp = Int64.sub (Array.unsafe_get g rsp_index) 8L in
+        Array.unsafe_set g rsp_index sp;
+        let c = Timing.mem_cost t.timing sp in
+        Addr_space.write_u64 t.mem sp next;
+        (* Target read after the push, as [execute] does (a call through
+           RSP sees the decremented stack pointer). *)
+        let target = Array.unsafe_get g ri in
+        t.dyn_cost <-
+          t.dyn_cost + c + Timing.branch_cost t.timing ~pc ~taken:true;
+        ctx.Context.rip <- target
+  | Ret ->
+      fun t th ->
+        let ctx = th.ctx in
+        let g = ctx.Context.gprs in
+        let sp = Array.unsafe_get g rsp_index in
+        let c = Timing.mem_cost t.timing sp in
+        let target = Addr_space.read_u64 t.mem sp in
+        t.dyn_cost <- t.dyn_cost + c;
+        Array.unsafe_set g rsp_index (Int64.add sp 8L);
+        t.dyn_cost <-
+          t.dyn_cost + Timing.branch_cost t.timing ~pc ~taken:true;
+        ctx.Context.rip <- target
+  | Insn.Mov_ri (r, v) ->
+      let ri = Reg.gpr_index r in
+      fun _t th -> Array.unsafe_set th.ctx.Context.gprs ri v
+  | Mov_rr (d, s) ->
+      let di = Reg.gpr_index d and si = Reg.gpr_index s in
+      fun _t th ->
+        let g = th.ctx.Context.gprs in
+        Array.unsafe_set g di (Array.unsafe_get g si)
+  | Load (Insn.W64, r, m) ->
+      let a = compile_addr m and ri = Reg.gpr_index r in
+      fun t th ->
+        let g = th.ctx.Context.gprs in
+        let addr = a g in
+        let c = Timing.mem_cost t.timing addr in
+        let v = Addr_space.read_u64 t.mem addr in
+        t.dyn_cost <- t.dyn_cost + c;
+        Array.unsafe_set g ri v
+  | Load (w, r, m) ->
+      let a = compile_addr m
+      and ri = Reg.gpr_index r
+      and wb = Insn.width_bytes w in
+      fun t th ->
+        let g = th.ctx.Context.gprs in
+        let addr = a g in
+        let c = Timing.mem_cost t.timing addr in
+        let v = Addr_space.read t.mem addr wb in
+        t.dyn_cost <- t.dyn_cost + c;
+        Array.unsafe_set g ri v
+  | Store (Insn.W64, m, r) ->
+      let a = compile_addr m and ri = Reg.gpr_index r in
+      fun t th ->
+        let g = th.ctx.Context.gprs in
+        let v = Array.unsafe_get g ri in
+        let addr = a g in
+        let c = Timing.mem_cost t.timing addr in
+        Addr_space.write_u64 t.mem addr v;
+        t.dyn_cost <- t.dyn_cost + c
+  | Store (w, m, r) ->
+      let a = compile_addr m
+      and ri = Reg.gpr_index r
+      and wb = Insn.width_bytes w in
+      fun t th ->
+        let g = th.ctx.Context.gprs in
+        let v = truncate_width w (Array.unsafe_get g ri) in
+        let addr = a g in
+        let c = Timing.mem_cost t.timing addr in
+        Addr_space.write t.mem addr wb v;
+        t.dyn_cost <- t.dyn_cost + c
+  | Lea (r, m) ->
+      let a = compile_addr m and ri = Reg.gpr_index r in
+      fun _t th ->
+        let g = th.ctx.Context.gprs in
+        Array.unsafe_set g ri (a g)
+  | Alu_rr (op, d, s) ->
+      let f = alu_fn op and di = Reg.gpr_index d and si = Reg.gpr_index s in
+      if alu_writes op then fun _t th ->
+        let ctx = th.ctx in
+        let g = ctx.Context.gprs in
+        Array.unsafe_set g di
+          (f ctx.Context.flags (Array.unsafe_get g di) (Array.unsafe_get g si))
+      else fun _t th ->
+        let ctx = th.ctx in
+        let g = ctx.Context.gprs in
+        ignore
+          (f ctx.Context.flags (Array.unsafe_get g di) (Array.unsafe_get g si))
+  | Alu_ri (op, d, imm) ->
+      let f = alu_fn op and di = Reg.gpr_index d in
+      if alu_writes op then fun _t th ->
+        let ctx = th.ctx in
+        let g = ctx.Context.gprs in
+        Array.unsafe_set g di (f ctx.Context.flags (Array.unsafe_get g di) imm)
+      else fun _t th ->
+        let ctx = th.ctx in
+        ignore
+          (f ctx.Context.flags
+             (Array.unsafe_get ctx.Context.gprs di)
+             imm)
+  | Shift_ri (op, d, n) ->
+      let di = Reg.gpr_index d in
+      fun _t th ->
+        let ctx = th.ctx in
+        let g = ctx.Context.gprs in
+        Array.unsafe_set g di
+          (exec_shift ctx.Context.flags op (Array.unsafe_get g di) n)
+  | Neg d ->
+      let di = Reg.gpr_index d in
+      fun _t th ->
+        let ctx = th.ctx in
+        let g = ctx.Context.gprs in
+        Array.unsafe_set g di
+          (alu_sub ctx.Context.flags 0L (Array.unsafe_get g di))
+  | Push r ->
+      let ri = Reg.gpr_index r in
+      fun t th ->
+        let g = th.ctx.Context.gprs in
+        let v = Array.unsafe_get g ri in
+        let sp = Int64.sub (Array.unsafe_get g rsp_index) 8L in
+        Array.unsafe_set g rsp_index sp;
+        let c = Timing.mem_cost t.timing sp in
+        Addr_space.write_u64 t.mem sp v;
+        t.dyn_cost <- t.dyn_cost + c
+  | Pop r ->
+      let ri = Reg.gpr_index r in
+      fun t th ->
+        let g = th.ctx.Context.gprs in
+        let sp = Array.unsafe_get g rsp_index in
+        let c = Timing.mem_cost t.timing sp in
+        let v = Addr_space.read_u64 t.mem sp in
+        t.dyn_cost <- t.dyn_cost + c;
+        Array.unsafe_set g rsp_index (Int64.add sp 8L);
+        Array.unsafe_set g ri v
+  | Nop -> fun _t _th -> ()
+  | Pause -> fun t _th -> t.dyn_cost <- t.dyn_cost + 10
+  | ins ->
+      fun t th ->
+        th.ctx.Context.rip <- next;
+        execute t th pc ins 0
+
+(* --- Block translation -------------------------------------------------- *)
+
+let max_ins_bytes = 16
+let block_window = 512  (* bytes of code decoded per translation *)
+let max_block_ins = 64
+
+(* Markers terminate translation too: they are rare, and ending blocks
+   at them keeps marker-driven observers on block boundaries. *)
+let terminates_block ins =
+  match Insn.classify ins with
+  | Insn.K_branch | K_call | K_syscall -> true
+  | K_alu | K_load | K_store | K_vector -> false
+  | K_other -> (
+      match ins with
+      | Insn.Cpuid | Ssc_marker _ | Magic _ | Hlt | Ud2 -> true
+      | _ -> false)
+
+let build_block t pc =
+  let buf = Addr_space.read_avail t.mem pc block_window in
+  let len = Bytes.length buf in
+  let full = len >= block_window in
+  let r = Elfie_util.Byteio.Reader.of_bytes buf in
+  let acc = ref [] in
+  let count = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    let off = Elfie_util.Byteio.Reader.pos r in
+    (* When the window filled, stop before an instruction that could be
+       cut short by it (encodings are at most [max_ins_bytes]); it will
+       head the next block, decoded from a fresh window. *)
+    if !count >= max_block_ins || (full && off > block_window - max_ins_bytes)
+    then stop := true
+    else
+      match Codec.decode r with
+      | ins ->
+          acc := (off, ins, Elfie_util.Byteio.Reader.pos r) :: !acc;
+          incr count;
+          if terminates_block ins then stop := true
+      | exception Codec.Invalid _ ->
+          if !count = 0 then
+            raise (Addr_space.Fault { addr = pc; access = Exec });
+          stop := true
+      | exception Elfie_util.Byteio.Truncated _ ->
+          (* The first instruction runs off the end of mapped memory:
+             the truncation point is the first unmapped byte, the same
+             fault address a 16-byte fetch window would report. A later
+             instruction merely ends the block here; re-fetching at its
+             pc reports the precise fault. *)
+          if !count = 0 then
+            raise
+              (Addr_space.Fault
+                 { addr = Int64.add pc (Int64.of_int len); access = Exec });
+          stop := true
+  done;
+  let items = Array.of_list (List.rev !acc) in
+  let n = Array.length items in
+  let _, ins0, _ = items.(0) in
+  let bb_pc = Array.make n 0L in
+  let bb_ins = Array.make n ins0 in
+  let bb_next = Array.make n 0L in
+  let bb_cost = Array.make n 0 in
+  Array.iteri
+    (fun i (off, ins, end_off) ->
+      bb_pc.(i) <- Int64.add pc (Int64.of_int off);
+      bb_ins.(i) <- ins;
+      bb_next.(i) <- Int64.add pc (Int64.of_int end_off);
+      bb_cost.(i) <- Timing.ins_cost t.timing (Insn.classify ins))
+    items;
+  let bb_prefix = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    bb_prefix.(i + 1) <- bb_prefix.(i) + bb_cost.(i)
+  done;
+  let bb_uops =
+    Array.init n (fun i ->
+        compile_ins ~pc:bb_pc.(i) ~next:bb_next.(i) bb_ins.(i))
+  in
+  let bb_ends_block =
+    match Insn.classify bb_ins.(n - 1) with
+    | Insn.K_branch | K_call | K_syscall -> true
+    | K_alu | K_load | K_store | K_vector | K_other -> false
+  in
+  let bb_tail_batchable =
+    match bb_ins.(n - 1) with
+    | Insn.Jmp _ | Jcc _ | Jmp_r _ | Jmp_m _ | Call _ | Call_r _ | Ret -> true
+    | _ -> false
+  in
+  let _, _, span = items.(n - 1) in
+  (* Writes into the decoded span must invalidate this translation. *)
+  Addr_space.note_code t.mem ~addr:pc ~len:span;
+  {
+    bb_pc;
+    bb_ins;
+    bb_next;
+    bb_cost;
+    bb_prefix;
+    bb_uops;
+    bb_ends_block;
+    bb_tail_batchable;
+  }
+
+let fetch_block t pc =
+  let gen = Addr_space.generation t.mem in
+  if gen <> t.decode_generation then begin
+    Hashtbl.reset t.block_cache;
+    t.decode_generation <- gen;
+    Array.fill t.block_memo_pc 0 block_memo_size (-1L)
+  end;
+  let slot = Int64.to_int pc land (block_memo_size - 1) in
+  if Int64.equal (Array.unsafe_get t.block_memo_pc slot) pc then
+    Array.unsafe_get t.block_memo slot
+  else begin
+    let b =
+      match Hashtbl.find_opt t.block_cache pc with
+      | Some b -> b
+      | None ->
+          let b = build_block t pc in
+          Hashtbl.replace t.block_cache pc b;
+          b
+    in
+    t.block_memo_pc.(slot) <- pc;
+    t.block_memo.(slot) <- b;
+    b
+  end
+
+(* Retirement epilogue shared by every executed instruction: perf
+   counter, timer interrupt, warmup mark, armed-counter graceful exit —
+   in the historical per-step order. *)
+let retire t th =
+  th.retired <- Int64.add th.retired 1L;
+  t.retired_total <- Int64.add t.retired_total 1L;
+  (match t.timer with
+  | Some (interval, cycles, rng) ->
+      th.timer_left <- th.timer_left - 1;
+      if th.timer_left <= 0 then begin
+        th.cycles <- Int64.add th.cycles (Int64.of_int cycles);
+        t.ring0 <- Int64.add t.ring0 (Int64.of_int cycles);
+        th.timer_left <- (interval / 2) + Elfie_util.Rng.int rng interval
+      end
+  | None -> ());
+  (match th.mark_target with
+  | Some target when th.retired >= target ->
+      th.mark_target <- None;
+      th.mark_retired <- Some th.retired;
+      th.mark_cycles <- th.cycles
+  | Some _ | None -> ());
+  match th.counter_target with
+  | Some target when th.retired >= target ->
+      (* The counter reaches its count even when this very instruction
+         made the thread exit (e.g. a region ending in exit_group). *)
+      th.counter_fired <- true;
+      (match th.state with
+      | Runnable -> exit_thread t th.tid ~status:0
+      | Exited _ | Faulted _ -> ())
+  | Some _ | None -> ()
+
+let record_fault th pc ins addr access =
+  (* Ud2/Hlt reuse the fault exception with access=Exec, addr=pc. *)
+  match ins with
+  | Insn.Ud2 -> th.state <- Faulted (Invalid_opcode pc)
+  | Hlt -> th.state <- Faulted (Privileged pc)
+  | _ -> th.state <- Faulted (Page_fault { addr; access; pc })
+
+(* Execute up to [limit] instructions of [th]'s current translated
+   block; returns how many were attempted (a faulting fetch or
+   instruction counts as one, matching the per-step accounting).
+
+   Hooks can only appear or vanish mid-run from a syscall handler, and
+   syscalls terminate translation, so hook presence is loop-invariant
+   within a block: uninstrumented runs take the dispatch-free fast loop.
+   The block observer (count-driven profiler) is notified once per block
+   with the attempted prefix — equivalent to per-instruction feeding. *)
+let exec_block t th limit =
+  let pc0 = th.ctx.Context.rip in
+  match fetch_block t pc0 with
+  | exception Addr_space.Fault { addr; access = _ } ->
+      th.state <- Faulted (Page_fault { addr; access = Exec; pc = pc0 });
+      1
+  | bb ->
+      let len = Array.length bb.bb_ins in
+      let n = if limit < len then limit else len in
+      let gen = t.decode_generation in
+      let attempted = ref 0 in
+      let continue_ = ref true in
+      (* Hook-free batch: run the block through the pre-compiled
+         micro-ops with no per-instruction hook dispatch or retirement
+         bookkeeping. The interior is straight-line code, so only
+         memory/instruction hooks could observe it; a plain branch
+         terminator is additionally invisible to all but [on_branch], so
+         when that hook is also absent the batch may retire the
+         terminator too. The fuel cap keeps every retirement event
+         (timer tick, warmup mark, armed counter) strictly outside the
+         batch, making the deferred bulk update of retired/cycles/timer
+         bit-identical to per-instruction retirement. *)
+      let batchable =
+        (match t.hooks.on_ins with Some _ -> false | None -> true)
+        && (match t.hooks.on_mem_read with Some _ -> false | None -> true)
+        && (match t.hooks.on_mem_write with Some _ -> false | None -> true)
+      in
+      if batchable then begin
+        let tail_ok =
+          bb.bb_tail_batchable
+          && match t.hooks.on_branch with Some _ -> false | None -> true
+        in
+        let fuel =
+          ref
+            (let m = if tail_ok then len else len - 1 in
+             if n < m then n else m)
+        in
+        (match t.timer with
+        | Some _ -> if th.timer_left - 1 < !fuel then fuel := th.timer_left - 1
+        | None -> ());
+        (* Events fire when [retired] reaches the target: the batch must
+           stop one instruction short of it. *)
+        let cap target =
+          let room = Int64.sub target th.retired in
+          if Int64.compare room (Int64.of_int !fuel) <= 0 then
+            fuel := (if Int64.compare room 1L < 0 then 0 else Int64.to_int room - 1)
+        in
+        (match th.mark_target with Some tg -> cap tg | None -> ());
+        (match th.counter_target with Some tg -> cap tg | None -> ());
+        let fuel = !fuel in
+        if fuel > 0 then begin
+          t.dyn_cost <- 0;
+          let i = ref 0 in
+          let faulted = ref false in
+          let brk = ref false in
+          while (not !brk) && !i < fuel do
+            let idx = !i in
+            match (Array.unsafe_get bb.bb_uops idx) t th with
+            | () ->
+                incr i;
+                if gen <> Addr_space.generation t.mem then brk := true
+            | exception Addr_space.Fault { addr; access } ->
+                (* The per-step path advances RIP before executing; a
+                   fault leaves it past the faulting instruction. *)
+                th.ctx.Context.rip <- Array.unsafe_get bb.bb_next idx;
+                record_fault th
+                  (Array.unsafe_get bb.bb_pc idx)
+                  (Array.unsafe_get bb.bb_ins idx)
+                  addr access;
+                faulted := true;
+                brk := true
+          done;
+          let ok = !i in
+          (* Micro-ops skip the per-instruction RIP store; only a
+             terminating branch (always the block's last micro-op) and
+             the fault path above write RIP themselves. Repair it here
+             for every other exit so the machine state matches per-step
+             execution exactly. *)
+          if ok > 0 && ok < len && not !faulted then
+            th.ctx.Context.rip <- Array.unsafe_get bb.bb_next (ok - 1);
+          th.retired <- Int64.add th.retired (Int64.of_int ok);
+          t.retired_total <- Int64.add t.retired_total (Int64.of_int ok);
+          (match t.timer with
+          | Some _ -> th.timer_left <- th.timer_left - ok
+          | None -> ());
+          th.cycles <-
+            Int64.add th.cycles
+              (Int64.of_int (Array.unsafe_get bb.bb_prefix ok + t.dyn_cost));
+          t.dyn_cost <- 0;
+          attempted := (if !faulted then ok + 1 else ok);
+          if !faulted || t.stop_requested || gen <> Addr_space.generation t.mem
+          then continue_ := false
+        end
+      end;
+      (* Per-instruction path: the block terminator, instrumented runs,
+         retirement-event boundaries, and the remainder after a mid-block
+         invalidation. *)
+      let hook_free =
+        match t.hooks.on_ins with Some _ -> false | None -> true
+      in
+      while !continue_ && !attempted < n do
+        let idx = !attempted in
+        let pc = Array.unsafe_get bb.bb_pc idx in
+        let ins = Array.unsafe_get bb.bb_ins idx in
+        if not hook_free then
+          (match t.hooks.on_ins with Some f -> f th.tid pc ins | None -> ());
+        th.ctx.Context.rip <- Array.unsafe_get bb.bb_next idx;
+        incr attempted;
+        (match execute t th pc ins (Array.unsafe_get bb.bb_cost idx) with
+        | () -> retire t th
+        | exception Addr_space.Fault { addr; access } ->
+            record_fault th pc ins addr access);
+        (match th.state with
+        | Runnable -> ()
+        | Exited _ | Faulted _ -> continue_ := false);
+        if t.stop_requested || gen <> Addr_space.generation t.mem then
+          (* A write into a code page (or a map/unmap) invalidated the
+             translation mid-block: fall back to the scheduler loop,
+             which re-fetches from a fresh decode. *)
+          continue_ := false
+      done;
+      (match t.block_observer with
+      | None -> ()
+      | Some f ->
+          f ~tid:th.tid ~pcs:bb.bb_pc ~n:!attempted
+            ~ends_block:(!attempted = len && bb.bb_ends_block));
+      !attempted
 
 let step t tid =
   let th = thread t tid in
   if th.state <> Runnable then invalid_arg "Machine.step: thread not runnable";
-  let pc = th.ctx.Context.rip in
-  match fetch t pc with
-  | exception Addr_space.Fault { addr; access = _ } ->
-      th.state <- Faulted (Page_fault { addr; access = Exec; pc })
-  | ins, len -> (
-      (match t.hooks.on_ins with Some f -> f tid pc ins | None -> ());
-      th.ctx.Context.rip <- Int64.add pc (Int64.of_int len);
-      match execute t th pc ins with
-      | () ->
-          th.retired <- Int64.add th.retired 1L;
-          t.retired_total <- Int64.add t.retired_total 1L;
-          (match t.timer with
-          | Some (interval, cycles, rng) ->
-              th.timer_left <- th.timer_left - 1;
-              if th.timer_left <= 0 then begin
-                th.cycles <- Int64.add th.cycles (Int64.of_int cycles);
-                t.ring0 <- Int64.add t.ring0 (Int64.of_int cycles);
-                th.timer_left <- (interval / 2) + Elfie_util.Rng.int rng interval
-              end
-          | None -> ());
-          (match th.mark_target with
-          | Some target when th.retired >= target ->
-              th.mark_target <- None;
-              th.mark_retired <- Some th.retired;
-              th.mark_cycles <- th.cycles
-          | Some _ | None -> ());
-          (match th.counter_target with
-          | Some target when th.retired >= target ->
-              (* The counter reaches its count even when this very
-                 instruction made the thread exit (e.g. a region ending
-                 in exit_group). *)
-              th.counter_fired <- true;
-              if th.state = Runnable then exit_thread t tid ~status:0
-          | Some _ | None -> ())
-      | exception Addr_space.Fault { addr; access } -> (
-          (* Ud2/Hlt reuse the fault exception with access=Exec, addr=pc. *)
-          match ins with
-          | Insn.Ud2 -> th.state <- Faulted (Invalid_opcode pc)
-          | Hlt -> th.state <- Faulted (Privileged pc)
-          | _ -> th.state <- Faulted (Page_fault { addr; access; pc })))
+  ignore (exec_block t th 1)
 
 (* Run up to [n] instructions of [tid]; returns how many retired. *)
 let run_quantum t tid n limit =
   let th = thread t tid in
   let executed = ref 0 in
   while
-    th.state = Runnable && !executed < n && (not t.stop_requested)
-    && (match limit with Some l -> total_retired t < l | None -> true)
+    (match th.state with Runnable -> true | Exited _ | Faulted _ -> false)
+    && !executed < n
+    && (not t.stop_requested)
+    && match limit with
+       | Some l -> Int64.compare t.retired_total l < 0
+       | None -> true
   do
-    step t tid;
-    incr executed
+    let room =
+      match limit with
+      | None -> n - !executed
+      | Some l ->
+          let left = Int64.sub l t.retired_total in
+          let room = n - !executed in
+          if Int64.of_int room <= left then room else Int64.to_int left
+    in
+    executed := !executed + exec_block t th room
   done;
   !executed
 

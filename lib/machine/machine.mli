@@ -138,6 +138,23 @@ val cut_schedule : t -> unit
     thread is not runnable. *)
 val step : t -> int -> unit
 
+(** Install (or clear) the basic-block observer, called once per
+    executed block prefix with the block's instruction PCs, the number
+    [n] of instructions attempted from its head, and whether the run
+    ended on the block's terminating branch/call/syscall. This is the
+    hook-free path the count-driven profiler rides: feeding
+    [Elfie_obs.Profile.note_block] here is equivalent to one
+    {!hooks.on_ins}-driven [note] per instruction, without any
+    per-instruction dispatch. *)
+val set_block_observer :
+  t ->
+  (tid:int -> pcs:int64 array -> n:int -> ends_block:bool -> unit) option ->
+  unit
+
+(** Number of distinct basic blocks currently translated (cache size
+    after generation flushes — an observability counter). *)
+val translated_blocks : t -> int
+
 (** Run until no thread is runnable, a stop is requested, or [max_ins]
     user instructions have retired machine-wide. *)
 val run : ?max_ins:int64 -> t -> unit

@@ -46,8 +46,10 @@ let predictor_entries = 4096
 let create cfg =
   {
     cfg;
-    l1 = Cache.create cfg.l1;
-    l2 = Cache.create cfg.l2;
+    (* Only the LLC's footprint is ever read (working-set reporting), so
+       the inner levels skip touched-line tracking on the hot path. *)
+    l1 = Cache.create ~track_footprint:false cfg.l1;
+    l2 = Cache.create ~track_footprint:false cfg.l2;
     llc = Cache.create cfg.llc;
     predictor = Bytes.make predictor_entries '\002';
   }
@@ -61,9 +63,11 @@ let mem_cost t addr =
   else t.cfg.llc_miss_cycles
 
 let branch_cost t ~pc ~taken =
-  let idx = Int64.to_int (Int64.rem (Int64.shift_right_logical pc 1)
-                            (Int64.of_int predictor_entries)) in
-  let idx = abs idx in
+  (* The logically shifted pc is non-negative and [predictor_entries] is
+     a power of two, so masking matches the previous [rem]+[abs]. *)
+  let idx =
+    Int64.to_int (Int64.shift_right_logical pc 1) land (predictor_entries - 1)
+  in
   let counter = Char.code (Bytes.get t.predictor idx) in
   let predicted_taken = counter >= 2 in
   let counter' =

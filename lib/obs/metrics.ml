@@ -28,10 +28,17 @@ type entry = {
 let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
 let next_order = ref 0
 
+(* The registry is process-global and mutated from worker domains
+   (pool-parallel validation and trials), so every entry point that
+   touches [registry] or a series takes this lock. Internal helpers are
+   [_unlocked]: OCaml mutexes are not reentrant. *)
+let lock = Mutex.create ()
+let[@inline] locked f = Mutex.protect lock f
+
 let default_buckets =
   [| 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0 |]
 
-let register fam =
+let register_unlocked fam =
   match Hashtbl.find_opt registry fam.name with
   | Some e ->
       if e.fam.kind <> fam.kind then
@@ -56,7 +63,7 @@ let make kind ?(help = "") ?buckets name =
     | (Counter | Gauge), _ -> [||]
   in
   let fam = { name; kind; help; buckets } in
-  (register fam).fam
+  locked (fun () -> (register_unlocked fam).fam)
 
 let counter ?help name = make Counter ?help name
 let gauge ?help name = make Gauge ?help name
@@ -80,8 +87,8 @@ let fresh_series fam =
           count = 0;
         }
 
-let series fam labels =
-  let e = register fam in
+let series_unlocked fam labels =
+  let e = register_unlocked fam in
   let k = key labels in
   match Hashtbl.find_opt e.series k with
   | Some (_, s) -> s
@@ -93,68 +100,80 @@ let series fam labels =
 let inc ?(labels = []) ?(by = 1.0) fam =
   if fam.kind <> Counter then
     invalid_arg ("Metrics.inc: " ^ fam.name ^ " is not a counter");
-  match series fam labels with Value r -> r := !r +. by | Hist _ -> ()
+  locked (fun () ->
+      match series_unlocked fam labels with
+      | Value r -> r := !r +. by
+      | Hist _ -> ())
 
 let set ?(labels = []) fam v =
   if fam.kind <> Gauge then
     invalid_arg ("Metrics.set: " ^ fam.name ^ " is not a gauge");
-  match series fam labels with Value r -> r := v | Hist _ -> ()
+  locked (fun () ->
+      match series_unlocked fam labels with Value r -> r := v | Hist _ -> ())
 
 let observe ?(labels = []) fam v =
   if fam.kind <> Histogram then
     invalid_arg ("Metrics.observe: " ^ fam.name ^ " is not a histogram");
-  match series fam labels with
-  | Value _ -> ()
-  | Hist h ->
-      h.sum <- h.sum +. v;
-      h.count <- h.count + 1;
-      let n = Array.length h.le in
-      let rec find i = if i >= n || v <= h.le.(i) then i else find (i + 1) in
-      let i = find 0 in
-      h.counts.(i) <- h.counts.(i) + 1
+  locked (fun () ->
+      match series_unlocked fam labels with
+      | Value _ -> ()
+      | Hist h ->
+          h.sum <- h.sum +. v;
+          h.count <- h.count + 1;
+          let n = Array.length h.le in
+          let rec find i =
+            if i >= n || v <= h.le.(i) then i else find (i + 1)
+          in
+          let i = find 0 in
+          h.counts.(i) <- h.counts.(i) + 1)
 
 let series_value = function
   | Value r -> !r
   | Hist h -> float_of_int h.count
 
 let value ?(labels = []) fam =
-  match Hashtbl.find_opt registry fam.name with
-  | None -> 0.0
-  | Some e -> (
-      match Hashtbl.find_opt e.series (key labels) with
+  locked (fun () ->
+      match Hashtbl.find_opt registry fam.name with
       | None -> 0.0
-      | Some (_, s) -> series_value s)
+      | Some e -> (
+          match Hashtbl.find_opt e.series (key labels) with
+          | None -> 0.0
+          | Some (_, s) -> series_value s))
 
-let total fam =
+let total_unlocked fam =
   match Hashtbl.find_opt registry fam.name with
   | None -> 0.0
   | Some e ->
       Hashtbl.fold (fun _ (_, s) acc -> acc +. series_value s) e.series 0.0
 
+let total fam = locked (fun () -> total_unlocked fam)
+
 let bucket_snapshot ?(labels = []) fam =
-  match Hashtbl.find_opt registry fam.name with
-  | None -> ([], 0.0, 0)
-  | Some e -> (
-      match Hashtbl.find_opt e.series (key labels) with
-      | Some (_, Hist h) ->
-          let acc = ref 0 in
-          let cum =
-            Array.to_list
-              (Array.mapi
-                 (fun i c ->
-                   acc := !acc + c;
-                   ((if i < Array.length h.le then h.le.(i) else infinity),
-                    !acc))
-                 h.counts)
-          in
-          (cum, h.sum, h.count)
-      | Some (_, Value _) | None -> ([], 0.0, 0))
+  locked (fun () ->
+      match Hashtbl.find_opt registry fam.name with
+      | None -> ([], 0.0, 0)
+      | Some e -> (
+          match Hashtbl.find_opt e.series (key labels) with
+          | Some (_, Hist h) ->
+              let acc = ref 0 in
+              let cum =
+                Array.to_list
+                  (Array.mapi
+                     (fun i c ->
+                       acc := !acc + c;
+                       ((if i < Array.length h.le then h.le.(i) else infinity),
+                        !acc))
+                     h.counts)
+              in
+              (cum, h.sum, h.count)
+          | Some (_, Value _) | None -> ([], 0.0, 0)))
 
 let ordered_entries () =
   Hashtbl.fold (fun _ e acc -> e :: acc) registry []
   |> List.sort (fun a b -> compare a.order b.order)
 
-let families () = List.map (fun e -> e.fam.name) (ordered_entries ())
+let families () =
+  locked (fun () -> List.map (fun e -> e.fam.name) (ordered_entries ()))
 
 (* --- Prometheus text exposition --------------------------------------- *)
 
@@ -201,6 +220,7 @@ let render_labels_le labels le =
   render_labels (labels @ [ ("le", le_s) ])
 
 let exposition () =
+  locked @@ fun () ->
   let b = Buffer.create 1024 in
   List.iter
     (fun e ->
@@ -249,6 +269,7 @@ let exposition () =
   Buffer.contents b
 
 let summary () =
+  locked @@ fun () ->
   let b = Buffer.create 512 in
   Buffer.add_string b
     (Printf.sprintf "%-42s %-10s %7s %14s\n" "metric" "kind" "series" "total");
@@ -262,10 +283,11 @@ let summary () =
            | Gauge -> "gauge"
            | Histogram -> "histogram")
            (Hashtbl.length e.series)
-           (fmt_num (total e.fam))))
+           (fmt_num (total_unlocked e.fam))))
     (ordered_entries ());
   Buffer.contents b
 
 let reset () =
-  Hashtbl.reset registry;
-  next_order := 0
+  locked (fun () ->
+      Hashtbl.reset registry;
+      next_order := 0)

@@ -9,7 +9,11 @@
 
     Family names follow the usual conventions ([elfie_runs_total],
     [elfie_region_instructions], ...); creating the same name twice with
-    a different kind raises [Invalid_argument]. *)
+    a different kind raises [Invalid_argument].
+
+    All operations are domain-safe: the registry is guarded by a single
+    mutex, so series updated concurrently from {!Elfie_util.Pool}
+    workers lose no increments. *)
 
 type kind = Counter | Gauge | Histogram
 

@@ -7,7 +7,11 @@
     [interval] instructions into a hot-address histogram and charges
     every instruction to its basic block (a block ends at a branch,
     call or syscall). Sampling is count-driven, not timer-driven, so
-    the profile of a seeded run is bit-for-bit reproducible.
+    the profile of a seeded run is bit-for-bit reproducible — the
+    hook-free fast path feeds whole straight-line runs via
+    {!note_block} with identical resulting state. A profiler is
+    domain-safe: all feeding and reading locks, so one global profiler
+    can serve machines on several {!Elfie_util.Pool} domains.
 
     The {e global} profiler slot is how [--profile] reaches execution:
     when set, {!Elfie_core.Elfie_runner} and the replayer attach it to
@@ -25,6 +29,16 @@ val interval : t -> int
 (** Feed one retired instruction. [block_end] marks instructions that
     terminate a basic block (branch/call/syscall). *)
 val note : t -> tid:int -> pc:int64 -> block_end:bool -> unit
+
+(** Feed [n] back-to-back instructions [pcs.(0 .. n-1)] of one
+    straight-line run (the machine's block-observer shape;
+    [ends_block] marks a run whose last instruction terminates its
+    block). State-for-state equivalent to [n] calls to {!note}, at one
+    lock acquisition and one block-count update instead of [n] — the
+    shape the hook-free translated-block path reports through
+    [Machine.set_block_observer]. *)
+val note_block :
+  t -> tid:int -> pcs:int64 array -> n:int -> ends_block:bool -> unit
 
 (** Retired instructions seen / PC samples taken. *)
 val instructions : t -> int64

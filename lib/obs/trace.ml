@@ -39,13 +39,20 @@ let buf_len = ref 0
 let dropped_count = ref 0
 let emitted_count = ref 0
 
+(* The ring state above is process-global and fed from pool worker
+   domains, so every mutation and every reader snapshot takes this
+   lock. Span records themselves are owned by the domain that opened
+   them; only buffer/sequence state is shared. *)
+let lock = Mutex.create ()
+let[@inline] locked f = Mutex.protect lock f
+
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
-let set_capacity n = capacity := max 1 n
+let set_capacity n = locked (fun () -> capacity := max 1 n)
 
 let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
 
-let push ev =
+let push_unlocked ev =
   incr emitted_count;
   if !buf_len >= !capacity then incr dropped_count
   else begin
@@ -59,32 +66,33 @@ let dummy_span =
 
 let begin_span ?(attrs = []) name =
   if not !enabled_flag then dummy_span
-  else begin
-    incr seq;
-    let sp =
-      { sp_name = name; sp_ts = now_us (); sp_seq = !seq; sp_depth = !depth;
-        sp_attrs = attrs; sp_live = true }
-    in
-    incr depth;
-    sp
-  end
+  else
+    locked (fun () ->
+        incr seq;
+        let sp =
+          { sp_name = name; sp_ts = now_us (); sp_seq = !seq;
+            sp_depth = !depth; sp_attrs = attrs; sp_live = true }
+        in
+        incr depth;
+        sp)
 
 let add_attr sp key v = if sp.sp_live then sp.sp_attrs <- sp.sp_attrs @ [ (key, v) ]
 
 let end_span ?(attrs = []) sp =
   if sp.sp_live then begin
     sp.sp_live <- false;
-    depth := max 0 (!depth - 1);
-    push
-      (Span
-         {
-           name = sp.sp_name;
-           ts = sp.sp_ts;
-           dur = Float.max 0.0 (now_us () -. sp.sp_ts);
-           depth = sp.sp_depth;
-           seq = sp.sp_seq;
-           attrs = sp.sp_attrs @ attrs;
-         })
+    locked (fun () ->
+        depth := max 0 (!depth - 1);
+        push_unlocked
+          (Span
+             {
+               name = sp.sp_name;
+               ts = sp.sp_ts;
+               dur = Float.max 0.0 (now_us () -. sp.sp_ts);
+               depth = sp.sp_depth;
+               seq = sp.sp_seq;
+               attrs = sp.sp_attrs @ attrs;
+             }))
   end
 
 let with_span ?attrs name f =
@@ -98,14 +106,15 @@ let with_span ?attrs name f =
       raise exn
 
 let instant ?(attrs = []) name =
-  if !enabled_flag then begin
-    incr seq;
-    push (Instant { name; ts = now_us (); depth = !depth; seq = !seq; attrs })
-  end
+  if !enabled_flag then
+    locked (fun () ->
+        incr seq;
+        push_unlocked
+          (Instant { name; ts = now_us (); depth = !depth; seq = !seq; attrs }))
 
-let events () = List.rev !buf
-let emitted () = !emitted_count
-let dropped () = !dropped_count
+let events () = locked (fun () -> List.rev !buf)
+let emitted () = locked (fun () -> !emitted_count)
+let dropped () = locked (fun () -> !dropped_count)
 
 let span_names () =
   List.filter_map
@@ -113,13 +122,14 @@ let span_names () =
     (events ())
 
 let reset () =
-  buf := [];
-  buf_len := 0;
-  dropped_count := 0;
-  emitted_count := 0;
-  seq := 0;
-  depth := 0;
-  epoch := Unix.gettimeofday ()
+  locked (fun () ->
+      buf := [];
+      buf_len := 0;
+      dropped_count := 0;
+      emitted_count := 0;
+      seq := 0;
+      depth := 0;
+      epoch := Unix.gettimeofday ())
 
 (* --- Chrome trace_event export --------------------------------------- *)
 

@@ -22,10 +22,14 @@ let stddev = function
       sqrt var
 
 let whole_program ?(trials = 3) ?(base_seed = 1000L) spec =
+  (* Trials are independent seeded runs, each on its own machine, so
+     they fan out across pool domains; results stay in seed order. *)
   let results =
-    List.init trials (fun i ->
+    Elfie_util.Pool.map
+      (fun i ->
         let seed = Int64.add base_seed (Int64.of_int i) in
         Elfie_pin.Run.native { spec with Elfie_pin.Run.seed })
+      (List.init trials Fun.id)
   in
   let ok = List.filter (fun (s : Elfie_pin.Run.stats) -> s.clean) results in
   let cpis = List.map (fun (s : Elfie_pin.Run.stats) -> s.cpi) ok in
@@ -43,11 +47,18 @@ let whole_program ?(trials = 3) ?(base_seed = 1000L) spec =
 
 let elfie_region_detailed ?(trials = 3) ?(base_seed = 2000L) ?fs_init ?cwd
     ?max_ins ?on_machine image =
+  let trial i =
+    let seed = Int64.add base_seed (Int64.of_int i) in
+    Elfie_core.Elfie_runner.run ~seed ?fs_init ?cwd ?max_ins ?on_machine image
+  in
+  let idxs = List.init trials Fun.id in
   let results =
-    List.init trials (fun i ->
-        let seed = Int64.add base_seed (Int64.of_int i) in
-        Elfie_core.Elfie_runner.run ~seed ?fs_init ?cwd ?max_ins ?on_machine
-          image)
+    match on_machine with
+    (* An [on_machine] callback is caller state with unknown
+       thread-safety (tools attach counters through it), so those runs
+       stay sequential. *)
+    | Some _ -> List.map trial idxs
+    | None -> Elfie_util.Pool.map trial idxs
   in
   let ok =
     List.filter (fun (o : Elfie_core.Elfie_runner.outcome) -> o.graceful) results

@@ -210,13 +210,21 @@ let profile_tool p =
 
 (* Attach the global profiler, if one is installed. Every execution
    front-end (native runner, replayer, simulators' machines) calls this
-   after building its machine so `--profile` observes any run. *)
+   after building its machine so `--profile` observes any run.
+
+   Wired through the machine's block observer rather than an [on_ins]
+   hook: the observer is fed whole straight-line runs on the hook-free
+   translated-block path, so profiling no longer forces the
+   per-instruction slow path, and [Profile.note_block] reproduces
+   per-instruction feeding state-for-state. *)
 let attach_global_profile machine =
   match Elfie_obs.Profile.global () with
   | None -> ()
   | Some p ->
-      let (_ : unit -> unit) = Pintool.attach machine [ profile_tool p ] in
-      ()
+      Elfie_machine.Machine.set_block_observer machine
+        (Some
+           (fun ~tid ~pcs ~n ~ends_block ->
+             Elfie_obs.Profile.note_block p ~tid ~pcs ~n ~ends_block))
 
 (* --- printers -------------------------------------------------------------------- *)
 

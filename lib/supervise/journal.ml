@@ -11,6 +11,10 @@ type record = {
 type t = {
   mutable entries : record list;  (** newest first *)
   oc : out_channel option;
+  (* Supervised jobs may record from pool worker domains concurrently;
+     the lock keeps the entry list and the append stream coherent (one
+     written line per record, in the same order as [entries]). *)
+  lock : Mutex.t;
 }
 
 let magic = "J1"
@@ -100,7 +104,7 @@ let record_of_line line =
       parse job inputs_hash attempts cls quarantined wall_ms attrs
   | _ -> None
 
-let in_memory () = { entries = []; oc = None }
+let in_memory () = { entries = []; oc = None; lock = Mutex.create () }
 
 let load_existing path =
   if not (Sys.file_exists path) then []
@@ -124,12 +128,13 @@ let load_existing path =
 let open_file path =
   let entries = load_existing path in
   let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-  { entries; oc = Some oc }
+  { entries; oc = Some oc; lock = Mutex.create () }
 
 let close t =
   match t.oc with None -> () | Some oc -> close_out oc
 
 let record t r =
+  Mutex.protect t.lock @@ fun () ->
   t.entries <- r :: t.entries;
   match t.oc with
   | None -> ()
@@ -138,10 +143,11 @@ let record t r =
       output_char oc '\n';
       flush oc
 
-let records t = List.rev t.entries
+let records t = Mutex.protect t.lock (fun () -> List.rev t.entries)
 
 let find t ~job =
-  List.find_opt (fun r -> r.job = job) t.entries
+  Mutex.protect t.lock (fun () ->
+      List.find_opt (fun r -> r.job = job) t.entries)
 
 let should_skip t ~job ~inputs_hash =
   match find t ~job with

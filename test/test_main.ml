@@ -9,4 +9,4 @@ let () =
       ("asm", Test_asm.suite); ("debugger", Test_debug.suite);
       ("pintools", Test_tools.suite); ("criu", Test_criu.suite);
       ("check", Test_check.suite); ("supervise", Test_supervise.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite); ("perf", Test_perf_core.suite) ]

@@ -1,0 +1,585 @@
+(* Tests for the fast execution core (block translation cache, soft-TLB)
+   and the domain work pool: self-modifying-code invalidation, cached
+   vs uncached address-space agreement, block-run vs single-step
+   determinism, and domain-safety of the process-global observability
+   state. *)
+
+open Elfie_isa
+open Elfie_isa.Insn
+open Elfie_machine
+module Pool = Elfie_util.Pool
+module Profile = Elfie_obs.Profile
+
+(* --- self-modifying code ---------------------------------------------------- *)
+
+(* A subroutine `mov rbx, 1; ret` is called, then its immediate byte is
+   patched to 2 through a plain store, then it is called again. A stale
+   translated block would replay the old immediate; correct invalidation
+   (the write lands in a page holding decoded code, bumping the
+   generation) must make the second call see 2.
+
+   Mov_ri encodes as opcode, register, little-endian u64 — the
+   immediate's low byte is at offset 2. *)
+let test_smc_patch_invalidates () =
+  let b = Builder.create () in
+  let f = Builder.new_label b in
+  Builder.call b f;
+  Builder.ins b (Mov_rr (Reg.R8, Reg.RBX));
+  (* save first result *)
+  Builder.ins b (Mov_ri (Reg.RCX, 2L));
+  Builder.mov_label b Reg.RDX f;
+  Builder.ins b
+    (Store (W8, { base = Some Reg.RDX; index = None; scale = 1; disp = 2L }, Reg.RCX));
+  Builder.call b f;
+  Builder.ins b Hlt;
+  Builder.bind b f;
+  Builder.ins b (Mov_ri (Reg.RBX, 1L));
+  Builder.ins b Ret;
+  let prog = Builder.assemble b ~base:0x1000L in
+  let m =
+    Machine.create (Machine.Free { seed = 1L; quantum_min = 100; quantum_max = 100 })
+  in
+  Addr_space.store (Machine.mem m) 0x1000L prog.Builder.code;
+  Addr_space.map (Machine.mem m) ~addr:0x8000L ~len:4096;
+  let ctx = Context.create () in
+  ctx.Context.rip <- 0x1000L;
+  Context.set ctx Reg.RSP 0x9000L;
+  let tid = Machine.add_thread m ctx in
+  Machine.run m;
+  let th = Machine.thread m tid in
+  Alcotest.check Tutil.i64 "first call saw 1" 1L (Context.get th.Machine.ctx Reg.R8);
+  Alcotest.check Tutil.i64 "second call sees the patch" 2L
+    (Context.get th.Machine.ctx Reg.RBX)
+
+(* Same shape, driven by a tight loop so the patched block is hot (in
+   the translation cache and the direct-mapped memo) when invalidated:
+   iteration i adds the subroutine's current immediate, patched from 1
+   to 2 halfway through. *)
+let test_smc_hot_loop () =
+  let b = Builder.create () in
+  let f = Builder.new_label b in
+  let loop = Builder.new_label b in
+  let no_patch = Builder.new_label b in
+  Builder.ins b (Mov_ri (Reg.RSI, 0L));
+  (* accumulator *)
+  Builder.ins b (Mov_ri (Reg.RDI, 10L));
+  (* countdown *)
+  Builder.bind b loop;
+  Builder.call b f;
+  Builder.ins b (Alu_rr (Add, Reg.RSI, Reg.RBX));
+  Builder.ins b (Alu_ri (Cmp, Reg.RDI, 6L));
+  Builder.jcc b Ne no_patch;
+  Builder.ins b (Mov_ri (Reg.RCX, 2L));
+  Builder.mov_label b Reg.RDX f;
+  Builder.ins b
+    (Store (W8, { base = Some Reg.RDX; index = None; scale = 1; disp = 2L }, Reg.RCX));
+  Builder.bind b no_patch;
+  Builder.ins b (Alu_ri (Sub, Reg.RDI, 1L));
+  Builder.jcc b Ne loop;
+  Builder.ins b Hlt;
+  Builder.bind b f;
+  Builder.ins b (Mov_ri (Reg.RBX, 1L));
+  Builder.ins b Ret;
+  let prog = Builder.assemble b ~base:0x1000L in
+  let m =
+    Machine.create (Machine.Free { seed = 1L; quantum_min = 50; quantum_max = 50 })
+  in
+  Addr_space.store (Machine.mem m) 0x1000L prog.Builder.code;
+  Addr_space.map (Machine.mem m) ~addr:0x8000L ~len:4096;
+  let ctx = Context.create () in
+  ctx.Context.rip <- 0x1000L;
+  Context.set ctx Reg.RSP 0x9000L;
+  let tid = Machine.add_thread m ctx in
+  Machine.run m;
+  (* Iterations at countdown 10..6 add 1 (the patch lands when
+     countdown=6, after that iteration's call); 5..1 add 2. *)
+  Alcotest.check Tutil.i64 "accumulator sees patch exactly once armed" 15L
+    (Context.get (Machine.thread m tid).Machine.ctx Reg.RSI)
+
+(* --- soft-TLB vs flat model ------------------------------------------------- *)
+
+(* The address space (TLB in front of the page table, word fast paths)
+   must agree byte-for-byte with a flat model under random maps,
+   unmaps (the only operation that can make a TLB entry stale), and
+   mixed-width page-crossing accesses — including which address
+   faults. *)
+module Model = struct
+  type t = { bytes : (int64, int) Hashtbl.t; mapped : (int64, unit) Hashtbl.t }
+
+  let create () = { bytes = Hashtbl.create 64; mapped = Hashtbl.create 8 }
+
+  let map t ~addr ~len =
+    List.iter
+      (fun pn ->
+        if not (Hashtbl.mem t.mapped pn) then Hashtbl.replace t.mapped pn ())
+      (let first = Int64.shift_right_logical addr 12 in
+       let last =
+         Int64.shift_right_logical (Int64.add addr (Int64.of_int (len - 1))) 12
+       in
+       let rec go n acc =
+         if n < first then acc else go (Int64.sub n 1L) (n :: acc)
+       in
+       if len <= 0 then [] else go last [])
+
+  let unmap t ~addr ~len =
+    let first = Int64.shift_right_logical addr 12
+    and last =
+      Int64.shift_right_logical (Int64.add addr (Int64.of_int (len - 1))) 12
+    in
+    let pn = ref first in
+    while !pn <= last do
+      Hashtbl.remove t.mapped !pn;
+      pn := Int64.add !pn 1L
+    done;
+    Hashtbl.filter_map_inplace
+      (fun a v ->
+        let p = Int64.shift_right_logical a 12 in
+        if p >= first && p <= last then None else Some v)
+      t.bytes
+
+  let mapped t a = Hashtbl.mem t.mapped (Int64.shift_right_logical a 12)
+  let get t a = Option.value ~default:0 (Hashtbl.find_opt t.bytes a)
+
+  (* Byte-at-a-time, faulting at the first unmapped byte — mirroring the
+     address space's page-crossing slow path (partial writes persist). *)
+  let read t addr width =
+    let acc = ref 0L in
+    for i = 0 to width - 1 do
+      let a = Int64.add addr (Int64.of_int i) in
+      if not (mapped t a) then
+        raise (Addr_space.Fault { addr = a; access = Addr_space.Read });
+      acc := Int64.logor !acc (Int64.shift_left (Int64.of_int (get t a)) (8 * i))
+    done;
+    !acc
+
+  let write t addr width v =
+    for i = 0 to width - 1 do
+      let a = Int64.add addr (Int64.of_int i) in
+      if not (mapped t a) then
+        raise (Addr_space.Fault { addr = a; access = Addr_space.Write });
+      Hashtbl.replace t.bytes a
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL))
+    done
+end
+
+type tlb_op =
+  | Op_map of int64
+  | Op_unmap of int64
+  | Op_write of int64 * int * int64
+  | Op_read of int64 * int
+  | Op_write_u64 of int64 * int64
+  | Op_read_u64 of int64
+
+let tlb_op_gen =
+  let open QCheck.Gen in
+  (* Eight pages, many TLB-conflicting addresses, offsets biased to page
+     edges so multi-byte accesses cross page boundaries regularly. *)
+  let page = map (fun p -> Int64.of_int ((p land 7) * 4096)) int in
+  let addr =
+    map2
+      (fun p off ->
+        let off = off land 0xfff in
+        let off = if off land 1 = 0 then 0xff8 + (off land 7) else off in
+        Int64.of_int (((p land 7) * 4096) + off))
+      int int
+  in
+  let width = oneofl [ 1; 2; 4; 8 ] in
+  let v = map Int64.of_int int in
+  frequency
+    [ (1, map (fun p -> Op_map p) page);
+      (1, map (fun p -> Op_unmap p) page);
+      (3, map3 (fun a w x -> Op_write (a, w, x)) addr width v);
+      (3, map2 (fun a w -> Op_read (a, w)) addr width);
+      (2, map2 (fun a x -> Op_write_u64 (a, x)) addr v);
+      (2, map (fun a -> Op_read_u64 a) addr) ]
+
+let show_tlb_op = function
+  | Op_map p -> Printf.sprintf "map 0x%Lx" p
+  | Op_unmap p -> Printf.sprintf "unmap 0x%Lx" p
+  | Op_write (a, w, v) -> Printf.sprintf "write 0x%Lx/%d <- %Ld" a w v
+  | Op_read (a, w) -> Printf.sprintf "read 0x%Lx/%d" a w
+  | Op_write_u64 (a, v) -> Printf.sprintf "write_u64 0x%Lx <- %Ld" a v
+  | Op_read_u64 a -> Printf.sprintf "read_u64 0x%Lx" a
+
+(* Run one op on both; both must produce the same value or the same
+   fault (address and access kind). *)
+let agree_on real model op =
+  let run f g =
+    let r = try Ok (f ()) with Addr_space.Fault f -> Error (f.addr, f.access) in
+    let m = try Ok (g ()) with Addr_space.Fault f -> Error (f.addr, f.access) in
+    r = m
+  in
+  match op with
+  | Op_map p ->
+      Addr_space.map real ~addr:p ~len:4096;
+      Model.map model ~addr:p ~len:4096;
+      true
+  | Op_unmap p ->
+      Addr_space.unmap real ~addr:p ~len:4096;
+      Model.unmap model ~addr:p ~len:4096;
+      true
+  | Op_write (a, w, v) ->
+      run (fun () -> Addr_space.write real a w v) (fun () -> Model.write model a w v)
+  | Op_read (a, w) ->
+      run (fun () -> Addr_space.read real a w) (fun () -> Model.read model a w)
+  | Op_write_u64 (a, v) ->
+      run (fun () -> Addr_space.write_u64 real a v) (fun () -> Model.write model a 8 v)
+  | Op_read_u64 a ->
+      run (fun () -> Addr_space.read_u64 real a) (fun () -> Model.read model a 8)
+
+let prop_tlb_model =
+  QCheck.Test.make ~name:"soft-TLB agrees with flat model (faults included)"
+    ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 120) (make ~print:show_tlb_op tlb_op_gen))
+    (fun ops ->
+      let real = Addr_space.create () and model = Model.create () in
+      List.for_all (fun op -> agree_on real model op) ops)
+
+(* Unmap must not leave a stale soft-TLB entry behind: a hit, an unmap,
+   then an access must fault; remapping reads back zeroed memory. *)
+let test_tlb_unmap_no_stale () =
+  let m = Addr_space.create () in
+  Addr_space.map m ~addr:0x3000L ~len:4096;
+  Addr_space.write_u64 m 0x3000L 0xdeadL;
+  Alcotest.check Tutil.i64 "tlb warm" 0xdeadL (Addr_space.read_u64 m 0x3000L);
+  Addr_space.unmap m ~addr:0x3000L ~len:4096;
+  (try
+     ignore (Addr_space.read_u64 m 0x3000L);
+     Alcotest.fail "expected fault after unmap"
+   with Addr_space.Fault { addr; access = Addr_space.Read } ->
+     Alcotest.check Tutil.i64 "fault addr" 0x3000L addr);
+  Addr_space.map m ~addr:0x3000L ~len:4096;
+  Alcotest.check Tutil.i64 "fresh page is zero" 0L (Addr_space.read_u64 m 0x3000L)
+
+(* --- block-run vs single-step determinism ----------------------------------- *)
+
+(* A branchy two-thread program with calls, loads and stores. Running it
+   on the translated-block fast path (hook-free `run`, profiler fed via
+   the block observer) must retire the same schedule and produce
+   bit-identical final contexts, counters, cycles, and profiler state as
+   stepping the recorded schedule one instruction at a time with a
+   per-instruction profiling hook. *)
+let branchy_two_thread_prog () =
+  let b = Builder.create () in
+  let f = Builder.new_label b in
+  let loop = Builder.new_label b in
+  let even = Builder.new_label b in
+  let join = Builder.new_label b in
+  Builder.ins b (Mov_ri (Reg.RDI, 200L));
+  Builder.ins b (Mov_ri (Reg.RSI, 0L));
+  Builder.bind b loop;
+  Builder.call b f;
+  Builder.ins b (Alu_rr (Add, Reg.RSI, Reg.RAX));
+  Builder.ins b (Mov_rr (Reg.RDX, Reg.RDI));
+  Builder.ins b (Alu_ri (And, Reg.RDX, 1L));
+  Builder.ins b (Alu_ri (Cmp, Reg.RDX, 0L));
+  Builder.jcc b Eq even;
+  Builder.ins b (Store (W64, mem_abs 0x8100L, Reg.RSI));
+  Builder.jmp b join;
+  Builder.bind b even;
+  Builder.ins b (Load (W64, Reg.RBX, mem_abs 0x8100L));
+  Builder.ins b (Alu_rr (Xor, Reg.RSI, Reg.RBX));
+  Builder.bind b join;
+  Builder.ins b (Alu_ri (Sub, Reg.RDI, 1L));
+  Builder.jcc b Ne loop;
+  Builder.ins b Hlt;
+  Builder.bind b f;
+  Builder.ins b (Mov_rr (Reg.RAX, Reg.RDI));
+  Builder.ins b (Alu_ri (Add, Reg.RAX, 3L));
+  Builder.ins b Ret;
+  Builder.assemble b ~base:0x1000L
+
+let mk_branchy_machine prog scheduler =
+  let m = Machine.create scheduler in
+  Addr_space.store (Machine.mem m) 0x1000L prog.Builder.code;
+  Addr_space.map (Machine.mem m) ~addr:0x8000L ~len:4096;
+  Addr_space.map (Machine.mem m) ~addr:0x10000L ~len:8192;
+  for t = 0 to 1 do
+    let ctx = Context.create () in
+    ctx.Context.rip <- 0x1000L;
+    Context.set ctx Reg.RSP (Int64.of_int (0x11000 + (t * 4096)));
+    ignore (Machine.add_thread m ctx)
+  done;
+  m
+
+let profile_note_hook p m =
+  (Machine.hooks m).Machine.on_ins <-
+    Some
+      (fun tid pc ins ->
+        let block_end =
+          match Insn.classify ins with
+          | Insn.K_branch | K_call | K_syscall -> true
+          | K_alu | K_load | K_store | K_vector | K_other -> false
+        in
+        Profile.note p ~tid ~pc ~block_end)
+
+let test_block_run_matches_step () =
+  let prog = branchy_two_thread_prog () in
+  (* Fast path: free scheduler, schedule recording, block-fed profiler. *)
+  let pa = Profile.create ~interval:7 () in
+  let ma =
+    mk_branchy_machine prog
+      (Machine.Free { seed = 5L; quantum_min = 13; quantum_max = 41 })
+  in
+  Machine.set_record_schedule ma true;
+  Machine.set_block_observer ma
+    (Some (fun ~tid ~pcs ~n ~ends_block -> Profile.note_block pa ~tid ~pcs ~n ~ends_block));
+  Machine.run ma;
+  Alcotest.(check bool) "exercised the translation cache" true
+    (Machine.translated_blocks ma > 3);
+  let sched = Machine.recorded_schedule ma in
+  (* Reference: replay the exact schedule one Machine.step at a time,
+     profiler fed per instruction through the on_ins hook (which also
+     forces the interpreter off the batched path). *)
+  let pb = Profile.create ~interval:7 () in
+  let mb = mk_branchy_machine prog (Machine.Recorded sched) in
+  profile_note_hook pb mb;
+  List.iter
+    (fun (tid, n) ->
+      for _ = 1 to n do
+        if (Machine.thread mb tid).Machine.state = Machine.Runnable then
+          Machine.step mb tid
+      done)
+    sched;
+  Alcotest.check Tutil.i64 "total retired" (Machine.total_retired ma)
+    (Machine.total_retired mb);
+  Alcotest.check Tutil.i64 "elapsed cycles" (Machine.elapsed_cycles ma)
+    (Machine.elapsed_cycles mb);
+  for tid = 0 to 1 do
+    let ta = Machine.thread ma tid and tb = Machine.thread mb tid in
+    Alcotest.check Tutil.i64 (Printf.sprintf "t%d retired" tid) ta.Machine.retired
+      tb.Machine.retired;
+    Alcotest.check Tutil.i64 (Printf.sprintf "t%d cycles" tid) ta.Machine.cycles
+      tb.Machine.cycles;
+    Alcotest.(check bool)
+      (Printf.sprintf "t%d context bit-identical" tid)
+      true
+      (Bytes.equal (Context.to_bytes ta.Machine.ctx) (Context.to_bytes tb.Machine.ctx))
+  done;
+  Alcotest.check Tutil.i64 "profiler instructions" (Profile.instructions pa)
+    (Profile.instructions pb);
+  Alcotest.check Tutil.i64 "profiler samples" (Profile.samples pa)
+    (Profile.samples pb);
+  Alcotest.(check (list (pair Tutil.i64 Tutil.i64)))
+    "hot PCs identical" (Profile.hot_pcs ~k:50 pb) (Profile.hot_pcs ~k:50 pa);
+  Alcotest.(check (list (pair Tutil.i64 Tutil.i64)))
+    "hot blocks identical" (Profile.hot_blocks ~k:50 pb) (Profile.hot_blocks ~k:50 pa)
+
+(* Profile.note_block must be state-for-state equivalent to feeding the
+   same instructions one note at a time, for any chunking — including
+   chunks larger than several sampling intervals. *)
+let test_note_block_equivalence () =
+  let interval = 5 in
+  let pcs = Array.init 64 (fun i -> Int64.of_int (0x4000 + (i * 4))) in
+  List.iter
+    (fun chunks ->
+      let pa = Profile.create ~interval () and pb = Profile.create ~interval () in
+      List.iter
+        (fun (n, ends_block) ->
+          Profile.note_block pa ~tid:0 ~pcs ~n ~ends_block;
+          for i = 0 to n - 1 do
+            Profile.note pb ~tid:0 ~pc:pcs.(i) ~block_end:(ends_block && i = n - 1)
+          done)
+        chunks;
+      Alcotest.check Tutil.i64 "instructions" (Profile.instructions pb)
+        (Profile.instructions pa);
+      Alcotest.check Tutil.i64 "samples" (Profile.samples pb) (Profile.samples pa);
+      Alcotest.(check (list (pair Tutil.i64 Tutil.i64)))
+        "hot pcs" (Profile.hot_pcs ~k:100 pb) (Profile.hot_pcs ~k:100 pa);
+      Alcotest.(check (list (pair Tutil.i64 Tutil.i64)))
+        "hot blocks" (Profile.hot_blocks ~k:100 pb) (Profile.hot_blocks ~k:100 pa))
+    [ [ (1, false) ];
+      [ (4, true); (4, true); (4, true) ];
+      [ (64, true); (64, false); (3, true) ];
+      [ (5, false); (5, false); (5, true); (1, true) ];
+      [ (2, true); (37, false); (25, true); (64, true) ] ]
+
+(* --- work pool --------------------------------------------------------------- *)
+
+let test_pool_map_order () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "results in input order"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map ~jobs:4 (fun x -> x * x) xs)
+
+let test_pool_exception () =
+  Alcotest.check_raises "task exception re-raised" (Failure "task 7") (fun () ->
+      ignore
+        (Pool.map ~jobs:3
+           (fun x -> if x = 7 then failwith "task 7" else x)
+           (List.init 20 Fun.id)))
+
+let test_pool_sequential_degrade () =
+  Alcotest.(check (list int)) "jobs=1" [ 2; 4; 6 ] (Pool.map ~jobs:1 (( * ) 2) [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "jobs=0 clamps" [ 2 ] (Pool.map ~jobs:0 (( * ) 2) [ 1 ]);
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:8 (( * ) 2) [])
+
+let test_pool_nested () =
+  (* Nested maps run sequentially on the calling worker (no domain
+     explosion) and still produce correct, ordered results. *)
+  let r =
+    Pool.map ~jobs:3
+      (fun x -> Pool.map ~jobs:4 (fun y -> (x * 10) + y) [ 1; 2 ])
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list (list int))) "nested" [ [ 11; 12 ]; [ 21; 22 ]; [ 31; 32 ] ] r
+
+let test_pool_default_jobs () =
+  let saved = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      Pool.set_default_jobs 3;
+      Alcotest.(check int) "set" 3 (Pool.default_jobs ());
+      Pool.set_default_jobs (-2);
+      Alcotest.(check int) "clamped" 1 (Pool.default_jobs ());
+      Alcotest.(check bool) "recommended positive" true (Pool.recommended () >= 1))
+
+(* --- domain-safety of the global observability state ------------------------- *)
+
+let test_metrics_parallel () =
+  Elfie_obs.Metrics.reset ();
+  let c = Elfie_obs.Metrics.counter "pool_test_total" in
+  let h = Elfie_obs.Metrics.histogram "pool_test_hist" in
+  ignore
+    (Pool.run ~jobs:4
+       (List.init 4 (fun d () ->
+            for i = 1 to 5_000 do
+              Elfie_obs.Metrics.inc c;
+              Elfie_obs.Metrics.observe ~labels:[ ("d", string_of_int d) ] h
+                (float_of_int i)
+            done)));
+  Alcotest.(check (float 1e-9)) "no lost counter increments" 20_000.0
+    (Elfie_obs.Metrics.total c);
+  Alcotest.(check (float 1e-9)) "no lost observations" 20_000.0
+    (Elfie_obs.Metrics.total h);
+  Elfie_obs.Metrics.reset ()
+
+let test_trace_parallel () =
+  let module Trace = Elfie_obs.Trace in
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      Trace.set_capacity 100_000;
+      ignore
+        (Pool.run ~jobs:4
+           (List.init 4 (fun d () ->
+                for i = 1 to 2_000 do
+                  Trace.with_span "pool-span" (fun _ ->
+                      Trace.instant
+                        ~attrs:[ ("d", Trace.I (Int64.of_int (d * i))) ]
+                        "pool-instant")
+                done)));
+      (* 4 domains x 2000 x (span begin/end pair + instant). *)
+      Alcotest.(check int) "all events admitted" 16_000 (Trace.emitted ());
+      Alcotest.(check int) "none dropped" 0 (Trace.dropped ());
+      Alcotest.(check int) "buffer holds them" 16_000 (List.length (Trace.events ())))
+
+let test_profile_parallel () =
+  let p = Profile.create ~interval:3 () in
+  ignore
+    (Pool.run ~jobs:4
+       (List.init 4 (fun d () ->
+            for i = 0 to 2_999 do
+              Profile.note p ~tid:d
+                ~pc:(Int64.of_int (0x1000 + (i land 15)))
+                ~block_end:(i land 3 = 3)
+            done)));
+  Alcotest.check Tutil.i64 "instructions from all domains" 12_000L
+    (Profile.instructions p);
+  Alcotest.check Tutil.i64 "sampling kept pace" 4_000L (Profile.samples p)
+
+let test_journal_parallel () =
+  let module Journal = Elfie_supervise.Journal in
+  let j = Journal.in_memory () in
+  ignore
+    (Pool.run ~jobs:4
+       (List.init 4 (fun d () ->
+            for i = 0 to 99 do
+              Journal.record j
+                {
+                  Journal.job = Printf.sprintf "job-%d-%d" d i;
+                  inputs_hash = Journal.hash [ string_of_int d; string_of_int i ];
+                  attempts = 1;
+                  classification = Elfie_supervise.Classify.Graceful;
+                  quarantined = false;
+                  wall_ms = 1.0;
+                  attrs = [];
+                }
+            done)));
+  Alcotest.(check int) "all records kept" 400 (List.length (Journal.records j));
+  Alcotest.(check bool) "find works" true (Journal.find j ~job:"job-3-99" <> None)
+
+(* --- parallel pipeline determinism ------------------------------------------- *)
+
+(* The flagship determinism claim: a full pipeline validation fanned out
+   over pool domains must equal the sequential run — same samples, same
+   coverage, same degradation sequence. *)
+let test_pipeline_parallel_equals_sequential () =
+  let module Pipeline = Elfie_harness.Pipeline in
+  let b =
+    { Elfie_workloads.Suite.bname = "tinypar"; spec = Tutil.tiny_spec "tinypar" }
+  in
+  let params =
+    {
+      Elfie_simpoint.Simpoint.default_params with
+      slice_size = 10_000L;
+      warmup = 20_000L;
+      max_k = 6;
+    }
+  in
+  let project (v : Pipeline.validation) =
+    ( ( v.Pipeline.coverage,
+        v.Pipeline.k,
+        v.Pipeline.elfie_pred_cpi,
+        v.Pipeline.elfie_error,
+        v.Pipeline.elfie_error2,
+        v.Pipeline.sim_error ),
+      v.Pipeline.native_whole,
+      List.map
+        (fun (r : Pipeline.region_outcome) ->
+          (r.Pipeline.rank_used, r.Pipeline.elfie_sample, r.Pipeline.sim_cpi))
+        v.Pipeline.regions,
+      List.map
+        (fun d -> Format.asprintf "%a" Pipeline.pp_degradation d)
+        v.Pipeline.degradations )
+  in
+  let seq =
+    Pipeline.validate ~jobs:1 ~params ~trials:2 ~second_base_seed:900L
+      ~with_simulation:true b
+  in
+  let par =
+    Pipeline.validate ~jobs:4 ~params ~trials:2 ~second_base_seed:900L
+      ~with_simulation:true b
+  in
+  Alcotest.(check bool) "covered" true (seq.Pipeline.coverage > 0.5);
+  if project seq <> project par then
+    Alcotest.failf "parallel validation diverged from sequential:\n%s\nvs\n%s"
+      (Format.asprintf "%f %f" seq.Pipeline.elfie_pred_cpi seq.Pipeline.coverage)
+      (Format.asprintf "%f %f" par.Pipeline.elfie_pred_cpi par.Pipeline.coverage)
+
+let suite =
+  [ Alcotest.test_case "SMC: patched call target" `Quick test_smc_patch_invalidates;
+    Alcotest.test_case "SMC: hot-loop patch" `Quick test_smc_hot_loop;
+    QCheck_alcotest.to_alcotest prop_tlb_model;
+    Alcotest.test_case "TLB: unmap leaves no stale entry" `Quick
+      test_tlb_unmap_no_stale;
+    Alcotest.test_case "block run ≡ stepped replay (ctx, cycles, profile)" `Quick
+      test_block_run_matches_step;
+    Alcotest.test_case "note_block ≡ per-ins note" `Quick test_note_block_equivalence;
+    Alcotest.test_case "pool: map order" `Quick test_pool_map_order;
+    Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
+    Alcotest.test_case "pool: sequential degrade" `Quick test_pool_sequential_degrade;
+    Alcotest.test_case "pool: nested maps" `Quick test_pool_nested;
+    Alcotest.test_case "pool: default jobs" `Quick test_pool_default_jobs;
+    Alcotest.test_case "metrics: parallel increments" `Quick test_metrics_parallel;
+    Alcotest.test_case "trace: parallel spans" `Quick test_trace_parallel;
+    Alcotest.test_case "profile: parallel notes" `Quick test_profile_parallel;
+    Alcotest.test_case "journal: parallel records" `Quick test_journal_parallel;
+    Alcotest.test_case "pipeline: parallel ≡ sequential" `Slow
+      test_pipeline_parallel_equals_sequential ]
