@@ -81,6 +81,86 @@ let core_bench () =
   Printf.printf "wrote BENCH_core.json (jobs default: %d)\n\n%!"
     (Elfie_util.Pool.default_jobs ())
 
+(* --- SimPoint front-end microbenchmark (BENCH_simpoint.json) -----------
+
+   Profile-stage instructions/second with the per-instruction reference
+   BBV tool vs the block-driven (hook-free) collector, plus the k-means
+   model-selection sweep's wall time at jobs=1 vs the pool default.
+   Written to BENCH_simpoint.json next to BENCH_core.json. *)
+
+let simpoint_max_ins = 2_000_000L
+let simpoint_slice = 10_000L
+
+let run_profile ~per_ins ~seed =
+  let rs = Elfie_workloads.Programs.run_spec ~seed (core_spec ()) in
+  let t0 = Unix.gettimeofday () in
+  let p =
+    if per_ins then
+      Elfie_pin.Bbv.profile_per_ins ~max_ins:simpoint_max_ins rs
+        ~slice_size:simpoint_slice
+    else
+      Elfie_pin.Bbv.profile ~max_ins:simpoint_max_ins rs
+        ~slice_size:simpoint_slice
+  in
+  (p, Unix.gettimeofday () -. t0)
+
+let simpoint_bench () =
+  let trials = 3 in
+  print_endline "=== SimPoint front-end microbenchmark ===";
+  let bench_profile name per_ins =
+    let runs =
+      List.init trials (fun i ->
+          run_profile ~per_ins ~seed:(Int64.of_int (100 + i)))
+    in
+    let ins, best_wall =
+      List.fold_left
+        (fun (bi, bw) ((p : Elfie_pin.Bbv.profile), w) ->
+          if w < bw then (p.total_instructions, w) else (bi, bw))
+        (0L, infinity) runs
+    in
+    let ips = Int64.to_float ins /. best_wall in
+    Printf.printf "%-32s %12.0f ins/s  (%Ld ins, best of %d, %.3f s)\n%!" name
+      ips ins trials best_wall;
+    Printf.sprintf
+      "    { \"name\": \"%s\", \"ins_per_sec\": %.0f, \"wall_s\": %.6f, \
+       \"instructions\": %Ld, \"trials\": %d }"
+      (json_escape name) ips best_wall ins trials
+  in
+  let per_ins_row = bench_profile "simpoint/profile-per-ins" true in
+  let block_row = bench_profile "simpoint/profile-block-driven" false in
+  let p, _ = run_profile ~per_ins:false ~seed:100L in
+  let points = Elfie_simpoint.Simpoint.project_profile ~dims:15 p in
+  let cluster jobs =
+    let rng = Elfie_util.Rng.create 7L in
+    let t0 = Unix.gettimeofday () in
+    let r = Elfie_simpoint.Kmeans.best ~jobs ~rng ~max_k:30 points in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r1, w1 = cluster 1 in
+  let jobs_n = max 2 (Elfie_util.Pool.default_jobs ()) in
+  let rn, wn = cluster jobs_n in
+  if
+    r1.Elfie_simpoint.Kmeans.k <> rn.Elfie_simpoint.Kmeans.k
+    || r1.Elfie_simpoint.Kmeans.assignments
+       <> rn.Elfie_simpoint.Kmeans.assignments
+  then Printf.printf "WARNING: Kmeans.best differs across --jobs settings\n%!";
+  let cluster_row name jobs (r : Elfie_simpoint.Kmeans.result) wall =
+    Printf.printf "%-32s %10.4f s  (k=%d over %d points, jobs=%d)\n%!" name
+      wall r.k (Array.length points) jobs;
+    Printf.sprintf
+      "    { \"name\": \"%s\", \"wall_s\": %.6f, \"k\": %d, \"points\": %d, \
+       \"jobs\": %d }"
+      (json_escape name) wall r.k (Array.length points) jobs
+  in
+  let c1_row = cluster_row "simpoint/cluster-jobs-1" 1 r1 w1 in
+  let cn_row = cluster_row "simpoint/cluster-jobs-N" jobs_n rn wn in
+  let rows = [ per_ins_row; block_row; c1_row; cn_row ] in
+  let oc = open_out "BENCH_simpoint.json" in
+  Printf.fprintf oc "{\n  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" rows);
+  close_out oc;
+  print_endline "wrote BENCH_simpoint.json\n"
+
 let tiny_spec ?(threads = 1) name =
   Elfie_workloads.Programs.spec
     ~phases:
@@ -234,12 +314,16 @@ let run_benchmarks () =
 let () =
   let jobs = ref 0 in
   let core_only = ref false in
+  let simpoint_only = ref false in
   let rec parse = function
     | "--jobs" :: n :: rest ->
         jobs := (try int_of_string n with _ -> 0);
         parse rest
     | "--core-only" :: rest ->
         core_only := true;
+        parse rest
+    | "--simpoint" :: rest | "--simpoint-only" :: rest ->
+        simpoint_only := true;
         parse rest
     | "--core-kernel" :: k :: rest ->
         (* Diagnostic: run the core microbenchmark on a single kernel
@@ -261,8 +345,13 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   Elfie_util.Pool.set_default_jobs
     (if !jobs <= 0 then Elfie_util.Pool.recommended () else !jobs);
+  if !simpoint_only then begin
+    simpoint_bench ();
+    exit 0
+  end;
   core_bench ();
   if !core_only then exit 0;
+  simpoint_bench ();
   print_endline "=== Bechamel micro-benchmarks (one per table/figure) ===";
   run_benchmarks ();
   print_endline "=== Paper evaluation: every table and figure ===\n";

@@ -175,7 +175,7 @@ let validate ?jobs ?(params = Simpoint.default_params) ?(trials = 3)
   in
   let sel =
     Trace.with_span "pipeline.select" (fun sp ->
-        let sel = Simpoint.select ~params profile in
+        let sel = Simpoint.select ?jobs ~params profile in
         Trace.add_attr sp "k" (Trace.I (Int64.of_int sel.Simpoint.k));
         sel)
   in

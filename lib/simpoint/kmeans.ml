@@ -1,9 +1,24 @@
+module Rng = Elfie_util.Rng
+module Metrics = Elfie_obs.Metrics
+
 type result = {
   k : int;
   assignments : int array;
   centroids : float array array;
   inertia : float;
 }
+
+let m_clusterings =
+  Metrics.counter "elfie_kmeans_clusterings_total"
+    ~help:"Lloyd's-algorithm runs, by algorithm variant"
+
+let m_iterations =
+  Metrics.counter "elfie_kmeans_iterations_total"
+    ~help:"Assign/update iterations across clusterings, by variant"
+
+let m_dist_evals =
+  Metrics.counter "elfie_kmeans_distance_evals_total"
+    ~help:"Point-to-centroid distance evaluations, by variant"
 
 let sq_dist a b =
   let acc = ref 0.0 in
@@ -18,14 +33,14 @@ let sq_dist a b =
 let seed_centroids ~rng ~k points =
   let n = Array.length points in
   let centroids = Array.make k points.(0) in
-  centroids.(0) <- points.(Elfie_util.Rng.int rng n);
+  centroids.(0) <- points.(Rng.int rng n);
   let d2 = Array.map (fun p -> sq_dist p centroids.(0)) points in
   for c = 1 to k - 1 do
     let total = Array.fold_left ( +. ) 0.0 d2 in
     let chosen =
-      if total <= 0.0 then Elfie_util.Rng.int rng n
+      if total <= 0.0 then Rng.int rng n
       else begin
-        let target = Elfie_util.Rng.float rng *. total in
+        let target = Rng.float rng *. total in
         let acc = ref 0.0 and pick = ref (n - 1) and found = ref false in
         Array.iteri
           (fun i d ->
@@ -47,21 +62,40 @@ let seed_centroids ~rng ~k points =
   done;
   Array.map Array.copy centroids
 
-let cluster ~rng ~k points =
+let max_iters = 50
+
+(* Lloyd's algorithm. [pruned] selects the assign strategy: the naive
+   full scan, or Hamerly-style upper/lower bound pruning. Both paths
+   share seeding, the update step, the iteration structure and the
+   reseed stream, and the pruned assign only ever skips a point when its
+   current centroid is provably the *unique* nearest (both bound tests
+   are strict), so the two variants produce bit-identical results —
+   assignments, centroids, inertia and RNG consumption. *)
+let run_lloyd ~pruned ~rng ~k points =
   let n = Array.length points in
   if n = 0 then invalid_arg "Kmeans.cluster: no points";
   if k < 1 then invalid_arg "Kmeans.cluster: k < 1";
   let k = min k n in
   let dim = Array.length points.(0) in
   let centroids = seed_centroids ~rng ~k points in
+  (* Empty-cluster reseeds draw from a dedicated child stream (split off
+     after seeding, so seeding draws are unaffected): however many
+     reseeds either variant performs, the caller's stream advances by
+     the same amount and the two variants stay draw-for-draw aligned. *)
+  let reseed_rng = Rng.split rng in
   let assignments = Array.make n 0 in
-  let assign () =
+  let dist_evals = ref 0 in
+  let sqd a b =
+    incr dist_evals;
+    sq_dist a b
+  in
+  let assign_naive () =
     let changed = ref false in
     Array.iteri
       (fun i p ->
         let best = ref 0 and best_d = ref infinity in
         for c = 0 to k - 1 do
-          let d = sq_dist p centroids.(c) in
+          let d = sqd p centroids.(c) in
           if d < !best_d then begin
             best_d := d;
             best := c
@@ -72,6 +106,60 @@ let cluster ~rng ~k points =
           changed := true
         end)
       points;
+    !changed
+  in
+  (* Hamerly bounds: [upper.(i)] bounds d(i, centroid of its cluster)
+     from above (exact right after a tighten or full scan), [lower.(i)]
+     bounds the distance to every *other* centroid from below, and
+     [half_sep.(c)] is half the distance from c to its nearest other
+     centroid. If upper < max(half_sep, lower) — strictly — the current
+     centroid is the unique nearest and the k-way scan is skipped. *)
+  let upper = Array.make n infinity in
+  let lower = Array.make n 0.0 in
+  let half_sep = Array.make k 0.0 in
+  let refresh_half_sep () =
+    for c = 0 to k - 1 do
+      let m = ref infinity in
+      for c' = 0 to k - 1 do
+        if c' <> c then
+          m := Float.min !m (sqrt (sqd centroids.(c) centroids.(c')))
+      done;
+      half_sep.(c) <- (if !m = infinity then infinity else 0.5 *. !m)
+    done
+  in
+  let assign_pruned () =
+    refresh_half_sep ();
+    let changed = ref false in
+    for i = 0 to n - 1 do
+      let p = points.(i) in
+      let a = assignments.(i) in
+      let guard = Float.max half_sep.(a) lower.(i) in
+      if upper.(i) >= guard then begin
+        upper.(i) <- sqrt (sqd p centroids.(a));
+        if upper.(i) >= guard then begin
+          (* Full scan, same comparison order and strict [<] as the
+             naive assign: the lowest-index centroid wins ties. *)
+          let best = ref 0
+          and best_d = ref infinity
+          and second = ref infinity in
+          for c = 0 to k - 1 do
+            let d = sqd p centroids.(c) in
+            if d < !best_d then begin
+              second := !best_d;
+              best_d := d;
+              best := c
+            end
+            else if d < !second then second := d
+          done;
+          if a <> !best then begin
+            assignments.(i) <- !best;
+            changed := true
+          end;
+          upper.(i) <- sqrt !best_d;
+          lower.(i) <- sqrt !second
+        end
+      end
+    done;
     !changed
   in
   let update () =
@@ -85,32 +173,59 @@ let cluster ~rng ~k points =
           sums.(c).(j) <- sums.(c).(j) +. p.(j)
         done)
       points;
+    let moved = Array.make k 0.0 in
     for c = 0 to k - 1 do
-      if counts.(c) > 0 then begin
-        for j = 0 to dim - 1 do
-          sums.(c).(j) <- sums.(c).(j) /. float_of_int counts.(c)
-        done;
-        centroids.(c) <- sums.(c)
-      end
-      else
-        (* Re-seed an empty cluster on a random point. *)
-        centroids.(c) <- Array.copy points.(Elfie_util.Rng.int rng n)
-    done
-  in
-  let rec iterate remaining =
-    let changed = assign () in
-    if changed && remaining > 0 then begin
-      update ();
-      iterate (remaining - 1)
+      let next =
+        if counts.(c) > 0 then begin
+          for j = 0 to dim - 1 do
+            sums.(c).(j) <- sums.(c).(j) /. float_of_int counts.(c)
+          done;
+          sums.(c)
+        end
+        else
+          (* Re-seed an empty cluster on a random point (dedicated
+             stream, see above). *)
+          Array.copy points.(Rng.int reseed_rng n)
+      in
+      if pruned then moved.(c) <- sqrt (sqd centroids.(c) next);
+      centroids.(c) <- next
+    done;
+    if pruned then begin
+      (* Centroid-move-aware bound maintenance: a point's own centroid
+         moved by [moved], any other centroid by at most the largest
+         move. *)
+      let max_move = Array.fold_left Float.max 0.0 moved in
+      for i = 0 to n - 1 do
+        upper.(i) <- upper.(i) +. moved.(assignments.(i));
+        lower.(i) <- lower.(i) -. max_move
+      done
     end
   in
-  iterate 50;
+  let assign = if pruned then assign_pruned else assign_naive in
+  let iters = ref 0 in
+  let converged = ref false in
+  (* Every [update] is followed by an [assign] that re-checks its
+     centroids: the loop never ends on an update nothing re-assigned. *)
+  while (not !converged) && !iters < max_iters do
+    let changed = assign () in
+    incr iters;
+    if not changed then converged := true else if !iters < max_iters then update ()
+  done;
   let inertia =
     let acc = ref 0.0 in
-    Array.iteri (fun i p -> acc := !acc +. sq_dist p centroids.(assignments.(i))) points;
+    Array.iteri
+      (fun i p -> acc := !acc +. sq_dist p centroids.(assignments.(i)))
+      points;
     !acc
   in
+  let labels = [ ("algo", if pruned then "pruned" else "naive") ] in
+  Metrics.inc m_clusterings ~labels;
+  Metrics.inc m_iterations ~labels ~by:(float_of_int !iters);
+  Metrics.inc m_dist_evals ~labels ~by:(float_of_int !dist_evals);
   { k; assignments; centroids; inertia }
+
+let cluster ~rng ~k points = run_lloyd ~pruned:true ~rng ~k points
+let cluster_naive ~rng ~k points = run_lloyd ~pruned:false ~rng ~k points
 
 let bic result points =
   let n = float_of_int (Array.length points) in
@@ -124,22 +239,59 @@ let bic result points =
   let params = k *. (dim +. 1.0) in
   log_likelihood -. (0.5 *. params *. log n)
 
+(* The k-sweep runs in fixed-size chunks so the early-termination
+   decision depends only on chunk boundaries, never on how many pool
+   workers evaluated a chunk. *)
+let chunk_size = 8
+
 (* SimPoint's model-selection rule: score every k, then take the
    *smallest* k whose BIC reaches 90% of the observed score range — a
-   plain argmax overfits, since BIC keeps creeping up with k. *)
-let best ~rng ~max_k points =
+   plain argmax overfits, since BIC keeps creeping up with k.
+
+   Each k clusters under its own child stream derived from one draw of
+   the caller's generator, so the per-k work is order-independent and
+   fans out across {!Elfie_util.Pool} with bit-identical results at any
+   [jobs] setting. *)
+let best ?jobs ~rng ~max_k points =
   let n = Array.length points in
-  let candidates =
-    List.map
-      (fun k ->
-        let r = cluster ~rng ~k points in
-        (r, bic r points))
-      (List.init (min max_k n) (fun i -> i + 1))
+  let kmax = max 1 (min max_k n) in
+  let base = Rng.next64 rng in
+  let eval k =
+    let child =
+      Rng.create
+        (Int64.add base (Int64.mul (Int64.of_int k) 0x9E3779B97F4A7C15L))
+    in
+    let r = cluster ~rng:child ~k points in
+    (r, bic r points)
   in
-  let scores = List.map snd candidates in
-  let bmax = List.fold_left Float.max neg_infinity scores in
-  let bmin = List.fold_left Float.min infinity scores in
-  let threshold = bmin +. (0.9 *. (bmax -. bmin)) in
+  let candidates = ref [] (* reversed *) in
+  let bmax = ref neg_infinity and bmin = ref infinity in
+  let next_k = ref 1 in
+  let stop = ref false in
+  while (not !stop) && !next_k <= kmax do
+    let count = min chunk_size (kmax - !next_k + 1) in
+    let ks = List.init count (fun i -> !next_k + i) in
+    next_k := !next_k + count;
+    let evaluated = Elfie_util.Pool.map ?jobs eval ks in
+    let old_bmax = !bmax and old_bmin = !bmin in
+    List.iter
+      (fun (_, s) ->
+        bmax := Float.max !bmax s;
+        bmin := Float.min !bmin s)
+      evaluated;
+    candidates := List.rev_append evaluated !candidates;
+    (* BIC-plateau early termination: the 90% threshold depends only on
+       the score range, so once a whole chunk leaves the range untouched
+       (treat it as converged) and some k already qualifies, later —
+       larger — k can no longer become the smallest qualifying choice. *)
+    if !next_k <= kmax && old_bmax = !bmax && old_bmin = !bmin then begin
+      let threshold = !bmin +. (0.9 *. (!bmax -. !bmin)) in
+      if List.exists (fun (_, s) -> s >= threshold) !candidates then
+        stop := true
+    end
+  done;
+  let candidates = List.rev !candidates in
+  let threshold = !bmin +. (0.9 *. (!bmax -. !bmin)) in
   match List.find_opt (fun (_, s) -> s >= threshold) candidates with
   | Some (r, _) -> r
   | None -> fst (List.hd candidates)

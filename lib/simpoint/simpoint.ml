@@ -37,17 +37,42 @@ let sign block dim =
   let h = Elfie_util.Rng.create (Int64.add (Int64.mul block 1099511628211L) (Int64.of_int dim)) in
   if Elfie_util.Rng.bool h then 1.0 else -1.0
 
-let project ~dims (slice : Elfie_pin.Bbv.slice) =
+(* Memoised sign rows: one [dims]-length row per distinct block, shared
+   across every slice of a profile. Same values as calling [sign] per
+   element, at one row initialisation per block instead of one fresh
+   generator per (block, dimension) per slice — projection cost scales
+   with the vectors' nnz, not dims x blocks x slices. *)
+let make_signs ~dims =
+  let memo : (int64, float array) Hashtbl.t = Hashtbl.create 1024 in
+  fun block ->
+    match Hashtbl.find_opt memo block with
+    | Some row -> row
+    | None ->
+        let row = Array.init dims (sign block) in
+        Hashtbl.add memo block row;
+        row
+
+(* The projection stays incremental over the sparse (block, count) pairs:
+   each pair adds its normalised count into the [dims] accumulators, and
+   no dense block-space intermediate ever exists. *)
+let project_sparse signs ~dims (slice : Elfie_pin.Bbv.slice) =
   let v = Array.make dims 0.0 in
   let total = Float.max 1.0 (Int64.to_float slice.instructions) in
   Array.iter
     (fun (block, count) ->
       let c = float_of_int count /. total in
+      let row = signs block in
       for d = 0 to dims - 1 do
-        v.(d) <- v.(d) +. (c *. sign block d)
+        v.(d) <- v.(d) +. (c *. row.(d))
       done)
     slice.vector;
   v
+
+let project ~dims slice = project_sparse (make_signs ~dims) ~dims slice
+
+let project_profile ~dims (profile : Elfie_pin.Bbv.profile) =
+  let signs = make_signs ~dims in
+  Array.of_list (List.map (project_sparse signs ~dims) profile.slices)
 
 let region_of_slice params (profile : Elfie_pin.Bbv.profile) ~cluster ~rank idx =
   let slice = List.nth profile.slices idx in
@@ -63,12 +88,26 @@ let region_of_slice params (profile : Elfie_pin.Bbv.profile) ~cluster ~rank idx 
     warmup_actual;
   }
 
-let select ?(params = default_params) (profile : Elfie_pin.Bbv.profile) =
+let select ?jobs ?(params = default_params) (profile : Elfie_pin.Bbv.profile) =
+  let module Trace = Elfie_obs.Trace in
   let slices = Array.of_list profile.slices in
   if Array.length slices = 0 then invalid_arg "Simpoint.select: empty profile";
-  let points = Array.map (project ~dims:params.dims) slices in
+  let points =
+    Trace.with_span "simpoint.project"
+      ~attrs:
+        [
+          ("slices", Trace.I (Int64.of_int (Array.length slices)));
+          ("dims", Trace.I (Int64.of_int params.dims));
+        ]
+      (fun _ -> project_profile ~dims:params.dims profile)
+  in
   let rng = Elfie_util.Rng.create params.seed in
-  let result = Kmeans.best ~rng ~max_k:params.max_k points in
+  let result =
+    Trace.with_span "simpoint.cluster" (fun sp ->
+        let r = Kmeans.best ?jobs ~rng ~max_k:params.max_k points in
+        Trace.add_attr sp "k" (Trace.I (Int64.of_int r.Kmeans.k));
+        r)
+  in
   let n = Array.length slices in
   let cluster_sizes = Array.make result.k 0 in
   Array.iter (fun c -> cluster_sizes.(c) <- cluster_sizes.(c) + 1) result.assignments;

@@ -41,10 +41,18 @@ type selection = {
 }
 
 (** Random-sign projection of a sparse BBV to [dims] dimensions,
-    normalised by slice length. *)
+    normalised by slice length. The projection is applied incrementally
+    over the sparse (block, count) pairs — no dense intermediate. *)
 val project : dims:int -> Elfie_pin.Bbv.slice -> float array
 
-val select : ?params:params -> Elfie_pin.Bbv.profile -> selection
+(** Project every slice of a profile, sharing one memoised sign row per
+    distinct block across slices. Bit-identical to mapping {!project},
+    at one row initialisation per block for the whole profile. *)
+val project_profile : dims:int -> Elfie_pin.Bbv.profile -> float array array
+
+(** [jobs] bounds the clustering fan-out (see {!Kmeans.best}); results
+    are identical at any value. *)
+val select : ?jobs:int -> ?params:params -> Elfie_pin.Bbv.profile -> selection
 
 (** Weighted-sum projection of per-region metric values to a
     whole-program estimate: [predict sel f] computes
