@@ -161,6 +161,64 @@ let simpoint_bench () =
   close_out oc;
   print_endline "wrote BENCH_simpoint.json\n"
 
+(* --- Farm store microbenchmark (BENCH_farm.json) -----------------------
+
+   The same small manifest run twice against one artifact store: the
+   cold pass computes and commits every stage, the warm pass must be
+   served entirely from cache — no program execution at all. Wall time
+   plus the store hit/miss counters (and the loader-run counter, which
+   must not move on the warm pass) are written to BENCH_farm.json. *)
+
+let farm_manifest =
+  "leela bench=541.leela_r max-k=4 warmup=1000 trials=1 regions=2\n\
+   mcf bench=505.mcf_r max-k=4 warmup=1000 trials=1 regions=2\n"
+
+let farm_bench () =
+  print_endline "=== Farm store microbenchmark (cold vs warm cache) ===";
+  let module Metrics = Elfie_obs.Metrics in
+  let m_hits = Metrics.counter "elfie_store_hits_total" in
+  let m_misses = Metrics.counter "elfie_store_misses_total" in
+  let m_loader = Metrics.counter "elfie_loader_runs_total" in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "elfie_bench_farm.%d" (Unix.getpid ()))
+  in
+  let jobs =
+    match Elfie_farm.Driver.manifest_of_string ~artifact:"bench" farm_manifest
+    with
+    | Ok jobs -> jobs
+    | Error d -> Fmt.failwith "farm bench manifest: %a" Elfie_util.Diag.pp d
+  in
+  let store = Elfie_farm.Store.open_store root in
+  let pass name =
+    let h0 = Metrics.total m_hits
+    and m0 = Metrics.total m_misses
+    and r0 = Metrics.total m_loader in
+    let t0 = Unix.gettimeofday () in
+    let batch = Elfie_farm.Driver.run ~store jobs in
+    let wall = Unix.gettimeofday () -. t0 in
+    let hits = int_of_float (Metrics.total m_hits -. h0)
+    and misses = int_of_float (Metrics.total m_misses -. m0)
+    and runs = int_of_float (Metrics.total m_loader -. r0) in
+    Printf.printf
+      "%-26s %8.3f s  %4d hit(s) %4d miss(es) %4d program run(s)\n%!"
+      name wall hits misses runs;
+    if batch.Elfie_farm.Driver.b_quarantined > 0 then
+      Printf.printf "WARNING: %d job(s) quarantined\n%!"
+        batch.Elfie_farm.Driver.b_quarantined;
+    Printf.sprintf
+      "    { \"name\": \"%s\", \"wall_s\": %.6f, \"hits\": %d, \"misses\": \
+       %d, \"program_runs\": %d }"
+      (json_escape name) wall hits misses runs
+  in
+  let cold = pass "farm/cold-cache" in
+  let warm = pass "farm/warm-cache" in
+  let oc = open_out "BENCH_farm.json" in
+  Printf.fprintf oc "{\n  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" [ cold; warm ]);
+  close_out oc;
+  print_endline "wrote BENCH_farm.json\n"
+
 let tiny_spec ?(threads = 1) name =
   Elfie_workloads.Programs.spec
     ~phases:
@@ -315,6 +373,7 @@ let () =
   let jobs = ref 0 in
   let core_only = ref false in
   let simpoint_only = ref false in
+  let farm_only = ref false in
   let rec parse = function
     | "--jobs" :: n :: rest ->
         jobs := (try int_of_string n with _ -> 0);
@@ -324,6 +383,9 @@ let () =
         parse rest
     | "--simpoint" :: rest | "--simpoint-only" :: rest ->
         simpoint_only := true;
+        parse rest
+    | "--farm" :: rest | "--farm-only" :: rest ->
+        farm_only := true;
         parse rest
     | "--core-kernel" :: k :: rest ->
         (* Diagnostic: run the core microbenchmark on a single kernel
@@ -349,9 +411,14 @@ let () =
     simpoint_bench ();
     exit 0
   end;
+  if !farm_only then begin
+    farm_bench ();
+    exit 0
+  end;
   core_bench ();
   if !core_only then exit 0;
   simpoint_bench ();
+  farm_bench ();
   print_endline "=== Bechamel micro-benchmarks (one per table/figure) ===";
   run_benchmarks ();
   print_endline "=== Paper evaluation: every table and figure ===\n";

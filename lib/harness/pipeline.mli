@@ -97,6 +97,12 @@ val measure_elfie :
     [elfie_options] post-processes the conversion options per region —
     primarily a hook for fault-injection tests.
 
+    [store] attaches a farm artifact store: the BBV profile and the
+    SimPoint selection are then served from the content-addressed cache
+    (keyed by the program's serialized image bytes plus the clustering
+    parameters) instead of being recomputed, with corrupt cache entries
+    quarantined and recomputed transparently.
+
     [jobs] caps how many region measurements of one rank run
     concurrently on {!Elfie_util.Pool} domains (default: the pool's
     process default, i.e. the [--jobs] flag). Region seeds are fixed
@@ -113,6 +119,7 @@ val validate :
   ?max_alternates:int ->
   ?max_seed_retries:int ->
   ?journal:Elfie_supervise.Journal.t ->
+  ?store:Elfie_farm.Store.t ->
   ?elfie_options:
     (Elfie_simpoint.Simpoint.region ->
      Elfie_core.Pinball2elf.options ->

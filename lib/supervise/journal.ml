@@ -11,6 +11,8 @@ type record = {
 type t = {
   mutable entries : record list;  (** newest first *)
   oc : out_channel option;
+  fsync_every : int;  (** fsync cadence; [0] disables fsync entirely *)
+  mutable appended : int;  (** records appended since open *)
   (* Supervised jobs may record from pool worker domains concurrently;
      the lock keeps the entry list and the append stream coherent (one
      written line per record, in the same order as [entries]). *)
@@ -104,7 +106,9 @@ let record_of_line line =
       parse job inputs_hash attempts cls quarantined wall_ms attrs
   | _ -> None
 
-let in_memory () = { entries = []; oc = None; lock = Mutex.create () }
+let in_memory () =
+  { entries = []; oc = None; fsync_every = 0; appended = 0;
+    lock = Mutex.create () }
 
 let load_existing path =
   if not (Sys.file_exists path) then []
@@ -125,13 +129,31 @@ let load_existing path =
     !entries
   end
 
-let open_file path =
+let open_file ?(fsync_every = 1) path =
   let entries = load_existing path in
   let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-  { entries; oc = Some oc; lock = Mutex.create () }
+  { entries; oc = Some oc; fsync_every = max 0 fsync_every; appended = 0;
+    lock = Mutex.create () }
+
+let fsync_oc oc =
+  try Unix.fsync (Unix.descr_of_out_channel oc)
+  with Unix.Unix_error _ -> ()
+
+let sync t =
+  Mutex.protect t.lock @@ fun () ->
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      flush oc;
+      fsync_oc oc
 
 let close t =
-  match t.oc with None -> () | Some oc -> close_out oc
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      flush oc;
+      fsync_oc oc;
+      close_out oc
 
 let record t r =
   Mutex.protect t.lock @@ fun () ->
@@ -141,7 +163,13 @@ let record t r =
   | Some oc ->
       output_string oc (line_of_record r);
       output_char oc '\n';
-      flush oc
+      flush oc;
+      (* Durability: flush moves the line to the OS, fsync moves it to
+         the disk — without it a power-loss-style kill can lose every
+         record since open, not just the one being written. *)
+      t.appended <- t.appended + 1;
+      if t.fsync_every > 0 && t.appended mod t.fsync_every = 0 then
+        fsync_oc oc
 
 let records t = Mutex.protect t.lock (fun () -> List.rev t.entries)
 

@@ -42,8 +42,15 @@ val in_memory : unit -> t
 (** Open (creating if needed) a journal file. Existing records are
     loaded; subsequent {!record} calls append to the file and flush
     line-by-line, so a killed process loses at most the record being
-    written. *)
-val open_file : string -> t
+    written. The file descriptor is additionally [fsync]ed every
+    [fsync_every] appends (default [1]: every record is durable against
+    power-loss-style kills before {!record} returns; [0] disables
+    fsync — flush-only, the pre-durability behavior). *)
+val open_file : ?fsync_every:int -> string -> t
+
+(** Force an fsync of any flushed-but-unsynced appends (useful with a
+    bounded [fsync_every] cadence). No-op for in-memory journals. *)
+val sync : t -> unit
 
 val close : t -> unit
 

@@ -18,11 +18,36 @@ let recommended () = Domain.recommended_domain_count ()
 (* Domain-local: true while this domain is executing pool tasks. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-let map ?jobs f xs =
+exception Task_error of { label : string; index : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Task_error { label; index; exn } ->
+        Some
+          (Printf.sprintf "task %s (index %d) failed: %s" label index
+             (Printexc.to_string exn))
+    | _ -> None)
+
+(* Attach the failing item's identity when the caller labelled its
+   tasks; a raw re-raise otherwise (historical behavior). *)
+let wrap label i e =
+  match label with
+  | None -> e
+  | Some label -> Task_error { label = label i; index = i; exn = e }
+
+let map ?jobs ?label f xs =
   let n = List.length xs in
   let jobs = match jobs with Some j -> max 1 j | None -> !default in
   let jobs = min jobs n in
-  if jobs <= 1 || Domain.DLS.get in_worker then List.map f xs
+  if jobs <= 1 || Domain.DLS.get in_worker then
+    List.mapi
+      (fun i x ->
+        match f x with
+        | v -> v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Printexc.raise_with_backtrace (wrap label i e) bt)
+      xs
   else begin
     let items = Array.of_list xs in
     let results = Array.make n None in
@@ -38,7 +63,9 @@ let map ?jobs f xs =
           | v -> results.(i) <- Some v
           | exception e ->
               let bt = Printexc.get_raw_backtrace () in
-              ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+              ignore
+                (Atomic.compare_and_set failure None
+                   (Some (wrap label i e, bt)))
       done
     in
     let worker () =
@@ -61,4 +88,4 @@ let map ?jobs f xs =
       (Array.map (function Some v -> v | None -> assert false) results)
   end
 
-let run ?jobs thunks = map ?jobs (fun f -> f ()) thunks
+let run ?jobs ?label thunks = map ?jobs ?label (fun f -> f ()) thunks

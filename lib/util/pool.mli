@@ -12,17 +12,27 @@
     sequentially on the calling worker's domain, so the total number of
     live domains is bounded by the outermost [jobs]. *)
 
+(** A task exception re-raised with its task named: which item (by
+    [label] and input index) failed. Only raised when the [?label]
+    argument of {!map}/{!run} is given — batch drivers (the ELFie farm)
+    pass it so a failed batch names the job, not just the exception. *)
+exception
+  Task_error of { label : string; index : int; exn : exn }
+
 (** [map ?jobs f xs] applies [f] to every element of [xs], running up to
     [jobs] tasks concurrently on separate domains. Results are returned
     in input order. The first task exception (if any) is re-raised in
-    the caller after remaining workers drain, with its backtrace.
+    the caller after remaining workers drain, with its backtrace —
+    wrapped in {!Task_error} carrying the item's index and label when
+    [label] is given, raw otherwise.
 
     [jobs] defaults to {!default_jobs}; [jobs <= 1] (and single-element
-    or empty lists) degrade to a plain sequential [List.map]. *)
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+    or empty lists) degrade to a plain sequential [List.map] (the same
+    {!Task_error} wrapping applies). *)
+val map : ?jobs:int -> ?label:(int -> string) -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [run ?jobs thunks] is [map ?jobs (fun f -> f ()) thunks]. *)
-val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+val run : ?jobs:int -> ?label:(int -> string) -> (unit -> 'a) list -> 'a list
 
 (** Process default for [?jobs], initially [1] (fully sequential).
     Wired to the [--jobs] CLI flag; values [< 1] clamp to [1]. *)

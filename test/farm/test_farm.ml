@@ -1,0 +1,414 @@
+(* The ELFie farm suite (dune alias @farm, also part of the default
+   test run): content-addressed keys, codec roundtrips, the store-fault
+   corruption sweep, concurrent access (exactly-one-computation and
+   stale-lock breaking), and the batch driver's cold/warm/resume
+   behavior — a warm second run of the same manifest must perform no
+   program execution at all. *)
+
+module Store = Elfie_farm.Store
+module Codec = Elfie_farm.Codec
+module Driver = Elfie_farm.Driver
+module Fault_inject = Elfie_check.Fault_inject
+module Journal = Elfie_supervise.Journal
+module Pool = Elfie_util.Pool
+module Metrics = Elfie_obs.Metrics
+
+(* A pid guaranteed dead, forked and reaped at module init — before any
+   test spawns domains (fork is not allowed with multiple domains
+   running). *)
+let dead_pid =
+  match Unix.fork () with
+  | 0 -> Unix._exit 0
+  | pid ->
+      ignore (Unix.waitpid [] pid);
+      pid
+
+let tmp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let tiny_spec name =
+  Elfie_workloads.Programs.spec
+    ~phases:
+      [ { kernel = Elfie_workloads.Kernels.Stream; reps = 1500 };
+        { kernel = Elfie_workloads.Kernels.Branchy; reps = 1200 } ]
+    ~outer_reps:6 ~threads:1 ~ws_bytes:32768 name
+
+let program_bytes spec =
+  Bytes.to_string (Elfie_elf.Image.write (Elfie_workloads.Programs.image spec))
+
+(* --- keys ------------------------------------------------------------------ *)
+
+let test_key_normalization () =
+  let d kind program params = Store.digest (Store.key kind ~program params) in
+  Alcotest.(check string)
+    "parameter order does not change the address"
+    (d Store.Bbv "prog" [ ("slice", "10000"); ("seed", "7") ])
+    (d Store.Bbv "prog" [ ("seed", "7"); ("slice", "10000") ]);
+  Alcotest.(check bool)
+    "program bytes are part of the address" true
+    (d Store.Bbv "prog-a" [ ("slice", "10000") ]
+    <> d Store.Bbv "prog-b" [ ("slice", "10000") ]);
+  Alcotest.(check bool)
+    "a changed parameter re-keys" true
+    (d Store.Bbv "prog" [ ("slice", "10000") ]
+    <> d Store.Bbv "prog" [ ("slice", "20000") ]);
+  Alcotest.(check bool)
+    "kind is part of the address" true
+    (d Store.Bbv "prog" [] <> d Store.Simpoint "prog" []);
+  Alcotest.(check bool)
+    "escaping keeps odd values unambiguous" true
+    (d Store.Bbv "prog" [ ("a", "x&b=y") ] <> d Store.Bbv "prog" [ ("a", "x"); ("b", "y") ])
+
+let test_put_get_roundtrip () =
+  let root = tmp_dir "elfie_store" in
+  let store = Store.open_store root in
+  let k = Store.key Store.Measurement ~program:"p" [ ("n", "1") ] in
+  Alcotest.(check bool) "absent before put" false (Store.mem store k);
+  let payload = String.init 300 (fun i -> Char.chr (i mod 251)) in
+  Store.put store k ~format:1 payload;
+  Alcotest.(check bool) "present after put" true (Store.mem store k);
+  (match Store.get store k ~format:1 with
+  | Some p -> Alcotest.(check string) "payload roundtrips" payload p
+  | None -> Alcotest.fail "verified read failed on a fresh artifact");
+  (* A format bump is version skew: quarantined, served as a miss. *)
+  (match Store.get store k ~format:2 with
+  | Some _ -> Alcotest.fail "format skew served"
+  | None -> ());
+  Alcotest.(check bool) "skew quarantined" true
+    (List.exists
+       (fun (q : Store.quarantine) -> q.Store.q_reason = "format-skew")
+       (Store.quarantines store));
+  Alcotest.(check bool) "quarantined file preserved" true
+    (List.for_all
+       (fun (q : Store.quarantine) -> Sys.file_exists q.Store.q_moved_to)
+       (Store.quarantines store))
+
+(* --- codecs ---------------------------------------------------------------- *)
+
+let test_codec_roundtrips () =
+  let spec = tiny_spec "codec" in
+  let rs = Elfie_workloads.Programs.run_spec ~seed:42L spec in
+  let profile = Elfie_pin.Bbv.profile rs ~slice_size:10_000L in
+  let reenc enc dec what x =
+    match dec (enc x) with
+    | Ok y -> Alcotest.(check string) what (enc x) (enc y)
+    | Error d -> Alcotest.failf "%s: %a" what Elfie_util.Diag.pp d
+  in
+  reenc Codec.encode_bbv Codec.decode_bbv "bbv roundtrip" profile;
+  let params =
+    { Elfie_simpoint.Simpoint.default_params with max_k = 4; dims = 8 }
+  in
+  let sel = Elfie_simpoint.Simpoint.select ~params profile in
+  reenc Codec.encode_selection Codec.decode_selection "selection roundtrip" sel;
+  let r =
+    Elfie_pin.Logger.capture rs ~name:"farmpb"
+      { Elfie_pin.Logger.start = 20_000L; length = 30_000L }
+  in
+  let pb = r.Elfie_pin.Logger.pinball in
+  reenc Codec.encode_pinball
+    (Codec.decode_pinball ~name:"farmpb")
+    "pinball roundtrip" pb;
+  let sysstate = Elfie_pin.Sysstate.analyze pb in
+  let image =
+    Elfie_core.Pinball2elf.convert
+      ~options:
+        { Elfie_core.Pinball2elf.default_options with sysstate = Some sysstate }
+      pb
+  in
+  reenc Codec.encode_elfie Codec.decode_elfie "elfie roundtrip"
+    (image, sysstate);
+  let m =
+    { Codec.m_cluster = 3; m_weight = 0.25; m_cpi = 1.75; m_stddev = 0.01;
+      m_instructions = 30_000L; m_trials = 3; m_failures = 1 }
+  in
+  match Codec.decode_measurement (Codec.encode_measurement m) with
+  | Ok m' -> Alcotest.(check bool) "measurement roundtrip" true (m = m')
+  | Error d -> Alcotest.failf "measurement roundtrip: %a" Elfie_util.Diag.pp d
+
+(* --- corruption sweep ------------------------------------------------------ *)
+
+let test_store_fault_sweep () =
+  let root = tmp_dir "elfie_store_faults" in
+  let report = Fault_inject.run_store ~iterations:8 ~root () in
+  Format.printf "%a@." Fault_inject.pp_store_report report;
+  let failures = Fault_inject.store_failures report in
+  if failures <> [] then
+    Alcotest.failf "%d store fault(s) crashed or served corrupt data"
+      (List.length failures);
+  Alcotest.(check bool) "sweep is not vacuous" true
+    (report.Fault_inject.s_recovered > 0);
+  (* Every fault class must be exercised, and every class that corrupts
+     committed bytes must quarantine-and-recompute at least once. *)
+  List.iter
+    (fun fault ->
+      let cases =
+        List.filter
+          (fun (c : Fault_inject.store_case) -> c.Fault_inject.sfault = fault)
+          report.Fault_inject.s_cases
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s exercised" (Fault_inject.store_fault_name fault))
+        true (cases <> []);
+      if fault <> Fault_inject.Stale_lock then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s recovered at least once"
+             (Fault_inject.store_fault_name fault))
+          true
+          (List.exists
+             (fun (c : Fault_inject.store_case) ->
+               c.Fault_inject.soutcome = Fault_inject.Store_recovered)
+             cases))
+    Fault_inject.all_store_faults;
+  (* The corpses are on disk and in the persistent log, never deleted. *)
+  let store = Store.open_store root in
+  let logged = Store.read_quarantine_log store in
+  Alcotest.(check bool) "quarantine log populated" true (logged <> []);
+  Alcotest.(check bool) "quarantined files preserved" true
+    (List.for_all
+       (fun (q : Store.quarantine) -> Sys.file_exists q.Store.q_moved_to)
+       logged)
+
+(* --- concurrency ----------------------------------------------------------- *)
+
+let test_concurrent_single_computation () =
+  let root = tmp_dir "elfie_store_race" in
+  let store = Store.open_store root in
+  let k = Store.key Store.Measurement ~program:"race" [ ("n", "0") ] in
+  let computations = Atomic.make 0 in
+  let payload = String.init 4096 (fun i -> Char.chr (i mod 253)) in
+  let results =
+    Pool.map ~jobs:4
+      (fun _ ->
+        Store.get_or_compute store k ~format:1 (fun () ->
+            Atomic.incr computations;
+            (* Widen the race window: losers must wait, not recompute. *)
+            Unix.sleepf 0.05;
+            payload))
+      (List.init 8 Fun.id)
+  in
+  Alcotest.(check int) "exactly one computation" 1 (Atomic.get computations);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check string)
+        (Printf.sprintf "reader %d bit-identical" i)
+        payload r)
+    results;
+  Alcotest.(check bool) "lock released" false
+    (Sys.file_exists (Store.lock_path_of store k))
+
+let test_concurrent_stale_lock_break () =
+  let root = tmp_dir "elfie_store_stale" in
+  let store = Store.open_store root in
+  let k = Store.key Store.Measurement ~program:"race" [ ("n", "1") ] in
+  (* A lock left behind by a dead process guards the (absent) artifact:
+     the racers must break it, then still perform exactly one
+     computation among themselves. *)
+  let oc = open_out_bin (Store.lock_path_of store k) in
+  Printf.fprintf oc "ELFIELOCK %d leftover.0\n" dead_pid;
+  close_out oc;
+  let m_breaks = Metrics.counter "elfie_store_lock_breaks_total" in
+  let breaks0 = Metrics.total m_breaks in
+  let computations = Atomic.make 0 in
+  let payload = "stale-lock-payload" in
+  let results =
+    Pool.map ~jobs:4
+      (fun _ ->
+        Store.get_or_compute store k ~format:1 (fun () ->
+            Atomic.incr computations;
+            Unix.sleepf 0.05;
+            payload))
+      (List.init 8 Fun.id)
+  in
+  Alcotest.(check int) "exactly one computation" 1 (Atomic.get computations);
+  List.iter (fun r -> Alcotest.(check string) "bit-identical" payload r) results;
+  Alcotest.(check bool) "stale lock was broken" true
+    (Metrics.total m_breaks -. breaks0 >= 1.0);
+  Alcotest.(check bool) "lock released" false
+    (Sys.file_exists (Store.lock_path_of store k))
+
+(* --- batch driver ---------------------------------------------------------- *)
+
+let farm_params =
+  { Driver.default_params with
+    max_k = 3; dims = 8; warmup = 1_000L; trials = 1; max_regions = 2 }
+
+let test_driver_cold_warm_incremental () =
+  let root = tmp_dir "elfie_farm_batch" in
+  let store = Store.open_store root in
+  let spec = tiny_spec "batch" in
+  let job = Driver.job ~params:farm_params ~name:"tiny" spec in
+  let m_loader = Metrics.counter "elfie_loader_runs_total" in
+  (* Cold: every stage is a miss and the program actually runs. *)
+  let cold = Driver.run ~store [ job ] in
+  Alcotest.(check int) "cold run has no hits" 0 cold.Driver.b_hits;
+  Alcotest.(check bool) "cold run computes" true (cold.Driver.b_misses > 0);
+  let cold_cpi =
+    match cold.Driver.outcomes with
+    | [ { o_result = Some r; _ } ] -> r.Driver.jr_pred_cpi
+    | _ -> Alcotest.fail "cold run did not produce a result"
+  in
+  Alcotest.(check bool) "cold run predicts a CPI" true (cold_cpi <> None);
+  (* Warm: the same manifest is served entirely from cache — zero
+     misses, zero program executions. *)
+  let runs0 = Metrics.total m_loader in
+  let warm = Driver.run ~store [ job ] in
+  Alcotest.(check int) "warm run misses nothing" 0 warm.Driver.b_misses;
+  Alcotest.(check bool) "warm run hits" true (warm.Driver.b_hits > 0);
+  Alcotest.(check (float 0.0)) "warm run executes no program" 0.0
+    (Metrics.total m_loader -. runs0);
+  (match warm.Driver.outcomes with
+  | [ { o_result = Some r; _ } ] ->
+      Alcotest.(check bool) "warm result identical" true
+        (r.Driver.jr_pred_cpi = cold_cpi)
+  | _ -> Alcotest.fail "warm run did not produce a result");
+  (* Incremental SimPoint reuse: a changed max_k re-keys the selection
+     (and everything behind it) but hits the cached BBV profile — the
+     store gains a second selection, never a second profile. *)
+  Alcotest.(check int) "one profile cached" 1
+    (Store.artifact_count store Store.Bbv);
+  Alcotest.(check int) "one selection cached" 1
+    (Store.artifact_count store Store.Simpoint);
+  let job_k4 =
+    Driver.job
+      ~params:{ farm_params with max_k = 4 }
+      ~name:"tiny-k4" spec
+  in
+  let rerun = Driver.run ~store [ job_k4 ] in
+  Alcotest.(check bool) "changed k still hits the profile" true
+    (rerun.Driver.b_hits >= 1);
+  Alcotest.(check int) "profile not recomputed" 1
+    (Store.artifact_count store Store.Bbv);
+  Alcotest.(check int) "selection re-keyed" 2
+    (Store.artifact_count store Store.Simpoint)
+
+let test_driver_resume () =
+  let root = tmp_dir "elfie_farm_resume" in
+  let store = Store.open_store root in
+  let spec = tiny_spec "resume" in
+  let j1 = Driver.job ~params:farm_params ~name:"one" spec in
+  let j2 =
+    Driver.job ~params:{ farm_params with max_k = 4 } ~name:"two" spec
+  in
+  let jpath = Filename.temp_file "elfie_farm_journal" ".j" in
+  (* First run finishes only job one, then the driver "dies". *)
+  let journal = Journal.open_file jpath in
+  let b1 = Driver.run ~store ~journal [ j1 ] in
+  Journal.close journal;
+  Alcotest.(check int) "first run skipped nothing" 0 b1.Driver.b_skipped;
+  (* Resume with the full manifest: job one is satisfied from the
+     journal (nothing runs, not even cache lookups), job two runs. *)
+  let journal = Journal.open_file jpath in
+  let b2 = Driver.run ~store ~journal ~resume:true [ j1; j2 ] in
+  Journal.close journal;
+  Alcotest.(check int) "resume skipped the finished job" 1
+    b2.Driver.b_skipped;
+  (match b2.Driver.outcomes with
+  | [ o1; o2 ] ->
+      Alcotest.(check bool) "job one skipped" true o1.Driver.o_skipped;
+      Alcotest.(check bool) "job two ran" false o2.Driver.o_skipped;
+      Alcotest.(check bool) "job two produced a result" true
+        (o2.Driver.o_result <> None)
+  | _ -> Alcotest.fail "expected two outcomes");
+  (* A changed parameter invalidates the journal record: nothing skips. *)
+  let j1' =
+    Driver.job ~params:{ farm_params with trials = 2 } ~name:"one" spec
+  in
+  let journal = Journal.open_file jpath in
+  let b3 = Driver.run ~store ~journal ~resume:true [ j1' ] in
+  Journal.close journal;
+  Alcotest.(check int) "changed inputs re-run" 0 b3.Driver.b_skipped;
+  Sys.remove jpath
+
+let test_driver_survives_corrupt_cache () =
+  let root = tmp_dir "elfie_farm_corrupt" in
+  let store = Store.open_store root in
+  let spec = tiny_spec "corrupt" in
+  let job = Driver.job ~params:farm_params ~name:"tiny" spec in
+  let cold = Driver.run ~store [ job ] in
+  Alcotest.(check bool) "cold run computes" true (cold.Driver.b_misses > 0);
+  (* Flip the last byte of the cached BBV profile (payload region): the
+     warm run must quarantine it, recompute, and still succeed. *)
+  let bbv_key =
+    Codec.bbv_key ~program:(program_bytes spec)
+      ~slice_size:farm_params.Driver.slice_size
+      ~seed:farm_params.Driver.base_seed ()
+  in
+  let path = Store.path_of store bbv_key in
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string raw in
+  let last = Bytes.length b - 1 in
+  Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x40));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  let warm = Driver.run ~store [ job ] in
+  Alcotest.(check bool) "corrupt profile quarantined" true
+    (List.exists
+       (fun (q : Store.quarantine) -> q.Store.q_kind = "bbv")
+       warm.Driver.b_store_quarantines);
+  Alcotest.(check bool) "profile recomputed" true (warm.Driver.b_misses >= 1);
+  match warm.Driver.outcomes with
+  | [ { o_result = Some _; o_skipped = false; _ } ] -> ()
+  | _ -> Alcotest.fail "batch did not survive the corrupt cache entry"
+
+(* --- manifest -------------------------------------------------------------- *)
+
+let test_manifest_parsing () =
+  let ok =
+    Driver.manifest_of_string ~artifact:"m"
+      "# comment\n\
+       \n\
+       leela bench=541.leela_r max-k=4 trials=1\n\
+       mcf bench=505.mcf_r slice=20000 regions=2\n"
+  in
+  (match ok with
+  | Ok [ a; b ] ->
+      Alcotest.(check string) "first job" "leela" a.Driver.j_name;
+      Alcotest.(check int) "max-k parsed" 4 a.Driver.j_params.Driver.max_k;
+      Alcotest.(check int) "trials parsed" 1 a.Driver.j_params.Driver.trials;
+      Alcotest.(check int64) "slice parsed" 20_000L
+        b.Driver.j_params.Driver.slice_size;
+      Alcotest.(check int) "regions parsed" 2
+        b.Driver.j_params.Driver.max_regions
+  | Ok _ -> Alcotest.fail "expected two jobs"
+  | Error d -> Alcotest.failf "manifest rejected: %a" Elfie_util.Diag.pp d);
+  let bad what s =
+    match Driver.manifest_of_string ~artifact:"m" s with
+    | Ok _ -> Alcotest.failf "%s accepted" what
+    | Error _ -> ()
+  in
+  bad "missing bench" "job slice=100\n";
+  bad "unknown benchmark" "job bench=no-such-benchmark\n";
+  bad "unknown key" "job bench=541.leela_r nope=1\n";
+  bad "bad integer" "job bench=541.leela_r slice=ten\n"
+
+let () =
+  Alcotest.run "farm"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "key normalization" `Quick test_key_normalization;
+          Alcotest.test_case "put/get roundtrip + skew" `Quick
+            test_put_get_roundtrip;
+          Alcotest.test_case "codec roundtrips" `Slow test_codec_roundtrips;
+          Alcotest.test_case "corruption sweep" `Slow test_store_fault_sweep;
+          Alcotest.test_case "race: exactly one computation" `Quick
+            test_concurrent_single_computation;
+          Alcotest.test_case "race: stale lock broken" `Quick
+            test_concurrent_stale_lock_break;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "manifest parsing" `Quick test_manifest_parsing;
+          Alcotest.test_case "cold/warm/incremental" `Slow
+            test_driver_cold_warm_incremental;
+          Alcotest.test_case "journal resume" `Slow test_driver_resume;
+          Alcotest.test_case "corrupt cache survived" `Slow
+            test_driver_survives_corrupt_cache;
+        ] );
+    ]

@@ -410,6 +410,28 @@ let test_pool_exception () =
            (fun x -> if x = 7 then failwith "task 7" else x)
            (List.init 20 Fun.id)))
 
+let test_pool_labelled_exception () =
+  (* With ?label, the failing task's exception arrives wrapped in
+     Task_error naming the job and its input index — batch drivers
+     surface which job died, not just a bare Failure. *)
+  let label i = Printf.sprintf "job-%d" i in
+  let check_wrapped jobs =
+    match
+      Pool.map ~jobs ~label
+        (fun x -> if x = 7 then failwith "boom" else x)
+        (List.init 20 Fun.id)
+    with
+    | _ -> Alcotest.fail "expected Task_error"
+    | exception Pool.Task_error { label; index; exn } ->
+        Alcotest.(check string) "label" "job-7" label;
+        Alcotest.(check int) "index" 7 index;
+        Alcotest.(check string) "inner exception" "Failure(\"boom\")"
+          (Printexc.to_string_default exn)
+  in
+  (* Both the parallel path and the sequential degrade wrap. *)
+  check_wrapped 3;
+  check_wrapped 1
+
 let test_pool_sequential_degrade () =
   Alcotest.(check (list int)) "jobs=1" [ 2; 4; 6 ] (Pool.map ~jobs:1 (( * ) 2) [ 1; 2; 3 ]);
   Alcotest.(check (list int)) "jobs=0 clamps" [ 2 ] (Pool.map ~jobs:0 (( * ) 2) [ 1 ]);
@@ -574,6 +596,8 @@ let suite =
     Alcotest.test_case "note_block ≡ per-ins note" `Quick test_note_block_equivalence;
     Alcotest.test_case "pool: map order" `Quick test_pool_map_order;
     Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
+    Alcotest.test_case "pool: labelled exception context" `Quick
+      test_pool_labelled_exception;
     Alcotest.test_case "pool: sequential degrade" `Quick test_pool_sequential_degrade;
     Alcotest.test_case "pool: nested maps" `Quick test_pool_nested;
     Alcotest.test_case "pool: default jobs" `Quick test_pool_default_jobs;

@@ -224,6 +224,42 @@ let test_divergence_triggers_escalation () =
       Alcotest.(check bool) "note kept" true (esc.note <> None)
   | l -> Alcotest.failf "expected 2 attempts, got %d" (List.length l))
 
+(* Durability cadence: with a bounded fsync_every the journal still
+   flushes every line (a crashed process loses nothing already written),
+   [sync] forces the tail down, and a partially flushed trailing record
+   is torn-line tolerant on reload. *)
+let test_journal_fsync_cadence () =
+  let path = Filename.temp_file "elfie_journal_sync" ".j" in
+  let j = Journal.open_file ~fsync_every:3 path in
+  let h = Journal.hash [ "x" ] in
+  for i = 1 to 5 do
+    Journal.record j
+      { (record Classify.Graceful) with job = Printf.sprintf "j%d" i;
+        inputs_hash = h }
+  done;
+  Journal.sync j;
+  (* Every record is visible to a concurrent reader even mid-cadence:
+     record flushes line-by-line regardless of the fsync interval. *)
+  let j_read = Journal.open_file path in
+  Alcotest.(check int) "all records flushed" 5
+    (List.length (Journal.records j_read));
+  Journal.close j_read;
+  Journal.close j;
+  (* A writer killed mid-append leaves a torn tail after the fsynced
+     prefix; reload keeps the durable records and drops the tail. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "J1\tj6\tdeadbeef\t1\tgr";
+  close_out oc;
+  let j2 = Journal.open_file ~fsync_every:0 path in
+  Alcotest.(check int) "torn tail dropped, durable prefix kept" 5
+    (List.length (Journal.records j2));
+  Alcotest.(check bool) "durable record skips" true
+    (Journal.should_skip j2 ~job:"j3" ~inputs_hash:h);
+  Alcotest.(check bool) "torn record does not skip" false
+    (Journal.should_skip j2 ~job:"j6" ~inputs_hash:h);
+  Journal.close j2;
+  Sys.remove path
+
 (* The interrupted-batch scenario: run a batch through a journal, kill
    the writer mid-record (truncate), then resume — journalled-graceful
    jobs are skipped, the interrupted/failed ones re-run exactly once. *)
@@ -296,6 +332,8 @@ let suite =
       test_journal_file_tolerant_and_latest_wins;
     Alcotest.test_case "journal torn first line" `Quick
       test_journal_torn_first_line;
+    Alcotest.test_case "journal fsync cadence + torn tail" `Quick
+      test_journal_fsync_cadence;
     Alcotest.test_case "retry reseeds collisions" `Quick
       test_retry_reseeds_collisions;
     Alcotest.test_case "retry budget exhausted" `Quick
