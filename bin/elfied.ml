@@ -4,12 +4,17 @@
    domains: every pipeline stage goes through the content-addressed
    artifact store (duplicate submissions hit cache), every job runs
    under the supervisor, and completions are journaled so `--resume`
-   restarts only unfinished jobs. `elfied stats` inspects a store;
-   `elfied gc` evicts oldest artifacts down to a size budget. *)
+   restarts only unfinished jobs. `elfied serve` exposes a store over a
+   Unix-domain socket (one daemon per shard); `elfied run --shard`
+   routes store keys across daemons by consistent hashing, degrading to
+   local recompute when a shard is down. `elfied stats` inspects a
+   store; `elfied gc` evicts oldest artifacts down to a size budget. *)
 
 open Cmdliner
 module Store = Elfie_farm.Store
 module Driver = Elfie_farm.Driver
+module Daemon = Elfie_farm.Daemon
+module Shard = Elfie_farm.Shard
 module Journal = Elfie_supervise.Journal
 
 let with_obs (trace, metrics, profile, jobs) f =
@@ -66,7 +71,7 @@ let store_arg =
 
 (* --- run ------------------------------------------------------------------- *)
 
-let run_cmd manifest store_root journal_path resume obs =
+let run_cmd manifest store_root journal_path resume shards obs =
   with_obs obs @@ fun () ->
   match Driver.load_manifest manifest with
   | Error d ->
@@ -74,10 +79,18 @@ let run_cmd manifest store_root journal_path resume obs =
       1
   | Ok jobs_list -> (
       let store = Store.open_store store_root in
+      let shard =
+        match shards with
+        | [] -> None
+        | endpoints -> Some (Shard.connect ~local:store ~endpoints ())
+      in
       let journal = Option.map Journal.open_file journal_path in
-      let finally () = Option.iter Journal.close journal in
+      let finally () =
+        Option.iter Journal.close journal;
+        Option.iter Shard.close shard
+      in
       Fun.protect ~finally @@ fun () ->
-      match Driver.run ~store ?journal ~resume jobs_list with
+      match Driver.run ~store ?shard ?journal ~resume jobs_list with
       | batch ->
           Format.printf "%a@." Driver.pp_batch batch;
           if batch.Driver.b_quarantined > 0 then 2 else 0
@@ -111,10 +124,22 @@ let run_t =
             "Skip jobs whose latest journal record is graceful with \
              unchanged inputs; only unfinished jobs run.")
   in
+  let shards =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "shard" ] ~docv:"SOCKET"
+          ~doc:
+            "Route store keys across farm daemons (repeatable; each a \
+             `elfied serve` socket path) by consistent hashing. A down \
+             shard degrades to local recompute — the run still \
+             completes.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"run a job manifest through the farm")
     Term.(
-      const run_cmd $ manifest $ store_arg $ journal $ resume $ obs_flags)
+      const run_cmd $ manifest $ store_arg $ journal $ resume $ shards
+      $ obs_flags)
 
 (* --- stats ----------------------------------------------------------------- *)
 
@@ -127,14 +152,17 @@ let stats_cmd store_root =
       Printf.printf "  %-12s %d artifact(s)\n" (Store.kind_name kind)
         (Store.artifact_count store kind))
     Store.all_kinds;
-  let qs = Store.read_quarantine_log store in
-  Printf.printf "  %-12s %d file(s)\n" "quarantine" (List.length qs);
+  let qcount, qbytes, qreasons = Store.quarantine_stats store in
+  Printf.printf "  %-12s %d file(s), %Ld bytes\n" "quarantine" qcount qbytes;
+  List.iter
+    (fun (reason, n) -> Printf.printf "    %-20s %d\n" reason n)
+    qreasons;
   List.iter
     (fun (q : Store.quarantine) ->
       Printf.printf "    %s %s %s -> %s\n" q.Store.q_kind
         (String.sub q.Store.q_digest 0 (min 12 (String.length q.Store.q_digest)))
         q.Store.q_reason q.Store.q_moved_to)
-    qs;
+    (Store.read_quarantine_log store);
   0
 
 let stats_t =
@@ -145,12 +173,33 @@ let stats_t =
 
 (* --- gc -------------------------------------------------------------------- *)
 
-let gc_cmd store_root max_bytes =
+let gc_cmd store_root max_bytes dry_run =
   let store = Store.open_store store_root in
   let before = Store.size_bytes store in
-  let removed = Store.evict store ~max_bytes in
-  Printf.printf "evicted %d artifact(s): %Ld -> %Ld bytes (budget %Ld)\n"
-    removed before (Store.size_bytes store) max_bytes;
+  if dry_run then begin
+    let plan = Store.eviction_plan store ~max_bytes in
+    let bytes =
+      List.fold_left
+        (fun acc (ev : Store.eviction) ->
+          Int64.add acc (Int64.of_int ev.Store.ev_bytes))
+        0L plan
+    in
+    List.iter
+      (fun (ev : Store.eviction) ->
+        Printf.printf "would evict %-12s %s (%d bytes)\n"
+          (Store.kind_name ev.Store.ev_kind)
+          ev.Store.ev_digest ev.Store.ev_bytes)
+      plan;
+    Printf.printf
+      "dry run: would evict %d artifact(s), %Ld bytes: %Ld -> %Ld bytes \
+       (budget %Ld)\n"
+      (List.length plan) bytes before (Int64.sub before bytes) max_bytes
+  end
+  else begin
+    let removed = Store.evict store ~max_bytes in
+    Printf.printf "evicted %d artifact(s): %Ld -> %Ld bytes (budget %Ld)\n"
+      removed before (Store.size_bytes store) max_bytes
+  end;
   0
 
 let gc_t =
@@ -163,14 +212,86 @@ let gc_t =
             "Evict oldest-modified artifacts until the store holds at \
              most N bytes. Quarantined files are never touched.")
   in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:
+            "Print what eviction would remove (keys and bytes) without \
+             deleting anything. The order is deterministic: ascending \
+             modification time, ties broken by kind then digest.")
+  in
   Cmd.v
     (Cmd.info "gc" ~doc:"evict oldest artifacts down to a size budget")
-    Term.(const gc_cmd $ store_arg $ max_bytes)
+    Term.(const gc_cmd $ store_arg $ max_bytes $ dry_run)
+
+(* --- serve ------------------------------------------------------------------- *)
+
+let serve_cmd store_root socket =
+  let store = Store.open_store store_root in
+  match Daemon.start ~store ~socket_path:socket () with
+  | exception Failure msg ->
+      Format.eprintf "elfied: %s@." msg;
+      1
+  | daemon ->
+      let stop = Atomic.make false in
+      let on_signal _ = Atomic.set stop true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Printf.printf "elfied: serving %s on %s (pid %d)\n%!"
+        (Store.root store) socket (Unix.getpid ());
+      while not (Atomic.get stop) do
+        Unix.sleepf 0.2
+      done;
+      Daemon.stop daemon;
+      Printf.printf "elfied: stopped\n%!";
+      0
+
+let serve_t =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Unix-domain socket to listen on. A stale socket file left \
+             by a crashed daemon is recovered; a live daemon on the \
+             same path is an error.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"serve a store over a Unix-domain socket (one daemon per shard)")
+    Term.(const serve_cmd $ store_arg $ socket)
+
+(* --- ping -------------------------------------------------------------------- *)
+
+let ping_cmd sockets =
+  List.fold_left
+    (fun rc socket ->
+      match Shard.ping socket with
+      | Ok health ->
+          Printf.printf "%s: %s\n" socket health;
+          rc
+      | Error reason ->
+          Printf.printf "%s: DOWN (%s)\n" socket reason;
+          1)
+    0 sockets
+
+let ping_t =
+  let sockets =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"SOCKET" ~doc:"Daemon socket path(s) to probe.")
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"health-check farm daemons")
+    Term.(const ping_cmd $ sockets)
 
 let cmd =
   Cmd.group
     (Cmd.info "elfied"
        ~doc:"crash-safe ELFie farm: cache-backed resumable batch driver")
-    [ run_t; stats_t; gc_t ]
+    [ run_t; serve_t; ping_t; stats_t; gc_t ]
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,512 @@
+module Metrics = Elfie_obs.Metrics
+module Trace = Elfie_obs.Trace
+
+(* --- wire protocol ----------------------------------------------------------- *)
+
+module Wire = struct
+  let magic = "ELFD"
+  let version = 1
+  let header_bytes = 26 (* magic 4 + version 1 + opcode 1 + len 4 + md5 16 *)
+  let max_payload = 256 * 1024 * 1024
+
+  type opcode =
+    | Get
+    | Put
+    | Stats
+    | Health
+    | R_hit
+    | R_miss
+    | R_ok
+    | R_stats
+    | R_health
+    | R_err
+
+  let opcode_byte = function
+    | Get -> 0x01
+    | Put -> 0x02
+    | Stats -> 0x03
+    | Health -> 0x04
+    | R_hit -> 0x81
+    | R_miss -> 0x82
+    | R_ok -> 0x83
+    | R_stats -> 0x84
+    | R_health -> 0x85
+    | R_err -> 0xFF
+
+  let opcode_of_byte = function
+    | 0x01 -> Some Get
+    | 0x02 -> Some Put
+    | 0x03 -> Some Stats
+    | 0x04 -> Some Health
+    | 0x81 -> Some R_hit
+    | 0x82 -> Some R_miss
+    | 0x83 -> Some R_ok
+    | 0x84 -> Some R_stats
+    | 0x85 -> Some R_health
+    | 0xFF -> Some R_err
+    | _ -> None
+
+  let opcode_name = function
+    | Get -> "get"
+    | Put -> "put"
+    | Stats -> "stats"
+    | Health -> "health"
+    | R_hit -> "hit"
+    | R_miss -> "miss"
+    | R_ok -> "ok"
+    | R_stats -> "stats-reply"
+    | R_health -> "health-reply"
+    | R_err -> "err"
+
+  type error =
+    | Closed
+    | Torn
+    | Bad_magic
+    | Version_skew
+    | Bad_opcode
+    | Too_large
+    | Bad_checksum
+    | Timeout
+
+  let error_to_string = function
+    | Closed -> "closed"
+    | Torn -> "torn"
+    | Bad_magic -> "bad-magic"
+    | Version_skew -> "version-skew"
+    | Bad_opcode -> "bad-opcode"
+    | Too_large -> "too-large"
+    | Bad_checksum -> "checksum-mismatch"
+    | Timeout -> "timeout"
+
+  let encode ?version:(v = version) op payload =
+    let len = String.length payload in
+    let b = Buffer.create (header_bytes + len) in
+    Buffer.add_string b magic;
+    Buffer.add_char b (Char.chr (v land 0xff));
+    Buffer.add_char b (Char.chr (opcode_byte op));
+    Buffer.add_char b (Char.chr (len land 0xff));
+    Buffer.add_char b (Char.chr ((len lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr ((len lsr 16) land 0xff));
+    Buffer.add_char b (Char.chr ((len lsr 24) land 0xff));
+    Buffer.add_string b (Digest.string payload);
+    Buffer.add_string b payload;
+    Buffer.contents b
+
+  (* Judge a complete 26-byte header: its version, opcode and declared
+     payload length. *)
+  let parse_header h =
+    if String.sub h 0 4 <> magic then Error Bad_magic
+    else if Char.code h.[4] <> version then Error Version_skew
+    else
+      match opcode_of_byte (Char.code h.[5]) with
+      | None -> Error Bad_opcode
+      | Some op ->
+          let len =
+            Char.code h.[6]
+            lor (Char.code h.[7] lsl 8)
+            lor (Char.code h.[8] lsl 16)
+            lor (Char.code h.[9] lsl 24)
+          in
+          if len < 0 || len > max_payload then Error Too_large
+          else Ok (op, len, String.sub h 10 16)
+
+  let check_payload op payload digest =
+    if Digest.string payload <> digest then Error Bad_checksum
+    else Ok (op, payload)
+
+  let decode frame =
+    if String.length frame < header_bytes then Error Torn
+    else
+      match parse_header (String.sub frame 0 header_bytes) with
+      | Error e -> Error e
+      | Ok (op, len, digest) ->
+          if String.length frame <> header_bytes + len then Error Torn
+          else check_payload op (String.sub frame header_bytes len) digest
+
+  (* EAGAIN here is the socket's SO_RCVTIMEO / SO_SNDTIMEO deadline
+     firing — the per-request timeout, not congestion. *)
+  let read_exactly fd n =
+    let buf = Bytes.create n in
+    let rec go off =
+      if off = n then Ok (Bytes.unsafe_to_string buf)
+      else
+        match Unix.read fd buf off (n - off) with
+        | 0 -> Error (if off = 0 then Closed else Torn)
+        | k -> go (off + k)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            Error Timeout
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error _ ->
+            Error (if off = 0 then Closed else Torn)
+    in
+    go 0
+
+  let read_frame fd =
+    match read_exactly fd header_bytes with
+    | Error _ as e -> e
+    | Ok h -> (
+        match parse_header h with
+        | Error _ as e -> e
+        | Ok (op, len, digest) -> (
+            match read_exactly fd len with
+            | Error Closed -> Error (if len = 0 then Closed else Torn)
+            | Error _ as e -> e
+            | Ok payload -> check_payload op payload digest))
+
+  let write_frame fd op payload =
+    let frame = Bytes.of_string (encode op payload) in
+    let rec go off len =
+      if len = 0 then Ok ()
+      else
+        match Unix.write fd frame off len with
+        | n -> go (off + n) (len - n)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            Error Timeout
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+        | exception Unix.Unix_error _ -> Error Closed
+    in
+    go 0 (Bytes.length frame)
+end
+
+(* --- stats payload ----------------------------------------------------------- *)
+
+type stats = {
+  st_bytes : int64;
+  st_artifacts : (string * int) list;
+  st_quarantine_count : int;
+  st_quarantine_bytes : int64;
+  st_quarantine_reasons : (string * int) list;
+}
+
+let render_stats st =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "bytes %Ld\n" st.st_bytes);
+  List.iter
+    (fun (kind, n) -> Buffer.add_string b (Printf.sprintf "artifact %s %d\n" kind n))
+    st.st_artifacts;
+  Buffer.add_string b
+    (Printf.sprintf "quarantine_count %d\n" st.st_quarantine_count);
+  Buffer.add_string b
+    (Printf.sprintf "quarantine_bytes %Ld\n" st.st_quarantine_bytes);
+  List.iter
+    (fun (reason, n) ->
+      Buffer.add_string b (Printf.sprintf "quarantine_reason %s %d\n" reason n))
+    st.st_quarantine_reasons;
+  Buffer.contents b
+
+let parse_stats s =
+  let st =
+    List.fold_left
+      (fun st line ->
+        match (st, String.split_on_char ' ' line) with
+        | None, _ -> None
+        | Some st, [ "bytes"; v ] ->
+            Option.map (fun v -> { st with st_bytes = v }) (Int64.of_string_opt v)
+        | Some st, [ "artifact"; kind; n ] ->
+            Option.map
+              (fun n -> { st with st_artifacts = st.st_artifacts @ [ (kind, n) ] })
+              (int_of_string_opt n)
+        | Some st, [ "quarantine_count"; n ] ->
+            Option.map
+              (fun n -> { st with st_quarantine_count = n })
+              (int_of_string_opt n)
+        | Some st, [ "quarantine_bytes"; v ] ->
+            Option.map
+              (fun v -> { st with st_quarantine_bytes = v })
+              (Int64.of_string_opt v)
+        | Some st, [ "quarantine_reason"; reason; n ] ->
+            Option.map
+              (fun n ->
+                {
+                  st with
+                  st_quarantine_reasons =
+                    st.st_quarantine_reasons @ [ (reason, n) ];
+                })
+              (int_of_string_opt n)
+        | Some _, ([] | [ "" ]) -> st
+        | Some _, _ -> None)
+      (Some
+         {
+           st_bytes = 0L;
+           st_artifacts = [];
+           st_quarantine_count = 0;
+           st_quarantine_bytes = 0L;
+           st_quarantine_reasons = [];
+         })
+      (String.split_on_char '\n' s)
+  in
+  st
+
+let stats_of_store store =
+  let qcount, qbytes, qreasons = Store.quarantine_stats store in
+  {
+    st_bytes = Store.size_bytes store;
+    st_artifacts =
+      List.map
+        (fun k -> (Store.kind_name k, Store.artifact_count store k))
+        Store.all_kinds;
+    st_quarantine_count = qcount;
+    st_quarantine_bytes = qbytes;
+    st_quarantine_reasons = qreasons;
+  }
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let m_requests =
+  Metrics.counter "elfie_daemon_requests_total"
+    ~help:"Daemon requests served, by opcode and response"
+
+let m_req_seconds =
+  Metrics.histogram "elfie_daemon_request_seconds"
+    ~help:"Server-side wall time per daemon request"
+
+let m_connections =
+  Metrics.counter "elfie_daemon_connections_total"
+    ~help:"Client connections accepted by the daemon"
+
+let m_wire_errors =
+  Metrics.counter "elfie_daemon_wire_errors_total"
+    ~help:"Frames the daemon failed to decode, by reason"
+
+(* --- daemon ------------------------------------------------------------------ *)
+
+type tamper =
+  | Pass
+  | Rewrite of (string -> string)
+  | Truncate of int
+  | Hang_response
+  | Drop_connection
+
+type t = {
+  d_store : Store.t;
+  d_path : string;
+  d_listen : Unix.file_descr;
+  d_tamper : unit -> tamper;
+  d_running : bool Atomic.t;
+  d_conns : (Unix.file_descr, unit) Hashtbl.t;
+  d_lock : Mutex.t;
+  mutable d_threads : Thread.t list; (* handler threads; guarded by d_lock *)
+  mutable d_accept : Thread.t option;
+}
+
+let socket_path d = d.d_path
+let store d = d.d_store
+
+let parse_request payload ~expect_payload =
+  match String.index_opt payload '\n' with
+  | None -> None
+  | Some i -> (
+      match String.index_from_opt payload (i + 1) '\n' with
+      | None -> None
+      | Some j -> (
+          let kind_s = String.sub payload 0 i in
+          let dig = String.sub payload (i + 1) (j - i - 1) in
+          let fmt_end, body =
+            if expect_payload then
+              match String.index_from_opt payload (j + 1) '\n' with
+              | None -> (-1, "")
+              | Some k ->
+                  (k, String.sub payload (k + 1) (String.length payload - k - 1))
+            else (String.length payload, "")
+          in
+          if fmt_end < 0 then None
+          else
+            let fmt_s = String.sub payload (j + 1) (fmt_end - j - 1) in
+            match (Store.kind_of_name kind_s, int_of_string_opt fmt_s) with
+            | Some kind, Some format when dig <> "" ->
+                Some (Store.key_of_digest kind dig, format, body)
+            | _ -> None))
+
+let handle_request d op payload =
+  match op with
+  | Wire.Get -> (
+      match parse_request payload ~expect_payload:false with
+      | None -> (Wire.R_err, "bad-request")
+      | Some (key, format, _) -> (
+          match Store.get d.d_store key ~format with
+          | Some p -> (Wire.R_hit, p)
+          | None -> (Wire.R_miss, "")))
+  | Wire.Put -> (
+      match parse_request payload ~expect_payload:true with
+      | None -> (Wire.R_err, "bad-request")
+      | Some (key, format, body) ->
+          Store.put d.d_store key ~format body;
+          (Wire.R_ok, ""))
+  | Wire.Stats -> (Wire.R_stats, render_stats (stats_of_store d.d_store))
+  | Wire.Health ->
+      ( Wire.R_health,
+        Printf.sprintf "ok pid=%d version=%d root=%s" (Unix.getpid ())
+          Wire.version
+          (Store.root d.d_store) )
+  | _ -> (Wire.R_err, "bad-request")
+
+let write_raw fd s =
+  let b = Bytes.of_string s in
+  let rec go off len =
+    if len = 0 then ()
+    else
+      match Unix.write fd b off len with
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0 (Bytes.length b)
+
+(* Send (or, under tamper, mangle / withhold) one response frame.
+   [`Close] means the connection must not be reused. *)
+let respond d fd op payload =
+  let frame = Wire.encode op payload in
+  match d.d_tamper () with
+  | Pass -> (
+      match Wire.write_frame fd op payload with
+      | Ok () -> `Continue
+      | Error _ -> `Close)
+  | Rewrite f ->
+      write_raw fd (f frame);
+      `Close
+  | Truncate n ->
+      write_raw fd (String.sub frame 0 (min n (String.length frame)));
+      `Close
+  | Hang_response ->
+      (* Hold the connection open, sending nothing, until the client's
+         deadline fires (or the daemon stops). *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Atomic.get d.d_running && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.02
+      done;
+      `Close
+  | Drop_connection -> `Close
+
+let serve_connection d fd =
+  let rec loop () =
+    if not (Atomic.get d.d_running) then ()
+    else
+      match Wire.read_frame fd with
+      | Error (Wire.Closed | Wire.Torn | Wire.Timeout) -> ()
+      | Error e -> (
+          (* The stream is out of sync past a bad header; answer the
+             typed reason, then drop the connection. *)
+          Metrics.inc m_wire_errors
+            ~labels:[ ("reason", Wire.error_to_string e) ];
+          match respond d fd Wire.R_err (Wire.error_to_string e) with
+          | `Continue | `Close -> ())
+      | Ok (op, payload) ->
+          let t0 = Unix.gettimeofday () in
+          let rop, rpayload = handle_request d op payload in
+          let verdict = respond d fd rop rpayload in
+          Metrics.observe m_req_seconds (Unix.gettimeofday () -. t0);
+          Metrics.inc m_requests
+            ~labels:
+              [
+                ("op", Wire.opcode_name op); ("response", Wire.opcode_name rop);
+              ];
+          Trace.instant "daemon.request"
+            ~attrs:
+              [
+                ("op", Trace.S (Wire.opcode_name op));
+                ("response", Trace.S (Wire.opcode_name rop));
+              ];
+          (match verdict with `Continue -> loop () | `Close -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect d.d_lock (fun () -> Hashtbl.remove d.d_conns fd);
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+let accept_loop d =
+  while Atomic.get d.d_running do
+    match Unix.accept d.d_listen with
+    | fd, _ ->
+        Metrics.inc m_connections;
+        let th = Thread.create (fun () -> serve_connection d fd) () in
+        Mutex.protect d.d_lock (fun () ->
+            Hashtbl.replace d.d_conns fd ();
+            d.d_threads <- th :: d.d_threads)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        (* stop() closed the listening socket *)
+        Atomic.set d.d_running false
+  done
+
+(* Bind the daemon socket, recovering a stale socket file: if nothing
+   accepts on the leftover path (a previous daemon crashed without
+   unlinking), unlink and rebind; a live listener is an error. *)
+let rec bind_socket path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.bind fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let stale =
+        match e with
+        | Unix.Unix_error (Unix.EADDRINUSE, _, _) -> (
+            let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close probe with Unix.Unix_error _ -> ())
+              (fun () ->
+                match Unix.connect probe (Unix.ADDR_UNIX path) with
+                | () -> false (* live daemon *)
+                | exception
+                    Unix.Unix_error
+                      ( ( Unix.ECONNREFUSED | Unix.ENOENT
+                        | Unix.EPROTOTYPE ),
+                        _,
+                        _ ) ->
+                    true))
+        | _ -> raise e
+      in
+      if not stale then
+        failwith (Printf.sprintf "daemon already listening on %s" path);
+      Trace.instant "daemon.stale_socket_recovered"
+        ~attrs:[ ("path", Trace.S path) ];
+      (try Sys.remove path with Sys_error _ -> ());
+      bind_socket path
+
+let start ?(tamper = fun () -> Pass) ~store ~socket_path () =
+  let listen = bind_socket socket_path in
+  Unix.listen listen 64;
+  let d =
+    {
+      d_store = store;
+      d_path = socket_path;
+      d_listen = listen;
+      d_tamper = tamper;
+      d_running = Atomic.make true;
+      d_conns = Hashtbl.create 8;
+      d_lock = Mutex.create ();
+      d_threads = [];
+      d_accept = None;
+    }
+  in
+  d.d_accept <- Some (Thread.create (fun () -> accept_loop d) ());
+  Trace.instant "daemon.serve"
+    ~attrs:
+      [ ("path", Trace.S socket_path); ("root", Trace.S (Store.root store)) ];
+  d
+
+let stop ?(unlink = true) d =
+  if Atomic.exchange d.d_running false then begin
+    (* Closing a socket does NOT wake a thread blocked in accept() on
+       it; a throwaway connection does. The accept loop wakes, sees
+       [d_running] false, and exits. *)
+    (let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     (try Unix.connect probe (Unix.ADDR_UNIX d.d_path)
+      with Unix.Unix_error _ -> ());
+     try Unix.close probe with Unix.Unix_error _ -> ());
+    (match d.d_accept with Some th -> Thread.join th | None -> ());
+    (try Unix.close d.d_listen with Unix.Unix_error _ -> ());
+    (* Shutting down a connected socket DOES wake its handler's read. *)
+    Mutex.protect d.d_lock (fun () ->
+        Hashtbl.iter
+          (fun fd () ->
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
+          d.d_conns);
+    let threads = Mutex.protect d.d_lock (fun () -> d.d_threads) in
+    List.iter Thread.join threads;
+    if unlink then try Sys.remove d.d_path with Sys_error _ -> ()
+  end

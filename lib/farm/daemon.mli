@@ -1,0 +1,124 @@
+(** The ELFie farm daemon: a persistent store service over a
+    Unix-domain socket.
+
+    [elfied serve] runs one daemon per shard. Each daemon owns a
+    {!Store} and answers {e get} / {e put} / {e stats} / {e health}
+    requests from any number of concurrent clients (one handler thread
+    per connection), so a fleet of drivers shares one artifact cache
+    without sharing a filesystem lock discipline.
+
+    {b Wire protocol.} Every message is one frame:
+
+    {v
+    offset  size  field
+    0       4     magic "ELFD"
+    4       1     protocol version (currently 1)
+    5       1     opcode
+    6       4     payload length, u32 little-endian
+    10      16    MD5 digest of the payload
+    26      n     payload
+    v}
+
+    The digest makes every frame self-verifying: a torn or bit-flipped
+    frame decodes to a typed {!Wire.error}, never to a wrong payload.
+    Request payloads are text headers ([kind \n digest \n format], for
+    put followed by [\n] and the raw artifact bytes); response payloads
+    are raw artifact bytes (hit) or text. The protocol is deliberately
+    torn-frame-tolerant: any decode failure on the server answers
+    [R_err] (or closes the connection), and any decode failure on the
+    client is a typed error the {!Shard} router degrades through —
+    corruption on the wire is a retry then a local recompute, never a
+    served corrupt artifact.
+
+    {b Fault injection.} [start ~tamper] installs a hook that may
+    rewrite, truncate, withhold or cut the connection instead of each
+    response frame — the in-process lever {!Fault_inject.run_daemon}
+    uses to prove every failure mode degrades to recompute. *)
+
+module Wire : sig
+  val version : int
+
+  val header_bytes : int
+  (** Fixed frame-header size (26). *)
+
+  val max_payload : int
+  (** Hard cap on a single frame's payload; larger lengths decode as
+      {!error} [Too_large] without allocating. *)
+
+  type opcode =
+    | Get  (** request: [kind \n digest \n format] *)
+    | Put  (** request: [kind \n digest \n format \n payload] *)
+    | Stats  (** request: empty *)
+    | Health  (** request: empty *)
+    | R_hit  (** response: raw artifact payload *)
+    | R_miss  (** response: empty *)
+    | R_ok  (** response: empty (put committed) *)
+    | R_stats  (** response: rendered {!stats} *)
+    | R_health  (** response: [ok pid=... version=... root=...] *)
+    | R_err  (** response: reason text; connection closes after *)
+
+  val opcode_byte : opcode -> int
+  val opcode_of_byte : int -> opcode option
+  val opcode_name : opcode -> string
+
+  (** Why a frame failed to decode. *)
+  type error =
+    | Closed  (** orderly EOF between frames *)
+    | Torn  (** EOF inside a frame *)
+    | Bad_magic
+    | Version_skew  (** peer speaks another protocol version *)
+    | Bad_opcode
+    | Too_large
+    | Bad_checksum  (** payload does not match the frame digest *)
+    | Timeout  (** the socket's receive/send deadline fired *)
+
+  val error_to_string : error -> string
+
+  val encode : ?version:int -> opcode -> string -> string
+  (** Render a complete frame. [version] overrides the protocol version
+      byte (fault injection). *)
+
+  val decode : string -> (opcode * string, error) result
+  (** Decode one complete frame from bytes (exposed for tests); trailing
+      bytes after the frame are an error ([Torn]). *)
+
+  val write_frame : Unix.file_descr -> opcode -> string -> (unit, error) result
+  val read_frame : Unix.file_descr -> (opcode * string, error) result
+end
+
+(** A parsed [stats] response. *)
+type stats = {
+  st_bytes : int64;  (** live artifact bytes in the shard's store *)
+  st_artifacts : (string * int) list;  (** per kind-name live count *)
+  st_quarantine_count : int;
+  st_quarantine_bytes : int64;
+  st_quarantine_reasons : (string * int) list;
+}
+
+val render_stats : stats -> string
+val parse_stats : string -> stats option
+
+(** What to do {e instead of} sending a response frame (fault
+    injection; {!Pass} is normal service). *)
+type tamper =
+  | Pass
+  | Rewrite of (string -> string)  (** corrupt the encoded frame bytes *)
+  | Truncate of int  (** send only the first [n] bytes, then close *)
+  | Hang_response  (** send nothing; hold the connection open *)
+  | Drop_connection  (** close the connection without responding *)
+
+type t
+
+val start :
+  ?tamper:(unit -> tamper) -> store:Store.t -> socket_path:string -> unit -> t
+(** Bind [socket_path] and serve [store] until {!stop}. A leftover
+    socket file whose owner no longer accepts (stale after a crash) is
+    unlinked and rebound; a socket with a {e live} listener raises
+    [Failure]. [tamper] is consulted before every response frame. *)
+
+val socket_path : t -> string
+val store : t -> Store.t
+
+val stop : ?unlink:bool -> t -> unit
+(** Stop accepting, cut live connections, join all daemon threads.
+    [unlink] (default true) removes the socket file. *)

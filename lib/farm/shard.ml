@@ -1,0 +1,446 @@
+module Metrics = Elfie_obs.Metrics
+module Trace = Elfie_obs.Trace
+module Backoff = Elfie_util.Backoff
+module Rng = Elfie_util.Rng
+
+type config = {
+  deadline_s : float;
+  retries : int;
+  backoff : Backoff.policy;
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
+  replicas : int;
+  jitter_seed : int64;
+}
+
+let default_config =
+  {
+    deadline_s = 2.0;
+    retries = 2;
+    backoff = { Backoff.base_s = 0.02; factor = 2.0; max_s = 0.5; jitter = 0.25 };
+    breaker_threshold = 3;
+    breaker_cooldown_s = 1.0;
+    replicas = 16;
+    jitter_seed = 7L;
+  }
+
+type breaker_state = Closed | Open | Half_open
+
+let pp_breaker_state fmt = function
+  | Closed -> Format.pp_print_string fmt "closed"
+  | Open -> Format.pp_print_string fmt "open"
+  | Half_open -> Format.pp_print_string fmt "half-open"
+
+(* Internal breaker: Open remembers its reopen time. *)
+type breaker = B_closed | B_open of float | B_half_open
+
+type endpoint = {
+  ep_path : string;
+  ep_lock : Mutex.t;  (** serializes the connection, breaker and counters *)
+  mutable ep_fd : Unix.file_descr option;  (** persistent connection *)
+  mutable ep_failures : int;  (** consecutive *)
+  mutable ep_breaker : breaker;
+}
+
+type t = {
+  sh_local : Store.t;
+  sh_config : config;
+  sh_endpoints : endpoint array;
+  sh_ring : (string * int) array;  (** (point digest, endpoint index), sorted *)
+  sh_rng : Rng.t;  (** jitter stream, guarded by [sh_rng_lock] *)
+  sh_rng_lock : Mutex.t;
+}
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let m_requests =
+  Metrics.counter "elfie_daemon_client_requests_total"
+    ~help:"Shard-client requests, by opcode and outcome"
+
+let m_req_seconds =
+  Metrics.histogram "elfie_daemon_client_request_seconds"
+    ~help:"Client-side wall time per shard request, retries included"
+
+let m_retries =
+  Metrics.counter "elfie_daemon_client_retries_total"
+    ~help:"Shard-client request attempts beyond the first"
+
+let m_breaker =
+  Metrics.counter "elfie_daemon_breaker_transitions_total"
+    ~help:"Circuit-breaker state transitions, by new state"
+
+let m_fallbacks =
+  Metrics.counter "elfie_daemon_fallback_recomputes_total"
+    ~help:
+      "Fetches that degraded to a local recompute because the owning \
+       shard was unavailable, by reason"
+
+let m_remote_hits =
+  Metrics.counter "elfie_daemon_remote_hits_total"
+    ~help:"Fetches served from a remote shard after a local miss"
+
+(* --- construction ------------------------------------------------------------ *)
+
+(* Writing to a shard that died mid-request must surface as EPIPE, not
+   kill the process. *)
+let ignore_sigpipe =
+  lazy
+    (match Sys.os_type with
+    | "Unix" -> (
+        try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+        with Invalid_argument _ -> ())
+    | _ -> ())
+
+let ring_of endpoints ~replicas =
+  let points =
+    List.concat
+      (List.mapi
+         (fun i path ->
+           List.init replicas (fun r ->
+               (Digest.to_hex (Digest.string (Printf.sprintf "%s#%d" path r)), i)))
+         endpoints)
+  in
+  let arr = Array.of_list points in
+  Array.sort compare arr;
+  arr
+
+let connect ?(config = default_config) ~local ~endpoints () =
+  Lazy.force ignore_sigpipe;
+  {
+    sh_local = local;
+    sh_config = config;
+    sh_endpoints =
+      Array.of_list
+        (List.map
+           (fun path ->
+             {
+               ep_path = path;
+               ep_lock = Mutex.create ();
+               ep_fd = None;
+               ep_failures = 0;
+               ep_breaker = B_closed;
+             })
+           endpoints);
+    sh_ring = ring_of endpoints ~replicas:config.replicas;
+    sh_rng = Rng.create config.jitter_seed;
+    sh_rng_lock = Mutex.create ();
+  }
+
+let local t = t.sh_local
+let endpoints t = Array.to_list (Array.map (fun ep -> ep.ep_path) t.sh_endpoints)
+
+let drop_connection ep =
+  match ep.ep_fd with
+  | None -> ()
+  | Some fd ->
+      ep.ep_fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let close t =
+  Array.iter
+    (fun ep -> Mutex.protect ep.ep_lock (fun () -> drop_connection ep))
+    t.sh_endpoints
+
+(* --- routing ----------------------------------------------------------------- *)
+
+let point_of_key key =
+  Digest.to_hex
+    (Digest.string
+       (Store.kind_name (Store.kind_of_key key) ^ "/" ^ Store.digest key))
+
+let owner t key =
+  if Array.length t.sh_ring = 0 then None
+  else
+    let p = point_of_key key in
+    (* Successor point on the ring, wrapping past the top. *)
+    let n = Array.length t.sh_ring in
+    let rec find i =
+      if i = n then snd t.sh_ring.(0)
+      else if fst t.sh_ring.(i) >= p then snd t.sh_ring.(i)
+      else find (i + 1)
+    in
+    Some t.sh_endpoints.(find 0)
+
+let endpoint_for t key = Option.map (fun ep -> ep.ep_path) (owner t key)
+
+(* --- breaker ----------------------------------------------------------------- *)
+
+let breaker_transition ep state =
+  ep.ep_breaker <- state;
+  let name =
+    match state with
+    | B_closed -> "closed"
+    | B_open _ -> "open"
+    | B_half_open -> "half-open"
+  in
+  Metrics.inc m_breaker ~labels:[ ("to", name) ];
+  Trace.instant "daemon.client.breaker"
+    ~attrs:[ ("endpoint", Trace.S ep.ep_path); ("to", Trace.S name) ]
+
+(* Under [ep_lock]. Returns whether a request may proceed; moves an
+   expired Open breaker to Half_open (admitting this caller as the
+   probe). *)
+let breaker_admits ep =
+  match ep.ep_breaker with
+  | B_closed | B_half_open -> true
+  | B_open until ->
+      if Unix.gettimeofday () >= until then begin
+        breaker_transition ep B_half_open;
+        true
+      end
+      else false
+
+let note_success _config ep =
+  ep.ep_failures <- 0;
+  match ep.ep_breaker with
+  | B_closed -> ()
+  | B_open _ | B_half_open -> breaker_transition ep B_closed
+
+let note_failure config ep =
+  ep.ep_failures <- ep.ep_failures + 1;
+  let reopen () =
+    breaker_transition ep
+      (B_open (Unix.gettimeofday () +. config.breaker_cooldown_s))
+  in
+  match ep.ep_breaker with
+  | B_half_open -> reopen () (* failed probe *)
+  | B_closed when ep.ep_failures >= config.breaker_threshold -> reopen ()
+  | B_closed | B_open _ -> ()
+
+let breaker t path =
+  Array.fold_left
+    (fun acc ep ->
+      if ep.ep_path = path then
+        Some
+          (Mutex.protect ep.ep_lock (fun () ->
+               match ep.ep_breaker with
+               | B_closed -> Closed
+               | B_half_open -> Half_open
+               | B_open until ->
+                   if Unix.gettimeofday () >= until then Half_open else Open))
+      else acc)
+    None t.sh_endpoints
+
+(* --- request loop ------------------------------------------------------------ *)
+
+let connect_endpoint config ep =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO config.deadline_s;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO config.deadline_s;
+    Unix.connect fd (Unix.ADDR_UNIX ep.ep_path);
+    ep.ep_fd <- Some fd;
+    Ok fd
+  with Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Unix.error_message err)
+
+(* One attempt on an endpoint's persistent connection: any failure
+   closes the connection (the stream may be out of sync) and reports a
+   reason string. Under [ep_lock]. *)
+let attempt config ep op payload =
+  let conn =
+    match ep.ep_fd with Some fd -> Ok fd | None -> connect_endpoint config ep
+  in
+  match conn with
+  | Error reason -> Error reason
+  | Ok fd -> (
+      match Daemon.Wire.write_frame fd op payload with
+      | Error e ->
+          drop_connection ep;
+          Error (Daemon.Wire.error_to_string e)
+      | Ok () -> (
+          match Daemon.Wire.read_frame fd with
+          | Error e ->
+              drop_connection ep;
+              Error (Daemon.Wire.error_to_string e)
+          | Ok ((Daemon.Wire.R_err, reason) as _r) ->
+              (* The daemon answered a typed error and will close; do
+                 the same on our side. *)
+              drop_connection ep;
+              Error (if reason = "" then "daemon-error" else reason)
+          | Ok (rop, rpayload) -> Ok (rop, rpayload)))
+
+let jitter_rng t = t.sh_rng
+
+(* Full fault-tolerant request: breaker gate, bounded retries with
+   backoff, per-attempt deadline (set on the socket). Returns the
+   response or the last failure reason. *)
+let request t ep op payload =
+  let config = t.sh_config in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    let rec go attempt_no =
+      let admitted =
+        Mutex.protect ep.ep_lock (fun () -> breaker_admits ep)
+      in
+      if not admitted then Error "breaker-open"
+      else begin
+        if attempt_no > 0 then begin
+          Metrics.inc m_retries;
+          let d =
+            Mutex.protect t.sh_rng_lock (fun () ->
+                Backoff.delay ~rng:(jitter_rng t) config.backoff
+                  ~attempt:attempt_no)
+          in
+          if d > 0.0 then Unix.sleepf d
+        end;
+        let r =
+          Mutex.protect ep.ep_lock (fun () ->
+              match attempt config ep op payload with
+              | Ok _ as ok ->
+                  note_success config ep;
+                  ok
+              | Error _ as e ->
+                  note_failure config ep;
+                  e)
+        in
+        match r with
+        | Ok _ as ok -> ok
+        | Error _ when attempt_no < config.retries -> go (attempt_no + 1)
+        | Error _ as e -> e
+      end
+    in
+    go 0
+  in
+  Metrics.observe m_req_seconds (Unix.gettimeofday () -. t0);
+  Metrics.inc m_requests
+    ~labels:
+      [
+        ("op", Daemon.Wire.opcode_name op);
+        ( "outcome",
+          match result with
+          | Ok (rop, _) -> Daemon.Wire.opcode_name rop
+          | Error reason -> reason );
+      ];
+  result
+
+let request_payload key ~format body =
+  let head =
+    Printf.sprintf "%s\n%s\n%d"
+      (Store.kind_name (Store.kind_of_key key))
+      (Store.digest key) format
+  in
+  match body with None -> head | Some body -> head ^ "\n" ^ body
+
+(* Remote lookup outcome, as the tiering logic needs it: a genuine miss
+   on a healthy shard is not a degradation; an unavailable shard is. *)
+type remote = R_hit of string | R_miss | R_unavailable of string
+
+let remote_get t ep key ~format =
+  match request t ep Daemon.Wire.Get (request_payload key ~format None) with
+  | Ok (Daemon.Wire.R_hit, payload) -> R_hit payload
+  | Ok (Daemon.Wire.R_miss, _) -> R_miss
+  | Ok (rop, _) -> R_unavailable ("unexpected-" ^ Daemon.Wire.opcode_name rop)
+  | Error reason -> R_unavailable reason
+
+let remote_put t ep key ~format payload =
+  match
+    request t ep Daemon.Wire.Put (request_payload key ~format (Some payload))
+  with
+  | Ok (Daemon.Wire.R_ok, _) -> true
+  | Ok _ | Error _ -> false
+
+(* --- tiered fetch ------------------------------------------------------------ *)
+
+let get_or_compute_v ?(on_result = fun _ -> ()) t key ~format ~encode ~decode
+    compute =
+  let computed = ref false in
+  let v =
+    Store.get_or_compute_v t.sh_local key ~format ~encode ~decode (fun () ->
+        (* Local miss. Ask the owning shard before computing; any shard
+           trouble degrades to the compute path below — the caller never
+           observes the difference. *)
+        let fallback reason =
+          (match reason with
+          | None -> () (* clean remote miss: not a degradation *)
+          | Some reason ->
+              Metrics.inc m_fallbacks ~labels:[ ("reason", reason) ];
+              Trace.instant "daemon.client.fallback_recompute"
+                ~attrs:
+                  [
+                    ("key", Trace.S (Store.digest key));
+                    ("reason", Trace.S reason);
+                  ]);
+          computed := true;
+          let v = compute () in
+          (match owner t key with
+          | Some ep ->
+              let (_ : bool) = remote_put t ep key ~format (encode v) in
+              ()
+          | None -> ());
+          v
+        in
+        match owner t key with
+        | None -> fallback None
+        | Some ep ->
+            Trace.with_span "daemon.client.fetch"
+              ~attrs:
+                [
+                  ("endpoint", Trace.S ep.ep_path);
+                  ("key", Trace.S (Store.digest key));
+                ]
+              (fun span ->
+                match remote_get t ep key ~format with
+                | R_hit payload -> (
+                    match decode payload with
+                    | Ok v ->
+                        Metrics.inc m_remote_hits;
+                        Trace.add_attr span "tier" (Trace.S "remote");
+                        v
+                    | Error _ ->
+                        (* Verified frame, undecodable artifact: the
+                           shard holds a corrupt or skewed copy. Never
+                           serve it — recompute (and overwrite the
+                           shard's copy via the put-through). *)
+                        fallback (Some "undecodable"))
+                | R_miss ->
+                    Trace.add_attr span "tier" (Trace.S "computed");
+                    fallback None
+                | R_unavailable reason ->
+                    Trace.add_attr span "tier" (Trace.S "fallback");
+                    fallback (Some reason)))
+  in
+  on_result (if !computed then `Miss else `Hit);
+  v
+
+let backend t =
+  {
+    Codec.fetch =
+      (fun ?on_result key ~format ~encode ~decode f ->
+        get_or_compute_v ?on_result t key ~format ~encode ~decode f);
+  }
+
+(* --- one-shot admin clients -------------------------------------------------- *)
+
+let one_shot ?(deadline_s = 2.0) path op =
+  Lazy.force ignore_sigpipe;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO deadline_s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO deadline_s;
+        Unix.connect fd (Unix.ADDR_UNIX path)
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+          Error (Unix.error_message err)
+      | () -> (
+          match Daemon.Wire.write_frame fd op "" with
+          | Error e -> Error (Daemon.Wire.error_to_string e)
+          | Ok () -> (
+              match Daemon.Wire.read_frame fd with
+              | Error e -> Error (Daemon.Wire.error_to_string e)
+              | Ok (Daemon.Wire.R_err, reason) -> Error reason
+              | Ok (_, payload) -> Ok payload)))
+
+let ping ?deadline_s path = one_shot ?deadline_s path Daemon.Wire.Health
+
+let remote_stats ?deadline_s path =
+  match one_shot ?deadline_s path Daemon.Wire.Stats with
+  | Error _ as e -> e
+  | Ok payload -> (
+      match Daemon.parse_stats payload with
+      | Some st -> Ok st
+      | None -> Error "unparsable-stats")

@@ -1,0 +1,95 @@
+(** Client-side shard router: consistent hashing over farm daemons,
+    with a local store as both write-through cache and fallback.
+
+    A {!t} tiers two levels: every fetch first consults (and every
+    computed artifact lands in) the {e local} {!Store}; on a local miss
+    the key's {e owning shard} — chosen by consistent hashing over the
+    configured daemon endpoints — is asked before computing. Remote
+    artifacts are written through to the local store; locally computed
+    artifacts are pushed to the owning shard best-effort.
+
+    {b Fault tolerance.} Every remote call runs under a per-request
+    deadline (socket send/receive timeouts), bounded retries with
+    exponential {!Elfie_util.Backoff} + seeded jitter, and a per-shard
+    circuit breaker:
+
+    - {e Closed}: requests flow; {!config.breaker_threshold} consecutive
+      failures open the circuit.
+    - {e Open}: requests fail fast (no connection attempt) until
+      {!config.breaker_cooldown_s} elapses.
+    - {e Half-open}: one trial request probes the shard; success closes
+      the circuit, failure re-opens it for another cooldown.
+
+    Any remote failure — shard down, torn or bit-flipped frame, hung
+    peer, version skew, breaker open — {e degrades to a local
+    recompute}: the fetch behaves exactly like a cache miss. A shard
+    outage costs time, never correctness, and never surfaces as an
+    exception from {!get_or_compute_v}. *)
+
+type config = {
+  deadline_s : float;  (** per-request socket send/receive deadline *)
+  retries : int;  (** retry attempts beyond the first, per request *)
+  backoff : Elfie_util.Backoff.policy;  (** delay schedule between retries *)
+  breaker_threshold : int;
+      (** consecutive failures that open a shard's circuit *)
+  breaker_cooldown_s : float;  (** open-state duration before a probe *)
+  replicas : int;  (** virtual nodes per endpoint on the hash ring *)
+  jitter_seed : int64;  (** seeds the jitter rng (deterministic delays) *)
+}
+
+val default_config : config
+
+(** Observable breaker state of one endpoint. *)
+type breaker_state = Closed | Open | Half_open
+
+val pp_breaker_state : Format.formatter -> breaker_state -> unit
+
+type t
+
+val connect :
+  ?config:config -> local:Store.t -> endpoints:string list -> unit -> t
+(** Build a router over daemon socket paths. Nothing is contacted
+    eagerly; connections are opened lazily per endpoint and kept. An
+    empty [endpoints] list is a pure-local router (every fetch is just
+    {!Store.get_or_compute_v}). *)
+
+val close : t -> unit
+(** Drop all shard connections (the local store stays usable). *)
+
+val local : t -> Store.t
+val endpoints : t -> string list
+
+val endpoint_for : t -> Store.key -> string option
+(** The key's owning shard under consistent hashing ([None] when no
+    endpoints are configured). Stable across routers with the same
+    endpoint list and [replicas]. *)
+
+val breaker : t -> string -> breaker_state option
+(** Current breaker state of an endpoint ([None] for an unknown path). *)
+
+val get_or_compute_v :
+  ?on_result:([ `Hit | `Miss ] -> unit) ->
+  t ->
+  Store.key ->
+  format:int ->
+  encode:('a -> string) ->
+  decode:(string -> ('a, Elfie_util.Diag.t) result) ->
+  (unit -> 'a) ->
+  'a
+(** Tiered fetch-or-compute: local store, then owning shard, then
+    [compute]. Same contract as {!Store.get_or_compute_v} — [on_result]
+    sees [`Hit] when either tier served the artifact. Never raises on
+    shard failure. *)
+
+val backend : t -> Codec.backend
+(** The router as a {!Codec.backend}, for [Codec.fetch_*]. *)
+
+(** {1 One-shot admin clients} *)
+
+val ping : ?deadline_s:float -> string -> (string, string) result
+(** Send [health] to a daemon socket path; the health text or an error
+    reason. *)
+
+val remote_stats :
+  ?deadline_s:float -> string -> (Daemon.stats, string) result
+(** Fetch and parse a daemon's [stats]. *)

@@ -12,6 +12,9 @@ let kind_name = function
   | Elfie -> "elfie"
   | Measurement -> "measurement"
 
+let kind_of_name name =
+  List.find_opt (fun k -> kind_name k = name) all_kinds
+
 type key = { kind : kind; key_digest : string }
 
 (* Percent-escape the characters that carry structure in the normalized
@@ -47,6 +50,7 @@ let key kind ~program params =
 
 let kind_of_key k = k.kind
 let digest k = k.key_digest
+let key_of_digest kind key_digest = { kind; key_digest }
 
 let pp_key fmt k =
   Format.fprintf fmt "%s/%s" (kind_name k.kind) k.key_digest
@@ -586,29 +590,87 @@ let size_bytes t =
 let artifact_count t kind =
   List.length (List.filter (fun (k, _, _) -> k = kind) (live_files t))
 
-let evict t ~max_bytes =
+type eviction = {
+  ev_kind : kind;
+  ev_digest : string;
+  ev_path : string;
+  ev_bytes : int;
+}
+
+(* Deterministic eviction order: ascending mtime, then kind name, then
+   digest — so two stores with identical contents always agree on what
+   goes first, and [gc --dry-run] predicts [gc] exactly. *)
+let eviction_plan t ~max_bytes =
   let files =
     live_files t
-    |> List.sort (fun (_, _, a) (_, _, b) ->
-           compare a.Unix.st_mtime b.Unix.st_mtime)
+    |> List.sort (fun (ka, pa, sa) (kb, pb, sb) ->
+           match compare sa.Unix.st_mtime sb.Unix.st_mtime with
+           | 0 -> (
+               match compare (kind_name ka) (kind_name kb) with
+               | 0 -> compare (Filename.basename pa) (Filename.basename pb)
+               | c -> c)
+           | c -> c)
   in
   let total =
     List.fold_left
       (fun acc (_, _, st) -> Int64.add acc (Int64.of_int st.Unix.st_size))
       0L files
   in
-  let rec drop files total removed =
-    if total <= max_bytes then removed
+  let rec plan files total acc =
+    if total <= max_bytes then List.rev acc
     else
       match files with
-      | [] -> removed
-      | (kind, path, st) :: rest -> (
-          match Sys.remove path with
-          | () ->
-              Metrics.inc m_evictions ~labels:[ ("kind", kind_name kind) ];
-              drop rest
-                (Int64.sub total (Int64.of_int st.Unix.st_size))
-                (removed + 1)
-          | exception Sys_error _ -> drop rest total removed)
+      | [] -> List.rev acc
+      | (kind, path, st) :: rest ->
+          let ev =
+            {
+              ev_kind = kind;
+              ev_digest = Filename.remove_extension (Filename.basename path);
+              ev_path = path;
+              ev_bytes = st.Unix.st_size;
+            }
+          in
+          plan rest
+            (Int64.sub total (Int64.of_int st.Unix.st_size))
+            (ev :: acc)
   in
-  drop files total 0
+  plan files total []
+
+let evict t ~max_bytes =
+  List.fold_left
+    (fun removed ev ->
+      match Sys.remove ev.ev_path with
+      | () ->
+          Metrics.inc m_evictions ~labels:[ ("kind", kind_name ev.ev_kind) ];
+          removed + 1
+      | exception Sys_error _ -> removed)
+    0
+    (eviction_plan t ~max_bytes)
+
+let quarantine_stats t =
+  let dir = quarantine_dir t in
+  let count, bytes =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> (0, 0L)
+    | names ->
+        Array.fold_left
+          (fun (n, b) name ->
+            if name = "log" then (n, b)
+            else
+              match Unix.stat (Filename.concat dir name) with
+              | st -> (n + 1, Int64.add b (Int64.of_int st.Unix.st_size))
+              | exception Unix.Unix_error _ -> (n, b))
+          (0, 0L) names
+  in
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun q ->
+      let n = try Hashtbl.find tally q.q_reason with Not_found -> 0 in
+      Hashtbl.replace tally q.q_reason (n + 1))
+    (read_quarantine_log t);
+  let reasons =
+    Hashtbl.fold (fun reason n acc -> (reason, n) :: acc) tally []
+    |> List.sort (fun (ra, na) (rb, nb) ->
+           match compare nb na with 0 -> compare ra rb | c -> c)
+  in
+  (count, bytes, reasons)

@@ -43,6 +43,9 @@ val all_kinds : kind list
 (** Stable directory/label name: ["pinball"], ["bbv"], ... *)
 val kind_name : kind -> string
 
+(** Inverse of {!kind_name}; [None] for an unknown label. *)
+val kind_of_name : string -> kind option
+
 (** A content address: artifact kind + digest of program bytes and
     normalized parameters. *)
 type key
@@ -55,6 +58,12 @@ val key : kind -> program:string -> (string * string) list -> key
 val kind_of_key : key -> kind
 val digest : key -> string
 val pp_key : Format.formatter -> key -> unit
+
+(** Rehydrate a key from its kind and digest — the wire form used by
+    the farm daemon protocol, where only the content address travels.
+    The digest is not re-derivable from anything, so a mistyped digest
+    simply addresses an absent artifact. *)
+val key_of_digest : kind -> string -> key
 
 type t
 
@@ -141,8 +150,28 @@ val size_bytes : t -> int64
 (** Number of live artifacts of a kind. *)
 val artifact_count : t -> kind -> int
 
-(** Evict oldest-modified artifacts until the store holds at most
-    [max_bytes]; returns how many files were removed (counted in
-    [elfie_store_evictions_total]). Lock and temp files are never
-    evicted; quarantined files are never touched. *)
+(** One artifact an eviction pass would remove (or removed). *)
+type eviction = {
+  ev_kind : kind;
+  ev_digest : string;
+  ev_path : string;
+  ev_bytes : int;
+}
+
+(** [eviction_plan t ~max_bytes] lists exactly what {!evict} would
+    remove, oldest first, without touching anything — the [gc --dry-run]
+    view. The order is deterministic and documented: ascending
+    modification time, ties broken by kind name then digest, dropping
+    files until the remaining live bytes fit [max_bytes]. Lock and temp
+    files are never candidates; quarantined files are never touched. *)
+val eviction_plan : t -> max_bytes:int64 -> eviction list
+
+(** Evict exactly {!eviction_plan}'s files; returns how many were
+    removed (counted in [elfie_store_evictions_total]). *)
 val evict : t -> max_bytes:int64 -> int
+
+(** Summary of the persistent quarantine area, from the Q1 log plus the
+    on-disk corpses: file count, total bytes still preserved, and a
+    reason tally (reason, count) sorted by descending count then
+    reason. *)
+val quarantine_stats : t -> int * int64 * (string * int) list

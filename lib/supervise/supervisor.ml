@@ -9,6 +9,7 @@ type policy = {
   retries : int;
   backoff_base_s : float;
   backoff_factor : float;
+  backoff_max_s : float;
   jitter : float;
   budget_raise : int64;
   base_seed : int64;
@@ -19,9 +20,20 @@ let default_policy =
     retries = 2;
     backoff_base_s = 0.0;
     backoff_factor = 2.0;
+    backoff_max_s = 30.0;
     jitter = 0.25;
     budget_raise = 4L;
     base_seed = 42L;
+  }
+
+(* The supervisor's retry delays are an Util.Backoff schedule; the
+   policy fields above are its historical spelling. *)
+let backoff_policy policy =
+  {
+    Elfie_util.Backoff.base_s = policy.backoff_base_s;
+    factor = policy.backoff_factor;
+    max_s = policy.backoff_max_s;
+    jitter = policy.jitter;
   }
 
 type watchdog = Wd_none | Wd_wall | Wd_ins
@@ -97,13 +109,7 @@ let seed_of policy attempt_no =
   Int64.add policy.base_seed (Int64.of_int (1009 * attempt_no))
 
 let backoff policy rng ~attempt_no =
-  if policy.backoff_base_s > 0.0 && attempt_no > 0 then begin
-    let base =
-      policy.backoff_base_s *. (policy.backoff_factor ** float_of_int (attempt_no - 1))
-    in
-    let jit = 1.0 +. (policy.jitter *. ((2.0 *. Elfie_util.Rng.float rng) -. 1.0)) in
-    Unix.sleepf (Float.max 0.0 (base *. jit))
-  end
+  Elfie_util.Backoff.sleep ~rng (backoff_policy policy) ~attempt:attempt_no
 
 let supervise ~job ?(policy = default_policy) ?(budget = unlimited) ?journal
     ?(resume = true) ?(inputs = []) ?escalate run =

@@ -44,6 +44,8 @@ type policy = {
   backoff_base_s : float;
       (** first backoff delay; [0.0] (the default) disables sleeping *)
   backoff_factor : float;  (** exponential growth per retry *)
+  backoff_max_s : float;
+      (** hard ceiling on any single delay (default 30 s) *)
   jitter : float;  (** +- fraction of the delay, drawn deterministically *)
   budget_raise : int64;
       (** instruction-budget multiplier for the single timeout/runaway

@@ -1,0 +1,28 @@
+type policy = {
+  base_s : float;
+  factor : float;
+  max_s : float;
+  jitter : float;
+}
+
+let default = { base_s = 0.05; factor = 2.0; max_s = 30.0; jitter = 0.25 }
+let none = { default with base_s = 0.0 }
+
+let delay ?rng policy ~attempt =
+  if attempt <= 0 || policy.base_s <= 0.0 then 0.0
+  else begin
+    let raw =
+      policy.base_s *. (policy.factor ** float_of_int (attempt - 1))
+    in
+    let jittered =
+      match rng with
+      | Some rng when policy.jitter > 0.0 ->
+          raw *. (1.0 +. (policy.jitter *. ((2.0 *. Rng.float rng) -. 1.0)))
+      | Some _ | None -> raw
+    in
+    Float.max 0.0 (Float.min policy.max_s jittered)
+  end
+
+let sleep ?rng policy ~attempt =
+  let d = delay ?rng policy ~attempt in
+  if d > 0.0 then Unix.sleepf d

@@ -1,0 +1,307 @@
+(* The farm daemon suite (dune alias @daemon, also part of the default
+   test run): wire-protocol framing (self-verifying frames reject torn,
+   bit-flipped, skewed and oversized input as typed errors), an
+   in-process daemon served end-to-end through the shard router,
+   circuit-breaker state transitions under a dead endpoint, consistent-
+   hash stability, and the full daemon fault-injection sweep — every
+   injected failure must degrade to a local recompute with the correct
+   value, never a crash, never a corrupt artifact. *)
+
+module Store = Elfie_farm.Store
+module Daemon = Elfie_farm.Daemon
+module Shard = Elfie_farm.Shard
+module Wire = Elfie_farm.Daemon.Wire
+module Fault_inject = Elfie_check.Fault_inject
+
+let tmp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+(* A socket path short enough for sockaddr_un. *)
+let tmp_socket name = Filename.concat (tmp_dir "elfied") (name ^ ".sock")
+
+(* --- wire protocol --------------------------------------------------------- *)
+
+let check_decode what expected frame =
+  let show = function
+    | Ok (op, payload) ->
+        Printf.sprintf "Ok (%s, %d bytes)" (Wire.opcode_name op)
+          (String.length payload)
+    | Error e -> Printf.sprintf "Error %s" (Wire.error_to_string e)
+  in
+  Alcotest.(check string) what (show expected) (show (Wire.decode frame))
+
+let test_wire_roundtrip () =
+  let payloads = [ ""; "x"; String.init 257 (fun i -> Char.chr (i land 0xff)) ]
+  and ops = [ Wire.Get; Wire.Put; Wire.Stats; Wire.Health;
+              Wire.R_hit; Wire.R_miss; Wire.R_ok; Wire.R_stats;
+              Wire.R_health; Wire.R_err ] in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun payload ->
+          check_decode
+            (Printf.sprintf "%s/%d roundtrips" (Wire.opcode_name op)
+               (String.length payload))
+            (Ok (op, payload))
+            (Wire.encode op payload))
+        payloads)
+    ops
+
+let test_wire_rejections () =
+  let frame = Wire.encode Wire.R_hit "some artifact payload" in
+  let patch off c =
+    let b = Bytes.of_string frame in
+    Bytes.set b off c;
+    Bytes.to_string b
+  in
+  let flip off =
+    patch off (Char.chr (Char.code frame.[off] lxor 0x01))
+  in
+  check_decode "payload bit flip -> checksum" (Error Wire.Bad_checksum)
+    (flip Wire.header_bytes);
+  check_decode "digest bit flip -> checksum" (Error Wire.Bad_checksum)
+    (flip 10);
+  check_decode "magic corruption" (Error Wire.Bad_magic) (patch 0 'X');
+  check_decode "version skew" (Error Wire.Version_skew)
+    (patch 4 (Char.chr (Wire.version + 1)));
+  check_decode "unknown opcode" (Error Wire.Bad_opcode) (patch 5 '\x42');
+  check_decode "truncated mid-header" (Error Wire.Torn)
+    (String.sub frame 0 9);
+  check_decode "truncated mid-payload" (Error Wire.Torn)
+    (String.sub frame 0 (Wire.header_bytes + 3));
+  check_decode "trailing garbage" (Error Wire.Torn) (frame ^ "!");
+  check_decode "empty input" (Error Wire.Torn) "";
+  (* Length field patched to something absurd: rejected before any
+     payload allocation. *)
+  let huge = Bytes.of_string frame in
+  Bytes.set_int32_le huge 6 0x7fffffffl;
+  check_decode "oversized length" (Error Wire.Too_large)
+    (Bytes.to_string huge);
+  let skewed = Wire.encode ~version:(Wire.version + 1) Wire.R_hit "p" in
+  check_decode "encoder-side skew" (Error Wire.Version_skew) skewed
+
+let test_stats_roundtrip () =
+  let stats =
+    { Daemon.st_bytes = 123456L;
+      st_artifacts = [ ("bbv", 3); ("measurement", 12) ];
+      st_quarantine_count = 2;
+      st_quarantine_bytes = 99L;
+      st_quarantine_reasons = [ ("checksum-mismatch", 2) ] }
+  in
+  match Daemon.parse_stats (Daemon.render_stats stats) with
+  | None -> Alcotest.fail "rendered stats did not parse"
+  | Some s ->
+      Alcotest.(check int64) "bytes" stats.Daemon.st_bytes s.Daemon.st_bytes;
+      Alcotest.(check (list (pair string int))) "artifacts"
+        stats.Daemon.st_artifacts s.Daemon.st_artifacts;
+      Alcotest.(check int) "quarantine count" 2 s.Daemon.st_quarantine_count;
+      Alcotest.(check int64) "quarantine bytes" 99L
+        s.Daemon.st_quarantine_bytes;
+      Alcotest.(check (list (pair string int))) "quarantine reasons"
+        stats.Daemon.st_quarantine_reasons s.Daemon.st_quarantine_reasons
+
+(* --- daemon end to end ----------------------------------------------------- *)
+
+let sweep_key n =
+  Store.key Store.Measurement ~program:"daemon-test-program"
+    [ ("case", string_of_int n) ]
+
+let fetch_through router key payload =
+  let computed = ref false in
+  let v =
+    Shard.get_or_compute_v router key ~format:1 ~encode:Fun.id
+      ~decode:(fun s -> Ok s)
+      (fun () ->
+        computed := true;
+        payload)
+  in
+  (v, !computed)
+
+let test_daemon_end_to_end () =
+  let socket = tmp_socket "e2e" in
+  let shard_store = Store.open_store ~producer:"test" (tmp_dir "elfied_shard") in
+  let daemon = Daemon.start ~store:shard_store ~socket_path:socket () in
+  Fun.protect ~finally:(fun () -> Daemon.stop daemon) @@ fun () ->
+  (match Shard.ping socket with
+  | Ok health ->
+      Alcotest.(check bool) "health text" true
+        (String.length health >= 2 && String.sub health 0 2 = "ok")
+  | Error reason -> Alcotest.failf "ping failed: %s" reason);
+  let payload = String.init 512 (fun i -> Char.chr (i * 7 land 0xff)) in
+  let key = sweep_key 1 in
+  (* First client: misses both tiers, computes, pushes to the shard. *)
+  let local_a = Store.open_store ~producer:"test" (tmp_dir "elfied_a") in
+  let ra = Shard.connect ~local:local_a ~endpoints:[ socket ] () in
+  let va, computed_a =
+    Fun.protect ~finally:(fun () -> Shard.close ra)
+      (fun () -> fetch_through ra key payload)
+  in
+  Alcotest.(check bool) "cold fetch computes" true computed_a;
+  Alcotest.(check string) "cold fetch value" payload va;
+  (* Second client with a FRESH local store: the artifact can only come
+     from the daemon — no computation, same bytes. *)
+  let local_b = Store.open_store ~producer:"test" (tmp_dir "elfied_b") in
+  let rb = Shard.connect ~local:local_b ~endpoints:[ socket ] () in
+  let vb, computed_b =
+    Fun.protect ~finally:(fun () -> Shard.close rb)
+      (fun () -> fetch_through rb key payload)
+  in
+  Alcotest.(check bool) "warm fetch served remotely" false computed_b;
+  Alcotest.(check string) "warm fetch value" payload vb;
+  (* Remote write-through is visible in the daemon's stats. *)
+  (match Shard.remote_stats socket with
+  | Ok stats ->
+      let measurements =
+        try List.assoc "measurement" stats.Daemon.st_artifacts
+        with Not_found -> 0
+      in
+      Alcotest.(check bool) "shard holds the artifact" true
+        (measurements >= 1)
+  | Error reason -> Alcotest.failf "stats failed: %s" reason);
+  (* Remote hits land in the local store too: closing the router and
+     reading purely locally still hits. *)
+  let rb' = Shard.connect ~local:local_b ~endpoints:[] () in
+  let vb', computed_b' =
+    Fun.protect ~finally:(fun () -> Shard.close rb')
+      (fun () -> fetch_through rb' key payload)
+  in
+  Alcotest.(check bool) "write-through cached locally" false computed_b';
+  Alcotest.(check string) "local copy intact" payload vb'
+
+(* --- breaker --------------------------------------------------------------- *)
+
+let breaker_config =
+  { Shard.default_config with
+    deadline_s = 0.2; retries = 0;
+    backoff = Elfie_util.Backoff.none;
+    breaker_threshold = 2; breaker_cooldown_s = 0.15 }
+
+let test_breaker_transitions () =
+  let socket = tmp_socket "downshard" in
+  (* Nothing listens on [socket]: every remote attempt fails fast. *)
+  let local = Store.open_store ~producer:"test" (tmp_dir "elfied_brk") in
+  let router =
+    Shard.connect ~config:breaker_config ~local ~endpoints:[ socket ] ()
+  in
+  Fun.protect ~finally:(fun () -> Shard.close router) @@ fun () ->
+  Alcotest.(check (option string)) "key owned by the only endpoint"
+    (Some socket)
+    (Shard.endpoint_for router (sweep_key 1));
+  (match Shard.breaker router socket with
+  | Some Shard.Closed -> ()
+  | other ->
+      Alcotest.failf "expected Closed, got %s"
+        (match other with
+        | None -> "unknown endpoint"
+        | Some s -> Format.asprintf "%a" Shard.pp_breaker_state s));
+  (* Each fetch fails remotely and degrades to recompute — never raises. *)
+  for n = 1 to breaker_config.Shard.breaker_threshold do
+    let v, computed = fetch_through router (sweep_key n) "payload" in
+    Alcotest.(check bool) "degraded fetch computes" true computed;
+    Alcotest.(check string) "degraded fetch value" "payload" v
+  done;
+  (match Shard.breaker router socket with
+  | Some Shard.Open -> ()
+  | _ -> Alcotest.fail "threshold failures did not open the breaker");
+  (* Open circuit: requests still succeed (fail-fast + recompute). *)
+  let v, computed = fetch_through router (sweep_key 99) "p99" in
+  Alcotest.(check bool) "fail-fast fetch computes" true computed;
+  Alcotest.(check string) "fail-fast fetch value" "p99" v;
+  (* After the cooldown the breaker is willing to probe again. *)
+  Unix.sleepf (breaker_config.Shard.breaker_cooldown_s +. 0.05);
+  (match Shard.breaker router socket with
+  | Some Shard.Half_open -> ()
+  | _ -> Alcotest.fail "cooldown did not half-open the breaker");
+  (* A successful probe closes it: bring a daemon up on that socket. *)
+  let shard_store = Store.open_store ~producer:"test" (tmp_dir "elfied_up") in
+  let daemon = Daemon.start ~store:shard_store ~socket_path:socket () in
+  Fun.protect ~finally:(fun () -> Daemon.stop daemon) @@ fun () ->
+  let _, _ = fetch_through router (sweep_key 100) "p100" in
+  match Shard.breaker router socket with
+  | Some Shard.Closed -> ()
+  | _ -> Alcotest.fail "successful probe did not close the breaker"
+
+(* --- consistent hashing ---------------------------------------------------- *)
+
+let test_hashing_stable () =
+  let endpoints = [ "/tmp/sh-a.sock"; "/tmp/sh-b.sock"; "/tmp/sh-c.sock" ] in
+  let local = Store.open_store ~producer:"test" (tmp_dir "elfied_hash") in
+  let ra = Shard.connect ~local ~endpoints () in
+  let rb = Shard.connect ~local ~endpoints () in
+  Fun.protect
+    ~finally:(fun () ->
+      Shard.close ra;
+      Shard.close rb)
+  @@ fun () ->
+  let keys = List.init 200 sweep_key in
+  (* Same endpoints, same ring: assignment is a pure function of the
+     key. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        "same ring, same owner"
+        (Shard.endpoint_for ra k) (Shard.endpoint_for rb k))
+    keys;
+  (* All shards own a share (virtual nodes spread the ring). *)
+  List.iter
+    (fun ep ->
+      let owned =
+        List.length
+          (List.filter (fun k -> Shard.endpoint_for ra k = Some ep) keys)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s owns a share" ep)
+        true (owned > 0))
+    endpoints
+
+(* --- fault sweep ----------------------------------------------------------- *)
+
+let test_daemon_fault_sweep () =
+  let root = tmp_dir "elfied_sweep" in
+  let report = Fault_inject.run_daemon ~root () in
+  (match Fault_inject.daemon_failures report with
+  | [] -> ()
+  | failures ->
+      List.iter
+        (fun (c : Fault_inject.daemon_case) ->
+          Format.eprintf "FAILED %s (%s): %s@."
+            (Fault_inject.daemon_fault_name c.Fault_inject.dfault)
+            c.Fault_inject.ddetail
+            (match c.Fault_inject.doutcome with
+            | Fault_inject.Store_served_corrupt m -> "CORRUPT " ^ m
+            | Fault_inject.Store_crashed m -> "CRASH " ^ m
+            | _ -> "?"))
+        failures;
+      Alcotest.failf "%d daemon fault case(s) failed" (List.length failures));
+  Alcotest.(check int) "every case recovered or was benign"
+    report.Fault_inject.d_total
+    (report.Fault_inject.d_recovered + report.Fault_inject.d_benign);
+  (* Only the stale-socket recovery serves through; every active
+     tampering case must degrade to a recompute. *)
+  Alcotest.(check bool) "tampering degrades to recompute" true
+    (report.Fault_inject.d_recovered >= report.Fault_inject.d_total - 1);
+  Format.printf "%a@." Fault_inject.pp_daemon_report report
+
+let () =
+  Alcotest.run "daemon"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "frame roundtrips" `Quick test_wire_roundtrip;
+          Alcotest.test_case "corrupt frames rejected" `Quick
+            test_wire_rejections;
+          Alcotest.test_case "stats roundtrip" `Quick test_stats_roundtrip;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "serve end to end" `Quick test_daemon_end_to_end;
+          Alcotest.test_case "breaker transitions" `Quick
+            test_breaker_transitions;
+          Alcotest.test_case "consistent hashing" `Quick test_hashing_stable;
+          Alcotest.test_case "daemon fault sweep" `Slow
+            test_daemon_fault_sweep;
+        ] );
+    ]

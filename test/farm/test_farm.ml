@@ -387,6 +387,75 @@ let test_manifest_parsing () =
   bad "unknown key" "job bench=541.leela_r nope=1\n";
   bad "bad integer" "job bench=541.leela_r slice=ten\n"
 
+(* Satellite of the daemon PR: two `elfied run --resume` processes race
+   the same journal and store, and one of them is SIGKILLed mid-run —
+   the abandoned locks and any torn trailing journal line must not stop
+   the survivor, and a warm resume afterwards must satisfy every job
+   from the journal without running anything. Real subprocesses (not
+   forks): OCaml 5 forbids fork once pool domains have ever been
+   spawned, and the CLI is the surface the satellite is about. *)
+let elfied_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    "../../bin/elfied.exe"
+
+let test_concurrent_resume_kill () =
+  let root = tmp_dir "elfie_farm_race_resume" in
+  let store_root = Filename.concat root "store" in
+  let jpath = Filename.concat root "journal.j1" in
+  let manifest = Filename.concat root "manifest" in
+  let out f =
+    Out_channel.with_open_text f (fun oc ->
+        output_string oc
+          "ra bench=541.leela_r max-k=3 warmup=1000 trials=1 regions=2\n\
+           rb bench=541.leela_r max-k=4 warmup=1000 trials=1 regions=2\n")
+  in
+  out manifest;
+  let jobs =
+    match Driver.load_manifest manifest with
+    | Ok jobs -> jobs
+    | Error d -> Alcotest.failf "manifest rejected: %a" Elfie_util.Diag.pp d
+  in
+  let spawn_driver () =
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid =
+      Unix.create_process elfied_exe
+        [| elfied_exe; "run"; manifest; "--store"; store_root; "--journal";
+           jpath; "--resume" |]
+        Unix.stdin devnull devnull
+    in
+    Unix.close devnull;
+    pid
+  in
+  let survivor = spawn_driver () in
+  let victim = spawn_driver () in
+  Unix.sleepf 0.3;
+  Unix.kill victim Sys.sigkill;
+  let _, victim_status = Unix.waitpid [] victim in
+  let _, survivor_status = Unix.waitpid [] survivor in
+  (match victim_status with
+  | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+  | Unix.WEXITED 0 -> () (* finished before the kill landed; still valid *)
+  | _ -> Alcotest.fail "victim neither killed nor graceful");
+  (match survivor_status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "survivor exited %d" n
+  | _ -> Alcotest.fail "survivor did not exit normally");
+  (* Warm resume: the journal (including whatever the victim left
+     behind) satisfies both jobs; nothing runs, nothing is recomputed. *)
+  let store = Store.open_store store_root in
+  let journal = Journal.open_file jpath in
+  let m_loader = Metrics.counter "elfie_loader_runs_total" in
+  let runs0 = Metrics.total m_loader in
+  let warm = Driver.run ~store ~journal ~resume:true jobs in
+  Journal.close journal;
+  Alcotest.(check int) "warm resume skips both jobs" 2 warm.Driver.b_skipped;
+  Alcotest.(check int) "warm resume misses nothing" 0 warm.Driver.b_misses;
+  Alcotest.(check (float 0.0)) "warm resume executes no program" 0.0
+    (Metrics.total m_loader -. runs0);
+  Alcotest.(check int) "warm resume quarantines nothing" 0
+    warm.Driver.b_quarantined
+
 let () =
   Alcotest.run "farm"
     [
@@ -410,5 +479,7 @@ let () =
           Alcotest.test_case "journal resume" `Slow test_driver_resume;
           Alcotest.test_case "corrupt cache survived" `Slow
             test_driver_survives_corrupt_cache;
+          Alcotest.test_case "concurrent resume, one driver killed" `Slow
+            test_concurrent_resume_kill;
         ] );
     ]

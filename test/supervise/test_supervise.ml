@@ -128,10 +128,56 @@ let test_divergence_escalation () =
   | l -> failf "expected exactly one escalated attempt, got %d" (List.length l));
   Format.printf "diverge: %a@." Supervisor.pp_report report
 
+(* Retry delays now come from the shared Elfie_util.Backoff schedule.
+   Two regressions pinned here: (1) the total time a retrying job spends
+   sleeping is bounded by the policy ceiling — an exploding exponential
+   (factor 50) must be clamped to max_s per retry; (2) with a jittered
+   policy, two runs of the same job draw identical delay sequences (the
+   jitter rng is seeded from the policy seed and the job name), so
+   supervised batches stay reproducible end to end. *)
+let test_backoff_cap_and_determinism () =
+  let policy =
+    { Supervisor.default_policy with
+      retries = 3;
+      backoff_base_s = 0.01;
+      backoff_factor = 50.0;
+      backoff_max_s = 0.05 }
+  in
+  let run ~attempt_no ~seed:_ ~budget:_ =
+    if attempt_no < 3 then (None, Classify.Stack_collision)
+    else (Some attempt_no, Classify.Graceful)
+  in
+  let go () =
+    let t0 = Unix.gettimeofday () in
+    let report, value = Supervisor.supervise ~job:"backoff-cap" ~policy run in
+    (report, value, Unix.gettimeofday () -. t0)
+  in
+  let r1, v1, wall1 = go () in
+  let r2, v2, _ = go () in
+  (match v1 with
+  | Some 3 -> ()
+  | _ -> failf "retrying job did not recover on attempt 3");
+  if List.length (primary_attempts r1) <> 4 then
+    failf "expected 4 primary attempts, got %d"
+      (List.length (primary_attempts r1));
+  (* Raw schedule 0.01, 0.5, 25.0 — capped it is at most
+     0.01 + 0.05 + 0.05 = 0.11 s of sleeping. Generous slack for the
+     attempts themselves. *)
+  if wall1 > 1.0 then
+    failf "backoff not capped at ceiling: %.3f s for 3 retries" wall1;
+  let seeds r =
+    List.map (fun (a : Supervisor.attempt) -> a.attempt_seed)
+      (primary_attempts r)
+  in
+  if seeds r1 <> seeds r2 then failf "same-seed reruns drew different seeds";
+  if v1 <> v2 then failf "same-seed reruns returned different values";
+  Format.printf "backoff-cap: %a@." Supervisor.pp_report r1
+
 let () =
   let pb = capture "suppb" in
   test_hang_runaway pb;
   test_hang_timeout pb;
   test_collision_reseed pb;
   test_divergence_escalation ();
+  test_backoff_cap_and_determinism ();
   Format.printf "supervise suite passed@."
