@@ -308,10 +308,43 @@ let farm_daemon_bench () =
      owned by the dead shard recompute locally. *)
   Daemon.stop db;
   let _, degraded = pass "daemon/warm-one-shard-down" "local_degraded" in
+  (* Telemetry scrape overhead: what one `elfied top` refresh costs the
+     surviving shard — full Prometheus exposition over the wire through
+     a monitor router, measured per scrape. *)
+  let scrape =
+    let ep = Daemon.socket_path da in
+    let monitor = Shard.monitor ~endpoints:[ ep ] () in
+    Fun.protect
+      ~finally:(fun () -> Shard.close monitor)
+      (fun () ->
+        let n = 50 in
+        let lat = Array.make n 0.0 in
+        let bytes = ref 0 in
+        for i = 0 to n - 1 do
+          let t0 = Unix.gettimeofday () in
+          (match Shard.scrape_metrics monitor ep with
+          | Ok exposition -> bytes := String.length exposition
+          | Error e -> Fmt.failwith "metrics scrape failed: %s" e);
+          lat.(i) <- Unix.gettimeofday () -. t0
+        done;
+        Array.sort compare lat;
+        let avg_ms = Array.fold_left ( +. ) 0.0 lat /. float_of_int n *. 1e3 in
+        let min_ms = lat.(0) *. 1e3 and max_ms = lat.(n - 1) *. 1e3 in
+        Printf.printf
+          "%-26s %8.3f ms avg  %8.3f ms max  (%d scrapes, %d exposition \
+           bytes)\n\
+           %!"
+          "daemon/metrics-scrape" avg_ms max_ms n !bytes;
+        Printf.sprintf
+          "    { \"name\": \"daemon/metrics-scrape\", \"scrapes\": %d, \
+           \"exposition_bytes\": %d, \"avg_ms\": %.6f, \"min_ms\": %.6f, \
+           \"max_ms\": %.6f }"
+          n !bytes avg_ms min_ms max_ms)
+  in
   Daemon.stop da;
   let oc = open_out "BENCH_daemon.json" in
   Printf.fprintf oc "{\n  \"benchmarks\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n" [ cold; warm; degraded ]);
+    (String.concat ",\n" [ cold; warm; degraded; scrape ]);
   close_out oc;
   print_endline "wrote BENCH_daemon.json\n"
 

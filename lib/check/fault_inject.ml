@@ -491,6 +491,7 @@ let pp_report fmt r =
 
 module Daemon = Elfie_farm.Daemon
 module Shard = Elfie_farm.Shard
+module Log = Elfie_obs.Log
 
 type daemon_fault =
   | Shard_killed
@@ -514,10 +515,26 @@ let daemon_fault_name = function
   | Stale_socket -> "stale-socket"
   | Wire_version_skew -> "wire-version-skew"
 
+(* Verdict on the flight-recorder dump a degraded case must leave
+   behind: a parseable JSONL file whose events name the in-flight
+   request (the key the shard client gave up on). *)
+type flight_status =
+  | Flight_ok of int  (** parseable dump with this many events *)
+  | Flight_not_expected  (** the case did not degrade; no dump owed *)
+  | Flight_missing
+  | Flight_bad of string
+
+let flight_status_name = function
+  | Flight_ok n -> Printf.sprintf "flight-ok(%d)" n
+  | Flight_not_expected -> "flight-not-expected"
+  | Flight_missing -> "flight-missing"
+  | Flight_bad msg -> "flight-bad: " ^ msg
+
 type daemon_case = {
   dfault : daemon_fault;
   ddetail : string;
   doutcome : store_outcome;
+  dflight : flight_status;
 }
 
 type daemon_report = {
@@ -530,9 +547,12 @@ type daemon_report = {
 let daemon_failures r =
   List.filter
     (fun c ->
-      match c.doutcome with
-      | Store_served_corrupt _ | Store_crashed _ -> true
-      | Store_recovered | Store_benign -> false)
+      match (c.doutcome, c.dflight) with
+      | (Store_served_corrupt _ | Store_crashed _), _ -> true
+      | _, (Flight_missing | Flight_bad _) -> true
+      | (Store_recovered | Store_benign), (Flight_ok _ | Flight_not_expected)
+        ->
+          false)
     r.d_cases
 
 (* Tight client budget so the sweep stays fast: ~0.3 s deadlines, one
@@ -555,6 +575,52 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+let read_lines file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Judge the flight-recorder dump a degraded case left behind: every
+   line must parse back as a structured event, one of them must be the
+   client's fallback event naming the key it gave up on, and the
+   [flight.dump] trailer must close the file. *)
+let assess_flight ~key file =
+  if not (Sys.file_exists file) then Flight_missing
+  else
+    let lines =
+      List.filter (fun l -> String.trim l <> "") (read_lines file)
+    in
+    let parsed = List.map (fun l -> (l, Log.parse_line l)) lines in
+    match List.find_opt (fun (_, p) -> p = None) parsed with
+    | Some (line, _) ->
+        Flight_bad
+          (Printf.sprintf "unparseable line %S"
+             (String.sub line 0 (min 48 (String.length line))))
+    | None ->
+        let evs = List.filter_map snd parsed in
+        let names_request =
+          List.exists
+            (fun ev ->
+              ev.Log.ev_name = "daemon.client.fallback_recompute"
+              && List.assoc_opt "key" ev.Log.ev_attrs
+                 = Some (Elfie_obs.Trace.S (Store.digest key)))
+            evs
+        in
+        if evs = [] then Flight_bad "empty dump"
+        else if not names_request then
+          Flight_bad "dump does not name the failing request"
+        else if
+          not (List.exists (fun ev -> ev.Log.ev_name = "flight.dump") evs)
+        then Flight_bad "missing flight.dump trailer"
+        else Flight_ok (List.length evs)
+
 let run_daemon ?(seed = 0x600DF00DL) ~root () =
   mkdir_p root;
   let rng = Rng.create seed in
@@ -574,6 +640,13 @@ let run_daemon ?(seed = 0x600DF00DL) ~root () =
         [ ("case", string_of_int !case_id) ]
     in
     let socket = Filename.concat root (Printf.sprintf "s%d.sock" !case_id) in
+    (* Arm the flight recorder per case: a fresh ring and a per-case
+       dump file, so every degrade must leave its own evidence. *)
+    let flight_file =
+      Filename.concat root (Printf.sprintf "flight%d.jsonl" !case_id)
+    in
+    Log.reset ();
+    Log.set_flight_path (Some flight_file);
     let shard_store = Store.open_store ~producer:"daemon-sweep" (dir "shard") in
     let daemon = Daemon.start ?tamper ~store:shard_store ~socket_path:socket () in
     let stopped = ref false in
@@ -583,7 +656,11 @@ let run_daemon ?(seed = 0x600DF00DL) ~root () =
         Daemon.stop daemon
       end
     in
-    Fun.protect ~finally:stop_daemon @@ fun () ->
+    Fun.protect
+      ~finally:(fun () ->
+        stop_daemon ();
+        Log.set_flight_path None)
+    @@ fun () ->
     let fetch local_root recomputed =
       let local = Store.open_store ~producer:"daemon-sweep" (dir local_root) in
       let router =
@@ -615,7 +692,13 @@ let run_daemon ?(seed = 0x600DF00DL) ~root () =
       | Ok _ when !recomputed -> Store_recovered
       | Ok _ -> Store_benign
     in
-    { dfault; ddetail; doutcome }
+    let dflight =
+      match doutcome with
+      | Store_recovered -> assess_flight ~key flight_file
+      | Store_benign | Store_served_corrupt _ | Store_crashed _ ->
+          Flight_not_expected
+    in
+    { dfault; ddetail; doutcome; dflight }
   in
   let tamper_cell = ref Daemon.Pass in
   let tampered () = !tamper_cell in
@@ -688,6 +771,7 @@ let run_daemon ?(seed = 0x600DF00DL) ~root () =
              dfault = Stale_socket;
              ddetail = "bind over a dead daemon's socket file";
              doutcome = Store_crashed (Printexc.to_string e);
+             dflight = Flight_not_expected;
            }
        | daemon ->
            Fun.protect
@@ -739,6 +823,7 @@ let run_daemon ?(seed = 0x600DF00DL) ~root () =
                  dfault = Stale_socket;
                  ddetail = "bind over a dead daemon's socket file";
                  doutcome;
+                 dflight = Flight_not_expected;
                }));
     ]
   in
@@ -758,13 +843,19 @@ let pp_daemon_report fmt r =
     (List.length (daemon_failures r));
   List.iter
     (fun c ->
-      match c.doutcome with
+      (match c.doutcome with
       | Store_served_corrupt msg ->
           Format.fprintf fmt "  CORRUPT %-18s %s: %s@,"
             (daemon_fault_name c.dfault) c.ddetail msg
       | Store_crashed msg ->
           Format.fprintf fmt "  CRASH %-18s %s: %s@,"
             (daemon_fault_name c.dfault) c.ddetail msg
-      | _ -> ())
+      | _ -> ());
+      match c.dflight with
+      | Flight_missing | Flight_bad _ ->
+          Format.fprintf fmt "  FLIGHT %-18s %s: %s@,"
+            (daemon_fault_name c.dfault) c.ddetail
+            (flight_status_name c.dflight)
+      | Flight_ok _ | Flight_not_expected -> ())
     r.d_cases;
   Format.fprintf fmt "@]"

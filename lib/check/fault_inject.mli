@@ -145,10 +145,24 @@ type daemon_fault =
 val all_daemon_faults : daemon_fault list
 val daemon_fault_name : daemon_fault -> string
 
+(** Verdict on the flight-recorder dump a degraded case must leave
+    behind ({!Elfie_obs.Log.dump} fires on every degrade-to-recompute):
+    the file must exist, every line must parse back as a structured
+    event, one event must name the in-flight request (the key the shard
+    client gave up on), and the [flight.dump] trailer must close it. *)
+type flight_status =
+  | Flight_ok of int  (** parseable dump with this many events *)
+  | Flight_not_expected  (** the case did not degrade; no dump owed *)
+  | Flight_missing
+  | Flight_bad of string
+
+val flight_status_name : flight_status -> string
+
 type daemon_case = {
   dfault : daemon_fault;
   ddetail : string;
   doutcome : store_outcome;  (** same verdict lattice as the store sweep *)
+  dflight : flight_status;
 }
 
 type daemon_report = {
@@ -158,7 +172,9 @@ type daemon_report = {
   d_cases : daemon_case list;
 }
 
-(** Cases that crashed or served corrupt data; a robust farm yields []. *)
+(** Cases that crashed, served corrupt data, or degraded without
+    leaving a parseable flight dump naming the failing request; a
+    robust farm yields []. *)
 val daemon_failures : daemon_report -> daemon_case list
 
 (** Run the sweep under [root] (created if needed): each case starts a

@@ -1,12 +1,14 @@
 module Metrics = Elfie_obs.Metrics
 module Trace = Elfie_obs.Trace
+module Log = Elfie_obs.Log
 
 (* --- wire protocol ----------------------------------------------------------- *)
 
 module Wire = struct
   let magic = "ELFD"
-  let version = 1
+  let version = 2
   let header_bytes = 26 (* magic 4 + version 1 + opcode 1 + len 4 + md5 16 *)
+  let ctx_bytes = 16 (* v2+: trace id 8 + span id 8, little-endian *)
   let max_payload = 256 * 1024 * 1024
 
   type opcode =
@@ -14,11 +16,15 @@ module Wire = struct
     | Put
     | Stats
     | Health
+    | Metrics_req
+    | Events_req
     | R_hit
     | R_miss
     | R_ok
     | R_stats
     | R_health
+    | R_metrics
+    | R_events
     | R_err
 
   let opcode_byte = function
@@ -26,11 +32,15 @@ module Wire = struct
     | Put -> 0x02
     | Stats -> 0x03
     | Health -> 0x04
+    | Metrics_req -> 0x05
+    | Events_req -> 0x06
     | R_hit -> 0x81
     | R_miss -> 0x82
     | R_ok -> 0x83
     | R_stats -> 0x84
     | R_health -> 0x85
+    | R_metrics -> 0x86
+    | R_events -> 0x87
     | R_err -> 0xFF
 
   let opcode_of_byte = function
@@ -38,11 +48,15 @@ module Wire = struct
     | 0x02 -> Some Put
     | 0x03 -> Some Stats
     | 0x04 -> Some Health
+    | 0x05 -> Some Metrics_req
+    | 0x06 -> Some Events_req
     | 0x81 -> Some R_hit
     | 0x82 -> Some R_miss
     | 0x83 -> Some R_ok
     | 0x84 -> Some R_stats
     | 0x85 -> Some R_health
+    | 0x86 -> Some R_metrics
+    | 0x87 -> Some R_events
     | 0xFF -> Some R_err
     | _ -> None
 
@@ -51,11 +65,15 @@ module Wire = struct
     | Put -> "put"
     | Stats -> "stats"
     | Health -> "health"
+    | Metrics_req -> "metrics"
+    | Events_req -> "events"
     | R_hit -> "hit"
     | R_miss -> "miss"
     | R_ok -> "ok"
     | R_stats -> "stats-reply"
     | R_health -> "health-reply"
+    | R_metrics -> "metrics-reply"
+    | R_events -> "events-reply"
     | R_err -> "err"
 
   type error =
@@ -78,9 +96,49 @@ module Wire = struct
     | Bad_checksum -> "checksum-mismatch"
     | Timeout -> "timeout"
 
-  let encode ?version:(v = version) op payload =
+  (* The trace context carried by every v2 frame: the caller's process
+     trace ID plus the ID of the span covering this request. v1 frames
+     (and explicit zeros) carry no correlation. *)
+  type ctx = { trace_id : int64; span_id : int64 }
+
+  let no_ctx = { trace_id = 0L; span_id = 0L }
+
+  let put_u64_le b v =
+    for i = 0 to 7 do
+      Buffer.add_char b
+        (Char.chr
+           (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+    done
+
+  let get_u64_le s off =
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v :=
+        Int64.logor
+          (Int64.shift_left !v 8)
+          (Int64.of_int (Char.code s.[off + i]))
+    done;
+    !v
+
+  let render_ctx ctx =
+    let b = Buffer.create ctx_bytes in
+    put_u64_le b ctx.trace_id;
+    put_u64_le b ctx.span_id;
+    Buffer.contents b
+
+  let parse_ctx s =
+    { trace_id = get_u64_le s 0; span_id = get_u64_le s 8 }
+
+  (* v2 frames insert the 16 context bytes between the header and the
+     payload, and the digest covers context ^ payload — so a flipped
+     context byte is a checksum mismatch like any payload damage. v1
+     frames ([~version:1], and what old peers send) have no context and
+     digest the payload alone. *)
+  let encode ?version:(v = version) ?(trace = no_ctx) op payload =
+    let has_ctx = v >= 2 in
+    let ctx = if has_ctx then render_ctx trace else "" in
     let len = String.length payload in
-    let b = Buffer.create (header_bytes + len) in
+    let b = Buffer.create (header_bytes + String.length ctx + len) in
     Buffer.add_string b magic;
     Buffer.add_char b (Char.chr (v land 0xff));
     Buffer.add_char b (Char.chr (opcode_byte op));
@@ -88,40 +146,52 @@ module Wire = struct
     Buffer.add_char b (Char.chr ((len lsr 8) land 0xff));
     Buffer.add_char b (Char.chr ((len lsr 16) land 0xff));
     Buffer.add_char b (Char.chr ((len lsr 24) land 0xff));
-    Buffer.add_string b (Digest.string payload);
+    Buffer.add_string b (Digest.string (ctx ^ payload));
+    Buffer.add_string b ctx;
     Buffer.add_string b payload;
     Buffer.contents b
 
-  (* Judge a complete 26-byte header: its version, opcode and declared
-     payload length. *)
+  (* Judge a complete 26-byte header: its version (1 and 2 both decode;
+     anything newer is skew), opcode and declared payload length. *)
   let parse_header h =
     if String.sub h 0 4 <> magic then Error Bad_magic
-    else if Char.code h.[4] <> version then Error Version_skew
     else
-      match opcode_of_byte (Char.code h.[5]) with
-      | None -> Error Bad_opcode
-      | Some op ->
-          let len =
-            Char.code h.[6]
-            lor (Char.code h.[7] lsl 8)
-            lor (Char.code h.[8] lsl 16)
-            lor (Char.code h.[9] lsl 24)
-          in
-          if len < 0 || len > max_payload then Error Too_large
-          else Ok (op, len, String.sub h 10 16)
+      let v = Char.code h.[4] in
+      if v < 1 || v > version then Error Version_skew
+      else
+        match opcode_of_byte (Char.code h.[5]) with
+        | None -> Error Bad_opcode
+        | Some op ->
+            let len =
+              Char.code h.[6]
+              lor (Char.code h.[7] lsl 8)
+              lor (Char.code h.[8] lsl 16)
+              lor (Char.code h.[9] lsl 24)
+            in
+            if len < 0 || len > max_payload then Error Too_large
+            else Ok (v, op, len, String.sub h 10 16)
 
-  let check_payload op payload digest =
-    if Digest.string payload <> digest then Error Bad_checksum
-    else Ok (op, payload)
+  let check_payload op ~ctx payload digest =
+    if Digest.string (ctx ^ payload) <> digest then Error Bad_checksum
+    else
+      Ok (op, payload, if ctx = "" then no_ctx else parse_ctx ctx)
 
-  let decode frame =
+  let decode_ctx frame =
     if String.length frame < header_bytes then Error Torn
     else
       match parse_header (String.sub frame 0 header_bytes) with
       | Error e -> Error e
-      | Ok (op, len, digest) ->
-          if String.length frame <> header_bytes + len then Error Torn
-          else check_payload op (String.sub frame header_bytes len) digest
+      | Ok (v, op, len, digest) ->
+          let nctx = if v >= 2 then ctx_bytes else 0 in
+          if String.length frame <> header_bytes + nctx + len then Error Torn
+          else
+            check_payload op
+              ~ctx:(String.sub frame header_bytes nctx)
+              (String.sub frame (header_bytes + nctx) len)
+              digest
+
+  let decode frame =
+    Result.map (fun (op, payload, _ctx) -> (op, payload)) (decode_ctx frame)
 
   (* EAGAIN here is the socket's SO_RCVTIMEO / SO_SNDTIMEO deadline
      firing — the per-request timeout, not congestion. *)
@@ -142,20 +212,27 @@ module Wire = struct
     in
     go 0
 
-  let read_frame fd =
+  let read_frame_ctx fd =
     match read_exactly fd header_bytes with
     | Error _ as e -> e
     | Ok h -> (
         match parse_header h with
         | Error _ as e -> e
-        | Ok (op, len, digest) -> (
-            match read_exactly fd len with
-            | Error Closed -> Error (if len = 0 then Closed else Torn)
+        | Ok (v, op, len, digest) -> (
+            let nctx = if v >= 2 then ctx_bytes else 0 in
+            match read_exactly fd (nctx + len) with
+            | Error Closed -> Error (if nctx + len = 0 then Closed else Torn)
             | Error _ as e -> e
-            | Ok payload -> check_payload op payload digest))
+            | Ok rest ->
+                check_payload op ~ctx:(String.sub rest 0 nctx)
+                  (String.sub rest nctx len)
+                  digest))
 
-  let write_frame fd op payload =
-    let frame = Bytes.of_string (encode op payload) in
+  let read_frame fd =
+    Result.map (fun (op, payload, _ctx) -> (op, payload)) (read_frame_ctx fd)
+
+  let write_frame ?trace fd op payload =
+    let frame = Bytes.of_string (encode ?trace op payload) in
     let rec go off len =
       if len = 0 then Ok ()
       else
@@ -258,9 +335,19 @@ let m_requests =
   Metrics.counter "elfie_daemon_requests_total"
     ~help:"Daemon requests served, by opcode and response"
 
+(* Unix-socket request service is dominated by store IO: decades from
+   10 µs (health) to seconds (large artifact puts), far below the
+   Prometheus default 5 ms floor. *)
+let latency_buckets =
+  [ 1e-5; 5e-5; 1e-4; 5e-4; 1e-3; 5e-3; 0.025; 0.1; 0.5; 2.0 ]
+
 let m_req_seconds =
-  Metrics.histogram "elfie_daemon_request_seconds"
-    ~help:"Server-side wall time per daemon request"
+  Metrics.histogram "elfie_daemon_request_seconds" ~buckets:latency_buckets
+    ~help:"Server-side wall time per daemon request, by opcode"
+
+let m_uptime =
+  Metrics.gauge "elfie_daemon_uptime_seconds"
+    ~help:"Seconds since this daemon started, refreshed at each scrape"
 
 let m_connections =
   Metrics.counter "elfie_daemon_connections_total"
@@ -285,6 +372,7 @@ type t = {
   d_listen : Unix.file_descr;
   d_tamper : unit -> tamper;
   d_running : bool Atomic.t;
+  d_started : float;
   d_conns : (Unix.file_descr, unit) Hashtbl.t;
   d_lock : Mutex.t;
   mutable d_threads : Thread.t list; (* handler threads; guarded by d_lock *)
@@ -340,6 +428,18 @@ let handle_request d op payload =
         Printf.sprintf "ok pid=%d version=%d root=%s" (Unix.getpid ())
           Wire.version
           (Store.root d.d_store) )
+  | Wire.Metrics_req ->
+      (* Refresh point-in-time gauges so every scrape sees them
+         current. *)
+      Metrics.set m_uptime (Unix.gettimeofday () -. d.d_started);
+      (Wire.R_metrics, Metrics.exposition ())
+  | Wire.Events_req ->
+      let limit =
+        match int_of_string_opt (String.trim payload) with
+        | Some n when n > 0 -> n
+        | _ -> 256
+      in
+      (Wire.R_events, Log.to_jsonl ~limit ())
   | _ -> (Wire.R_err, "bad-request")
 
 let write_raw fd s =
@@ -354,13 +454,14 @@ let write_raw fd s =
   in
   go 0 (Bytes.length b)
 
-(* Send (or, under tamper, mangle / withhold) one response frame.
-   [`Close] means the connection must not be reused. *)
-let respond d fd op payload =
-  let frame = Wire.encode op payload in
+(* Send (or, under tamper, mangle / withhold) one response frame. The
+   caller's trace context is echoed back on the response. [`Close]
+   means the connection must not be reused. *)
+let respond d fd ~trace op payload =
+  let frame = Wire.encode ~trace op payload in
   match d.d_tamper () with
   | Pass -> (
-      match Wire.write_frame fd op payload with
+      match Wire.write_frame ~trace fd op payload with
       | Ok () -> `Continue
       | Error _ -> `Close)
   | Rewrite f ->
@@ -383,31 +484,48 @@ let serve_connection d fd =
   let rec loop () =
     if not (Atomic.get d.d_running) then ()
     else
-      match Wire.read_frame fd with
+      match Wire.read_frame_ctx fd with
       | Error (Wire.Closed | Wire.Torn | Wire.Timeout) -> ()
       | Error e -> (
           (* The stream is out of sync past a bad header; answer the
              typed reason, then drop the connection. *)
           Metrics.inc m_wire_errors
             ~labels:[ ("reason", Wire.error_to_string e) ];
-          match respond d fd Wire.R_err (Wire.error_to_string e) with
+          Log.warn "daemon.wire_error"
+            ~attrs:[ ("reason", Trace.S (Wire.error_to_string e)) ];
+          match respond d fd ~trace:Wire.no_ctx Wire.R_err
+                  (Wire.error_to_string e)
+          with
           | `Continue | `Close -> ())
-      | Ok (op, payload) ->
+      | Ok (op, payload, ctx) ->
+          (* The handler span is tagged with the caller's trace and span
+             IDs, so trace-merge can line this server-side work up under
+             the client's request span. *)
+          let sp =
+            Trace.begin_span "daemon.request"
+              ~attrs:
+                ([ ("op", Trace.S (Wire.opcode_name op)) ]
+                @
+                if ctx.Wire.trace_id = 0L then []
+                else
+                  [
+                    ("trace_id", Trace.S (Trace.hex_id ctx.Wire.trace_id));
+                    ("span_id", Trace.S (Trace.hex_id ctx.Wire.span_id));
+                  ])
+          in
           let t0 = Unix.gettimeofday () in
           let rop, rpayload = handle_request d op payload in
-          let verdict = respond d fd rop rpayload in
-          Metrics.observe m_req_seconds (Unix.gettimeofday () -. t0);
+          let verdict = respond d fd ~trace:ctx rop rpayload in
+          Metrics.observe m_req_seconds
+            ~labels:[ ("op", Wire.opcode_name op) ]
+            (Unix.gettimeofday () -. t0);
           Metrics.inc m_requests
             ~labels:
               [
                 ("op", Wire.opcode_name op); ("response", Wire.opcode_name rop);
               ];
-          Trace.instant "daemon.request"
-            ~attrs:
-              [
-                ("op", Trace.S (Wire.opcode_name op));
-                ("response", Trace.S (Wire.opcode_name rop));
-              ];
+          Trace.end_span sp
+            ~attrs:[ ("response", Trace.S (Wire.opcode_name rop)) ];
           (match verdict with `Continue -> loop () | `Close -> ())
   in
   Fun.protect
@@ -463,6 +581,8 @@ let rec bind_socket path =
         failwith (Printf.sprintf "daemon already listening on %s" path);
       Trace.instant "daemon.stale_socket_recovered"
         ~attrs:[ ("path", Trace.S path) ];
+      Log.warn "daemon.stale_socket_recovered"
+        ~attrs:[ ("path", Trace.S path) ];
       (try Sys.remove path with Sys_error _ -> ());
       bind_socket path
 
@@ -476,6 +596,7 @@ let start ?(tamper = fun () -> Pass) ~store ~socket_path () =
       d_listen = listen;
       d_tamper = tamper;
       d_running = Atomic.make true;
+      d_started = Unix.gettimeofday ();
       d_conns = Hashtbl.create 8;
       d_lock = Mutex.create ();
       d_threads = [];
@@ -486,6 +607,13 @@ let start ?(tamper = fun () -> Pass) ~store ~socket_path () =
   Trace.instant "daemon.serve"
     ~attrs:
       [ ("path", Trace.S socket_path); ("root", Trace.S (Store.root store)) ];
+  Log.info "daemon.serve"
+    ~attrs:
+      [
+        ("path", Trace.S socket_path);
+        ("root", Trace.S (Store.root store));
+        ("version", Trace.I (Int64.of_int Wire.version));
+      ];
   d
 
 let stop ?(unlink = true) d =
@@ -508,5 +636,6 @@ let stop ?(unlink = true) d =
           d.d_conns);
     let threads = Mutex.protect d.d_lock (fun () -> d.d_threads) in
     List.iter Thread.join threads;
+    Log.info "daemon.stop" ~attrs:[ ("path", Trace.S d.d_path) ];
     if unlink then try Sys.remove d.d_path with Sys_error _ -> ()
   end

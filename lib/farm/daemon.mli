@@ -12,15 +12,25 @@
     {v
     offset  size  field
     0       4     magic "ELFD"
-    4       1     protocol version (currently 1)
+    4       1     protocol version (currently 2)
     5       1     opcode
-    6       4     payload length, u32 little-endian
-    10      16    MD5 digest of the payload
-    26      n     payload
+    6       4     payload length, u32 little-endian (excludes context)
+    10      16    MD5 digest of context ^ payload
+    26      16    v2+ trace context: trace id u64 LE, span id u64 LE
+    42      n     payload
     v}
 
+    Version 2 inserts a 16-byte {e trace context} between the header
+    and the payload: the caller's process trace ID and the ID of the
+    span covering this request ({!Elfie_obs.Trace}), echoed back on the
+    response frame, so a merged multi-process trace correlates client
+    request spans with daemon handler spans. Decode remains tolerant of
+    version-1 peers (no context, digest over the payload alone); only
+    versions {e newer} than ours are {!Wire.error} [Version_skew].
+
     The digest makes every frame self-verifying: a torn or bit-flipped
-    frame decodes to a typed {!Wire.error}, never to a wrong payload.
+    frame — context bytes included — decodes to a typed {!Wire.error},
+    never to a wrong payload.
     Request payloads are text headers ([kind \n digest \n format], for
     put followed by [\n] and the raw artifact bytes); response payloads
     are raw artifact bytes (hit) or text. The protocol is deliberately
@@ -41,6 +51,9 @@ module Wire : sig
   val header_bytes : int
   (** Fixed frame-header size (26). *)
 
+  val ctx_bytes : int
+  (** Size of the v2+ trace context between header and payload (16). *)
+
   val max_payload : int
   (** Hard cap on a single frame's payload; larger lengths decode as
       {!error} [Too_large] without allocating. *)
@@ -50,16 +63,25 @@ module Wire : sig
     | Put  (** request: [kind \n digest \n format \n payload] *)
     | Stats  (** request: empty *)
     | Health  (** request: empty *)
+    | Metrics_req  (** request: empty; answers the Prometheus registry *)
+    | Events_req  (** request: optional event-count limit as text *)
     | R_hit  (** response: raw artifact payload *)
     | R_miss  (** response: empty *)
     | R_ok  (** response: empty (put committed) *)
     | R_stats  (** response: rendered {!stats} *)
     | R_health  (** response: [ok pid=... version=... root=...] *)
+    | R_metrics  (** response: Prometheus text exposition *)
+    | R_events  (** response: recent {!Elfie_obs.Log} events as JSONL *)
     | R_err  (** response: reason text; connection closes after *)
 
   val opcode_byte : opcode -> int
   val opcode_of_byte : int -> opcode option
   val opcode_name : opcode -> string
+
+  (** The trace context a v2 frame carries (all-zero when absent). *)
+  type ctx = { trace_id : int64; span_id : int64 }
+
+  val no_ctx : ctx
 
   (** Why a frame failed to decode. *)
   type error =
@@ -74,16 +96,24 @@ module Wire : sig
 
   val error_to_string : error -> string
 
-  val encode : ?version:int -> opcode -> string -> string
+  val encode : ?version:int -> ?trace:ctx -> opcode -> string -> string
   (** Render a complete frame. [version] overrides the protocol version
-      byte (fault injection). *)
+      byte (fault injection); context bytes are emitted only for
+      versions ≥ 2. [trace] defaults to {!no_ctx}. *)
 
   val decode : string -> (opcode * string, error) result
   (** Decode one complete frame from bytes (exposed for tests); trailing
       bytes after the frame are an error ([Torn]). *)
 
-  val write_frame : Unix.file_descr -> opcode -> string -> (unit, error) result
+  val decode_ctx : string -> (opcode * string * ctx, error) result
+  (** {!decode}, also yielding the frame's trace context ({!no_ctx} for
+      v1 frames). *)
+
+  val write_frame :
+    ?trace:ctx -> Unix.file_descr -> opcode -> string -> (unit, error) result
+
   val read_frame : Unix.file_descr -> (opcode * string, error) result
+  val read_frame_ctx : Unix.file_descr -> (opcode * string * ctx, error) result
 end
 
 (** A parsed [stats] response. *)
@@ -97,6 +127,11 @@ type stats = {
 
 val render_stats : stats -> string
 val parse_stats : string -> stats option
+
+val latency_buckets : float list
+(** Histogram bounds for request-latency metrics on both sides of the
+    socket: 10 µs up to 2 s (Unix-socket service sits far below the
+    Prometheus default 5 ms floor). *)
 
 (** What to do {e instead of} sending a response frame (fault
     injection; {!Pass} is normal service). *)

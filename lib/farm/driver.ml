@@ -305,6 +305,12 @@ let compute_job ~backend ~count j =
     profile.Elfie_pin.Bbv.total_instructions )
 
 let run_job ~store ?shard ?journal ?(resume = true) j =
+  Elfie_obs.Log.info "farm.job"
+    ~attrs:
+      [
+        ("job", Trace.S j.j_name);
+        ("tier", Trace.S (match shard with Some _ -> "sharded" | None -> "local"));
+      ];
   (* With a shard router, every stage fetch tiers local-store-first,
      then the key's owning daemon, then compute — shard trouble degrades
      to the plain local path. *)

@@ -1,0 +1,268 @@
+module Metrics = Elfie_obs.Metrics
+
+(* Fleet-wide telemetry aggregation behind `elfied top`: scrape every
+   configured daemon through a Shard router and fold each one's
+   Prometheus exposition, health line and store stats into one table
+   row. A daemon that answers health but not the telemetry opcodes (an
+   old protocol version) degrades to a partial row; an unreachable
+   daemon is a down row — scraping never raises. *)
+
+type state = Up | Partial of string | Down of string
+
+let state_to_string = function
+  | Up -> "up"
+  | Partial reason -> "partial:" ^ reason
+  | Down reason -> "down:" ^ reason
+
+(* Per-opcode latency digest from the server-side request histogram. *)
+type op_latency = {
+  ol_op : string;
+  ol_count : int;
+  ol_p50_ms : float option;
+  ol_p99_ms : float option;
+}
+
+type row = {
+  r_endpoint : string;
+  r_state : state;
+  r_pid : int option;
+  r_version : int option;
+  r_uptime_s : float option;
+  r_requests : float;
+  r_hits : float;
+  r_misses : float;
+  r_wire_errors : float;
+  r_fallbacks : float;
+  r_quarantine : int option;
+  r_bytes : int64 option;
+  r_latency : op_latency list;
+  r_breaker : Shard.breaker_state option;
+  r_samples : Metrics.sample list;  (** the full parsed exposition *)
+}
+
+let empty_row endpoint state =
+  {
+    r_endpoint = endpoint;
+    r_state = state;
+    r_pid = None;
+    r_version = None;
+    r_uptime_s = None;
+    r_requests = 0.0;
+    r_hits = 0.0;
+    r_misses = 0.0;
+    r_wire_errors = 0.0;
+    r_fallbacks = 0.0;
+    r_quarantine = None;
+    r_bytes = None;
+    r_latency = [];
+    r_breaker = None;
+    r_samples = [];
+  }
+
+(* [quantile ~q cum] reads a cumulative [(le, count)] histogram (as
+   {!Metrics.bucket_snapshot} and [_bucket] exposition rows give it):
+   the smallest upper bound covering fraction [q] of observations.
+   [None] on an empty histogram or when the quantile lands in the +Inf
+   bucket (beyond the largest finite bound). *)
+let quantile ~q cum =
+  let cum = List.sort (fun (a, _) (b, _) -> compare a b) cum in
+  match List.rev cum with
+  | [] -> None
+  | (_, total) :: _ when total = 0 -> None
+  | (_, total) :: _ ->
+      let target = q *. float_of_int total in
+      List.find_map
+        (fun (le, count) ->
+          if float_of_int count >= target && Float.is_finite le then Some le
+          else None)
+        cum
+
+let parse_health_line line =
+  let kv = String.split_on_char ' ' (String.trim line) in
+  let find key =
+    List.find_map
+      (fun tok ->
+        let prefix = key ^ "=" in
+        if String.starts_with ~prefix tok then
+          Some
+            (String.sub tok (String.length prefix)
+               (String.length tok - String.length prefix))
+        else None)
+      kv
+  in
+  ( Option.bind (find "pid") int_of_string_opt,
+    Option.bind (find "version") int_of_string_opt )
+
+(* Cumulative buckets of one opcode's latency series, from exposition
+   samples. *)
+let op_buckets samples op =
+  List.filter_map
+    (fun s ->
+      if
+        s.Metrics.s_name = "elfie_daemon_request_seconds_bucket"
+        && List.assoc_opt "op" s.Metrics.s_labels = Some op
+      then
+        Option.map
+          (fun le ->
+            let le =
+              if le = "+Inf" then infinity
+              else Option.value ~default:infinity (float_of_string_opt le)
+            in
+            (le, int_of_float s.Metrics.s_value))
+          (List.assoc_opt "le" s.Metrics.s_labels)
+      else None)
+    samples
+
+let latency_digest samples =
+  let ops =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun s ->
+           if s.Metrics.s_name = "elfie_daemon_request_seconds_count" then
+             List.assoc_opt "op" s.Metrics.s_labels
+           else None)
+         samples)
+  in
+  List.filter_map
+    (fun op ->
+      let count =
+        match
+          Metrics.sample_value
+            ~labels:[ ("op", op) ]
+            "elfie_daemon_request_seconds_count" samples
+        with
+        | Some c -> int_of_float c
+        | None -> 0
+      in
+      if count = 0 then None
+      else
+        let cum = op_buckets samples op in
+        Some
+          {
+            ol_op = op;
+            ol_count = count;
+            ol_p50_ms = Option.map (fun s -> s *. 1e3) (quantile ~q:0.5 cum);
+            ol_p99_ms = Option.map (fun s -> s *. 1e3) (quantile ~q:0.99 cum);
+          })
+    ops
+
+let sum_counter samples name ~where =
+  List.fold_left
+    (fun acc s ->
+      if s.Metrics.s_name = name && where s.Metrics.s_labels then
+        acc +. s.Metrics.s_value
+      else acc)
+    0.0 samples
+
+let row_of_samples row samples =
+  let any _ = true in
+  let response v labels = List.assoc_opt "response" labels = Some v in
+  {
+    row with
+    r_uptime_s = Metrics.sample_value "elfie_daemon_uptime_seconds" samples;
+    r_requests = sum_counter samples "elfie_daemon_requests_total" ~where:any;
+    r_hits =
+      sum_counter samples "elfie_daemon_requests_total" ~where:(response "hit");
+    r_misses =
+      sum_counter samples "elfie_daemon_requests_total"
+        ~where:(response "miss");
+    r_wire_errors =
+      sum_counter samples "elfie_daemon_wire_errors_total" ~where:any;
+    r_fallbacks =
+      sum_counter samples "elfie_daemon_fallback_recomputes_total" ~where:any;
+    r_latency = latency_digest samples;
+    r_samples = samples;
+  }
+
+(* One endpoint's row. Health first (cheap liveness + pid/version);
+   then telemetry, degrading to Partial when the daemon is alive but
+   cannot serve the new opcodes. *)
+let scrape router endpoint =
+  match Shard.scrape_health router endpoint with
+  | Error reason ->
+      { (empty_row endpoint (Down reason)) with
+        r_breaker = Shard.breaker router endpoint }
+  | Ok health -> (
+      let pid, version = parse_health_line health in
+      let row = { (empty_row endpoint Up) with r_pid = pid; r_version = version } in
+      let row =
+        match Shard.scrape_stats router endpoint with
+        | Ok st ->
+            {
+              row with
+              r_quarantine = Some st.Daemon.st_quarantine_count;
+              r_bytes = Some st.Daemon.st_bytes;
+            }
+        | Error _ -> row
+      in
+      let row = { row with r_breaker = Shard.breaker router endpoint } in
+      match Shard.scrape_metrics router endpoint with
+      | Error reason -> { row with r_state = Partial reason }
+      | Ok exposition ->
+          row_of_samples row (Metrics.parse_exposition exposition))
+
+let scrape_all router =
+  List.map (scrape router) (Shard.endpoints router)
+
+(* --- rendering --------------------------------------------------------------- *)
+
+let human_bytes = function
+  | None -> "-"
+  | Some b ->
+      let b = Int64.to_float b in
+      if b >= 1048576.0 then Printf.sprintf "%.1fM" (b /. 1048576.0)
+      else if b >= 1024.0 then Printf.sprintf "%.1fK" (b /. 1024.0)
+      else Printf.sprintf "%.0fB" b
+
+let fmt_opt_f fmt = function None -> "-" | Some v -> Printf.sprintf fmt v
+let fmt_opt_i = function None -> "-" | Some v -> string_of_int v
+
+let fmt_breaker = function
+  | None -> "-"
+  | Some st -> Format.asprintf "%a" Shard.pp_breaker_state st
+
+let shorten s n =
+  let len = String.length s in
+  if len <= n then s else "…" ^ String.sub s (len - n + 1) (n - 1)
+
+let render rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-28s %-14s %6s %8s %8s %8s %8s %6s %5s %8s %-9s\n"
+       "endpoint" "state" "pid" "up(s)" "reqs" "hit" "miss" "werr" "quar"
+       "bytes" "breaker");
+  Buffer.add_string b (String.make 118 '-' ^ "\n");
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%-28s %-14s %6s %8s %8.0f %8.0f %8.0f %6.0f %5s %8s %-9s\n"
+           (shorten r.r_endpoint 28)
+           (let s = state_to_string r.r_state in
+            if String.length s <= 14 then s else String.sub s 0 14)
+           (fmt_opt_i r.r_pid)
+           (fmt_opt_f "%.0f" r.r_uptime_s)
+           r.r_requests r.r_hits r.r_misses r.r_wire_errors
+           (fmt_opt_i r.r_quarantine)
+           (human_bytes r.r_bytes)
+           (fmt_breaker r.r_breaker)))
+    rows;
+  let with_latency = List.filter (fun r -> r.r_latency <> []) rows in
+  if with_latency <> [] then begin
+    Buffer.add_string b "\nrequest latency by opcode (server-side):\n";
+    Buffer.add_string b
+      (Printf.sprintf "%-28s %-10s %8s %10s %10s\n" "endpoint" "op" "count"
+         "p50(ms)" "p99(ms)");
+    List.iter
+      (fun r ->
+        List.iter
+          (fun ol ->
+            Buffer.add_string b
+              (Printf.sprintf "%-28s %-10s %8d %10s %10s\n"
+                 (shorten r.r_endpoint 28)
+                 ol.ol_op ol.ol_count
+                 (fmt_opt_f "%.3f" ol.ol_p50_ms)
+                 (fmt_opt_f "%.3f" ol.ol_p99_ms)))
+          r.r_latency)
+      with_latency
+  end;
+  Buffer.contents b

@@ -1,0 +1,64 @@
+(** Fleet-wide telemetry aggregation: the engine behind [elfied top].
+
+    {!scrape_all} asks every daemon behind a {!Shard} router (usually a
+    {!Shard.monitor}) for its health line, store stats, and Prometheus
+    registry — over the same breaker-gated wire path artifact fetches
+    use — and folds the answers into one {!row} per shard. Scraping
+    never raises:
+
+    - a daemon answering everything is {!state} [Up];
+    - a daemon that is alive but cannot serve the telemetry opcodes
+      (an older protocol version) is [Partial] with the reason, keeping
+      whatever health/stats it did answer;
+    - an unreachable daemon is [Down] with the reason.
+
+    {!render} lays the rows out as the live table: per-shard request /
+    hit / miss / wire-error counts, quarantine tally, store bytes,
+    uptime and client-side breaker state, plus a per-opcode server-side
+    latency digest (p50/p99 from the histogram buckets). *)
+
+type state = Up | Partial of string | Down of string
+
+val state_to_string : state -> string
+
+(** Latency digest of one opcode's server-side request histogram. *)
+type op_latency = {
+  ol_op : string;
+  ol_count : int;
+  ol_p50_ms : float option;
+  ol_p99_ms : float option;
+}
+
+type row = {
+  r_endpoint : string;
+  r_state : state;
+  r_pid : int option;
+  r_version : int option;  (** the daemon's wire protocol version *)
+  r_uptime_s : float option;
+  r_requests : float;  (** total served, every opcode and response *)
+  r_hits : float;
+  r_misses : float;
+  r_wire_errors : float;
+  r_fallbacks : float;
+  r_quarantine : int option;
+  r_bytes : int64 option;
+  r_latency : op_latency list;
+  r_breaker : Shard.breaker_state option;  (** this router's view *)
+  r_samples : Elfie_obs.Metrics.sample list;
+      (** the full parsed exposition, for anything the row digests
+          away *)
+}
+
+val quantile : q:float -> (float * int) list -> float option
+(** Smallest histogram upper bound covering fraction [q] of a
+    cumulative [(le, count)] snapshot; [None] when empty or when the
+    quantile falls in the +Inf bucket. *)
+
+val scrape : Shard.t -> string -> row
+(** Scrape one endpoint of the router. *)
+
+val scrape_all : Shard.t -> row list
+(** Scrape every endpoint, in configuration order. *)
+
+val render : row list -> string
+(** The aggregated fleet table. *)

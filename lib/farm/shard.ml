@@ -1,5 +1,6 @@
 module Metrics = Elfie_obs.Metrics
 module Trace = Elfie_obs.Trace
+module Log = Elfie_obs.Log
 module Backoff = Elfie_util.Backoff
 module Rng = Elfie_util.Rng
 
@@ -43,7 +44,7 @@ type endpoint = {
 }
 
 type t = {
-  sh_local : Store.t;
+  sh_local : Store.t option;  (** [None] for a monitor-only router *)
   sh_config : config;
   sh_endpoints : endpoint array;
   sh_ring : (string * int) array;  (** (point digest, endpoint index), sorted *)
@@ -59,6 +60,7 @@ let m_requests =
 
 let m_req_seconds =
   Metrics.histogram "elfie_daemon_client_request_seconds"
+    ~buckets:Daemon.latency_buckets
     ~help:"Client-side wall time per shard request, retries included"
 
 let m_retries =
@@ -104,7 +106,7 @@ let ring_of endpoints ~replicas =
   Array.sort compare arr;
   arr
 
-let connect ?(config = default_config) ~local ~endpoints () =
+let make_router config local endpoints =
   Lazy.force ignore_sigpipe;
   {
     sh_local = local;
@@ -125,6 +127,12 @@ let connect ?(config = default_config) ~local ~endpoints () =
     sh_rng = Rng.create config.jitter_seed;
     sh_rng_lock = Mutex.create ();
   }
+
+let connect ?(config = default_config) ~local ~endpoints () =
+  make_router config (Some local) endpoints
+
+let monitor ?(config = default_config) ~endpoints () =
+  make_router config None endpoints
 
 let local t = t.sh_local
 let endpoints t = Array.to_list (Array.map (fun ep -> ep.ep_path) t.sh_endpoints)
@@ -238,14 +246,14 @@ let connect_endpoint config ep =
 (* One attempt on an endpoint's persistent connection: any failure
    closes the connection (the stream may be out of sync) and reports a
    reason string. Under [ep_lock]. *)
-let attempt config ep op payload =
+let attempt config ep ~trace op payload =
   let conn =
     match ep.ep_fd with Some fd -> Ok fd | None -> connect_endpoint config ep
   in
   match conn with
   | Error reason -> Error reason
   | Ok fd -> (
-      match Daemon.Wire.write_frame fd op payload with
+      match Daemon.Wire.write_frame ~trace fd op payload with
       | Error e ->
           drop_connection ep;
           Error (Daemon.Wire.error_to_string e)
@@ -264,10 +272,28 @@ let attempt config ep op payload =
 let jitter_rng t = t.sh_rng
 
 (* Full fault-tolerant request: breaker gate, bounded retries with
-   backoff, per-attempt deadline (set on the socket). Returns the
+   backoff, per-attempt deadline (set on the socket). Each request gets
+   a fresh span ID; the process trace ID plus that span ID ride in the
+   frame so the daemon can tag its handler span with both. Returns the
    response or the last failure reason. *)
 let request t ep op payload =
   let config = t.sh_config in
+  let trace =
+    {
+      Daemon.Wire.trace_id = Trace.trace_id ();
+      span_id = Trace.fresh_span_id ();
+    }
+  in
+  let sp =
+    Trace.begin_span "daemon.client.request"
+      ~attrs:
+        [
+          ("endpoint", Trace.S ep.ep_path);
+          ("op", Trace.S (Daemon.Wire.opcode_name op));
+          ("trace_id", Trace.S (Trace.hex_id trace.Daemon.Wire.trace_id));
+          ("span_id", Trace.S (Trace.hex_id trace.Daemon.Wire.span_id));
+        ]
+  in
   let t0 = Unix.gettimeofday () in
   let result =
     let rec go attempt_no =
@@ -287,7 +313,7 @@ let request t ep op payload =
         end;
         let r =
           Mutex.protect ep.ep_lock (fun () ->
-              match attempt config ep op payload with
+              match attempt config ep ~trace op payload with
               | Ok _ as ok ->
                   note_success config ep;
                   ok
@@ -304,15 +330,14 @@ let request t ep op payload =
     go 0
   in
   Metrics.observe m_req_seconds (Unix.gettimeofday () -. t0);
+  let outcome =
+    match result with
+    | Ok (rop, _) -> Daemon.Wire.opcode_name rop
+    | Error reason -> reason
+  in
   Metrics.inc m_requests
-    ~labels:
-      [
-        ("op", Daemon.Wire.opcode_name op);
-        ( "outcome",
-          match result with
-          | Ok (rop, _) -> Daemon.Wire.opcode_name rop
-          | Error reason -> reason );
-      ];
+    ~labels:[ ("op", Daemon.Wire.opcode_name op); ("outcome", outcome) ];
+  Trace.end_span sp ~attrs:[ ("outcome", Trace.S outcome) ];
   result
 
 let request_payload key ~format body =
@@ -345,9 +370,14 @@ let remote_put t ep key ~format payload =
 
 let get_or_compute_v ?(on_result = fun _ -> ()) t key ~format ~encode ~decode
     compute =
+  let sh_local =
+    match t.sh_local with
+    | Some s -> s
+    | None -> invalid_arg "Shard.get_or_compute_v: monitor-only router"
+  in
   let computed = ref false in
   let v =
-    Store.get_or_compute_v t.sh_local key ~format ~encode ~decode (fun () ->
+    Store.get_or_compute_v sh_local key ~format ~encode ~decode (fun () ->
         (* Local miss. Ask the owning shard before computing; any shard
            trouble degrades to the compute path below — the caller never
            observes the difference. *)
@@ -361,7 +391,24 @@ let get_or_compute_v ?(on_result = fun _ -> ()) t key ~format ~encode ~decode
                   [
                     ("key", Trace.S (Store.digest key));
                     ("reason", Trace.S reason);
-                  ]);
+                  ];
+              (* Degrading is the moment worth a flight recording: the
+                 event names the in-flight request, then the ring is
+                 dumped (no-op when no flight path is configured). *)
+              Log.warn "daemon.client.fallback_recompute"
+                ~attrs:
+                  [
+                    ("key", Trace.S (Store.digest key));
+                    ("kind", Trace.S (Store.kind_name (Store.kind_of_key key)));
+                    ("reason", Trace.S reason);
+                    ( "endpoint",
+                      Trace.S
+                        (Option.value ~default:"-" (endpoint_for t key)) );
+                  ];
+              let (_ : string option) =
+                Log.dump ~reason:"degrade-to-recompute" ()
+              in
+              ());
           computed := true;
           let v = compute () in
           (match owner t key with
@@ -444,3 +491,41 @@ let remote_stats ?deadline_s path =
       match Daemon.parse_stats payload with
       | Some st -> Ok st
       | None -> Error "unparsable-stats")
+
+(* --- fleet scrape ------------------------------------------------------------ *)
+
+let find_endpoint t path =
+  Array.fold_left
+    (fun acc ep -> if ep.ep_path = path then Some ep else acc)
+    None t.sh_endpoints
+
+(* Telemetry requests go through [request] — the same breaker-gated,
+   retrying path artifact fetches use — so `elfied top` both respects
+   and reports each shard's breaker state. *)
+let telemetry_request t path op payload ~expect =
+  match find_endpoint t path with
+  | None -> Error "unknown-endpoint"
+  | Some ep -> (
+      match request t ep op payload with
+      | Ok (rop, rpayload) when rop = expect -> Ok rpayload
+      | Ok (rop, _) -> Error ("unexpected-" ^ Daemon.Wire.opcode_name rop)
+      | Error reason -> Error reason)
+
+let scrape_metrics t path =
+  telemetry_request t path Daemon.Wire.Metrics_req "" ~expect:Daemon.Wire.R_metrics
+
+let scrape_events ?limit t path =
+  let payload = match limit with Some n -> string_of_int n | None -> "" in
+  telemetry_request t path Daemon.Wire.Events_req payload
+    ~expect:Daemon.Wire.R_events
+
+let scrape_stats t path =
+  match telemetry_request t path Daemon.Wire.Stats "" ~expect:Daemon.Wire.R_stats with
+  | Error _ as e -> e
+  | Ok payload -> (
+      match Daemon.parse_stats payload with
+      | Some st -> Ok st
+      | None -> Error "unparsable-stats")
+
+let scrape_health t path =
+  telemetry_request t path Daemon.Wire.Health "" ~expect:Daemon.Wire.R_health

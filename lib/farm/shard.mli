@@ -53,10 +53,17 @@ val connect :
     empty [endpoints] list is a pure-local router (every fetch is just
     {!Store.get_or_compute_v}). *)
 
+val monitor : ?config:config -> endpoints:string list -> unit -> t
+(** A router with no local store, for observation only ([elfied top]):
+    the scrape entry points below work, {!get_or_compute_v} raises
+    [Invalid_argument]. *)
+
 val close : t -> unit
 (** Drop all shard connections (the local store stays usable). *)
 
-val local : t -> Store.t
+val local : t -> Store.t option
+(** The local store tier; [None] for a {!monitor} router. *)
+
 val endpoints : t -> string list
 
 val endpoint_for : t -> Store.key -> string option
@@ -93,3 +100,26 @@ val ping : ?deadline_s:float -> string -> (string, string) result
 val remote_stats :
   ?deadline_s:float -> string -> (Daemon.stats, string) result
 (** Fetch and parse a daemon's [stats]. *)
+
+(** {1 Fleet telemetry scrape}
+
+    These go through the same breaker-gated, retrying request path as
+    artifact fetches, against a configured endpoint of this router
+    (error ["unknown-endpoint"] otherwise) — so a monitor router both
+    respects and reports breaker state. An old-protocol daemon answers
+    [version-skew]; a same-version daemon that cannot serve the opcode
+    answers [bad-request] — both are plain [Error] reasons, never
+    exceptions. *)
+
+val scrape_metrics : t -> string -> (string, string) result
+(** A daemon's Prometheus text exposition. *)
+
+val scrape_events : ?limit:int -> t -> string -> (string, string) result
+(** A daemon's recent structured-log events as JSONL (newest last);
+    [limit] bounds the event count (daemon default 256). *)
+
+val scrape_stats : t -> string -> (Daemon.stats, string) result
+(** {!remote_stats} through the router's fault-tolerant path. *)
+
+val scrape_health : t -> string -> (string, string) result
+(** The daemon's health line ([ok pid=... version=... root=...]). *)

@@ -1,5 +1,6 @@
 module Metrics = Elfie_obs.Metrics
 module Trace = Elfie_obs.Trace
+module Log = Elfie_obs.Log
 
 type kind = Pinball | Bbv | Simpoint | Elfie | Measurement
 
@@ -331,7 +332,11 @@ let quarantine t k ~reason =
   Trace.instant "farm.store.quarantine"
     ~attrs:
       [ ("kind", Trace.S (kind_name k.kind)); ("reason", Trace.S reason);
-        ("key", Trace.S k.key_digest) ]
+        ("key", Trace.S k.key_digest) ];
+  Log.warn "farm.store.quarantine"
+    ~attrs:
+      [ ("kind", Trace.S (kind_name k.kind)); ("reason", Trace.S reason);
+        ("key", Trace.S k.key_digest); ("moved_to", Trace.S dest) ]
 
 (* --- read / write ----------------------------------------------------------- *)
 

@@ -1,0 +1,110 @@
+(* Merging per-process Chrome trace files into one timeline.
+
+   Each process writes its own [Trace.to_chrome] file with timestamps
+   relative to its own tracer epoch; the top-level ["epochUs"] member
+   records that epoch on the absolute Unix clock. Merging re-bases every
+   file onto the earliest epoch among the inputs, so spans from a shard
+   client and the daemons it talked to line up on one wall clock, while
+   the per-file ["ph":"M"] metadata keeps each process on its own named
+   track. *)
+
+type input = { in_name : string; in_json : Json.t }
+
+let parse_input (name, contents) =
+  match Json.parse contents with
+  | Error msg -> Error (Printf.sprintf "%s: %s" name msg)
+  | Ok json -> (
+      match Option.bind (Json.member "traceEvents" json) Json.to_list with
+      | None -> Error (Printf.sprintf "%s: no traceEvents array" name)
+      | Some _ -> Ok { in_name = name; in_json = json })
+
+let epoch_us input =
+  Option.bind (Json.member "epochUs" input.in_json) Json.to_float
+
+let events input =
+  Option.value ~default:[]
+    (Option.bind (Json.member "traceEvents" input.in_json) Json.to_list)
+
+let trace_id input =
+  Option.bind (Json.member "traceId" input.in_json) Json.to_str
+
+(* Shift an event's "ts" by [shift] microseconds; events without a
+   numeric ts (the "ph":"M" metadata records) pass through untouched. *)
+let shift_event shift ev =
+  match ev with
+  | Json.Obj members when shift <> 0.0 ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             match (k, v) with
+             | "ts", Json.Num ts -> (k, Json.Num (ts +. shift))
+             | _ -> (k, v))
+           members)
+  | ev -> ev
+
+let merge inputs =
+  if inputs = [] then Error "no input traces"
+  else
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: rest -> (
+          match parse_input x with
+          | Error _ as e -> e
+          | Ok input -> collect (input :: acc) rest)
+    in
+    match collect [] inputs with
+    | Error _ as e -> e
+    | Ok parsed ->
+        let epochs = List.filter_map epoch_us parsed in
+        let base = match epochs with [] -> 0.0 | e :: es -> List.fold_left min e es in
+        let b = Buffer.create 8192 in
+        Buffer.add_string b "{\"traceEvents\":[";
+        let first = ref true in
+        List.iter
+          (fun input ->
+            let shift =
+              match epoch_us input with Some e -> e -. base | None -> 0.0
+            in
+            List.iter
+              (fun ev ->
+                if !first then first := false else Buffer.add_char b ',';
+                Buffer.add_string b (Json.to_string (shift_event shift ev)))
+              (events input))
+          parsed;
+        Buffer.add_string b "],\"displayTimeUnit\":\"ms\"";
+        if epochs <> [] then
+          Buffer.add_string b (Printf.sprintf ",\"epochUs\":%.3f" base);
+        (* A single shared trace ID survives the merge; disagreeing
+           inputs (independent sessions merged for side-by-side viewing)
+           just drop the field. *)
+        (match List.filter_map trace_id parsed with
+        | id :: rest when List.for_all (String.equal id) rest ->
+            Buffer.add_string b (Printf.sprintf ",\"traceId\":\"%s\"" id)
+        | _ -> ());
+        Buffer.add_char b '}';
+        Ok (Buffer.contents b)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let merge_paths paths =
+  match
+    List.map
+      (fun path ->
+        match read_file path with
+        | contents -> Ok (path, contents)
+        | exception Sys_error msg -> Error msg)
+      paths
+  with
+  | pairs -> (
+      let rec firsts acc = function
+        | [] -> Ok (List.rev acc)
+        | Ok p :: rest -> firsts (p :: acc) rest
+        | Error msg :: _ -> Error msg
+      in
+      match firsts [] pairs with
+      | Error _ as e -> e
+      | Ok pairs -> merge pairs)

@@ -1,0 +1,22 @@
+(** Merging per-process Chrome [trace_event] files into one timeline.
+
+    Every process in a fleet run ({!Trace.write_chrome}) produces its
+    own trace file: timestamps relative to its own tracer epoch, its own
+    pid on every event, ["ph":"M"] metadata naming its track, and a
+    top-level ["epochUs"] recording the epoch on the absolute Unix
+    clock. {!merge} re-bases all files onto the earliest input epoch and
+    concatenates their events, yielding one Perfetto-loadable timeline
+    where a shard client's request span and the daemon's handler span
+    (correlated by trace ID) sit on adjacent named tracks.
+
+    Inputs lacking ["epochUs"] (foreign trace files) are passed through
+    unshifted. The merged object keeps the base ["epochUs"] and, when
+    all inputs agree, the shared ["traceId"]. *)
+
+(** [merge [(name, contents); ...]] merges parsed trace files; [name] is
+    used only in error messages. Fails on unparseable input or a missing
+    ["traceEvents"] array. *)
+val merge : (string * string) list -> (string, string) result
+
+(** {!merge} over files on disk. *)
+val merge_paths : string list -> (string, string) result

@@ -1,0 +1,100 @@
+(** Structured event log: leveled, typed-attribute JSONL events in a
+    bounded in-memory ring, with an optional file sink and a crash
+    flight recorder.
+
+    Where {!Trace} answers "how long did each stage take" and
+    {!Metrics} answers "how much of everything happened", [Log] answers
+    "what exactly was going on just before things went wrong". Layers
+    emit events ({!debug} … {!error}) with the same typed attributes as
+    trace spans; each event renders as one self-contained JSON object
+    per line (JSONL), so a dump is greppable and machine-parseable with
+    no framing beyond newlines.
+
+    The ring is process-global and domain-safe: emission, the ring
+    update and the optional sink write happen under one mutex, so
+    concurrent writers from the {!Elfie_util.Pool} domains or daemon
+    handler threads never tear a line. The ring is bounded (default
+    2048 events, {!set_capacity}); old events fall off silently —
+    {!emitted} counts everything ever accepted.
+
+    {b Flight recorder.} {!set_flight_path} names a file; {!dump}
+    writes the ring there as JSONL plus a [flight.dump] trailer event
+    (reason, event count, trace ID). The shard client dumps on every
+    degrade-to-recompute, and {!install_dump_on_signal} arranges a dump
+    on fatal signals — chaining to the previously installed handler, or
+    re-raising the signal after the dump when the previous disposition
+    was the default (so a [SIGTERM]'d daemon still dies of SIGTERM,
+    leaving its last moments on disk). *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+(** One accepted event. [ev_ts] is absolute Unix time in seconds. *)
+type event = {
+  ev_ts : float;
+  ev_level : level;
+  ev_name : string;
+  ev_pid : int;
+  ev_attrs : Trace.attrs;
+}
+
+(** Minimum accepted level (default [Debug]); events below it are
+    discarded before touching the ring or sink. *)
+val set_level : level -> unit
+
+val level : unit -> level
+
+(** Resize the ring (default 2048); drops buffered events. *)
+val set_capacity : int -> unit
+
+val log : level -> ?attrs:Trace.attrs -> string -> unit
+val debug : ?attrs:Trace.attrs -> string -> unit
+val info : ?attrs:Trace.attrs -> string -> unit
+val warn : ?attrs:Trace.attrs -> string -> unit
+val error : ?attrs:Trace.attrs -> string -> unit
+
+(** Buffered events, oldest first; [limit] keeps only the newest
+    [limit]. *)
+val recent : ?limit:int -> unit -> event list
+
+(** Events accepted since the last {!reset}, including those the ring
+    has since dropped. *)
+val emitted : unit -> int
+
+(** The ring as JSONL (one {!render}ed event per line). *)
+val to_jsonl : ?limit:int -> unit -> string
+
+(** Render one event as its JSONL line (no trailing newline). *)
+val render : event -> string
+
+(** Parse one JSONL line back; [None] if it is not a log line. Unknown
+    members become attributes. *)
+val parse_line : string -> event option
+
+(** Also append every accepted event to this file (line-buffered,
+    created if needed); [None] closes the sink. *)
+val set_sink : string option -> unit
+
+(** Where {!dump} writes when called without [path]. *)
+val set_flight_path : string option -> unit
+
+val flight_path : unit -> string option
+
+(** Write the ring (plus a [flight.dump] trailer naming [reason]) to
+    [path], or to the configured flight path; [None] when neither is
+    set. Never raises and never blocks — safe from signal handlers. *)
+val dump : ?reason:string -> ?path:string -> unit -> string option
+
+(** Dump on each of the given signals ([Sys.sigterm] etc.), then chain
+    to the previous handler (or re-raise the signal if the previous
+    disposition was default). *)
+val install_dump_on_signal : int list -> unit
+
+(** Human name of an OCaml [Sys] signal number ([Sys.sigterm] →
+    ["sigterm"]); the raw number for unrecognised signals. *)
+val signal_name : int -> string
+
+(** Clear the ring and counters (sink and flight path are kept). *)
+val reset : unit -> unit

@@ -46,6 +46,60 @@ let emitted_count = ref 0
 let lock = Mutex.create ()
 let[@inline] locked f = Mutex.protect lock f
 
+(* --- correlation identifiers ------------------------------------------ *)
+
+(* The process trace ID correlates spans across the processes of one
+   fleet request: a shard client stamps it (plus a fresh span ID) into
+   every wire frame, the daemon tags its handler span with both, and
+   `elfied trace-merge` joins them back up. Derived lazily from pid and
+   wall clock so concurrent processes draw distinct IDs. *)
+let trace_id_cell = ref 0L
+let span_id_counter = ref 0L
+
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let fresh_trace_id () =
+  let bits =
+    Int64.logxor
+      (Int64.of_float (Unix.gettimeofday () *. 1e6))
+      (Int64.shift_left (Int64.of_int (Unix.getpid ())) 40)
+  in
+  match mix64 bits with 0L -> 1L | id -> id
+
+let set_trace_id id = trace_id_cell := id
+
+let trace_id_unlocked () =
+  if !trace_id_cell = 0L then trace_id_cell := fresh_trace_id ();
+  !trace_id_cell
+
+let trace_id () = locked trace_id_unlocked
+
+let fresh_span_id () =
+  locked (fun () ->
+      span_id_counter := Int64.add !span_id_counter 1L;
+      mix64 (Int64.logxor (trace_id_unlocked ()) !span_id_counter))
+
+let hex_id id = Printf.sprintf "%016Lx" id
+
+(* Perfetto labels the merged per-process tracks with this name. *)
+let process_label_cell = ref ""
+let set_process_label name = process_label_cell := name
+
+let process_label () =
+  if !process_label_cell <> "" then !process_label_cell
+  else Filename.basename Sys.executable_name
+
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 let set_capacity n = locked (fun () -> capacity := max 1 n)
@@ -133,23 +187,7 @@ let reset () =
 
 (* --- Chrome trace_event export --------------------------------------- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\b' -> Buffer.add_string b "\\b"
-      | '\012' -> Buffer.add_string b "\\f"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Json.escape
 
 let json_of_value = function
   | S s -> Printf.sprintf "\"%s\"" (json_escape s)
@@ -168,30 +206,57 @@ let json_args attrs =
          attrs)
   ^ "}"
 
-let chrome_event = function
+let chrome_event ~pid = function
   | Span { name; ts; dur; attrs; _ } ->
       Printf.sprintf
-        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":%s}"
-        (json_escape name) ts dur (json_args attrs)
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":1,\"args\":%s}"
+        (json_escape name) ts dur pid (json_args attrs)
   | Instant { name; ts; attrs; _ } ->
       Printf.sprintf
-        "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\",\"pid\":1,\"tid\":1,\"args\":%s}"
-        (json_escape name) ts (json_args attrs)
+        "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\",\"pid\":%d,\"tid\":1,\"args\":%s}"
+        (json_escape name) ts pid (json_args attrs)
 
-let to_chrome () =
+(* "ph":"M" metadata names the per-process and per-thread tracks, so a
+   merged multi-process trace reads as named lanes in Perfetto instead
+   of bare numeric pids. *)
+let chrome_metadata ~pid ~label =
+  [
+    Printf.sprintf
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+      pid (json_escape label);
+    Printf.sprintf
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":1,\"args\":{\"name\":\"main\"}}"
+      pid;
+  ]
+
+let to_chrome ?pid ?label () =
+  let pid = match pid with Some p -> p | None -> Unix.getpid () in
+  let label = match label with Some l -> l | None -> process_label () in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[";
+  List.iter
+    (fun line ->
+      Buffer.add_string b line;
+      Buffer.add_char b ',')
+    (chrome_metadata ~pid ~label);
   List.iteri
     (fun i ev ->
       if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b (chrome_event ev))
+      Buffer.add_string b (chrome_event ~pid ev))
     (events ());
-  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  (* The absolute epoch (us since the Unix epoch) lets trace-merge align
+     files whose ts fields are each relative to their own process
+     start. *)
+  Buffer.add_string b
+    (Printf.sprintf
+       "],\"displayTimeUnit\":\"ms\",\"epochUs\":%.3f,\"traceId\":\"%s\"}"
+       (!epoch *. 1e6)
+       (hex_id (trace_id ())));
   Buffer.contents b
 
-let write_chrome path =
+let write_chrome ?pid ?label path =
   let oc = open_out_bin path in
-  output_string oc (to_chrome ());
+  output_string oc (to_chrome ?pid ?label ());
   output_char oc '\n';
   close_out oc
 

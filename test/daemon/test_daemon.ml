@@ -11,7 +11,11 @@ module Store = Elfie_farm.Store
 module Daemon = Elfie_farm.Daemon
 module Shard = Elfie_farm.Shard
 module Wire = Elfie_farm.Daemon.Wire
+module Fleet = Elfie_farm.Fleet
 module Fault_inject = Elfie_check.Fault_inject
+module Trace = Elfie_obs.Trace
+module Chrome = Elfie_obs.Chrome
+module Json = Elfie_obs.Json
 
 let tmp_dir prefix =
   let path = Filename.temp_file prefix "" in
@@ -36,8 +40,9 @@ let check_decode what expected frame =
 let test_wire_roundtrip () =
   let payloads = [ ""; "x"; String.init 257 (fun i -> Char.chr (i land 0xff)) ]
   and ops = [ Wire.Get; Wire.Put; Wire.Stats; Wire.Health;
+              Wire.Metrics_req; Wire.Events_req;
               Wire.R_hit; Wire.R_miss; Wire.R_ok; Wire.R_stats;
-              Wire.R_health; Wire.R_err ] in
+              Wire.R_health; Wire.R_metrics; Wire.R_events; Wire.R_err ] in
   List.iter
     (fun op ->
       List.iter
@@ -82,6 +87,50 @@ let test_wire_rejections () =
     (Bytes.to_string huge);
   let skewed = Wire.encode ~version:(Wire.version + 1) Wire.R_hit "p" in
   check_decode "encoder-side skew" (Error Wire.Version_skew) skewed
+
+let test_wire_trace_context () =
+  let payload = "kind\ndigest\n1" in
+  let trace =
+    { Wire.trace_id = 0x0123456789abcdefL; span_id = 0x7feeddccbbaa9988L }
+  in
+  let frame = Wire.encode ~trace Wire.Get payload in
+  (match Wire.decode_ctx frame with
+  | Ok (Wire.Get, p, ctx) ->
+      Alcotest.(check string) "payload intact" payload p;
+      Alcotest.(check int64) "trace id echoes" trace.Wire.trace_id
+        ctx.Wire.trace_id;
+      Alcotest.(check int64) "span id echoes" trace.Wire.span_id
+        ctx.Wire.span_id
+  | Ok _ -> Alcotest.fail "wrong opcode out of decode_ctx"
+  | Error e -> Alcotest.failf "decode_ctx failed: %s" (Wire.error_to_string e));
+  (* The context-blind decode still verifies the digest over the
+     context bytes. *)
+  check_decode "ctx-blind decode" (Ok (Wire.Get, payload)) frame;
+  let flip off =
+    let b = Bytes.of_string frame in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x01));
+    Bytes.to_string b
+  in
+  check_decode "bit flip inside the context -> checksum"
+    (Error Wire.Bad_checksum)
+    (flip (Wire.header_bytes + 3));
+  (* Version-1 peers send no context; decode tolerates them and yields
+     the zero context. *)
+  let v1 = Wire.encode ~version:1 Wire.Get payload in
+  Alcotest.(check int) "context costs exactly ctx_bytes" Wire.ctx_bytes
+    (String.length frame - String.length v1);
+  (match Wire.decode_ctx v1 with
+  | Ok (Wire.Get, p, ctx) ->
+      Alcotest.(check string) "v1 payload intact" payload p;
+      Alcotest.(check bool) "v1 decodes to the zero context" true
+        (ctx = Wire.no_ctx)
+  | Ok _ -> Alcotest.fail "wrong opcode out of v1 decode"
+  | Error e -> Alcotest.failf "v1 frame rejected: %s" (Wire.error_to_string e));
+  (* Omitting [trace] emits the zero context on the wire. *)
+  match Wire.decode_ctx (Wire.encode Wire.Health "") with
+  | Ok (Wire.Health, "", ctx) ->
+      Alcotest.(check bool) "default context is zero" true (ctx = Wire.no_ctx)
+  | _ -> Alcotest.fail "default-context frame did not roundtrip"
 
 let test_stats_roundtrip () =
   let stats =
@@ -170,6 +219,303 @@ let test_daemon_end_to_end () =
   in
   Alcotest.(check bool) "write-through cached locally" false computed_b';
   Alcotest.(check string) "local copy intact" payload vb'
+
+(* --- cross-process trace correlation --------------------------------------- *)
+
+let json_member k j = Json.member k j
+
+let json_events j =
+  match Option.bind (json_member "traceEvents" j) Json.to_list with
+  | Some evs -> evs
+  | None -> Alcotest.fail "merged trace has no traceEvents array"
+
+let ev_name e = Option.bind (json_member "name" e) Json.to_str
+let ev_pid e = Option.bind (json_member "pid" e) Json.to_float
+
+let ev_attr e key =
+  Option.bind (json_member "args" e) (fun args ->
+      Option.bind (json_member key args) Json.to_str)
+
+(* A real two-process fleet interaction: fork a daemon, drive one fetch
+   through the shard router, have both sides write their own Chrome
+   trace, merge, and verify the client request span and the daemon
+   handler span share the trace ID on named per-process tracks. *)
+let test_cross_process_trace_merge () =
+  let dir = tmp_dir "elfied_xmerge" in
+  let socket = Filename.concat dir "d.sock" in
+  let daemon_trace = Filename.concat dir "daemon.trace.json" in
+  let client_trace = Filename.concat dir "client.trace.json" in
+  let stop_file = Filename.concat dir "stop" in
+  Unix.mkdir (Filename.concat dir "shard") 0o755;
+  Unix.mkdir (Filename.concat dir "local") 0o755;
+  let trace_id = 0x5a5ace1dc0ffee42L in
+  match Unix.fork () with
+  | 0 ->
+      (* Daemon process: serve until the parent drops the stop file,
+         then export this process's trace and leave quietly. *)
+      let rc =
+        try
+          Trace.reset ();
+          Trace.set_process_label "elfied-serve-test";
+          let store =
+            Store.open_store ~producer:"test" (Filename.concat dir "shard")
+          in
+          let d = Daemon.start ~store ~socket_path:socket () in
+          let deadline = Unix.gettimeofday () +. 30.0 in
+          while
+            (not (Sys.file_exists stop_file))
+            && Unix.gettimeofday () < deadline
+          do
+            Unix.sleepf 0.02
+          done;
+          Daemon.stop d;
+          Trace.write_chrome daemon_trace;
+          0
+        with _ -> 1
+      in
+      Unix._exit rc
+  | daemon_pid ->
+      (* Wait for the daemon socket to come up. *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec await () =
+        match Shard.ping socket with
+        | Ok _ -> ()
+        | Error _ when Unix.gettimeofday () < deadline ->
+            Unix.sleepf 0.05;
+            await ()
+        | Error reason -> Alcotest.failf "daemon never came up: %s" reason
+      in
+      await ();
+      Trace.reset ();
+      Trace.set_trace_id trace_id;
+      Trace.set_process_label "elfied-client-test";
+      let local =
+        Store.open_store ~producer:"test" (Filename.concat dir "local")
+      in
+      let router = Shard.connect ~local ~endpoints:[ socket ] () in
+      let v, _computed =
+        Fun.protect
+          ~finally:(fun () -> Shard.close router)
+          (fun () -> fetch_through router (sweep_key 7) "traced payload")
+      in
+      Alcotest.(check string) "fetch through the daemon" "traced payload" v;
+      Trace.write_chrome client_trace;
+      close_out (open_out stop_file);
+      let _, status = Unix.waitpid [] daemon_pid in
+      Alcotest.(check bool) "daemon process exited cleanly" true
+        (status = Unix.WEXITED 0);
+      (* Merge both files and parse the result back. *)
+      let merged =
+        match Chrome.merge_paths [ client_trace; daemon_trace ] with
+        | Ok m -> m
+        | Error e -> Alcotest.failf "trace merge failed: %s" e
+      in
+      let j =
+        match Json.parse merged with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "merged trace is not JSON: %s" e
+      in
+      let evs = json_events j in
+      let hex = Trace.hex_id trace_id in
+      let tagged name =
+        List.filter
+          (fun e -> ev_name e = Some name && ev_attr e "trace_id" = Some hex)
+          evs
+      in
+      let client_spans = tagged "daemon.client.request" in
+      let handler_spans = tagged "daemon.request" in
+      Alcotest.(check bool) "client request span carries the trace id" true
+        (client_spans <> []);
+      Alcotest.(check bool) "daemon handler span carries the trace id" true
+        (handler_spans <> []);
+      (* The two sides really are different processes... *)
+      let pid_of spans =
+        match List.filter_map ev_pid spans with
+        | p :: _ -> int_of_float p
+        | [] -> Alcotest.fail "span lost its pid"
+      in
+      let client_pid = pid_of client_spans
+      and handler_pid = pid_of handler_spans in
+      Alcotest.(check int) "client span on this process's track"
+        (Unix.getpid ()) client_pid;
+      Alcotest.(check int) "handler span on the daemon's track" daemon_pid
+        handler_pid;
+      (* ... and each one's track is named by process_name metadata. *)
+      let track_name pid =
+        List.find_map
+          (fun e ->
+            if
+              ev_name e = Some "process_name"
+              && ev_pid e = Some (float_of_int pid)
+            then ev_attr e "name"
+            else None)
+          evs
+      in
+      Alcotest.(check (option string)) "client track named"
+        (Some "elfied-client-test") (track_name client_pid);
+      Alcotest.(check (option string)) "daemon track named"
+        (Some "elfied-serve-test") (track_name handler_pid);
+      (* Correlated request/handler spans quote the same span id. *)
+      let span_ids spans = List.filter_map (fun e -> ev_attr e "span_id") spans in
+      Alcotest.(check bool) "some client span id matched by a handler span"
+        true
+        (List.exists
+           (fun id -> List.mem id (span_ids handler_spans))
+           (span_ids client_spans))
+
+(* --- fleet scrape (elfied top) ---------------------------------------------- *)
+
+(* A fake pre-telemetry daemon: answers health with a version-1 frame
+   and every other opcode with R_err, as an old binary would. *)
+let start_legacy_listener socket =
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX socket);
+  Unix.listen srv 8;
+  let stop = ref false in
+  let reply fd op payload =
+    let frame = Wire.encode ~version:1 op payload in
+    ignore (Unix.write_substring fd frame 0 (String.length frame))
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        while not !stop do
+          (* Poll-accept so shutdown never races a blocked accept. *)
+          match Unix.select [ srv ] [] [] 0.1 with
+          | exception Unix.Unix_error _ -> ()
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.accept srv with
+              | exception _ -> ()
+              | fd, _ ->
+                  (try
+                     let rec serve () =
+                       match Wire.read_frame fd with
+                       | Ok (Wire.Health, _) ->
+                           reply fd Wire.R_health
+                             "ok pid=424242 version=1 root=/legacy";
+                           serve ()
+                       | Ok _ ->
+                           reply fd Wire.R_err "unsupported opcode";
+                           serve ()
+                       | Error _ -> ()
+                     in
+                     serve ()
+                   with _ -> ());
+                  (try Unix.close fd with Unix.Unix_error _ -> ()))
+        done)
+      ()
+  in
+  let shutdown () =
+    stop := true;
+    Thread.join thread;
+    (try Unix.close srv with Unix.Unix_error _ -> ())
+  in
+  shutdown
+
+let scrape_config =
+  { Shard.default_config with
+    deadline_s = 2.0; retries = 0; backoff = Elfie_util.Backoff.none }
+
+let test_fleet_top_scrape () =
+  let sock_a = tmp_socket "fleet_a" and sock_b = tmp_socket "fleet_b" in
+  let sock_old = tmp_socket "fleet_old" in
+  let sock_down = tmp_socket "fleet_down" in
+  (* Nothing ever listens on [sock_down]. *)
+  let store_a = Store.open_store ~producer:"test" (tmp_dir "elfied_fa") in
+  let store_b = Store.open_store ~producer:"test" (tmp_dir "elfied_fb") in
+  let da = Daemon.start ~store:store_a ~socket_path:sock_a () in
+  let db = Daemon.start ~store:store_b ~socket_path:sock_b () in
+  let stop_legacy = start_legacy_listener sock_old in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_legacy ();
+      Daemon.stop da;
+      Daemon.stop db)
+  @@ fun () ->
+  let router =
+    Shard.monitor ~config:scrape_config
+      ~endpoints:[ sock_a; sock_b; sock_old; sock_down ]
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Shard.close router) @@ fun () ->
+  Alcotest.(check bool) "monitor router has no local tier" true
+    (Shard.local router = None);
+  let rows = Fleet.scrape_all router in
+  Alcotest.(check int) "one row per endpoint" 4 (List.length rows);
+  let row ep =
+    match List.find_opt (fun r -> r.Fleet.r_endpoint = ep) rows with
+    | Some r -> r
+    | None -> Alcotest.failf "no row for %s" ep
+  in
+  List.iter
+    (fun ep ->
+      let r = row ep in
+      (match r.Fleet.r_state with
+      | Fleet.Up -> ()
+      | st -> Alcotest.failf "%s not up: %s" ep (Fleet.state_to_string st));
+      Alcotest.(check (option int)) "live daemon pid" (Some (Unix.getpid ()))
+        r.Fleet.r_pid;
+      Alcotest.(check (option int)) "live daemon wire version"
+        (Some Wire.version) r.Fleet.r_version;
+      Alcotest.(check bool) "uptime scraped" true (r.Fleet.r_uptime_s <> None);
+      Alcotest.(check bool) "request counters scraped" true
+        (r.Fleet.r_requests > 0.0);
+      Alcotest.(check bool) "latency digest non-empty" true
+        (r.Fleet.r_latency <> []);
+      Alcotest.(check bool) "store stats scraped" true
+        (r.Fleet.r_quarantine = Some 0))
+    [ sock_a; sock_b ];
+  (* The old daemon answers health but not telemetry: a partial row,
+     with the health-line identity, never an exception. *)
+  let old_row = row sock_old in
+  (match old_row.Fleet.r_state with
+  | Fleet.Partial _ -> ()
+  | st ->
+      Alcotest.failf "legacy endpoint should be partial, got %s"
+        (Fleet.state_to_string st));
+  Alcotest.(check (option int)) "legacy pid from health" (Some 424242)
+    old_row.Fleet.r_pid;
+  Alcotest.(check (option int)) "legacy version from health" (Some 1)
+    old_row.Fleet.r_version;
+  (* The dead endpoint is a down row, never an exception. *)
+  (match (row sock_down).Fleet.r_state with
+  | Fleet.Down _ -> ()
+  | st ->
+      Alcotest.failf "dead endpoint should be down, got %s"
+        (Fleet.state_to_string st));
+  (* The rendered table mentions every endpoint and the latency section. *)
+  let table = Fleet.render rows in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    nl = 0 || go 0
+  in
+  List.iter
+    (fun ep ->
+      Alcotest.(check bool)
+        (Printf.sprintf "table lists %s" (Filename.basename ep))
+        true
+        (contains table (Filename.basename ep)))
+    [ sock_a; sock_b; sock_old; sock_down ];
+  Alcotest.(check bool) "table has the latency section" true
+    (contains table "request latency by opcode");
+  (* Events scrape: every line of a live daemon's reply parses back as
+     a structured log event. *)
+  match Shard.scrape_events ~limit:64 router sock_a with
+  | Error e -> Alcotest.failf "events scrape failed: %s" e
+  | Ok jsonl ->
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+      in
+      Alcotest.(check bool) "daemon reported events" true (lines <> []);
+      List.iter
+        (fun line ->
+          if Elfie_obs.Log.parse_line line = None then
+            Alcotest.failf "unparseable event line: %s" line)
+        lines
 
 (* --- breaker --------------------------------------------------------------- *)
 
@@ -267,15 +613,38 @@ let test_daemon_fault_sweep () =
   | failures ->
       List.iter
         (fun (c : Fault_inject.daemon_case) ->
-          Format.eprintf "FAILED %s (%s): %s@."
+          Format.eprintf "FAILED %s (%s): %s flight=%s@."
             (Fault_inject.daemon_fault_name c.Fault_inject.dfault)
             c.Fault_inject.ddetail
             (match c.Fault_inject.doutcome with
             | Fault_inject.Store_served_corrupt m -> "CORRUPT " ^ m
             | Fault_inject.Store_crashed m -> "CRASH " ^ m
-            | _ -> "?"))
+            | _ -> "?")
+            (Fault_inject.flight_status_name c.Fault_inject.dflight))
         failures;
       Alcotest.failf "%d daemon fault case(s) failed" (List.length failures));
+  (* Every degraded case left a parseable flight dump naming the
+     failing request (daemon_failures already vetoes the bad ones; this
+     pins the positive shape). *)
+  List.iter
+    (fun (c : Fault_inject.daemon_case) ->
+      match c.Fault_inject.doutcome with
+      | Fault_inject.Store_recovered -> (
+          match c.Fault_inject.dflight with
+          | Fault_inject.Flight_ok n ->
+              Alcotest.(check bool)
+                (Printf.sprintf "non-empty flight dump for %s"
+                   c.Fault_inject.ddetail)
+                true (n > 0)
+          | st ->
+              Alcotest.failf "case %s: flight dump %s" c.Fault_inject.ddetail
+                (Fault_inject.flight_status_name st))
+      | _ ->
+          Alcotest.(check string)
+            (Printf.sprintf "no dump owed by %s" c.Fault_inject.ddetail)
+            "flight-not-expected"
+            (Fault_inject.flight_status_name c.Fault_inject.dflight))
+    report.Fault_inject.d_cases;
   Alcotest.(check int) "every case recovered or was benign"
     report.Fault_inject.d_total
     (report.Fault_inject.d_recovered + report.Fault_inject.d_benign);
@@ -293,11 +662,15 @@ let () =
           Alcotest.test_case "frame roundtrips" `Quick test_wire_roundtrip;
           Alcotest.test_case "corrupt frames rejected" `Quick
             test_wire_rejections;
+          Alcotest.test_case "trace context" `Quick test_wire_trace_context;
           Alcotest.test_case "stats roundtrip" `Quick test_stats_roundtrip;
         ] );
       ( "service",
         [
           Alcotest.test_case "serve end to end" `Quick test_daemon_end_to_end;
+          Alcotest.test_case "cross-process trace merge" `Quick
+            test_cross_process_trace_merge;
+          Alcotest.test_case "fleet top scrape" `Quick test_fleet_top_scrape;
           Alcotest.test_case "breaker transitions" `Quick
             test_breaker_transitions;
           Alcotest.test_case "consistent hashing" `Quick test_hashing_stable;

@@ -1,0 +1,161 @@
+(* Metric-taxonomy lint (dune alias @metrics-lint, also part of the
+   default test run): every `elfie_*` metric family registered in lib/
+   must be documented in docs/OBSERVABILITY.md, and every `elfie_*`
+   family the doc names must actually be registered — so the metric
+   taxonomy cannot silently drift in either direction.
+
+   Usage: metrics_lint.exe LIB_DIR DOC_FILE *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec ml_files dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then ml_files path
+         else if Filename.check_suffix entry ".ml" then [ path ]
+         else [])
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+(* Registration sites look like `Metrics.counter "elfie_..."` (possibly
+   with the string literal on the next line); the registry functions are
+   the only things named counter/gauge/histogram that take a leading
+   string. *)
+let registered_in source =
+  let found = ref [] in
+  let n = String.length source in
+  let scan_after fn =
+    let fl = String.length fn in
+    let rec from i =
+      match String.index_from_opt source i fn.[0] with
+      | None -> ()
+      | Some j when j + fl <= n && String.sub source j fl = fn ->
+          (* Reject a longer identifier (e.g. `counters`). *)
+          let boundary =
+            (j = 0 || not (is_name_char source.[j - 1]))
+            && (j + fl >= n || not (is_name_char source.[j + fl]))
+          in
+          (if boundary then
+             (* Skip whitespace to the opening quote of the name. *)
+             let k = ref (j + fl) in
+             while
+               !k < n
+               && (source.[!k] = ' ' || source.[!k] = '\n'
+                 || source.[!k] = '\t' || source.[!k] = '\r')
+             do
+               incr k
+             done;
+             if !k < n && source.[!k] = '"' then begin
+               let start = !k + 1 in
+               match String.index_from_opt source start '"' with
+               | Some close ->
+                   let name = String.sub source start (close - start) in
+                   if String.starts_with ~prefix:"elfie_" name then
+                     found := name :: !found
+               | None -> ()
+             end);
+          from (j + 1)
+      | Some j -> from (j + 1)
+    in
+    from 0
+  in
+  List.iter scan_after
+    [ "Metrics.counter"; "Metrics.gauge"; "Metrics.histogram" ];
+  !found
+
+(* Metric families are `elfie_<subsystem>_<measure>`: at least two
+   further underscore-separated segments. Single-segment tokens are
+   component names (the `elfie_obs` library, `bin/elfie_run`), not
+   metrics. *)
+let looks_like_metric token =
+  String.length token > 6
+  && String.contains_from token 6 '_'
+
+(* `elfie_*`-shaped tokens in the doc. A token immediately followed by
+   `*` is a wildcard mention (e.g. "the `elfie_sim_*` families") and is
+   not held against the registry. *)
+let documented_in text =
+  let found = ref [] in
+  let n = String.length text in
+  let prefix = "elfie_" in
+  let pl = String.length prefix in
+  let rec from i =
+    match String.index_from_opt text i 'e' with
+    | None -> ()
+    | Some j when j + pl <= n && String.sub text j pl = prefix ->
+        if j > 0 && is_name_char text.[j - 1] then from (j + 1)
+        else begin
+          let k = ref j in
+          while !k < n && is_name_char text.[!k] do
+            incr k
+          done;
+          let token = String.sub text j (!k - j) in
+          if (not (!k < n && text.[!k] = '*')) && looks_like_metric token then
+            found := token :: !found;
+          from !k
+        end
+    | Some j -> from (j + 1)
+  in
+  from 0;
+  !found
+
+(* A doc token may name an exposition series of a registered family. *)
+let series_suffixes = [ "_bucket"; "_sum"; "_count" ]
+
+let covers registered token =
+  List.mem token registered
+  || List.exists
+       (fun suffix ->
+         List.exists (fun r -> token = r ^ suffix) registered)
+       series_suffixes
+
+let () =
+  let lib_dir, doc_file =
+    match Sys.argv with
+    | [| _; lib; doc |] -> (lib, doc)
+    | _ ->
+        prerr_endline "usage: metrics_lint.exe LIB_DIR DOC_FILE";
+        exit 2
+  in
+  let registered =
+    List.sort_uniq compare
+      (List.concat_map (fun f -> registered_in (read_file f)) (ml_files lib_dir))
+  in
+  let documented =
+    List.sort_uniq compare (documented_in (read_file doc_file))
+  in
+  if registered = [] then begin
+    Printf.eprintf "metrics-lint: no elfie_* registrations found under %s\n"
+      lib_dir;
+    exit 1
+  end;
+  let undocumented =
+    List.filter (fun r -> not (List.mem r documented)) registered
+  in
+  let unregistered =
+    List.filter (fun d -> not (covers registered d)) documented
+  in
+  List.iter
+    (fun r ->
+      Printf.eprintf
+        "metrics-lint: %s is registered in lib/ but undocumented in %s\n" r
+        (Filename.basename doc_file))
+    undocumented;
+  List.iter
+    (fun d ->
+      Printf.eprintf
+        "metrics-lint: %s is documented in %s but not registered in lib/\n" d
+        (Filename.basename doc_file))
+    unregistered;
+  if undocumented <> [] || unregistered <> [] then exit 1;
+  Printf.printf
+    "metrics-lint: %d metric families registered, all documented; %d doc \
+     mentions, all registered\n"
+    (List.length registered) (List.length documented)

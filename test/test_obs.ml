@@ -7,6 +7,8 @@
 module Trace = Elfie_obs.Trace
 module Metrics = Elfie_obs.Metrics
 module Profile = Elfie_obs.Profile
+module Log = Elfie_obs.Log
+module Chrome = Elfie_obs.Chrome
 
 let contains hay needle =
   let nl = String.length needle and hl = String.length hay in
@@ -180,11 +182,16 @@ let test_chrome_json_roundtrip () =
     ~attrs:[ ("msg", Trace.S "a\"b\\c\nd\tcontrol:\x01"); ("n", Trace.I 42L) ]
     (fun _ -> Trace.instant "json.instant" ~attrs:[ ("ok", Trace.B true) ]);
   let parsed = parse_json (Trace.to_chrome ()) in
-  let events =
+  let all =
     match obj_field parsed "traceEvents" with
     | Some (J_arr l) -> l
     | _ -> Alcotest.fail "no traceEvents array"
   in
+  (* Track-naming metadata rides along; the payload events follow it. *)
+  let meta, events =
+    List.partition (fun e -> obj_field e "ph" = Some (J_str "M")) all
+  in
+  Alcotest.(check int) "process and thread metadata" 2 (List.length meta);
   Alcotest.(check int) "two events exported" 2 (List.length events);
   let find name =
     List.find_opt (fun e -> obj_field e "name" = Some (J_str name)) events
@@ -293,6 +300,265 @@ let test_profiler_deterministic_topk () =
   Profile.reset p1;
   Alcotest.(check Tutil.i64) "reset clears" 0L (Profile.instructions p1)
 
+(* --- structured event log and flight recorder ------------------------------- *)
+
+(* Every Log test runs against a clean ring and restores the global
+   defaults afterwards, whatever happens. *)
+let with_fresh_log f =
+  Log.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink None;
+      Log.set_flight_path None;
+      Log.set_level Log.Debug;
+      Log.set_capacity 2048;
+      Log.reset ())
+    f
+
+let tmp_file prefix = Filename.temp_file prefix ".jsonl"
+
+let test_log_ring_wraparound () =
+  with_fresh_log @@ fun () ->
+  Log.set_capacity 8;
+  for i = 1 to 20 do
+    Log.info "obs.test.wrap" ~attrs:[ ("i", Trace.I (Int64.of_int i)) ]
+  done;
+  Alcotest.(check int) "every event accepted" 20 (Log.emitted ());
+  let seq e =
+    match List.assoc_opt "i" e.Log.ev_attrs with
+    | Some (Trace.I v) -> Int64.to_int v
+    | _ -> -1
+  in
+  Alcotest.(check (list int)) "ring keeps the newest, oldest first"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+    (List.map seq (Log.recent ()));
+  Alcotest.(check (list int)) "limit trims from the old end" [ 19; 20 ]
+    (List.map seq (Log.recent ~limit:2 ()))
+
+let test_log_level_filtering () =
+  with_fresh_log @@ fun () ->
+  Log.set_level Log.Warn;
+  Log.debug "obs.test.d";
+  Log.info "obs.test.i";
+  Log.warn "obs.test.w";
+  Log.error "obs.test.e";
+  Alcotest.(check int) "below-threshold events discarded" 2 (Log.emitted ());
+  Alcotest.(check (list string)) "warn and error kept"
+    [ "obs.test.w"; "obs.test.e" ]
+    (List.map (fun e -> e.Log.ev_name) (Log.recent ()))
+
+let test_log_jsonl_roundtrip () =
+  with_fresh_log @@ fun () ->
+  Alcotest.(check bool) "garbage is not a log line" true
+    (Log.parse_line "{\"no\":\"event key\"}" = None);
+  Log.warn "obs.test.round"
+    ~attrs:
+      [ ("s", Trace.S "a\"b\\c\nd"); ("n", Trace.I 42L); ("f", Trace.F 2.5);
+        ("b", Trace.B true) ];
+  match Log.recent () with
+  | [ e ] -> (
+      let line = Log.render e in
+      Alcotest.(check bool) "renders as a single line" false
+        (contains line "\n");
+      match Log.parse_line line with
+      | None -> Alcotest.fail "rendered line did not parse back"
+      | Some e' ->
+          Alcotest.(check string) "name survives" "obs.test.round"
+            e'.Log.ev_name;
+          Alcotest.(check bool) "level survives" true
+            (e'.Log.ev_level = Log.Warn);
+          Alcotest.(check int) "pid survives" e.Log.ev_pid e'.Log.ev_pid;
+          Alcotest.(check bool) "string attr exact" true
+            (List.assoc_opt "s" e'.Log.ev_attrs
+            = Some (Trace.S "a\"b\\c\nd"));
+          Alcotest.(check bool) "int attr" true
+            (List.assoc_opt "n" e'.Log.ev_attrs = Some (Trace.I 42L));
+          Alcotest.(check bool) "float attr" true
+            (List.assoc_opt "f" e'.Log.ev_attrs = Some (Trace.F 2.5));
+          Alcotest.(check bool) "bool attr" true
+            (List.assoc_opt "b" e'.Log.ev_attrs = Some (Trace.B true)))
+  | evs -> Alcotest.failf "expected one event, got %d" (List.length evs)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_log_concurrent_writers_no_torn_lines () =
+  with_fresh_log @@ fun () ->
+  let sink = tmp_file "obs_sink" in
+  Log.set_sink (Some sink);
+  let writers = 8 and per_writer = 150 in
+  (* Pool workers are real domains: this exercises the ring and the
+     sink under genuine parallelism. *)
+  let (_ : unit list) =
+    Elfie_util.Pool.run ~jobs:writers
+      (List.init writers (fun w () ->
+           for i = 0 to per_writer - 1 do
+             Log.info "obs.test.concurrent"
+               ~attrs:
+                 [ ("w", Trace.I (Int64.of_int w));
+                   ("i", Trace.I (Int64.of_int i)) ]
+           done))
+  in
+  Log.set_sink None;
+  let lines = List.filter (fun l -> l <> "") (read_lines sink) in
+  Sys.remove sink;
+  Alcotest.(check int) "sink saw every event" (writers * per_writer)
+    (List.length lines);
+  (* No torn lines: every line parses, and every (writer, index) pair
+     is present exactly once. *)
+  let tally = Hashtbl.create 97 in
+  List.iter
+    (fun line ->
+      match Log.parse_line line with
+      | None -> Alcotest.failf "torn or corrupt sink line: %s" line
+      | Some e ->
+          let num k =
+            match List.assoc_opt k e.Log.ev_attrs with
+            | Some (Trace.I v) -> Int64.to_int v
+            | _ -> Alcotest.failf "line lost attr %s: %s" k line
+          in
+          let key = (num "w", num "i") in
+          Hashtbl.replace tally key (1 + Option.value ~default:0 (Hashtbl.find_opt tally key)))
+    lines;
+  for w = 0 to writers - 1 do
+    for i = 0 to per_writer - 1 do
+      Alcotest.(check (option int))
+        (Printf.sprintf "event (%d,%d) written exactly once" w i)
+        (Some 1)
+        (Hashtbl.find_opt tally (w, i))
+    done
+  done
+
+let test_flight_dump_on_signal () =
+  with_fresh_log @@ fun () ->
+  let dump_file = tmp_file "obs_flight" in
+  Sys.remove dump_file;
+  let seen = ref false in
+  let previous =
+    Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> seen := true))
+  in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigusr1 previous)
+  @@ fun () ->
+  Log.set_flight_path (Some dump_file);
+  Log.install_dump_on_signal [ Sys.sigusr1 ];
+  Log.info "obs.test.before_signal" ~attrs:[ ("k", Trace.S "v") ];
+  Unix.kill (Unix.getpid ()) Sys.sigusr1;
+  (* OCaml delivers signals at safe points; give the runtime a moment. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while
+    not (!seen && Sys.file_exists dump_file)
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.01
+  done;
+  Alcotest.(check bool) "previous handler chained" true !seen;
+  Alcotest.(check bool) "dump file written" true (Sys.file_exists dump_file);
+  let events =
+    List.filter_map
+      (fun line -> if line = "" then None else Some (line, Log.parse_line line))
+      (read_lines dump_file)
+  in
+  Sys.remove dump_file;
+  List.iter
+    (fun (line, parsed) ->
+      if parsed = None then Alcotest.failf "unparseable dump line: %s" line)
+    events;
+  let parsed = List.filter_map snd events in
+  Alcotest.(check bool) "dump holds the pre-signal event" true
+    (List.exists (fun e -> e.Log.ev_name = "obs.test.before_signal") parsed);
+  match List.rev parsed with
+  | trailer :: _ ->
+      Alcotest.(check string) "trailer event" "flight.dump"
+        trailer.Log.ev_name;
+      Alcotest.(check bool) "trailer names the signal" true
+        (List.assoc_opt "reason" trailer.Log.ev_attrs
+        = Some (Trace.S "signal:sigusr1"))
+  | [] -> Alcotest.fail "empty dump"
+
+(* --- chrome metadata and trace merge ----------------------------------------- *)
+
+let trace_events j =
+  match obj_field j "traceEvents" with
+  | Some (J_arr evs) -> evs
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let has_meta evs ~name ~pid ~track =
+  List.exists
+    (fun e ->
+      obj_field e "ph" = Some (J_str "M")
+      && obj_field e "name" = Some (J_str name)
+      && obj_field e "pid" = Some (J_num (float_of_int pid))
+      && match obj_field e "args" with
+         | Some args -> obj_field args "name" = Some (J_str track)
+         | None -> false)
+    evs
+
+let find_span evs name =
+  List.find_opt
+    (fun e ->
+      obj_field e "name" = Some (J_str name)
+      && obj_field e "ph" = Some (J_str "X"))
+    evs
+
+let test_chrome_metadata_and_merge () =
+  let id = 0x1122334455667788L in
+  Trace.reset ();
+  Trace.set_trace_id id;
+  Trace.with_span "merge.a" (fun _ -> ());
+  let file_a = Trace.to_chrome ~pid:101 ~label:"proc-a" () in
+  Trace.reset ();
+  Trace.with_span "merge.b" (fun _ -> ());
+  let file_b = Trace.to_chrome ~pid:202 ~label:"proc-b" () in
+  Trace.reset ();
+  (* Each export names its own process and thread tracks and records
+     the shared trace ID. *)
+  let ja = parse_json file_a in
+  Alcotest.(check bool) "process_name metadata" true
+    (has_meta (trace_events ja) ~name:"process_name" ~pid:101 ~track:"proc-a");
+  Alcotest.(check bool) "thread_name metadata" true
+    (has_meta (trace_events ja) ~name:"thread_name" ~pid:101 ~track:"main");
+  Alcotest.(check bool) "traceId exported as 16 hex digits" true
+    (obj_field ja "traceId" = Some (J_str (Trace.hex_id id)));
+  Alcotest.(check int) "hex id width" 16 (String.length (Trace.hex_id id));
+  (* The merge re-bases the later file onto the earlier epoch and keeps
+     both processes' tracks and the agreed trace ID. *)
+  match Chrome.merge [ ("a", file_a); ("b", file_b) ] with
+  | Error e -> Alcotest.failf "merge failed: %s" e
+  | Ok merged -> (
+      let jm = parse_json merged in
+      Alcotest.(check bool) "merged keeps the shared traceId" true
+        (obj_field jm "traceId" = Some (J_str (Trace.hex_id id)));
+      let evs = trace_events jm in
+      Alcotest.(check bool) "merged keeps proc-a track" true
+        (has_meta evs ~name:"process_name" ~pid:101 ~track:"proc-a");
+      Alcotest.(check bool) "merged keeps proc-b track" true
+        (has_meta evs ~name:"process_name" ~pid:202 ~track:"proc-b");
+      match (find_span evs "merge.a", find_span evs "merge.b") with
+      | Some a, Some b -> (
+          Alcotest.(check bool) "spans keep their pids" true
+            (obj_field a "pid" = Some (J_num 101.0)
+            && obj_field b "pid" = Some (J_num 202.0));
+          match (obj_field a "ts", obj_field b "ts") with
+          | Some (J_num ta), Some (J_num tb) ->
+              (* b was recorded under a later epoch, so after re-basing
+                 onto a's epoch its timestamp must not precede a's. *)
+              Alcotest.(check bool) "later epoch shifted forward" true
+                (tb >= ta)
+          | _ -> Alcotest.fail "merged spans lost their timestamps")
+      | _ -> Alcotest.fail "merged trace lost a span");
+      match Chrome.merge [ ("bad", "{\"notATrace\":1}") ] with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "merge accepted input without traceEvents"
+
 (* --- end to end: a pipeline validation traces every layer ------------------- *)
 
 let test_pipeline_emits_layered_spans () =
@@ -371,6 +637,15 @@ let suite =
     Alcotest.test_case "prometheus escaping" `Quick test_prometheus_escaping;
     Alcotest.test_case "profiler deterministic top-k" `Quick
       test_profiler_deterministic_topk;
+    Alcotest.test_case "log ring wraparound" `Quick test_log_ring_wraparound;
+    Alcotest.test_case "log level filtering" `Quick test_log_level_filtering;
+    Alcotest.test_case "log jsonl roundtrip" `Quick test_log_jsonl_roundtrip;
+    Alcotest.test_case "log concurrent writers tear no lines" `Quick
+      test_log_concurrent_writers_no_torn_lines;
+    Alcotest.test_case "flight recorder dumps on signal" `Quick
+      test_flight_dump_on_signal;
+    Alcotest.test_case "chrome metadata and trace merge" `Quick
+      test_chrome_metadata_and_merge;
     Alcotest.test_case "pipeline emits layered spans" `Slow
       test_pipeline_emits_layered_spans;
   ]
