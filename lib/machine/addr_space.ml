@@ -19,16 +19,23 @@ type page = { data : bytes; mutable is_code : bool }
 (* Soft-TLB: a small direct-mapped cache of recent page-number ->
    page translations in front of the hash table. Only [unmap] can make
    an entry stale (mapping never replaces an existing page), so entries
-   are flushed wholesale there. *)
+   are flushed wholesale there. Tags are page numbers as immediate
+   [int]s (a 64-bit address shifted by the page bits fits 52 bits), so
+   the probe is pointer- and allocation-free. *)
 let tlb_bits = 6
 let tlb_size = 1 lsl tlb_bits
-let tlb_mask = Int64.of_int (tlb_size - 1)
 let no_page = { data = Bytes.create 0; is_code = false }
 
 type t = {
   pages : (int64, page) Hashtbl.t;
   mutable generation : int;
-  tlb_tags : int64 array;  (* page number, or -1L for empty *)
+  (* Writes that landed in code pages, separately from [generation]
+     (which also counts map/unmap): between two system calls the only
+     way [generation] can move is a code-page write, so executors can
+     poll this single field as the "has anything been dirtied since
+     translation" fast-path flag. *)
+  mutable code_writes : int;
+  tlb_tags : int array;  (* page number, or -1 for empty *)
   tlb_pages : page array;
 }
 
@@ -36,27 +43,39 @@ let create () =
   {
     pages = Hashtbl.create 256;
     generation = 0;
-    tlb_tags = Array.make tlb_size (-1L);
+    code_writes = 0;
+    tlb_tags = Array.make tlb_size (-1);
     tlb_pages = Array.make tlb_size no_page;
   }
 
 let tlb_flush t =
-  Array.fill t.tlb_tags 0 tlb_size (-1L);
+  Array.fill t.tlb_tags 0 tlb_size (-1);
   Array.fill t.tlb_pages 0 tlb_size no_page
 
-(* TLB-accelerated page lookup; raises [Not_found] when unmapped.
-   Page numbers are non-negative ([page_number] shifts logically), so
-   the -1L empty tag can never false-hit. *)
-let[@inline] lookup t pn =
-  let slot = Int64.to_int (Int64.logand pn tlb_mask) in
-  if Int64.equal (Array.unsafe_get t.tlb_tags slot) pn then
+(* TLB-accelerated page lookup by immediate page number; raises
+   [Not_found] when unmapped. Page numbers are non-negative
+   ([page_number] shifts logically), so the -1 empty tag can never
+   false-hit. *)
+let[@inline] lookup_i t pni =
+  let slot = pni land (tlb_size - 1) in
+  if Array.unsafe_get t.tlb_tags slot = pni then
     Array.unsafe_get t.tlb_pages slot
   else begin
-    let page = Hashtbl.find t.pages pn in
-    Array.unsafe_set t.tlb_tags slot pn;
+    let page = Hashtbl.find t.pages (Int64.of_int pni) in
+    Array.unsafe_set t.tlb_tags slot pni;
     Array.unsafe_set t.tlb_pages slot page;
     page
   end
+
+let[@inline] lookup t pn = lookup_i t (Int64.to_int pn)
+
+(* Immediate-domain page number / page offset: [Int64.to_int] keeps the
+   low 63 bits, which covers both (the shift result is at most 52 bits;
+   the offset only needs the low 12). *)
+let[@inline] page_number_i addr =
+  Int64.to_int (Int64.shift_right_logical addr page_bits)
+
+let[@inline] offset_i addr = Int64.to_int addr land (page_size - 1)
 
 let find t addr =
   match lookup t (page_number addr) with
@@ -101,18 +120,22 @@ let note_code t ~addr ~len =
 
 (* Writes into pages holding decoded instructions invalidate block
    caches; plain data writes leave the generation alone. *)
-let[@inline] dirty t page = if page.is_code then t.generation <- t.generation + 1
+let[@inline] dirty t page =
+  if page.is_code then begin
+    t.generation <- t.generation + 1;
+    t.code_writes <- t.code_writes + 1
+  end
 
 let read_u8 t addr =
-  match lookup t (page_number addr) with
-  | page -> Char.code (Bytes.unsafe_get page.data (offset_in_page addr))
+  match lookup_i t (page_number_i addr) with
+  | page -> Char.code (Bytes.unsafe_get page.data (offset_i addr))
   | exception Not_found -> raise (Fault { addr; access = Read })
 
 let write_u8 t addr v =
-  match lookup t (page_number addr) with
+  match lookup_i t (page_number_i addr) with
   | page ->
       dirty t page;
-      Bytes.set page.data (offset_in_page addr) (Char.chr (v land 0xff))
+      Bytes.set page.data (offset_i addr) (Char.chr (v land 0xff))
   | exception Not_found -> raise (Fault { addr; access = Write })
 
 (* Fast paths for accesses fully inside one page. *)
@@ -159,17 +182,17 @@ let write t addr width v =
    case for stack and heap traffic. The general [read]/[write] fallback
    preserves exact fault addresses at page crossings. *)
 let read_u64 t addr =
-  let off = offset_in_page addr in
+  let off = offset_i addr in
   if off <= page_size - 8 then
-    match lookup t (page_number addr) with
+    match lookup_i t (page_number_i addr) with
     | page -> Bytes.get_int64_le page.data off
     | exception Not_found -> raise (Fault { addr; access = Read })
   else read t addr 8
 
 let write_u64 t addr v =
-  let off = offset_in_page addr in
+  let off = offset_i addr in
   if off <= page_size - 8 then
-    match lookup t (page_number addr) with
+    match lookup_i t (page_number_i addr) with
     | page ->
         dirty t page;
         Bytes.set_int64_le page.data off v
@@ -245,8 +268,10 @@ let copy t =
   {
     pages;
     generation = t.generation;
-    tlb_tags = Array.make tlb_size (-1L);
+    code_writes = t.code_writes;
+    tlb_tags = Array.make tlb_size (-1);
     tlb_pages = Array.make tlb_size no_page;
   }
 
 let generation t = t.generation
+let code_writes t = t.code_writes

@@ -82,3 +82,12 @@ val note_code : t -> addr:int64 -> len:int -> unit
     {!note_code}; lets the executor invalidate translated-block and
     decoded-instruction caches, including under self-modifying code. *)
 val generation : t -> int
+
+(** Count of writes that landed in {!note_code}-marked pages — the
+    subset of {!generation} bumps caused by dirtying code rather than by
+    mapping changes. Between system calls no page can be mapped or
+    unmapped, so a batch executor may poll this single field as its
+    "code dirtied since translation" fast-path flag: equality with the
+    value sampled at translation time proves the translation is still
+    valid mid-block. *)
+val code_writes : t -> int

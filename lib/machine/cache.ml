@@ -10,16 +10,34 @@ type t = {
   sets : int;
   set_mask : int;  (* sets - 1 when sets is a power of two, else 0 *)
   line_bits : int;
-  tags : int64 array;  (* sets * ways, -1L = invalid *)
-  lru : int array;  (* age per way; 0 = most recent *)
+  (* Line numbers fit an OCaml [int]: a 64-bit address shifted right by
+     the line bits (>= 1) is at most 63 bits. Storing them as immediates
+     makes the tag scan pointer-free (an [int64 array] holds boxed
+     elements) and the fill a plain store. -1 = invalid (no line number
+     is negative). *)
+  tags : int array;  (* sets * ways *)
+  (* Recency as per-set timestamps: larger = more recent, victim = the
+     way with the smallest stamp. Exactly the LRU order the previous
+     age-vector encoding maintained (stamps are distinct within a set
+     once filled, and the fill-order tie-break matches), but a hit
+     updates one slot instead of re-aging the whole set. *)
+  lru : int array;  (* stamp per way *)
+  stamp : int array;  (* per-set monotone clock *)
   mutable hits : int;
   mutable misses : int;
+  (* Most-recently-accessed line. Every access leaves its line resident
+     (hit, or miss + fill), so a repeat of this line is a guaranteed hit
+     that can skip the tag scan. Skipping its stamp update is
+     order-preserving: back-to-back accesses to one line mean nothing
+     else in that set moved, so the line already holds the strictly
+     largest stamp and every future victim choice is unchanged. *)
+  mutable mru_line : int;
   (* First-touch filter: streams hit the same line many times in a row,
      so remembering the last line skips the footprint-set probe on the
      common path without changing the set's contents. *)
-  mutable last_line : int64;
+  mutable last_line : int;
   track : bool;
-  touched : (int64, unit) Hashtbl.t;
+  touched : (int, unit) Hashtbl.t;
 }
 
 let create ?(track_footprint = true) cfg =
@@ -33,60 +51,66 @@ let create ?(track_footprint = true) cfg =
     sets;
     set_mask = (if sets land (sets - 1) = 0 then sets - 1 else 0);
     line_bits;
-    tags = Array.make (sets * cfg.ways) (-1L);
+    tags = Array.make (sets * cfg.ways) (-1);
     lru = Array.make (sets * cfg.ways) 0;
+    stamp = Array.make sets 0;
     hits = 0;
     misses = 0;
-    last_line = -1L;
+    mru_line = -1;
+    last_line = -1;
     track = track_footprint;
     touched = Hashtbl.create (if track_footprint then 1024 else 1);
   }
 
 let access t addr =
-  let line = Int64.shift_right_logical addr t.line_bits in
-  if t.track && not (Int64.equal line t.last_line) then begin
-    t.last_line <- line;
-    if not (Hashtbl.mem t.touched line) then Hashtbl.replace t.touched line ()
-  end;
-  let set =
-    (* Lines are non-negative, so masking equals [Int64.rem] for
-       power-of-two set counts (every default geometry). *)
-    if t.set_mask <> 0 then Int64.to_int line land t.set_mask
-    else Int64.to_int (Int64.rem line (Int64.of_int t.sets))
-  in
-  let ways = t.cfg.ways in
-  let base = set * ways in
-  let hit_way = ref (-1) in
-  let w = ref 0 in
-  while !hit_way < 0 && !w < ways do
-    (* A line occupies at most one way (inserted only after a full-scan
-       miss), so stopping at the first match is exact. *)
-    if Int64.equal (Array.unsafe_get t.tags (base + !w)) line then
-      hit_way := !w;
-    incr w
-  done;
-  if !hit_way >= 0 then begin
+  let line = Int64.to_int (Int64.shift_right_logical addr t.line_bits) in
+  if line = t.mru_line then begin
+    (* Repeat of the last access: resident by construction, already the
+       most recent in its set, already in the footprint set. *)
     t.hits <- t.hits + 1;
-    let age = t.lru.(base + !hit_way) in
-    for w = 0 to ways - 1 do
-      if t.lru.(base + w) < age then t.lru.(base + w) <- t.lru.(base + w) + 1
-    done;
-    t.lru.(base + !hit_way) <- 0;
     true
   end
   else begin
-    t.misses <- t.misses + 1;
-    (* Evict the oldest way. *)
-    let victim = ref 0 in
-    for w = 1 to ways - 1 do
-      if t.lru.(base + w) > t.lru.(base + !victim) then victim := w
+    t.mru_line <- line;
+    if t.track && line <> t.last_line then begin
+      t.last_line <- line;
+      if not (Hashtbl.mem t.touched line) then Hashtbl.replace t.touched line ()
+    end;
+    let set =
+      (* Lines are non-negative, so masking equals [mod] for power-of-two
+         set counts (every default geometry). *)
+      if t.set_mask <> 0 then line land t.set_mask else line mod t.sets
+    in
+    let ways = t.cfg.ways in
+    let base = set * ways in
+    let hit_way = ref (-1) in
+    let w = ref 0 in
+    while !hit_way < 0 && !w < ways do
+      (* A line occupies at most one way (inserted only after a full-scan
+         miss), so stopping at the first match is exact. *)
+      if Array.unsafe_get t.tags (base + !w) = line then hit_way := !w;
+      incr w
     done;
-    for w = 0 to ways - 1 do
-      t.lru.(base + w) <- t.lru.(base + w) + 1
-    done;
-    t.tags.(base + !victim) <- line;
-    t.lru.(base + !victim) <- 0;
-    false
+    let now = Array.unsafe_get t.stamp set + 1 in
+    Array.unsafe_set t.stamp set now;
+    if !hit_way >= 0 then begin
+      t.hits <- t.hits + 1;
+      Array.unsafe_set t.lru (base + !hit_way) now;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      (* Evict the least recently used way. *)
+      let victim = ref 0 in
+      for w = 1 to ways - 1 do
+        if Array.unsafe_get t.lru (base + w)
+           < Array.unsafe_get t.lru (base + !victim)
+        then victim := w
+      done;
+      Array.unsafe_set t.tags (base + !victim) line;
+      Array.unsafe_set t.lru (base + !victim) now;
+      false
+    end
   end
 
 let hits t = t.hits
@@ -96,7 +120,9 @@ let footprint_lines t = Hashtbl.length t.touched
 let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;
-  t.last_line <- (-1L);
+  t.last_line <- -1;
   Hashtbl.reset t.touched
 
-let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1L)
+let flush t =
+  t.mru_line <- -1;
+  Array.fill t.tags 0 (Array.length t.tags) (-1)

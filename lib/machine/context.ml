@@ -1,7 +1,17 @@
 open Elfie_isa
 
+(* The register file lives in a flat byte buffer rather than an
+   [int64 array]: int64 array elements are boxed, so every register
+   write would allocate (the boxed result) and run the write barrier.
+   Bytes accessors move unboxed int64 values directly — a register
+   write from the interpreter's hot loop is a plain 8-byte store.
+   In-memory order is host-native (the accessor pair is internally
+   consistent on any host); serialization fixes little-endian. *)
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
 type t = {
-  gprs : int64 array;
+  gprs : Bytes.t;
   mutable rip : int64;
   flags : Reg.flags;
   mutable fs_base : int64;
@@ -9,11 +19,12 @@ type t = {
   xmm : bytes;
 }
 
+let gpr_count = 16
 let xsave_size = 16 * Reg.xmm_count
 
 let create () =
   {
-    gprs = Array.make 16 0L;
+    gprs = Bytes.make (gpr_count * 8) '\000';
     rip = 0L;
     flags = Reg.fresh_flags ();
     fs_base = 0L;
@@ -23,7 +34,7 @@ let create () =
 
 let copy t =
   {
-    gprs = Array.copy t.gprs;
+    gprs = Bytes.copy t.gprs;
     rip = t.rip;
     flags = Reg.copy_flags t.flags;
     fs_base = t.fs_base;
@@ -31,8 +42,12 @@ let copy t =
     xmm = Bytes.copy t.xmm;
   }
 
-let get t r = t.gprs.(Reg.gpr_index r)
-let set t r v = t.gprs.(Reg.gpr_index r) <- v
+let[@inline] geti t i = unsafe_get_64 t.gprs (i lsl 3)
+let[@inline] seti t i v = unsafe_set_64 t.gprs (i lsl 3) v
+let[@inline] bget g i = unsafe_get_64 g (i lsl 3)
+let[@inline] bset g i v = unsafe_set_64 g (i lsl 3) v
+let get t r = geti t (Reg.gpr_index r)
+let set t r v = seti t (Reg.gpr_index r) v
 
 let xmm_lane t i lane = Bytes.get_int64_le t.xmm ((i * 16) + (lane * 8))
 let set_xmm_lane t i lane v = Bytes.set_int64_le t.xmm ((i * 16) + (lane * 8)) v
@@ -45,7 +60,9 @@ let xrstor t img =
 
 let to_bytes t =
   let w = Elfie_util.Byteio.Writer.create ~capacity:(xsave_size + 160) () in
-  Array.iter (Elfie_util.Byteio.Writer.u64 w) t.gprs;
+  for i = 0 to gpr_count - 1 do
+    Elfie_util.Byteio.Writer.u64 w (geti t i)
+  done;
   Elfie_util.Byteio.Writer.u64 w t.rip;
   Elfie_util.Byteio.Writer.u64 w (Reg.flags_to_word t.flags);
   Elfie_util.Byteio.Writer.u64 w t.fs_base;
@@ -56,8 +73,8 @@ let to_bytes t =
 let of_bytes b =
   let r = Elfie_util.Byteio.Reader.of_bytes b in
   let t = create () in
-  for i = 0 to 15 do
-    t.gprs.(i) <- Elfie_util.Byteio.Reader.u64 r
+  for i = 0 to gpr_count - 1 do
+    seti t i (Elfie_util.Byteio.Reader.u64 r)
   done;
   t.rip <- Elfie_util.Byteio.Reader.u64 r;
   let fl = Reg.flags_of_word (Elfie_util.Byteio.Reader.u64 r) in

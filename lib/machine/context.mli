@@ -8,7 +8,13 @@
     XRSTOR/XSAVE. *)
 
 type t = {
-  gprs : int64 array;  (** 16 entries, indexed by [Reg.gpr_index] *)
+  gprs : Bytes.t;
+      (** 16 × 8-byte host-endian register slots, indexed by
+          [8 * Reg.gpr_index]. A byte buffer rather than an
+          [int64 array] so register reads/writes move unboxed values
+          (no allocation, no write barrier on the interpreter's hot
+          path); access it through {!get}/{!set}/{!geti}/{!seti} or the
+          raw-buffer pair {!bget}/{!bset}. *)
   mutable rip : int64;
   flags : Elfie_isa.Reg.flags;
   mutable fs_base : int64;
@@ -20,6 +26,18 @@ val create : unit -> t
 val copy : t -> t
 val get : t -> Elfie_isa.Reg.gpr -> int64
 val set : t -> Elfie_isa.Reg.gpr -> int64 -> unit
+
+(** Index-based register access ([Reg.gpr_index] order). *)
+val geti : t -> int -> int64
+
+val seti : t -> int -> int64 -> unit
+
+(** Unchecked accessors over the raw {!field-gprs} buffer, for compiled
+    code that hoists the buffer out of its inner loop. [i] is a register
+    index in [0, 15]. *)
+val bget : Bytes.t -> int -> int64
+
+val bset : Bytes.t -> int -> int64 -> unit
 
 (** Lane accessors for the vector unit: [xmm_lane ctx i lane] reads
     64-bit lane 0 or 1 of register [i]. *)

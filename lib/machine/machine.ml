@@ -1,4 +1,5 @@
 open Elfie_isa
+module Metrics = Elfie_obs.Metrics
 
 type fault =
   | Page_fault of { addr : int64; access : Addr_space.access; pc : int64 }
@@ -82,6 +83,64 @@ type bb = {
   (* The terminator is a plain branch/call/ret (no syscall, marker or
      trap), so a hook-free batch may run the whole block including it. *)
   bb_tail_batchable : bool;
+  (* --- superblock tier -------------------------------------------------
+     A block whose terminator is a direct branch/call knows its static
+     successor pcs; the chain executor links the translations together
+     so predicted edges hop block-to-block without touching the
+     dispatch loop. *)
+  bb_writes_mem : bool;
+      (* some instruction may write memory (stores, pushes, calls, or
+         any [execute]-fallback form): only such a block can dirty a
+         code page mid-block, so only such a block needs the
+         per-instruction generation re-check. *)
+  bb_succ_taken : int64;  (* direct taken-edge target pc, or -1L *)
+  bb_succ_fall : int64;  (* fall-through pc of a [Jcc] tail, or -1L *)
+  bb_kill_prefix : int;
+      (* length of the leading run of pure (non-faulting, non-reading)
+         instructions ending at the first full flag writer, or -1: once
+         that prefix runs, all four flags are freshly written, so a
+         predecessor chained into this block may elide its own dead
+         trailing flag results. *)
+  bb_mega_safe : t -> thread -> unit;
+      (* the whole block as ONE composed closure (straight-line calls,
+         no per-instruction dispatch, SMC re-checks only after
+         store-capable slots): the chain executor's hop body. Built over
+         the always-safe chain variant — in-block-dead ALU flag results
+         elided, compare+Jcc tails fused with eager flag
+         materialisation — so it is exact for any whole-block run. Only
+         valid for full-block runs: a fault records its slot in
+         [t.mega_idx], a mid-block invalidation raises {!Smc_break}. *)
+  bb_mega_chain : t -> thread -> unit;
+      (* same composition over the exit-dead variant: additionally skips
+         flag results the block's static successors provably rewrite
+         (lazy fusion, trailing elisions). Physically equal to
+         [bb_mega_safe] when the exit assumption buys nothing. Only run
+         under the [bb_chain_extra] fuel gate. *)
+  mutable bb_links : bb array;
+      (* [||] until {!resolve_links} runs; then [| fall; taken |]
+         successor translations ([dummy_bb] for unresolvable edges),
+         indexed by the direction the terminator recorded in [t.took] —
+         the hop transition is an array load, not a RIP compare. *)
+  mutable bb_chain_extra : int;
+      (* -2: successors not yet resolved; -1: the elided variant is
+         unusable (no elisions, or some successor lacks a kill prefix);
+         >= 0: extra whole-chain fuel (the largest successor kill
+         prefix) that must be available beyond this block's length
+         before [bb_uops_chain] may run — the guarantee that the flags
+         it leaves stale are rewritten before anything observes them. *)
+}
+
+(* Live-counter block for the stats snapshot kept per machine. *)
+and core_stats = {
+  mutable st_memo_hits : int;
+  mutable st_memo_misses : int;
+  mutable st_sb_built : int;
+  mutable st_sb_broken : int;
+  mutable st_x_indirect : int;
+  mutable st_x_fuel : int;
+  mutable st_x_fault : int;
+  mutable st_x_inval : int;
+  mutable st_x_stop : int;
 }
 
 and t = {
@@ -121,11 +180,31 @@ and t = {
   block_memo : bb array;
   mutable block_observer :
     (tid:int -> pcs:int64 array -> n:int -> ends_block:bool -> unit) option;
+  (* Superblock chaining: direct-branch terminators hop straight to the
+     successor's translation instead of returning to the dispatch loop.
+     Disabled for A/B measurement and differential tests. *)
+  mutable chain_enabled : bool;
+  (* Slot index a mega-op was executing when it raised: [Fault] leaves
+     the faulting slot here, [Smc_break] the count of completed slots. *)
+  mutable mega_idx : int;
+  (* Direction the last direct branch/call terminator resolved to
+     (1 = taken edge, 0 = fall-through), recorded branchlessly by the
+     terminator micro-ops. Valid right after a whole-block mega run of a
+     directly-terminated block — exactly when the chain executor indexes
+     [bb_links] with it. *)
+  mutable took : int;
+  (* [Addr_space.code_writes] sampled at mega-op entry; the composed
+     post-store re-checks compare against it. *)
+  mutable mega_cw : int;
+  mutable live_links : int;  (* installed chain edges in this generation *)
+  stats : core_stats;  (* monotone per-machine counters *)
+  stats_flushed : core_stats;  (* snapshot at the last metrics flush *)
 }
 
 let block_memo_size = 64 (* power of two *)
 
-(* Placeholder behind [block_memo_pc.(slot) = -1L], never matching a pc. *)
+(* Placeholder behind [block_memo_pc.(slot) = -1L] and behind
+   unresolved/unresolvable chain links, never matching a pc. *)
 let dummy_bb =
   {
     bb_pc = [||];
@@ -136,6 +215,27 @@ let dummy_bb =
     bb_uops = [||];
     bb_ends_block = false;
     bb_tail_batchable = false;
+    bb_writes_mem = false;
+    bb_succ_taken = -1L;
+    bb_succ_fall = -1L;
+    bb_kill_prefix = -1;
+    bb_mega_safe = (fun _ _ -> ());
+    bb_mega_chain = (fun _ _ -> ());
+    bb_links = [||];
+    bb_chain_extra = -1;
+  }
+
+let fresh_stats () =
+  {
+    st_memo_hits = 0;
+    st_memo_misses = 0;
+    st_sb_built = 0;
+    st_sb_broken = 0;
+    st_x_indirect = 0;
+    st_x_fuel = 0;
+    st_x_fault = 0;
+    st_x_inval = 0;
+    st_x_stop = 0;
   }
 
 let fresh_hooks () =
@@ -182,6 +282,13 @@ let create ?(timing = Timing.default) scheduler =
     block_memo_pc = Array.make block_memo_size (-1L);
     block_memo = Array.make block_memo_size dummy_bb;
     block_observer = None;
+    chain_enabled = true;
+    mega_idx = 0;
+    mega_cw = 0;
+    took = 0;
+    live_links = 0;
+    stats = fresh_stats ();
+    stats_flushed = fresh_stats ();
   }
 
 let mem t = t.mem
@@ -287,6 +394,83 @@ let all_exited_cleanly t =
 
 let set_block_observer t f = t.block_observer <- f
 let translated_blocks t = Hashtbl.length t.block_cache
+let set_chain_enabled t b = t.chain_enabled <- b
+let translated_superblocks t = t.live_links
+
+type chain_stats = {
+  memo_hits : int;
+  memo_misses : int;
+  superblocks_built : int;
+  superblocks_broken : int;
+  exits_indirect : int;
+  exits_fuel : int;
+  exits_fault : int;
+  exits_invalidation : int;
+  exits_stop : int;
+}
+
+let chain_stats t =
+  {
+    memo_hits = t.stats.st_memo_hits;
+    memo_misses = t.stats.st_memo_misses;
+    superblocks_built = t.stats.st_sb_built;
+    superblocks_broken = t.stats.st_sb_broken;
+    exits_indirect = t.stats.st_x_indirect;
+    exits_fuel = t.stats.st_x_fuel;
+    exits_fault = t.stats.st_x_fault;
+    exits_invalidation = t.stats.st_x_inval;
+    exits_stop = t.stats.st_x_stop;
+  }
+
+(* Block-cache and superblock efficacy families. Counters are process
+   monotone: each machine flushes only the delta since its last flush
+   (end of every [run]), so concurrent machines in one process
+   accumulate rather than clobber. *)
+let m_memo_hits =
+  Metrics.counter "elfie_core_block_memo_hits"
+    ~help:"Translated-block fetches served by the direct-mapped memo"
+
+let m_memo_misses =
+  Metrics.counter "elfie_core_block_memo_misses"
+    ~help:"Translated-block fetches that fell back to the hash probe"
+
+let m_sb_built =
+  Metrics.counter "elfie_core_superblocks_built"
+    ~help:"Chain links installed between translated blocks"
+
+let m_sb_broken =
+  Metrics.counter "elfie_core_superblocks_broken"
+    ~help:"Chain links discarded by translation-cache invalidation"
+
+let m_chain_exits =
+  Metrics.counter "elfie_core_chain_exits"
+    ~help:"Chained runs broken back to dispatch, by reason"
+
+let flush_core_metrics t =
+  let bump ?labels fam live flushed =
+    if live > flushed then
+      Metrics.inc ?labels ~by:(float_of_int (live - flushed)) fam
+  in
+  let s = t.stats and f = t.stats_flushed in
+  bump m_memo_hits s.st_memo_hits f.st_memo_hits;
+  bump m_memo_misses s.st_memo_misses f.st_memo_misses;
+  bump m_sb_built s.st_sb_built f.st_sb_built;
+  bump m_sb_broken s.st_sb_broken f.st_sb_broken;
+  let reason r = bump ~labels:[ ("reason", r) ] m_chain_exits in
+  reason "indirect" s.st_x_indirect f.st_x_indirect;
+  reason "fuel" s.st_x_fuel f.st_x_fuel;
+  reason "fault" s.st_x_fault f.st_x_fault;
+  reason "invalidation" s.st_x_inval f.st_x_inval;
+  reason "stop" s.st_x_stop f.st_x_stop;
+  f.st_memo_hits <- s.st_memo_hits;
+  f.st_memo_misses <- s.st_memo_misses;
+  f.st_sb_built <- s.st_sb_built;
+  f.st_sb_broken <- s.st_sb_broken;
+  f.st_x_indirect <- s.st_x_indirect;
+  f.st_x_fuel <- s.st_x_fuel;
+  f.st_x_fault <- s.st_x_fault;
+  f.st_x_inval <- s.st_x_inval;
+  f.st_x_stop <- s.st_x_stop
 
 (* --- Instruction semantics --------------------------------------------- *)
 
@@ -567,32 +751,32 @@ let execute t th pc ins base_cost =
 (* Addressing mode resolved at translation time: base/index register
    indices and the scale multiply are baked into the closure. Matches
    [effective_address] exactly (scale only applies to the index). *)
-let compile_addr (m : Insn.mem) : int64 array -> int64 =
+let compile_addr (m : Insn.mem) : Bytes.t -> int64 =
   let disp = m.disp in
   match (m.base, m.index) with
   | None, None -> fun _ -> disp
   | Some b, None ->
       let bi = Reg.gpr_index b in
-      fun g -> Int64.add (Array.unsafe_get g bi) disp
+      fun g -> Int64.add (Context.bget g bi) disp
   | None, Some x ->
       let xi = Reg.gpr_index x in
-      if m.scale = 1 then fun g -> Int64.add (Array.unsafe_get g xi) disp
+      if m.scale = 1 then fun g -> Int64.add (Context.bget g xi) disp
       else
         let s = Int64.of_int m.scale in
-        fun g -> Int64.add (Int64.mul (Array.unsafe_get g xi) s) disp
+        fun g -> Int64.add (Int64.mul (Context.bget g xi) s) disp
   | Some b, Some x ->
       let bi = Reg.gpr_index b and xi = Reg.gpr_index x in
       if m.scale = 1 then
         fun g ->
           Int64.add
-            (Int64.add (Array.unsafe_get g bi) (Array.unsafe_get g xi))
+            (Int64.add (Context.bget g bi) (Context.bget g xi))
             disp
       else
         let s = Int64.of_int m.scale in
         fun g ->
           Int64.add
-            (Int64.add (Array.unsafe_get g bi)
-               (Int64.mul (Array.unsafe_get g xi) s))
+            (Int64.add (Context.bget g bi)
+               (Int64.mul (Context.bget g xi) s))
             disp
 
 let rsp_index = Reg.gpr_index Reg.RSP
@@ -606,6 +790,52 @@ let cond_fn = function
   | Gt -> fun (f : Reg.flags) -> (not f.zf) && f.sf = f.ovf
   | Ult -> fun (f : Reg.flags) -> f.cf
   | Uge -> fun (f : Reg.flags) -> not f.cf
+
+(* Flag-free value forms used when a liveness pass proved the flag
+   results dead: same register result as the [alu_*] functions, no flag
+   stores. [Cmp]/[Test] compute nothing at all in that case. *)
+let pure_alu = function
+  | Insn.Add -> Int64.add
+  | Sub -> Int64.sub
+  | And | Test -> Int64.logand
+  | Or -> Int64.logor
+  | Xor -> Int64.logxor
+  | Imul -> Int64.mul
+  | Cmp -> Int64.sub
+
+let[@inline] pure_shift op v n =
+  match op with
+  | Insn.Shl -> Int64.shift_left v n
+  | Shr -> Int64.shift_right_logical v n
+  | Sar -> Int64.shift_right v n
+
+let uop_nop : t -> thread -> unit = fun _t _th -> ()
+
+(* Direct evaluation of [Jcc] conditions over the flags a [Cmp]/[Sub]
+   of (a, b) would set — lets a fused compare-branch skip flag
+   materialisation entirely and compare the operand values it already
+   holds in OCaml locals. *)
+let cmp_cond_fn = function
+  | Insn.Eq -> fun a b -> Int64.equal a b
+  | Ne -> fun a b -> not (Int64.equal a b)
+  | Lt -> fun a b -> Int64.compare a b < 0
+  | Ge -> fun a b -> Int64.compare a b >= 0
+  | Le -> fun a b -> Int64.compare a b <= 0
+  | Gt -> fun a b -> Int64.compare a b > 0
+  | Ult -> fun a b -> Int64.unsigned_compare a b < 0
+  | Uge -> fun a b -> Int64.unsigned_compare a b >= 0
+
+(* Same for the flags [Test] of v = a land b sets
+   (cf = ovf = false, zf = v=0, sf = v<0). *)
+let test_cond_fn = function
+  | Insn.Eq -> fun v -> Int64.equal v 0L
+  | Ne -> fun v -> not (Int64.equal v 0L)
+  | Lt -> fun v -> Int64.compare v 0L < 0
+  | Ge -> fun v -> Int64.compare v 0L >= 0
+  | Le -> fun v -> Int64.compare v 0L <= 0
+  | Gt -> fun v -> Int64.compare v 0L > 0
+  | Ult -> fun _ -> false
+  | Uge -> fun _ -> true
 
 (* Compile one instruction to its hook-free batch form. Contract: the
    closure performs exactly what [execute] does when every hook is
@@ -630,28 +860,68 @@ let cond_fn = function
    batch loop repairs RIP once on exit. The forms that observe RIP bake
    in the [next] constant instead: every branch sets RIP
    unconditionally (a non-taken [Jcc] writes [next]), calls push
-   [next], and the [execute] fallback advances RIP itself. *)
-let compile_ins ~pc ~next (ins : Insn.t) : t -> thread -> unit =
+   [next], and the [execute] fallback advances RIP itself.
+
+   [flags_dead] comes from the chain tier's liveness pass: when true,
+   every flag this instruction would write is overwritten before any
+   read, fault point or chain exit, so ALU/shift/neg forms skip flag
+   materialisation ([Cmp]/[Test] become complete no-ops). Exact
+   semantics ([flags_dead = false]) remain the fallback everywhere. *)
+let compile_ins ~pc ~next ?(flags_dead = false) (ins : Insn.t) :
+    t -> thread -> unit =
   match ins with
+  | Insn.Alu_rr (op, d, s) when flags_dead ->
+      if alu_writes op then begin
+        let f = pure_alu op and di = Reg.gpr_index d and si = Reg.gpr_index s in
+        fun _t th ->
+          let g = th.ctx.Context.gprs in
+          Context.bset g di (f (Context.bget g di) (Context.bget g si))
+      end
+      else uop_nop
+  | Alu_ri (op, d, imm) when flags_dead ->
+      if alu_writes op then begin
+        let f = pure_alu op and di = Reg.gpr_index d in
+        fun _t th ->
+          let g = th.ctx.Context.gprs in
+          Context.bset g di (f (Context.bget g di) imm)
+      end
+      else uop_nop
+  | Shift_ri (op, d, n) when flags_dead && n > 0 ->
+      let di = Reg.gpr_index d in
+      fun _t th ->
+        let g = th.ctx.Context.gprs in
+        Context.bset g di (pure_shift op (Context.bget g di) n)
+  | Neg d when flags_dead ->
+      let di = Reg.gpr_index d in
+      fun _t th ->
+        let g = th.ctx.Context.gprs in
+        Context.bset g di (Int64.neg (Context.bget g di))
   | Insn.Jmp rel ->
       let target = Int64.add next (Int64.of_int rel) in
       fun t th ->
         t.dyn_cost <-
           t.dyn_cost + Timing.branch_cost t.timing ~pc ~taken:true;
+        t.took <- 1;
         th.ctx.Context.rip <- target
   | Jcc (c, rel) ->
       let cond = cond_fn c in
       let target = Int64.add next (Int64.of_int rel) in
+      (* Both successor RIPs pre-boxed in a pair indexed by the branch
+         direction: a data-dependent guest branch becomes a host array
+         load instead of a (frequently mispredicted) host branch. *)
+      let tgts = [| next; target |] in
       fun t th ->
         let ctx = th.ctx in
         let taken = cond ctx.Context.flags in
         t.dyn_cost <- t.dyn_cost + Timing.branch_cost t.timing ~pc ~taken;
-        ctx.Context.rip <- (if taken then target else next)
+        let ti = Bool.to_int taken in
+        t.took <- ti;
+        ctx.Context.rip <- Array.unsafe_get tgts ti
   | Jmp_r r ->
       let ri = Reg.gpr_index r in
       fun t th ->
         let ctx = th.ctx in
-        let target = Array.unsafe_get ctx.Context.gprs ri in
+        let target = Context.bget ctx.Context.gprs ri in
         t.dyn_cost <-
           t.dyn_cost + Timing.branch_cost t.timing ~pc ~taken:true;
         ctx.Context.rip <- target
@@ -670,25 +940,26 @@ let compile_ins ~pc ~next (ins : Insn.t) : t -> thread -> unit =
       fun t th ->
         let ctx = th.ctx in
         let g = ctx.Context.gprs in
-        let sp = Int64.sub (Array.unsafe_get g rsp_index) 8L in
-        Array.unsafe_set g rsp_index sp;
+        let sp = Int64.sub (Context.bget g rsp_index) 8L in
+        Context.bset g rsp_index sp;
         let c = Timing.mem_cost t.timing sp in
         Addr_space.write_u64 t.mem sp next;
         t.dyn_cost <-
           t.dyn_cost + c + Timing.branch_cost t.timing ~pc ~taken:true;
+        t.took <- 1;
         ctx.Context.rip <- target
   | Call_r r ->
       let ri = Reg.gpr_index r in
       fun t th ->
         let ctx = th.ctx in
         let g = ctx.Context.gprs in
-        let sp = Int64.sub (Array.unsafe_get g rsp_index) 8L in
-        Array.unsafe_set g rsp_index sp;
+        let sp = Int64.sub (Context.bget g rsp_index) 8L in
+        Context.bset g rsp_index sp;
         let c = Timing.mem_cost t.timing sp in
         Addr_space.write_u64 t.mem sp next;
         (* Target read after the push, as [execute] does (a call through
            RSP sees the decremented stack pointer). *)
-        let target = Array.unsafe_get g ri in
+        let target = Context.bget g ri in
         t.dyn_cost <-
           t.dyn_cost + c + Timing.branch_cost t.timing ~pc ~taken:true;
         ctx.Context.rip <- target
@@ -696,22 +967,22 @@ let compile_ins ~pc ~next (ins : Insn.t) : t -> thread -> unit =
       fun t th ->
         let ctx = th.ctx in
         let g = ctx.Context.gprs in
-        let sp = Array.unsafe_get g rsp_index in
+        let sp = Context.bget g rsp_index in
         let c = Timing.mem_cost t.timing sp in
         let target = Addr_space.read_u64 t.mem sp in
         t.dyn_cost <- t.dyn_cost + c;
-        Array.unsafe_set g rsp_index (Int64.add sp 8L);
+        Context.bset g rsp_index (Int64.add sp 8L);
         t.dyn_cost <-
           t.dyn_cost + Timing.branch_cost t.timing ~pc ~taken:true;
         ctx.Context.rip <- target
   | Insn.Mov_ri (r, v) ->
       let ri = Reg.gpr_index r in
-      fun _t th -> Array.unsafe_set th.ctx.Context.gprs ri v
+      fun _t th -> Context.bset th.ctx.Context.gprs ri v
   | Mov_rr (d, s) ->
       let di = Reg.gpr_index d and si = Reg.gpr_index s in
       fun _t th ->
         let g = th.ctx.Context.gprs in
-        Array.unsafe_set g di (Array.unsafe_get g si)
+        Context.bset g di (Context.bget g si)
   | Load (Insn.W64, r, m) ->
       let a = compile_addr m and ri = Reg.gpr_index r in
       fun t th ->
@@ -720,7 +991,7 @@ let compile_ins ~pc ~next (ins : Insn.t) : t -> thread -> unit =
         let c = Timing.mem_cost t.timing addr in
         let v = Addr_space.read_u64 t.mem addr in
         t.dyn_cost <- t.dyn_cost + c;
-        Array.unsafe_set g ri v
+        Context.bset g ri v
   | Load (w, r, m) ->
       let a = compile_addr m
       and ri = Reg.gpr_index r
@@ -731,12 +1002,12 @@ let compile_ins ~pc ~next (ins : Insn.t) : t -> thread -> unit =
         let c = Timing.mem_cost t.timing addr in
         let v = Addr_space.read t.mem addr wb in
         t.dyn_cost <- t.dyn_cost + c;
-        Array.unsafe_set g ri v
+        Context.bset g ri v
   | Store (Insn.W64, m, r) ->
       let a = compile_addr m and ri = Reg.gpr_index r in
       fun t th ->
         let g = th.ctx.Context.gprs in
-        let v = Array.unsafe_get g ri in
+        let v = Context.bget g ri in
         let addr = a g in
         let c = Timing.mem_cost t.timing addr in
         Addr_space.write_u64 t.mem addr v;
@@ -747,7 +1018,7 @@ let compile_ins ~pc ~next (ins : Insn.t) : t -> thread -> unit =
       and wb = Insn.width_bytes w in
       fun t th ->
         let g = th.ctx.Context.gprs in
-        let v = truncate_width w (Array.unsafe_get g ri) in
+        let v = truncate_width w (Context.bget g ri) in
         let addr = a g in
         let c = Timing.mem_cost t.timing addr in
         Addr_space.write t.mem addr wb v;
@@ -756,52 +1027,52 @@ let compile_ins ~pc ~next (ins : Insn.t) : t -> thread -> unit =
       let a = compile_addr m and ri = Reg.gpr_index r in
       fun _t th ->
         let g = th.ctx.Context.gprs in
-        Array.unsafe_set g ri (a g)
+        Context.bset g ri (a g)
   | Alu_rr (op, d, s) ->
       let f = alu_fn op and di = Reg.gpr_index d and si = Reg.gpr_index s in
       if alu_writes op then fun _t th ->
         let ctx = th.ctx in
         let g = ctx.Context.gprs in
-        Array.unsafe_set g di
-          (f ctx.Context.flags (Array.unsafe_get g di) (Array.unsafe_get g si))
+        Context.bset g di
+          (f ctx.Context.flags (Context.bget g di) (Context.bget g si))
       else fun _t th ->
         let ctx = th.ctx in
         let g = ctx.Context.gprs in
         ignore
-          (f ctx.Context.flags (Array.unsafe_get g di) (Array.unsafe_get g si))
+          (f ctx.Context.flags (Context.bget g di) (Context.bget g si))
   | Alu_ri (op, d, imm) ->
       let f = alu_fn op and di = Reg.gpr_index d in
       if alu_writes op then fun _t th ->
         let ctx = th.ctx in
         let g = ctx.Context.gprs in
-        Array.unsafe_set g di (f ctx.Context.flags (Array.unsafe_get g di) imm)
+        Context.bset g di (f ctx.Context.flags (Context.bget g di) imm)
       else fun _t th ->
         let ctx = th.ctx in
         ignore
           (f ctx.Context.flags
-             (Array.unsafe_get ctx.Context.gprs di)
+             (Context.bget ctx.Context.gprs di)
              imm)
   | Shift_ri (op, d, n) ->
       let di = Reg.gpr_index d in
       fun _t th ->
         let ctx = th.ctx in
         let g = ctx.Context.gprs in
-        Array.unsafe_set g di
-          (exec_shift ctx.Context.flags op (Array.unsafe_get g di) n)
+        Context.bset g di
+          (exec_shift ctx.Context.flags op (Context.bget g di) n)
   | Neg d ->
       let di = Reg.gpr_index d in
       fun _t th ->
         let ctx = th.ctx in
         let g = ctx.Context.gprs in
-        Array.unsafe_set g di
-          (alu_sub ctx.Context.flags 0L (Array.unsafe_get g di))
+        Context.bset g di
+          (alu_sub ctx.Context.flags 0L (Context.bget g di))
   | Push r ->
       let ri = Reg.gpr_index r in
       fun t th ->
         let g = th.ctx.Context.gprs in
-        let v = Array.unsafe_get g ri in
-        let sp = Int64.sub (Array.unsafe_get g rsp_index) 8L in
-        Array.unsafe_set g rsp_index sp;
+        let v = Context.bget g ri in
+        let sp = Int64.sub (Context.bget g rsp_index) 8L in
+        Context.bset g rsp_index sp;
         let c = Timing.mem_cost t.timing sp in
         Addr_space.write_u64 t.mem sp v;
         t.dyn_cost <- t.dyn_cost + c
@@ -809,18 +1080,309 @@ let compile_ins ~pc ~next (ins : Insn.t) : t -> thread -> unit =
       let ri = Reg.gpr_index r in
       fun t th ->
         let g = th.ctx.Context.gprs in
-        let sp = Array.unsafe_get g rsp_index in
+        let sp = Context.bget g rsp_index in
         let c = Timing.mem_cost t.timing sp in
         let v = Addr_space.read_u64 t.mem sp in
         t.dyn_cost <- t.dyn_cost + c;
-        Array.unsafe_set g rsp_index (Int64.add sp 8L);
-        Array.unsafe_set g ri v
+        Context.bset g rsp_index (Int64.add sp 8L);
+        Context.bset g ri v
   | Nop -> fun _t _th -> ()
   | Pause -> fun t _th -> t.dyn_cost <- t.dyn_cost + 10
   | ins ->
       fun t th ->
         th.ctx.Context.rip <- next;
         execute t th pc ins 0
+
+(* --- Flag liveness ------------------------------------------------------ *)
+
+(* How an instruction interacts with the four materialised flags
+   (ZF/SF/CF/OVF), as seen by the backward liveness pass.
+
+   [F_observe] is deliberately broad: it covers true readers ([Jcc],
+   [Pushf]) and every instruction that can fault or falls back to
+   [execute] (memory forms, syscalls, markers, traps). Treating a
+   potential fault point as a reader forces all earlier flag writes to
+   materialise, which makes the flags architecturally exact at every
+   fault — so elision never needs fault-time re-materialisation
+   machinery: exactness holds by construction. *)
+type flag_class = F_kill | F_neutral | F_observe
+
+let flag_class (ins : Insn.t) =
+  match ins with
+  | Insn.Alu_rr _ | Alu_ri _ | Neg _ -> F_kill
+  | Shift_ri (_, _, n) -> if n > 0 then F_kill else F_neutral
+  | Mov_ri _ | Mov_rr _ | Lea _ | Nop | Pause | Jmp _ | Jmp_r _ -> F_neutral
+  | _ -> F_observe
+
+(* Conservative may-write-memory predicate: listed forms are provably
+   store-free, anything else (including every [execute] fallback) is
+   assumed to write. Only a writing instruction can dirty a code page,
+   i.e. move the decode generation mid-block. *)
+let may_write_mem (ins : Insn.t) =
+  match ins with
+  | Insn.Mov_ri _ | Mov_rr _ | Load _ | Lea _ | Alu_rr _ | Alu_ri _
+  | Shift_ri _ | Neg _ | Pop _ | Jmp _ | Jcc _ | Jmp_r _ | Jmp_m _ | Nop
+  | Pause | Popf | Vload _ | Vop_rr _ | Rdfsbase _ | Rdgsbase _ | Wrfsbase _
+  | Wrgsbase _ | Ldctx _ | Hlt | Ud2 ->
+      false
+  | _ -> true
+
+(* Provably non-faulting forms (register/immediate only, no memory
+   access, not routed through the [execute] fallback). Anything else may
+   raise {!Addr_space.Fault}. *)
+let may_fault (ins : Insn.t) =
+  match ins with
+  | Insn.Mov_ri _ | Mov_rr _ | Lea _ | Alu_rr _ | Alu_ri _ | Shift_ri _
+  | Neg _ | Jmp _ | Jcc _ | Jmp_r _ | Nop | Pause | Vop_rr _ | Rdfsbase _
+  | Rdgsbase _ | Wrfsbase _ | Wrgsbase _ ->
+      false
+  | _ -> true
+
+(* Raised by a mega-op when a store dirtied a code page mid-block:
+   [t.mega_idx] holds the number of completed slots, and — stores being
+   flag-observation barriers — the flags are exact at that point. *)
+exception Smc_break
+
+(* Compose a block's micro-op array into one straight-line closure for
+   whole-block runs: no per-slot array fetch, indirect-call dispatch or
+   bounds bookkeeping, and the self-modifying-code re-check collapses
+   from every slot to just the store-capable ones ([code_writes] can
+   only move at a store). Fault attribution survives composition through
+   [t.mega_idx]: each fault-capable slot records its index before
+   running, so the handler can repair RIP and report the precise slot
+   exactly as the interpreted loop does. *)
+let compose_mega (bb_ins : Insn.t array) (uops : (t -> thread -> unit) array) =
+  let n = Array.length uops in
+  (* Per-slot wrapper carrying the attribution/re-check obligations. *)
+  let slot i =
+    let u = Array.unsafe_get uops i in
+    if may_write_mem bb_ins.(i) && i < n - 1 then (fun t th ->
+      (* A last-slot store needs no composed re-check: the hop loop
+         re-checks the generation after every completed block. *)
+      t.mega_idx <- i;
+      u t th;
+      if t.mega_cw <> Addr_space.code_writes t.mem then begin
+        t.mega_idx <- i + 1;
+        raise Smc_break
+      end)
+    else if may_fault bb_ins.(i) then (fun t th ->
+      t.mega_idx <- i;
+      u t th)
+    else u
+  in
+  (* Flatten into one arity-specialised sequencing closure: n + 1
+     indirect calls per run instead of the 2n - 1 a pairwise fold
+     costs. Longer blocks chunk by eight and fold the chunks. *)
+  let slots = Array.init n slot in
+  let rec seq lo n =
+    match n with
+    | 1 -> Array.unsafe_get slots lo
+    | 2 ->
+        let a = slots.(lo) and b = slots.(lo + 1) in
+        fun t th ->
+          a t th;
+          b t th
+    | 3 ->
+        let a = slots.(lo) and b = slots.(lo + 1) and c = slots.(lo + 2) in
+        fun t th ->
+          a t th;
+          b t th;
+          c t th
+    | 4 ->
+        let a = slots.(lo)
+        and b = slots.(lo + 1)
+        and c = slots.(lo + 2)
+        and d = slots.(lo + 3) in
+        fun t th ->
+          a t th;
+          b t th;
+          c t th;
+          d t th
+    | 5 ->
+        let a = slots.(lo)
+        and b = slots.(lo + 1)
+        and c = slots.(lo + 2)
+        and d = slots.(lo + 3)
+        and e = slots.(lo + 4) in
+        fun t th ->
+          a t th;
+          b t th;
+          c t th;
+          d t th;
+          e t th
+    | 6 ->
+        let a = slots.(lo)
+        and b = slots.(lo + 1)
+        and c = slots.(lo + 2)
+        and d = slots.(lo + 3)
+        and e = slots.(lo + 4)
+        and f = slots.(lo + 5) in
+        fun t th ->
+          a t th;
+          b t th;
+          c t th;
+          d t th;
+          e t th;
+          f t th
+    | 7 ->
+        let a = slots.(lo)
+        and b = slots.(lo + 1)
+        and c = slots.(lo + 2)
+        and d = slots.(lo + 3)
+        and e = slots.(lo + 4)
+        and f = slots.(lo + 5)
+        and g = slots.(lo + 6) in
+        fun t th ->
+          a t th;
+          b t th;
+          c t th;
+          d t th;
+          e t th;
+          f t th;
+          g t th
+    | 8 ->
+        let a = slots.(lo)
+        and b = slots.(lo + 1)
+        and c = slots.(lo + 2)
+        and d = slots.(lo + 3)
+        and e = slots.(lo + 4)
+        and f = slots.(lo + 5)
+        and g = slots.(lo + 6)
+        and h = slots.(lo + 7) in
+        fun t th ->
+          a t th;
+          b t th;
+          c t th;
+          d t th;
+          e t th;
+          f t th;
+          g t th;
+          h t th
+    | n ->
+        let a = seq lo 8 and b = seq (lo + 8) (n - 8) in
+        fun t th ->
+          a t th;
+          b t th
+  in
+  seq 0 n
+
+(* Fuse a [Cmp]/[Test]/[Sub] immediately preceding the block's
+   terminating [Jcc] into one micro-op that evaluates the condition
+   directly on the operand values (held in OCaml locals) — no flag
+   round-trip through the context. Only the chain tier runs this (the
+   pair must execute atomically, so only whole-block runs qualify). The
+   fused op occupies the compare's slot; the [Jcc] slot becomes a no-op,
+   keeping the 1:1 slot/instruction mapping (neither can fault).
+
+   [eager]: materialise the compare's flags exactly as the unfused pair
+   would (the always-safe chain variant). When [eager] is false, flag
+   materialisation is skipped entirely — the exit-dead variant, legal
+   only under the cross-block liveness gate, which guarantees every
+   static successor rewrites all four flags before anything observes
+   them. *)
+let compile_fused_tail ~eager ~jcc_pc ~jcc_next (alu : Insn.t) c ~rel :
+    (t -> thread -> unit) option =
+  let target = Int64.add jcc_next (Int64.of_int rel) in
+  (* Successor RIPs indexed by direction — host-branch-free select, as
+     in the plain [Jcc] micro-op. *)
+  let tgts = [| jcc_next; target |] in
+  let finish t (ctx : Context.t) taken =
+    t.dyn_cost <- t.dyn_cost + Timing.branch_cost t.timing ~pc:jcc_pc ~taken;
+    let ti = Bool.to_int taken in
+    t.took <- ti;
+    ctx.Context.rip <- Array.unsafe_get tgts ti
+  in
+  match alu with
+  | Insn.Alu_ri (Insn.Cmp, r, imm) ->
+      let cond = cmp_cond_fn c and ri = Reg.gpr_index r in
+      Some
+        (if eager then fun t th ->
+           let ctx = th.ctx in
+           let a = Context.bget ctx.Context.gprs ri in
+           ignore (alu_sub ctx.Context.flags a imm);
+           finish t ctx (cond a imm)
+         else fun t th ->
+           let ctx = th.ctx in
+           finish t ctx (cond (Context.bget ctx.Context.gprs ri) imm))
+  | Alu_rr (Cmp, d, s) ->
+      let cond = cmp_cond_fn c
+      and di = Reg.gpr_index d
+      and si = Reg.gpr_index s in
+      Some
+        (if eager then fun t th ->
+           let ctx = th.ctx in
+           let g = ctx.Context.gprs in
+           let a = Context.bget g di and b = Context.bget g si in
+           ignore (alu_sub ctx.Context.flags a b);
+           finish t ctx (cond a b)
+         else fun t th ->
+           let ctx = th.ctx in
+           let g = ctx.Context.gprs in
+           finish t ctx (cond (Context.bget g di) (Context.bget g si)))
+  | Alu_ri (Test, r, imm) ->
+      let cond = test_cond_fn c and ri = Reg.gpr_index r in
+      Some
+        (if eager then fun t th ->
+           let ctx = th.ctx in
+           let a = Context.bget ctx.Context.gprs ri in
+           ignore (alu_and ctx.Context.flags a imm);
+           finish t ctx (cond (Int64.logand a imm))
+         else fun t th ->
+           let ctx = th.ctx in
+           finish t ctx
+             (cond (Int64.logand (Context.bget ctx.Context.gprs ri) imm)))
+  | Alu_rr (Test, d, s) ->
+      let cond = test_cond_fn c
+      and di = Reg.gpr_index d
+      and si = Reg.gpr_index s in
+      Some
+        (if eager then fun t th ->
+           let ctx = th.ctx in
+           let g = ctx.Context.gprs in
+           let a = Context.bget g di and b = Context.bget g si in
+           ignore (alu_and ctx.Context.flags a b);
+           finish t ctx (cond (Int64.logand a b))
+         else fun t th ->
+           let ctx = th.ctx in
+           let g = ctx.Context.gprs in
+           finish t ctx
+             (cond (Int64.logand (Context.bget g di) (Context.bget g si))))
+  | Alu_ri (Sub, r, imm) ->
+      (* The loop-backedge idiom (Sub RCX, 1; Jcc Ne head): decrement,
+         then compare the PRE-decrement value against the immediate —
+         [Sub]'s flags match [Cmp a imm] exactly. *)
+      let cond = cmp_cond_fn c and ri = Reg.gpr_index r in
+      Some
+        (if eager then fun t th ->
+           let ctx = th.ctx in
+           let g = ctx.Context.gprs in
+           let a = Context.bget g ri in
+           Context.bset g ri (alu_sub ctx.Context.flags a imm);
+           finish t ctx (cond a imm)
+         else fun t th ->
+           let ctx = th.ctx in
+           let g = ctx.Context.gprs in
+           let a = Context.bget g ri in
+           Context.bset g ri (Int64.sub a imm);
+           finish t ctx (cond a imm))
+  | Alu_rr (Sub, d, s) ->
+      let cond = cmp_cond_fn c
+      and di = Reg.gpr_index d
+      and si = Reg.gpr_index s in
+      Some
+        (if eager then fun t th ->
+           let ctx = th.ctx in
+           let g = ctx.Context.gprs in
+           let a = Context.bget g di and b = Context.bget g si in
+           Context.bset g di (alu_sub ctx.Context.flags a b);
+           finish t ctx (cond a b)
+         else fun t th ->
+           let ctx = th.ctx in
+           let g = ctx.Context.gprs in
+           let a = Context.bget g di and b = Context.bget g si in
+           Context.bset g di (Int64.sub a b);
+           finish t ctx (cond a b))
+  | _ -> None
 
 (* --- Block translation -------------------------------------------------- *)
 
@@ -908,6 +1470,98 @@ let build_block t pc =
     | Insn.Jmp _ | Jcc _ | Jmp_r _ | Jmp_m _ | Call _ | Call_r _ | Ret -> true
     | _ -> false
   in
+  let bb_writes_mem = Array.exists may_write_mem bb_ins in
+  (* Static successor pcs: only a direct branch/call terminator yields
+     chainable edges. *)
+  let bb_succ_taken, bb_succ_fall =
+    if not bb_tail_batchable then (-1L, -1L)
+    else
+      let next = bb_next.(n - 1) in
+      match bb_ins.(n - 1) with
+      | Insn.Jmp rel -> (Int64.add next (Int64.of_int rel), -1L)
+      | Jcc (_, rel) -> (Int64.add next (Int64.of_int rel), next)
+      | Call rel -> (Int64.add next (Int64.of_int rel), -1L)
+      | _ -> (-1L, -1L)
+  in
+  let bb_kill_prefix =
+    let rec go i =
+      if i >= n then -1
+      else
+        match flag_class bb_ins.(i) with
+        | F_kill -> i + 1
+        | F_neutral -> go (i + 1)
+        | F_observe -> -1
+    in
+    go 0
+  in
+  (* Chain-variant micro-ops, parameterised on the exit-liveness
+     assumption. [exit_dead = false] builds the ALWAYS-SAFE variant:
+     flag results dead before any in-block observation point (reader or
+     fault-capable slot) are elided, and a compare+Jcc tail fuses with
+     eager flag materialisation — exact for any whole-block run, no
+     successor knowledge needed. [exit_dead = true] additionally assumes
+     the flags are dead at block exit (lazy fusion, trailing elisions):
+     legal only under the cross-block gate that every static successor
+     starts with a pure full-flag-killing prefix. *)
+  let chain_variant ~exit_dead =
+    let fused =
+      if n >= 2 then
+        match bb_ins.(n - 1) with
+        | Insn.Jcc (c, rel) ->
+            compile_fused_tail ~eager:(not exit_dead) ~jcc_pc:bb_pc.(n - 1)
+              ~jcc_next:bb_next.(n - 1) bb_ins.(n - 2) c ~rel
+        | _ -> None
+      else None
+    in
+    let fused_at = match fused with Some _ -> n - 2 | None -> n in
+    (* Backward pass: [dead] = all four flags overwritten before any
+       observation point. An eager fused pair writes the compare's flags
+       in full, so it kills like the unfused compare would. *)
+    let dead = Array.make n false in
+    let d = ref exit_dead in
+    for i = n - 1 downto 0 do
+      if i >= fused_at then begin
+        dead.(i) <- true;
+        if i = fused_at && not exit_dead then d := true
+      end
+      else begin
+        dead.(i) <- !d;
+        match flag_class bb_ins.(i) with
+        | F_kill -> d := true
+        | F_neutral -> ()
+        | F_observe -> d := false
+      end
+    done;
+    let elides i = dead.(i) && flag_class bb_ins.(i) = F_kill in
+    let any = ref (fused <> None) in
+    for i = 0 to fused_at - 1 do
+      if elides i then any := true
+    done;
+    if not !any then bb_uops
+    else
+      Array.init n (fun i ->
+          match fused with
+          | Some f when i = n - 2 -> f
+          | Some _ when i = n - 1 -> uop_nop
+          | _ ->
+              if elides i then
+                compile_ins ~pc:bb_pc.(i) ~next:bb_next.(i) ~flags_dead:true
+                  bb_ins.(i)
+              else bb_uops.(i))
+  in
+  let bb_uops_safe = chain_variant ~exit_dead:false in
+  (* Exit-dead variant only when a direct taken edge exists — an
+     indirect or cut tail leaves an unknown successor, so its exit flags
+     must stay exact. *)
+  let bb_uops_chain =
+    if Int64.equal bb_succ_taken (-1L) then bb_uops_safe
+    else chain_variant ~exit_dead:true
+  in
+  let bb_mega_safe = compose_mega bb_ins bb_uops_safe in
+  let bb_mega_chain =
+    if bb_uops_chain == bb_uops_safe then bb_mega_safe
+    else compose_mega bb_ins bb_uops_chain
+  in
   let _, _, span = items.(n - 1) in
   (* Writes into the decoded span must invalidate this translation. *)
   Addr_space.note_code t.mem ~addr:pc ~len:span;
@@ -920,6 +1574,14 @@ let build_block t pc =
     bb_uops;
     bb_ends_block;
     bb_tail_batchable;
+    bb_writes_mem;
+    bb_succ_taken;
+    bb_succ_fall;
+    bb_kill_prefix;
+    bb_mega_safe;
+    bb_mega_chain;
+    bb_links = [||];
+    bb_chain_extra = -2;
   }
 
 let fetch_block t pc =
@@ -927,12 +1589,20 @@ let fetch_block t pc =
   if gen <> t.decode_generation then begin
     Hashtbl.reset t.block_cache;
     t.decode_generation <- gen;
-    Array.fill t.block_memo_pc 0 block_memo_size (-1L)
+    Array.fill t.block_memo_pc 0 block_memo_size (-1L);
+    (* Chain links are pointers between translations of the discarded
+       generation: the reset breaks every superblock wholesale, so a
+       chain crossing the dirtied page can never survive it. *)
+    t.stats.st_sb_broken <- t.stats.st_sb_broken + t.live_links;
+    t.live_links <- 0
   end;
   let slot = Int64.to_int pc land (block_memo_size - 1) in
-  if Int64.equal (Array.unsafe_get t.block_memo_pc slot) pc then
+  if Int64.equal (Array.unsafe_get t.block_memo_pc slot) pc then begin
+    t.stats.st_memo_hits <- t.stats.st_memo_hits + 1;
     Array.unsafe_get t.block_memo slot
+  end
   else begin
+    t.stats.st_memo_misses <- t.stats.st_memo_misses + 1;
     let b =
       match Hashtbl.find_opt t.block_cache pc with
       | Some b -> b
@@ -984,15 +1654,244 @@ let record_fault th pc ins addr access =
   | Hlt -> th.state <- Faulted (Privileged pc)
   | _ -> th.state <- Faulted (Page_fault { addr; access; pc })
 
-(* Execute up to [limit] instructions of [th]'s current translated
-   block; returns how many were attempted (a faulting fetch or
-   instruction counts as one, matching the per-step accounting).
+(* Shared hook-free batch inner loop: execute [uops.(0 .. fuel-1)] for
+   [b]. Returns the count of completed micro-ops, or [-(idx+1)] when
+   micro-op [idx] faulted (RIP and the thread's fault state are already
+   recorded). A store-free block provably cannot dirty a code page, so
+   its loop runs with ZERO per-instruction invalidation re-checks; a
+   block with stores keeps the per-instruction check, polling the
+   address space's [code_writes] fast-path flag — between system calls
+   (and syscalls never run here: they terminate translation and are not
+   tail-batchable) a code-page write is the only way the decode
+   generation can move, so the two checks are equivalent. *)
+let run_uops t th (b : bb) uops fuel =
+  let i = ref 0 in
+  let fault = ref 0 in
+  if b.bb_writes_mem then begin
+    let cw = Addr_space.code_writes t.mem in
+    let brk = ref false in
+    while (not !brk) && !i < fuel do
+      match (Array.unsafe_get uops !i) t th with
+      | () ->
+          incr i;
+          if cw <> Addr_space.code_writes t.mem then brk := true
+      | exception Addr_space.Fault { addr; access } ->
+          (* The per-step path advances RIP before executing; a fault
+             leaves it past the faulting instruction. *)
+          let idx = !i in
+          th.ctx.Context.rip <- Array.unsafe_get b.bb_next idx;
+          record_fault th
+            (Array.unsafe_get b.bb_pc idx)
+            (Array.unsafe_get b.bb_ins idx)
+            addr access;
+          fault := -(idx + 1);
+          brk := true
+    done
+  end
+  else begin
+    let brk = ref false in
+    while (not !brk) && !i < fuel do
+      match (Array.unsafe_get uops !i) t th with
+      | () -> incr i
+      | exception Addr_space.Fault { addr; access } ->
+          let idx = !i in
+          th.ctx.Context.rip <- Array.unsafe_get b.bb_next idx;
+          record_fault th
+            (Array.unsafe_get b.bb_pc idx)
+            (Array.unsafe_get b.bb_ins idx)
+            addr access;
+          fault := -(idx + 1);
+          brk := true
+    done
+  end;
+  if !fault <> 0 then !fault else !i
+
+(* Events fire when [retired] reaches the target: a batch must stop one
+   instruction short of it so the event runs on the per-step path. *)
+let[@inline] cap_target fuel target retired =
+  let room = Int64.sub target retired in
+  if Int64.compare room (Int64.of_int fuel) <= 0 then
+    if Int64.compare room 1L < 0 then 0 else Int64.to_int room - 1
+  else fuel
+
+(* Largest batch budget that keeps every retirement event (timer tick,
+   warmup mark, armed counter) strictly outside the batch. [off] is the
+   count of instructions already executed this call but not yet flushed
+   into the thread's retirement counters (the chain executor defers the
+   boxed-int64 updates to its exit). *)
+let[@inline] event_fuel_off t th limit off =
+  let fuel = limit in
+  let fuel =
+    match t.timer with
+    | Some _ ->
+        if th.timer_left - off - 1 < fuel then th.timer_left - off - 1
+        else fuel
+    | None -> fuel
+  in
+  let fuel =
+    match th.mark_target with
+    | Some tg -> cap_target fuel tg (Int64.add th.retired (Int64.of_int off))
+    | None -> fuel
+  in
+  match th.counter_target with
+  | Some tg -> cap_target fuel tg (Int64.add th.retired (Int64.of_int off))
+  | None -> fuel
+
+let[@inline] event_fuel t th limit = event_fuel_off t th limit 0
+
+(* Deferred bulk retirement of [ok] batched instructions: bit-identical
+   to per-instruction [retire] because the fuel cap kept every event
+   strictly outside the batch. Static class cost comes from the prefix
+   sums, dynamic cost from the accumulator the micro-ops fed. *)
+let[@inline] bulk_retire t th (b : bb) ok =
+  th.retired <- Int64.add th.retired (Int64.of_int ok);
+  t.retired_total <- Int64.add t.retired_total (Int64.of_int ok);
+  (match t.timer with
+  | Some _ -> th.timer_left <- th.timer_left - ok
+  | None -> ());
+  th.cycles <-
+    Int64.add th.cycles
+      (Int64.of_int (Array.unsafe_get b.bb_prefix ok + t.dyn_cost));
+  t.dyn_cost <- 0
+
+(* First chain visit of a direct-tail block: translate both static
+   successors eagerly and install the links (the superblock's edges).
+   Eager rather than on first traversal of each edge, so a hot backedge
+   does not wait for its rarely-taken sibling before the elided variant
+   can qualify. A successor that cannot be fetched (unmapped target)
+   leaves its link dummy; arriving there exits the chain and the
+   dispatch path reports the precise fault. Also decides the elision
+   gate [bb_chain_extra]: the flag-elided variant is usable only when
+   every static successor starts with a pure full-flag-killing prefix
+   (so whatever the branch decides, the flags the variant leaves stale
+   are rewritten before any observation point), and running it
+   additionally requires fuel for this block plus the largest such
+   prefix. *)
+let resolve_links t (b : bb) =
+  let link pc =
+    if Int64.equal pc (-1L) then dummy_bb
+    else
+      match fetch_block t pc with
+      | nb ->
+          t.stats.st_sb_built <- t.stats.st_sb_built + 1;
+          t.live_links <- t.live_links + 1;
+          nb
+      | exception Addr_space.Fault _ -> dummy_bb
+  in
+  let lf = link b.bb_succ_fall in
+  let lt = link b.bb_succ_taken in
+  b.bb_links <- [| lf; lt |];
+  let extra =
+    if b.bb_mega_chain == b.bb_mega_safe then -1
+    else begin
+      let edge pc l =
+        if Int64.equal pc (-1L) then 0
+        else if l == dummy_bb || l.bb_kill_prefix < 0 then -1
+        else l.bb_kill_prefix
+      in
+      let a = edge b.bb_succ_taken lt in
+      let f = edge b.bb_succ_fall lf in
+      if a < 0 || f < 0 then -1 else if a > f then a else f
+    end
+  in
+  b.bb_chain_extra <- extra
+
+(* Classic single-block path: hook-free batch of the translation, then
+   the per-instruction remainder (terminator under an [on_branch] hook,
+   instrumented runs, retirement-event boundaries, the tail after a
+   mid-block invalidation).
 
    Hooks can only appear or vanish mid-run from a syscall handler, and
    syscalls terminate translation, so hook presence is loop-invariant
    within a block: uninstrumented runs take the dispatch-free fast loop.
    The block observer (count-driven profiler) is notified once per block
    with the attempted prefix — equivalent to per-instruction feeding. *)
+let exec_block_classic t th (bb : bb) limit =
+  let len = Array.length bb.bb_ins in
+  let n = if limit < len then limit else len in
+  let gen = t.decode_generation in
+  let attempted = ref 0 in
+  let continue_ = ref true in
+  (* The interior of a block is straight-line code, so only
+     memory/instruction hooks could observe it; a plain branch
+     terminator is additionally invisible to all but [on_branch], so
+     when that hook is also absent the batch may retire the terminator
+     too. *)
+  let batchable =
+    (match t.hooks.on_ins with Some _ -> false | None -> true)
+    && (match t.hooks.on_mem_read with Some _ -> false | None -> true)
+    && (match t.hooks.on_mem_write with Some _ -> false | None -> true)
+  in
+  if batchable then begin
+    let tail_ok =
+      bb.bb_tail_batchable
+      && match t.hooks.on_branch with Some _ -> false | None -> true
+    in
+    let fuel =
+      event_fuel t th
+        (let m = if tail_ok then len else len - 1 in
+         if n < m then n else m)
+    in
+    if fuel > 0 then begin
+      t.dyn_cost <- 0;
+      let r = run_uops t th bb bb.bb_uops fuel in
+      let faulted = r < 0 in
+      let ok = if faulted then -r - 1 else r in
+      (* Micro-ops skip the per-instruction RIP store; only a
+         terminating branch (always the block's last micro-op) and the
+         fault path write RIP themselves. Repair it here for every
+         other exit so the machine state matches per-step execution
+         exactly. *)
+      if ok > 0 && ok < len && not faulted then
+        th.ctx.Context.rip <- Array.unsafe_get bb.bb_next (ok - 1);
+      bulk_retire t th bb ok;
+      attempted := (if faulted then ok + 1 else ok);
+      if faulted || t.stop_requested || gen <> Addr_space.generation t.mem
+      then continue_ := false
+    end
+  end;
+  let hook_free =
+    match t.hooks.on_ins with Some _ -> false | None -> true
+  in
+  while !continue_ && !attempted < n do
+    let idx = !attempted in
+    let pc = Array.unsafe_get bb.bb_pc idx in
+    let ins = Array.unsafe_get bb.bb_ins idx in
+    if not hook_free then
+      (match t.hooks.on_ins with Some f -> f th.tid pc ins | None -> ());
+    th.ctx.Context.rip <- Array.unsafe_get bb.bb_next idx;
+    incr attempted;
+    (match execute t th pc ins (Array.unsafe_get bb.bb_cost idx) with
+    | () -> retire t th
+    | exception Addr_space.Fault { addr; access } ->
+        record_fault th pc ins addr access);
+    (match th.state with
+    | Runnable -> ()
+    | Exited _ | Faulted _ -> continue_ := false);
+    if t.stop_requested || gen <> Addr_space.generation t.mem then
+      (* A write into a code page (or a map/unmap) invalidated the
+         translation mid-block: fall back to the scheduler loop, which
+         re-fetches from a fresh decode. *)
+      continue_ := false
+  done;
+  (match t.block_observer with
+  | None -> ()
+  | Some f ->
+      f ~tid:th.tid ~pcs:bb.bb_pc ~n:!attempted
+        ~ends_block:(!attempted = len && bb.bb_ends_block));
+  !attempted
+
+(* Execute up to [limit] instructions of [th]'s current translated
+   block — and, on the fully uninstrumented path, of its chained
+   successors: whole blocks hop translation-to-translation along
+   direct-branch links without returning to the dispatch loop, with
+   per-block bulk retirement and one block-observer call per hop
+   (identical granularity to dispatch-driven execution, so BBV slice
+   accounting is bit-for-bit unchanged). Indirect branches, faults,
+   event-fuel exhaustion, invalidations and stop requests break the
+   chain back to dispatch. Returns how many instructions were attempted
+   (a faulting fetch or instruction counts as one, matching the
+   per-step accounting). *)
 let exec_block t th limit =
   let pc0 = th.ctx.Context.rip in
   match fetch_block t pc0 with
@@ -1000,126 +1899,191 @@ let exec_block t th limit =
       th.state <- Faulted (Page_fault { addr; access = Exec; pc = pc0 });
       1
   | bb ->
-      let len = Array.length bb.bb_ins in
-      let n = if limit < len then limit else len in
-      let gen = t.decode_generation in
-      let attempted = ref 0 in
-      let continue_ = ref true in
-      (* Hook-free batch: run the block through the pre-compiled
-         micro-ops with no per-instruction hook dispatch or retirement
-         bookkeeping. The interior is straight-line code, so only
-         memory/instruction hooks could observe it; a plain branch
-         terminator is additionally invisible to all but [on_branch], so
-         when that hook is also absent the batch may retire the
-         terminator too. The fuel cap keeps every retirement event
-         (timer tick, warmup mark, armed counter) strictly outside the
-         batch, making the deferred bulk update of retired/cycles/timer
-         bit-identical to per-instruction retirement. *)
-      let batchable =
-        (match t.hooks.on_ins with Some _ -> false | None -> true)
+      let chainable =
+        t.chain_enabled
+        && (match t.hooks.on_ins with Some _ -> false | None -> true)
         && (match t.hooks.on_mem_read with Some _ -> false | None -> true)
         && (match t.hooks.on_mem_write with Some _ -> false | None -> true)
+        && (match t.hooks.on_branch with Some _ -> false | None -> true)
       in
-      if batchable then begin
-        let tail_ok =
-          bb.bb_tail_batchable
-          && match t.hooks.on_branch with Some _ -> false | None -> true
+      if not chainable then exec_block_classic t th bb limit
+      else begin
+        let st = t.stats in
+        let gen = t.decode_generation in
+        let total = ref 0 in
+        (* Retirement is deferred: completed-instruction and cycle
+           counts accumulate in unboxed locals and flush into the boxed
+           int64 thread counters once per call, not once per hop.
+           [event_fuel_off] keeps event boundaries exact meanwhile. *)
+        let retired_acc = ref 0 in
+        let acc_cycles = ref 0 in
+        let finished = ref false in
+        let cur = ref bb in
+        let looping = ref true in
+        let observer_none =
+          match t.block_observer with None -> true | Some _ -> false
         in
-        let fuel =
-          ref
-            (let m = if tail_ok then len else len - 1 in
-             if n < m then n else m)
-        in
-        (match t.timer with
-        | Some _ -> if th.timer_left - 1 < !fuel then fuel := th.timer_left - 1
-        | None -> ());
-        (* Events fire when [retired] reaches the target: the batch must
-           stop one instruction short of it. *)
-        let cap target =
-          let room = Int64.sub target th.retired in
-          if Int64.compare room (Int64.of_int !fuel) <= 0 then
-            fuel := (if Int64.compare room 1L < 0 then 0 else Int64.to_int room - 1)
-        in
-        (match th.mark_target with Some tg -> cap tg | None -> ());
-        (match th.counter_target with Some tg -> cap tg | None -> ());
-        let fuel = !fuel in
-        if fuel > 0 then begin
-          t.dyn_cost <- 0;
-          let i = ref 0 in
-          let faulted = ref false in
-          let brk = ref false in
-          while (not !brk) && !i < fuel do
-            let idx = !i in
-            match (Array.unsafe_get bb.bb_uops idx) t th with
-            | () ->
-                incr i;
-                if gen <> Addr_space.generation t.mem then brk := true
-            | exception Addr_space.Fault { addr; access } ->
-                (* The per-step path advances RIP before executing; a
-                   fault leaves it past the faulting instruction. *)
-                th.ctx.Context.rip <- Array.unsafe_get bb.bb_next idx;
-                record_fault th
-                  (Array.unsafe_get bb.bb_pc idx)
-                  (Array.unsafe_get bb.bb_ins idx)
-                  addr access;
-                faulted := true;
-                brk := true
-          done;
-          let ok = !i in
-          (* Micro-ops skip the per-instruction RIP store; only a
-             terminating branch (always the block's last micro-op) and
-             the fault path above write RIP themselves. Repair it here
-             for every other exit so the machine state matches per-step
-             execution exactly. *)
-          if ok > 0 && ok < len && not !faulted then
-            th.ctx.Context.rip <- Array.unsafe_get bb.bb_next (ok - 1);
-          th.retired <- Int64.add th.retired (Int64.of_int ok);
-          t.retired_total <- Int64.add t.retired_total (Int64.of_int ok);
+        (* Event fuel is computed once per call: every retirement target
+           (timer, mark, counter) and the caller's limit shrink in
+           lockstep with the instructions the chain executes, so a
+           single budget decremented per hop gives the same bound as
+           recomputing the fuel every hop. *)
+        let budget = ref (event_fuel t th limit) in
+        let iters = ref 0 in
+        let part = ref 0 in
+        let faulted = ref false in
+        let cut = ref false in
+        t.dyn_cost <- 0;
+        while !looping do
+          let b = !cur in
+          let len = Array.length b.bb_uops in
+          if not b.bb_tail_batchable then begin
+            (* Syscall/marker/trap tail (or a translation-window cut):
+               only the dispatch path may run it. *)
+            looping := false;
+            if !total > 0 then st.st_x_indirect <- st.st_x_indirect + 1
+          end
+          else begin
+            let fuel = !budget in
+            if fuel < len then begin
+              (* Not enough event fuel for a whole-block hop; the
+                 dispatch path handles the partial block. *)
+              looping := false;
+              if !total > 0 then st.st_x_fuel <- st.st_x_fuel + 1
+            end
+            else begin
+              if
+                b.bb_chain_extra = -2
+                && not (Int64.equal b.bb_succ_taken (-1L))
+              then resolve_links t b;
+              let links = b.bb_links in
+              let linked = Array.length links = 2 in
+              let chained =
+                b.bb_chain_extra >= 0 && fuel >= len + b.bb_chain_extra
+              in
+              let mega = if chained then b.bb_mega_chain else b.bb_mega_safe in
+              if b.bb_writes_mem then
+                t.mega_cw <- Addr_space.code_writes t.mem;
+              (* Self-loop turbo: an unobserved block whose hot edge is
+                 its own head re-runs the mega back to back, paying the
+                 per-hop bookkeeping once per burst. The iteration
+                 budget keeps the burst inside the event fuel, and — for
+                 the flag-elided variant — additionally reserves the
+                 successor kill prefix so the final iteration still
+                 meets the elision gate's exit guarantee. Blocks that do
+                 not link to themselves skip the budget division: their
+                 burst is a single iteration by construction. *)
+              let max_iters =
+                if
+                  observer_none && linked
+                  && (Array.unsafe_get links 0 == b
+                     || Array.unsafe_get links 1 == b)
+                then (if chained then fuel - b.bb_chain_extra else fuel) / len
+                else 1
+              in
+              iters := 0;
+              part := 0;
+              faulted := false;
+              cut := false;
+              (try
+                 let go = ref true in
+                 while !go do
+                   mega t th;
+                   incr iters;
+                   (* [t.took] was just written by the terminator slot;
+                      when [max_iters = 1] the short-circuit exits before
+                      the (possibly empty) links array is touched. *)
+                   if
+                     !iters >= max_iters
+                     || Array.unsafe_get links t.took != b
+                   then go := false
+                 done
+               with
+              | Addr_space.Fault { addr; access } ->
+                  let idx = t.mega_idx in
+                  th.ctx.Context.rip <- Array.unsafe_get b.bb_next idx;
+                  record_fault th
+                    (Array.unsafe_get b.bb_pc idx)
+                    (Array.unsafe_get b.bb_ins idx)
+                    addr access;
+                  part := idx;
+                  faulted := true;
+                  cut := true
+              | Smc_break ->
+                  part := t.mega_idx;
+                  cut := true);
+              let ok = (!iters * len) + !part in
+              if !part > 0 && !part < len && not !faulted then
+                th.ctx.Context.rip <- Array.unsafe_get b.bb_next (!part - 1);
+              acc_cycles :=
+                !acc_cycles
+                + (!iters * Array.unsafe_get b.bb_prefix len)
+                + (if !part > 0 then Array.unsafe_get b.bb_prefix !part else 0)
+                + t.dyn_cost;
+              t.dyn_cost <- 0;
+              retired_acc := !retired_acc + ok;
+              let attempted = if !faulted then ok + 1 else ok in
+              total := !total + attempted;
+              budget := !budget - attempted;
+              if not observer_none then (
+                match t.block_observer with
+                | None -> ()
+                | Some f ->
+                    f ~tid:th.tid ~pcs:b.bb_pc ~n:attempted
+                      ~ends_block:(attempted = len && b.bb_ends_block));
+              if !faulted then begin
+                looping := false;
+                finished := true;
+                st.st_x_fault <- st.st_x_fault + 1
+              end
+              else if
+                !cut
+                (* Between chain hops the generation can only move from a
+                   store (no syscalls run here — they are not
+                   tail-batchable) or, conceivably, an observer callback;
+                   hops with neither skip the re-check, and a
+                   store-bearing hop checks right after itself, so a
+                   moved generation is never outrun. *)
+                || (b.bb_writes_mem || not observer_none)
+                   && gen <> Addr_space.generation t.mem
+              then begin
+                looping := false;
+                finished := true;
+                st.st_x_inval <- st.st_x_inval + 1
+              end
+              else if t.stop_requested then begin
+                looping := false;
+                finished := true;
+                st.st_x_stop <- st.st_x_stop + 1
+              end
+              else begin
+                (* A whole-block run of a directly-terminated block left
+                   the edge index in [t.took]; indirect or cut tails have
+                   no links array and exit to dispatch. *)
+                let nxt =
+                  if linked then Array.unsafe_get links t.took else dummy_bb
+                in
+                if nxt == dummy_bb then begin
+                  looping := false;
+                  st.st_x_indirect <- st.st_x_indirect + 1
+                end
+                else cur := nxt
+              end
+            end
+          end
+        done;
+        if !retired_acc > 0 || !acc_cycles > 0 then begin
+          let okL = Int64.of_int !retired_acc in
+          th.retired <- Int64.add th.retired okL;
+          t.retired_total <- Int64.add t.retired_total okL;
           (match t.timer with
-          | Some _ -> th.timer_left <- th.timer_left - ok
+          | Some _ -> th.timer_left <- th.timer_left - !retired_acc
           | None -> ());
-          th.cycles <-
-            Int64.add th.cycles
-              (Int64.of_int (Array.unsafe_get bb.bb_prefix ok + t.dyn_cost));
-          t.dyn_cost <- 0;
-          attempted := (if !faulted then ok + 1 else ok);
-          if !faulted || t.stop_requested || gen <> Addr_space.generation t.mem
-          then continue_ := false
-        end
-      end;
-      (* Per-instruction path: the block terminator, instrumented runs,
-         retirement-event boundaries, and the remainder after a mid-block
-         invalidation. *)
-      let hook_free =
-        match t.hooks.on_ins with Some _ -> false | None -> true
-      in
-      while !continue_ && !attempted < n do
-        let idx = !attempted in
-        let pc = Array.unsafe_get bb.bb_pc idx in
-        let ins = Array.unsafe_get bb.bb_ins idx in
-        if not hook_free then
-          (match t.hooks.on_ins with Some f -> f th.tid pc ins | None -> ());
-        th.ctx.Context.rip <- Array.unsafe_get bb.bb_next idx;
-        incr attempted;
-        (match execute t th pc ins (Array.unsafe_get bb.bb_cost idx) with
-        | () -> retire t th
-        | exception Addr_space.Fault { addr; access } ->
-            record_fault th pc ins addr access);
-        (match th.state with
-        | Runnable -> ()
-        | Exited _ | Faulted _ -> continue_ := false);
-        if t.stop_requested || gen <> Addr_space.generation t.mem then
-          (* A write into a code page (or a map/unmap) invalidated the
-             translation mid-block: fall back to the scheduler loop,
-             which re-fetches from a fresh decode. *)
-          continue_ := false
-      done;
-      (match t.block_observer with
-      | None -> ()
-      | Some f ->
-          f ~tid:th.tid ~pcs:bb.bb_pc ~n:!attempted
-            ~ends_block:(!attempted = len && bb.bb_ends_block));
-      !attempted
+          th.cycles <- Int64.add th.cycles (Int64.of_int !acc_cycles)
+        end;
+        if !finished || !total > 0 then !total
+        else exec_block_classic t th bb limit
+      end
 
 let step t tid =
   let th = thread t tid in
@@ -1172,7 +2136,7 @@ let run ?max_ins t =
     (not t.stop_requested)
     && (match max_ins with Some l -> total_retired t < l | None -> true)
   in
-  match t.sched with
+  (match t.sched with
   | S_free s ->
       let rec loop () =
         if continue_ () then begin
@@ -1191,6 +2155,20 @@ let run ?max_ins t =
                     let quantum =
                       s.quantum_min
                       + Elfie_util.Rng.int s.rng (s.quantum_max - s.quantum_min + 1)
+                    in
+                    (* A quantum only exists to interleave threads: with
+                       a single runnable thread (and no schedule being
+                       recorded, where slice granularity is the output)
+                       its size is architecturally invisible, so widen
+                       it and spare the dispatch round-trips. The RNG
+                       draws above still happen, keeping the stream —
+                       and thus any later multi-thread interleaving —
+                       identical. *)
+                    let quantum =
+                      match tids with
+                      | [ _ ] when not t.record_schedule ->
+                          if quantum < 65536 then 65536 else quantum
+                      | _ -> quantum
                     in
                     (tid, quantum)
               in
@@ -1216,4 +2194,5 @@ let run ?max_ins t =
               end;
               loop ()
       in
-      loop ()
+      loop ());
+  flush_core_metrics t

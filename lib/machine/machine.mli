@@ -155,6 +155,36 @@ val set_block_observer :
     after generation flushes — an observability counter). *)
 val translated_blocks : t -> int
 
+(** Enable/disable the superblock chain tier (on by default): on the
+    fully uninstrumented path, blocks ending in a direct branch hop
+    straight to their successor's translation without returning to the
+    dispatch loop, with a cross-block flag-liveness pass eliding dead
+    ALU flag materialisation. Architecturally invisible — disabling it
+    only removes the speed tier (A/B benchmarking, differential
+    tests). *)
+val set_chain_enabled : t -> bool -> unit
+
+(** Number of chain links currently installed between translated blocks
+    (superblock edges of the live generation; invalidation resets it). *)
+val translated_superblocks : t -> int
+
+(** Monotone per-machine core-execution counters: block-memo efficacy,
+    superblock link churn, and chain exits by reason. Mirrored into the
+    [elfie_core_*] metric families at the end of every {!run}. *)
+type chain_stats = {
+  memo_hits : int;
+  memo_misses : int;
+  superblocks_built : int;
+  superblocks_broken : int;
+  exits_indirect : int;  (* indirect/unlinked tail reached *)
+  exits_fuel : int;  (* event/quantum fuel below next block's length *)
+  exits_fault : int;
+  exits_invalidation : int;  (* code page dirtied mid-chain *)
+  exits_stop : int;
+}
+
+val chain_stats : t -> chain_stats
+
 (** Run until no thread is runnable, a stop is requested, or [max_ins]
     user instructions have retired machine-wide. *)
 val run : ?max_ins:int64 -> t -> unit

@@ -62,19 +62,25 @@ let mem_cost t addr =
   else if Cache.access t.llc addr then t.cfg.l2_miss_cycles
   else t.cfg.llc_miss_cycles
 
+(* Saturating 2-bit counter transition table, indexed by
+   [counter * 2 + taken]: the same update the previous min/max
+   formulation computed, as a lookup so the host CPU does not have to
+   branch on the (data-dependent, often unpredictable) guest branch
+   direction. *)
+let bp_next = "\000\001\000\002\001\003\002\003"
+
 let branch_cost t ~pc ~taken =
-  (* The logically shifted pc is non-negative and [predictor_entries] is
-     a power of two, so masking matches the previous [rem]+[abs]. *)
-  let idx =
-    Int64.to_int (Int64.shift_right_logical pc 1) land (predictor_entries - 1)
-  in
-  let counter = Char.code (Bytes.get t.predictor idx) in
-  let predicted_taken = counter >= 2 in
-  let counter' =
-    if taken then min 3 (counter + 1) else max 0 (counter - 1)
-  in
-  Bytes.set t.predictor idx (Char.chr counter');
-  if predicted_taken = taken then 0 else t.cfg.mispredict_cycles
+  (* Bits 1..12 of the pc; [Int64.to_int] keeps bits 0..62 and the mask
+     only looks at the low ones, so this equals shifting the int64 —
+     without materialising a boxed intermediate. *)
+  let ti = Bool.to_int taken in
+  let idx = Int64.to_int pc lsr 1 land (predictor_entries - 1) in
+  let counter = Char.code (Bytes.unsafe_get t.predictor idx) in
+  Bytes.unsafe_set t.predictor idx
+    (String.unsafe_get bp_next ((counter lsl 1) lor ti));
+  (* Prediction is the counter's high bit; mispredicted iff it differs
+     from the actual direction. *)
+  ((counter lsr 1) lxor ti) * t.cfg.mispredict_cycles
 
 let perturb t =
   Cache.flush t.l1;

@@ -394,6 +394,283 @@ let test_note_block_equivalence () =
       [ (5, false); (5, false); (5, true); (1, true) ];
       [ (2, true); (37, false); (25, true); (64, true) ] ]
 
+(* --- superblock chain tier ---------------------------------------------------- *)
+
+(* Chained execution (the default), chain-disabled block execution, and
+   per-instruction execution (an [on_ins] hook forces the interpreter
+   off every batched path) must be indistinguishable: same schedule,
+   same retired/cycle counts, bit-identical contexts, and bit-identical
+   BBV slice profiles. *)
+let bbv_profile_eq (a : Elfie_pin.Bbv.profile) (b : Elfie_pin.Bbv.profile) =
+  a.Elfie_pin.Bbv.slice_size = b.Elfie_pin.Bbv.slice_size
+  && a.Elfie_pin.Bbv.total_instructions = b.Elfie_pin.Bbv.total_instructions
+  && List.length a.Elfie_pin.Bbv.slices = List.length b.Elfie_pin.Bbv.slices
+  && List.for_all2
+       (fun (x : Elfie_pin.Bbv.slice) (y : Elfie_pin.Bbv.slice) ->
+         x.Elfie_pin.Bbv.index = y.Elfie_pin.Bbv.index
+         && x.Elfie_pin.Bbv.instructions = y.Elfie_pin.Bbv.instructions
+         && x.Elfie_pin.Bbv.vector = y.Elfie_pin.Bbv.vector)
+       a.Elfie_pin.Bbv.slices b.Elfie_pin.Bbv.slices
+
+let test_chained_matches_disabled_and_per_ins () =
+  let prog = branchy_two_thread_prog () in
+  let run_mode ~chain ~per_ins =
+    let m =
+      mk_branchy_machine prog
+        (Machine.Free { seed = 5L; quantum_min = 13; quantum_max = 41 })
+    in
+    Machine.set_chain_enabled m chain;
+    if per_ins then (Machine.hooks m).Machine.on_ins <- Some (fun _ _ _ -> ());
+    let observe, finish = Elfie_pin.Bbv.collector ~slice_size:97L in
+    Machine.set_block_observer m (Some observe);
+    Machine.run m;
+    (m, finish ())
+  in
+  let ma, bbv_a = run_mode ~chain:true ~per_ins:false in
+  let mb, bbv_b = run_mode ~chain:false ~per_ins:false in
+  let mc, bbv_c = run_mode ~chain:true ~per_ins:true in
+  let sa = Machine.chain_stats ma in
+  Alcotest.(check bool) "chained run built superblocks" true
+    (sa.Machine.superblocks_built > 0);
+  Alcotest.(check bool) "block memo was effective" true
+    (sa.Machine.memo_hits > sa.Machine.memo_misses);
+  Alcotest.(check int) "disabled run built no superblocks" 0
+    (Machine.chain_stats mb).Machine.superblocks_built;
+  List.iter
+    (fun (name, mx, bbv_x) ->
+      Alcotest.check Tutil.i64 (name ^ ": total retired")
+        (Machine.total_retired ma) (Machine.total_retired mx);
+      Alcotest.check Tutil.i64 (name ^ ": elapsed cycles")
+        (Machine.elapsed_cycles ma) (Machine.elapsed_cycles mx);
+      for tid = 0 to 1 do
+        let ta = Machine.thread ma tid and tx = Machine.thread mx tid in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: t%d context bit-identical" name tid)
+          true
+          (Bytes.equal
+             (Context.to_bytes ta.Machine.ctx)
+             (Context.to_bytes tx.Machine.ctx))
+      done;
+      Alcotest.(check bool) (name ^ ": BBV profile bit-identical") true
+        (bbv_profile_eq bbv_a bbv_x))
+    [ ("chain-off", mb, bbv_b); ("per-ins", mc, bbv_c) ]
+
+(* A store in the middle of a chained superblock patches code a few
+   instructions ahead of itself: the chain must break at exactly that
+   point (counted as an invalidation exit), the stale translation must
+   be rebuilt, and the architectural result must match the interpreted
+   one. The patch flips the immediate of the loop's `mov rbx, K` from 1
+   to 2 when the countdown passes 6, so the accumulator tells us
+   precisely which iterations saw which immediate. *)
+let test_chain_smc_mid_chain () =
+  let build () =
+    let b = Builder.create () in
+    let loop = Builder.new_label b in
+    let no_patch = Builder.new_label b in
+    Builder.ins b (Mov_ri (Reg.RSI, 0L));
+    Builder.ins b (Mov_ri (Reg.RDI, 10L));
+    Builder.bind b loop;
+    Builder.ins b (Mov_ri (Reg.RBX, 1L));
+    (* the patched immediate *)
+    Builder.ins b (Alu_rr (Add, Reg.RSI, Reg.RBX));
+    Builder.ins b (Alu_ri (Cmp, Reg.RDI, 6L));
+    Builder.jcc b Ne no_patch;
+    Builder.ins b (Mov_ri (Reg.RCX, 2L));
+    Builder.mov_label b Reg.RDX loop;
+    Builder.ins b
+      (Store
+         (W8, { base = Some Reg.RDX; index = None; scale = 1; disp = 2L }, Reg.RCX));
+    Builder.bind b no_patch;
+    Builder.ins b (Alu_ri (Sub, Reg.RDI, 1L));
+    Builder.jcc b Ne loop;
+    Builder.ins b Hlt;
+    Builder.assemble b ~base:0x1000L
+  in
+  let mk chain =
+    let prog = build () in
+    let m =
+      Machine.create
+        (Machine.Free { seed = 1L; quantum_min = 400; quantum_max = 400 })
+    in
+    Machine.set_chain_enabled m chain;
+    Addr_space.store (Machine.mem m) 0x1000L prog.Builder.code;
+    let ctx = Context.create () in
+    ctx.Context.rip <- 0x1000L;
+    let tid = Machine.add_thread m ctx in
+    Machine.run m;
+    (m, Context.get (Machine.thread m tid).Machine.ctx Reg.RSI)
+  in
+  let mc, chained_sum = mk true in
+  let _, plain_sum = mk false in
+  (* Countdown 10..6 add 1 (the patch lands during the countdown=6
+     iteration, after its add); 5..1 add 2. *)
+  Alcotest.check Tutil.i64 "chained run saw the patch exactly once armed" 15L
+    chained_sum;
+  Alcotest.check Tutil.i64 "chain-disabled agrees" plain_sum chained_sum;
+  let st = Machine.chain_stats mc in
+  Alcotest.(check bool) "the chain broke on the mid-chain code write" true
+    (st.Machine.exits_invalidation >= 1);
+  Alcotest.(check bool) "invalidation tore down installed links" true
+    (st.Machine.superblocks_broken >= 1)
+
+(* Fault in the middle of a chain, right where the flag-liveness pass
+   elides the most: the hot self-loop's trailing [Sub/Jcc] flags are
+   provably dead (the fall-through successor starts with a full
+   flag-killing [Add]) so the exit-dead variant skips materialising
+   them; the successor then faults on an unmapped load one slot after
+   its flag-killing prefix. The faulting thread's context — flags
+   included — and the recorded fault must be bit-identical to the
+   chain-disabled run. *)
+let test_chain_fault_mid_chain_flags () =
+  let build () =
+    let b = Builder.create () in
+    let loop = Builder.new_label b in
+    Builder.ins b (Mov_ri (Reg.RAX, 0L));
+    Builder.ins b (Mov_ri (Reg.RDI, 40L));
+    Builder.bind b loop;
+    Builder.ins b (Alu_ri (Add, Reg.RAX, 7L));
+    Builder.ins b (Alu_ri (And, Reg.RAX, 0xffL));
+    Builder.ins b (Alu_ri (Sub, Reg.RDI, 1L));
+    Builder.jcc b Ne loop;
+    (* Fall-through block: flag-killing prefix, then the fault. The
+       direct [Jmp] terminator keeps the block tail-batchable, so the
+       chain executor (not the dispatch loop) takes the fault. *)
+    let after = Builder.new_label b in
+    Builder.ins b (Alu_ri (Add, Reg.RBX, 5L));
+    Builder.ins b (Load (W64, Reg.RCX, mem_abs 0x50000L));
+    Builder.jmp b after;
+    Builder.bind b after;
+    Builder.ins b Hlt;
+    Builder.assemble b ~base:0x1000L
+  in
+  let run chain =
+    let prog = build () in
+    let m =
+      Machine.create
+        (Machine.Free { seed = 9L; quantum_min = 500; quantum_max = 500 })
+    in
+    Machine.set_chain_enabled m chain;
+    Addr_space.store (Machine.mem m) 0x1000L prog.Builder.code;
+    let ctx = Context.create () in
+    ctx.Context.rip <- 0x1000L;
+    let tid = Machine.add_thread m ctx in
+    Machine.run m;
+    (m, Machine.thread m tid)
+  in
+  let mc, tc = run true in
+  let _, tp = run false in
+  (match (tc.Machine.state, tp.Machine.state) with
+  | Machine.Faulted fa, Machine.Faulted fb ->
+      Alcotest.(check bool) "identical fault records" true (fa = fb)
+  | _ -> Alcotest.fail "both runs must end in the load fault");
+  Alcotest.check Tutil.i64 "retired counts agree" tp.Machine.retired
+    tc.Machine.retired;
+  Alcotest.check Tutil.i64 "cycle counts agree" tp.Machine.cycles tc.Machine.cycles;
+  Alcotest.(check bool) "faulting context bit-identical (flags included)" true
+    (Bytes.equal (Context.to_bytes tc.Machine.ctx) (Context.to_bytes tp.Machine.ctx));
+  Alcotest.(check bool) "the fault was taken from a chained run" true
+    ((Machine.chain_stats mc).Machine.exits_fault >= 1)
+
+(* Randomized branchy kernels: a register-initialisation prologue, a
+   counted outer loop whose body is a web of short ALU blocks joined by
+   random forward conditional branches, and a Hlt. Forward-only inner
+   edges plus the single counted backedge guarantee termination. *)
+let branchy_kernel_gen =
+  let open QCheck.Gen in
+  let reg = oneofl [ Reg.RAX; Reg.RBX; Reg.RDX; Reg.RSI ] in
+  let op = oneofl [ Add; Sub; And; Or; Xor ] in
+  let cond = oneofl [ Eq; Ne; Lt; Ge; Le; Gt; Ult; Uge ] in
+  let alu =
+    oneof
+      [ map3 (fun o d s -> `Rr (o, d, s)) op reg reg;
+        map3 (fun o d i -> `Ri (o, d, Int64.of_int (i land 0xff))) op reg int ]
+  in
+  let segment =
+    map3 (fun ops c skip -> (ops, c, skip)) (list_size (1 -- 3) alu) cond nat
+  in
+  map3
+    (fun inits segs reps -> (inits, segs, 4 + (reps land 31)))
+    (list_size (return 4) (map Int64.of_int int))
+    (list_size (3 -- 6) segment)
+    nat
+
+let show_branchy_kernel (inits, segs, reps) =
+  let op_name = function
+    | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or" | Xor -> "xor"
+    | _ -> "?"
+  in
+  let alu = function
+    | `Rr (o, d, s) ->
+        Printf.sprintf "%s %s,%s" (op_name o) (Reg.gpr_name d) (Reg.gpr_name s)
+    | `Ri (o, d, i) ->
+        Printf.sprintf "%s %s,%Ld" (op_name o) (Reg.gpr_name d) i
+  in
+  Printf.sprintf "inits=%s reps=%d segs=[%s]"
+    (String.concat "," (List.map Int64.to_string inits))
+    reps
+    (String.concat "; "
+       (List.map
+          (fun (ops, _, skip) ->
+            Printf.sprintf "%s jcc+%d" (String.concat "," (List.map alu ops)) skip)
+          segs))
+
+let assemble_branchy (inits, segs, reps) =
+  let b = Builder.create () in
+  List.iteri
+    (fun i v ->
+      Builder.ins b (Mov_ri (List.nth [ Reg.RAX; Reg.RBX; Reg.RDX; Reg.RSI ] i, v)))
+    inits;
+  let n = List.length segs in
+  let labels = Array.init (n + 1) (fun _ -> Builder.new_label b) in
+  Builder.ins b (Mov_ri (Reg.RCX, Int64.of_int reps));
+  let head = Builder.here b in
+  List.iteri
+    (fun i (ops, c, skip) ->
+      Builder.bind b labels.(i);
+      List.iter
+        (fun a ->
+          Builder.ins b
+            (match a with
+            | `Rr (o, d, s) -> Alu_rr (o, d, s)
+            | `Ri (o, d, v) -> Alu_ri (o, d, v)))
+        ops;
+      (* Forward edge only: target a strictly later segment (or the
+         loop tail), so the inner web is acyclic. *)
+      let tgt = i + 1 + (skip mod (n - i)) in
+      Builder.jcc b c labels.(tgt))
+    segs;
+  Builder.bind b labels.(n);
+  Builder.ins b (Alu_ri (Sub, Reg.RCX, 1L));
+  Builder.jcc b Ne head;
+  Builder.ins b Hlt;
+  Builder.assemble b ~base:0x1000L
+
+let prop_chain_equiv =
+  QCheck.Test.make
+    ~name:"chained ≡ per-block ≡ per-ins on random branchy kernels" ~count:60
+    (QCheck.make ~print:show_branchy_kernel branchy_kernel_gen)
+    (fun kernel ->
+      let prog = assemble_branchy kernel in
+      let run ~chain ~per_ins =
+        let m =
+          Machine.create
+            (Machine.Free { seed = 11L; quantum_min = 30; quantum_max = 90 })
+        in
+        Machine.set_chain_enabled m chain;
+        if per_ins then (Machine.hooks m).Machine.on_ins <- Some (fun _ _ _ -> ());
+        Addr_space.store (Machine.mem m) 0x1000L prog.Builder.code;
+        let ctx = Context.create () in
+        ctx.Context.rip <- 0x1000L;
+        let tid = Machine.add_thread m ctx in
+        Machine.run m;
+        let th = Machine.thread m tid in
+        (Context.to_bytes th.Machine.ctx, th.Machine.retired, th.Machine.cycles)
+      in
+      let a = run ~chain:true ~per_ins:false in
+      let b = run ~chain:false ~per_ins:false in
+      let c = run ~chain:true ~per_ins:true in
+      a = b && a = c)
+
 (* --- work pool --------------------------------------------------------------- *)
 
 let test_pool_map_order () =
@@ -594,6 +871,12 @@ let suite =
     Alcotest.test_case "block run ≡ stepped replay (ctx, cycles, profile)" `Quick
       test_block_run_matches_step;
     Alcotest.test_case "note_block ≡ per-ins note" `Quick test_note_block_equivalence;
+    Alcotest.test_case "chain: chained ≡ disabled ≡ per-ins (BBV included)" `Quick
+      test_chained_matches_disabled_and_per_ins;
+    Alcotest.test_case "chain: SMC dirties mid-chain" `Quick test_chain_smc_mid_chain;
+    Alcotest.test_case "chain: fault mid-chain re-materialises flags" `Quick
+      test_chain_fault_mid_chain_flags;
+    QCheck_alcotest.to_alcotest prop_chain_equiv;
     Alcotest.test_case "pool: map order" `Quick test_pool_map_order;
     Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
     Alcotest.test_case "pool: labelled exception context" `Quick
