@@ -173,6 +173,114 @@ let simpoint_bench () =
   close_out oc;
   print_endline "wrote BENCH_simpoint.json\n"
 
+(* --- Snapshot microbenchmark (BENCH_snapshot.json) ---------------------
+
+   The copy-on-write warm-once/fork-many trial methodology against the
+   baseline it replaces: N region trials, each either forked off one
+   warmed capture (Elfie_runner.warm + resume) or run from scratch with
+   its own warmup (Elfie_runner.run). The region is mostly warmup
+   (300k-instruction region, mark at 270k), as the paper's regions are,
+   so re-warming dominates the baseline's cost. Interleaved best-of-5;
+   written to BENCH_snapshot.json. The @snapshot runtest guard checks
+   the same property on a smaller workload. *)
+
+let snapshot_trials = 8
+let snapshot_rounds = 5
+
+let snapshot_image () =
+  let spec =
+    Elfie_workloads.Programs.spec
+      ~phases:
+        [ { Elfie_workloads.Programs.kernel = Elfie_workloads.Kernels.Stream;
+            reps = 4000 };
+          { kernel = Elfie_workloads.Kernels.Branchy; reps = 4000 } ]
+      ~outer_reps:50 ~threads:1 ~ws_bytes:65536 "bench_snap"
+  in
+  let rs = Elfie_workloads.Programs.run_spec ~seed:7L spec in
+  let cap =
+    Elfie_pin.Logger.capture rs ~name:"bench_snap"
+      { Elfie_pin.Logger.start = 20_000L; length = 300_000L }
+  in
+  Elfie_core.Pinball2elf.convert
+    ~options:
+      { Elfie_core.Pinball2elf.default_options with
+        marker = Some (Elfie_core.Pinball2elf.Ssc 1L);
+        warmup_mark = Some 270_000L }
+    cap.Elfie_pin.Logger.pinball
+
+let snapshot_bench () =
+  print_endline
+    "=== Snapshot microbenchmark (warm-once/fork-many vs re-warm) ===";
+  let image = snapshot_image () in
+  let warn name (o : Elfie_core.Elfie_runner.outcome) =
+    if not o.Elfie_core.Elfie_runner.graceful then
+      Printf.printf "WARNING: %s trial not graceful (%s)\n%!" name
+        (Option.value ~default:"?" o.Elfie_core.Elfie_runner.fault)
+  in
+  let rewarm () =
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to snapshot_trials - 1 do
+      warn "re-warm"
+        (Elfie_core.Elfie_runner.run ~seed:(Int64.of_int (3000 + i)) image)
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let warm_fork () =
+    let t0 = Unix.gettimeofday () in
+    (match Elfie_core.Elfie_runner.warm ~seed:3000L image with
+    | Ok w ->
+        for i = 0 to snapshot_trials - 1 do
+          warn "forked"
+            (Elfie_core.Elfie_runner.resume ~seed:(Int64.of_int (3000 + i)) w)
+        done
+    | Error _ -> Printf.printf "WARNING: warm failed (no mark?)\n%!");
+    Unix.gettimeofday () -. t0
+  in
+  let best_fork = ref infinity and best_rewarm = ref infinity in
+  (* Interleaved, alternating which leg goes first each round, so
+     neither systematically benefits from cache/frequency warm-up. *)
+  for r = 0 to snapshot_rounds - 1 do
+    let legs =
+      if r land 1 = 0 then [ (best_fork, warm_fork); (best_rewarm, rewarm) ]
+      else [ (best_rewarm, rewarm); (best_fork, warm_fork) ]
+    in
+    List.iter (fun (best, leg) -> best := min !best (leg ())) legs
+  done;
+  let pages =
+    match Elfie_core.Elfie_runner.warm ~seed:3000L image with
+    | Ok w -> Elfie_core.Elfie_runner.warmed_pages w
+    | Error _ -> 0
+  in
+  let speedup = !best_rewarm /. !best_fork in
+  let row name wall =
+    Printf.printf "%-28s %10.3f s total  %8.1f ms/trial  (best of %d)\n%!"
+      name wall
+      (1000.0 *. wall /. float_of_int snapshot_trials)
+      snapshot_rounds;
+    Printf.sprintf
+      "    { \"name\": \"%s\", \"wall_s\": %.6f, \"trials\": %d, \"rounds\": \
+       %d }"
+      (json_escape name) wall snapshot_trials snapshot_rounds
+  in
+  let fork_row = row "snapshot/warm-and-fork" !best_fork in
+  let rewarm_row = row "snapshot/re-warm-per-trial" !best_rewarm in
+  Printf.printf "%-28s %10.2fx  (%d CoW pages per capture)\n%!"
+    "snapshot/speedup" speedup pages;
+  if speedup < 3.0 then
+    Printf.printf "WARNING: warm-once/fork-many speedup %.2fx below 3x\n%!"
+      speedup;
+  let speedup_row =
+    Printf.sprintf
+      "    { \"name\": \"snapshot/speedup\", \"speedup\": %.3f, \
+       \"snapshot_pages\": %d }"
+      speedup pages
+  in
+  let oc = open_out "BENCH_snapshot.json" in
+  Printf.fprintf oc "{\n  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" [ fork_row; rewarm_row; speedup_row ]);
+  close_out oc;
+  print_endline "wrote BENCH_snapshot.json\n"
+
 (* --- Farm store microbenchmark (BENCH_farm.json) -----------------------
 
    The same small manifest run twice against one artifact store: the
@@ -516,6 +624,7 @@ let () =
   let simpoint_only = ref false in
   let farm_only = ref false in
   let daemon_only = ref false in
+  let snapshot_only = ref false in
   let rec parse = function
     | "--jobs" :: n :: rest ->
         jobs := (try int_of_string n with _ -> 0);
@@ -531,6 +640,9 @@ let () =
         parse rest
     | "--daemon" :: rest | "--daemon-only" :: rest ->
         daemon_only := true;
+        parse rest
+    | "--snapshot" :: rest | "--snapshot-only" :: rest ->
+        snapshot_only := true;
         parse rest
     | "--core-kernel" :: k :: rest ->
         (* Diagnostic: run the core microbenchmark on a single kernel
@@ -569,9 +681,14 @@ let () =
     farm_daemon_bench ();
     exit 0
   end;
+  if !snapshot_only then begin
+    snapshot_bench ();
+    exit 0
+  end;
   core_bench ();
   if !core_only then exit 0;
   simpoint_bench ();
+  snapshot_bench ();
   farm_bench ();
   farm_daemon_bench ();
   print_endline "=== Bechamel micro-benchmarks (one per table/figure) ===";

@@ -1,0 +1,81 @@
+(* Snapshot-tier smoke test, run from `dune runtest` via the @snapshot
+   alias: the same region ELFie measured once with warm-once/fork-many
+   (Elfie_runner.warm + one resume per trial) and once with the re-warm
+   baseline (one full Elfie_runner.run per trial). Guards against silent
+   copy-on-write snapshot regressions — the warm must stop at the mark,
+   every trial on both paths must stay graceful, and forking must not be
+   slower than re-warming. The workload is small enough for CI (a
+   60k-instruction region, mark at 50k) and the expected gap is large
+   (each re-warm trial re-executes the whole region where a fork runs
+   only the 10k-instruction slice), so best-of-N wall-clock comparison
+   at margin 1.0 is robust against scheduler noise. *)
+
+let trials = 4
+let rounds = 3
+
+let image =
+  let spec =
+    Elfie_workloads.Programs.spec
+      ~phases:
+        [ { Elfie_workloads.Programs.kernel = Elfie_workloads.Kernels.Stream;
+            reps = 2000 };
+          { kernel = Elfie_workloads.Kernels.Branchy; reps = 2000 } ]
+      ~outer_reps:20 ~threads:1 ~ws_bytes:32768 "snap-smoke"
+  in
+  let rs = Elfie_workloads.Programs.run_spec ~seed:7L spec in
+  let cap =
+    Elfie_pin.Logger.capture rs ~name:"snap-smoke"
+      { Elfie_pin.Logger.start = 20_000L; length = 60_000L }
+  in
+  Elfie_core.Pinball2elf.convert
+    ~options:
+      { Elfie_core.Pinball2elf.default_options with
+        marker = Some (Elfie_core.Pinball2elf.Ssc 1L);
+        warmup_mark = Some 50_000L }
+    cap.Elfie_pin.Logger.pinball
+
+let () =
+  let graceful_fork = ref true and graceful_rewarm = ref true in
+  let warm_ok = ref true in
+  let rewarm () =
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to trials - 1 do
+      let o = Elfie_core.Elfie_runner.run ~seed:(Int64.of_int (3000 + i)) image in
+      if not o.Elfie_core.Elfie_runner.graceful then graceful_rewarm := false
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let warm_fork () =
+    let t0 = Unix.gettimeofday () in
+    (match Elfie_core.Elfie_runner.warm ~seed:3000L image with
+    | Ok w ->
+        for i = 0 to trials - 1 do
+          let o =
+            Elfie_core.Elfie_runner.resume ~seed:(Int64.of_int (3000 + i)) w
+          in
+          if not o.Elfie_core.Elfie_runner.graceful then graceful_fork := false
+        done
+    | Error _ -> warm_ok := false);
+    Unix.gettimeofday () -. t0
+  in
+  let best_fork = ref infinity and best_rewarm = ref infinity in
+  (* Interleaved trials, as in the full snapshot bench, so neither leg
+     systematically benefits from warm-up. *)
+  for _ = 1 to rounds do
+    best_fork := min !best_fork (warm_fork ());
+    best_rewarm := min !best_rewarm (rewarm ())
+  done;
+  let fail = ref false in
+  let check name ok =
+    Printf.printf "%-44s %s\n" name (if ok then "ok" else "FAIL");
+    if not ok then fail := true
+  in
+  Printf.printf
+    "snapshot-smoke: warm-and-fork %.1f ms, re-warm %.1f ms (%d trials, best \
+     of %d)\n"
+    (1000. *. !best_fork) (1000. *. !best_rewarm) trials rounds;
+  check "warm stops at the warmup mark" !warm_ok;
+  check "forked trials all graceful" !graceful_fork;
+  check "re-warmed trials all graceful" !graceful_rewarm;
+  check "warm-and-fork not slower than re-warming" (!best_fork <= !best_rewarm);
+  if !fail then exit 1

@@ -7,6 +7,8 @@
      d 0xADDR                 delete breakpoint
      c                        continue
      si [N]                   step N instructions (default 1)
+     rsi [N]                  reverse-step N instructions (default 1)
+     rc                       reverse-continue to the previous breakpoint
      info regs [TID]          registers
      info threads             thread list
      info b                   breakpoints
@@ -72,6 +74,16 @@ let execute dbg line =
       in
       go 0;
       true
+  | "rsi" :: rest ->
+      let n = match rest with [ n ] -> int_of_string n | _ -> 1 in
+      (match Debugger.reverse_stepi ~n dbg with
+      | Debugger.Step_done tid ->
+          Printf.printf "icount %d (thread %d)\n" (Debugger.icount dbg) tid
+      | stop -> Format.printf "%a@." Debugger.pp_stop stop);
+      true
+  | [ "rc" ] ->
+      Format.printf "%a@." Debugger.pp_stop (Debugger.reverse_continue dbg);
+      true
   | [ "info"; "regs" ] ->
       show_regs dbg 0;
       true
@@ -125,7 +137,7 @@ let execute dbg line =
       | None -> print_endline "no symbol");
       true
   | _ ->
-      print_endline "unknown command (b/d/c/si/info/x/dis/sym/q)";
+      print_endline "unknown command (b/d/c/si/rsi/rc/info/x/dis/sym/q)";
       true
 
 let main path sysstate_dir script =

@@ -71,56 +71,29 @@ let outcome_result o =
   else if o.machine_fault <> None then "fault"
   else "failed"
 
-let run ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
-    ?(max_ins = 100_000_000L) ?timing ?(kernel_cost = true)
-    ?(on_machine = fun (_ : Machine.t) -> ()) (image : Elfie_elf.Image.t) =
-  let machine =
-    Machine.create ?timing (Machine.Free { seed; quantum_min = 50; quantum_max = 200 })
-  in
-  let fs = Fs.create () in
-  fs_init fs;
-  let kernel =
-    Vkernel.create
-      ~config:{ Vkernel.default_config with seed; initial_cwd = cwd; kernel_cost }
-      fs
-  in
-  Vkernel.install kernel machine;
-  if kernel_cost then Machine.set_timer machine ~interval:8192 ~cycles:250 ~seed;
-  let sp = Trace.begin_span "runner.region" ~attrs:[ ("seed", Trace.I seed) ] in
-  let finish o =
-    let result = outcome_result o in
-    Metrics.inc m_loader_runs ~labels:[ ("result", result) ];
-    if o.graceful then
-      Metrics.observe m_region_instructions (Int64.to_float o.app_retired);
-    Metrics.set m_region_cpi o.region_cpi;
-    Metrics.set m_region_threads (float_of_int o.threads);
-    Trace.end_span sp
-      ~attrs:
-        [
-          ("result", Trace.S result);
-          ("retired", Trace.I o.app_retired);
-          ("cpi", Trace.F o.region_cpi);
-        ];
-    o
-  in
-  let load_sp = Trace.begin_span "runner.load" in
-  match Loader.load kernel machine image ~argv:[ "elfie" ] ~env:[] with
-  | exception Loader.Exec_failed msg ->
-      Trace.end_span load_sp ~attrs:[ ("error", Trace.S msg) ];
-      finish (failed_outcome msg)
-  | exception Loader.Stack_collision { reserved; needed; stack_top } ->
-      Trace.end_span load_sp ~attrs:[ ("error", Trace.S "stack collision") ];
-      finish
-        (failed_outcome ~stack_collision:true
-           (Printf.sprintf
-              "stack collision: only %d pages below 0x%Lx available (%d needed)"
-              reserved stack_top needed))
-  | _tid, _layout ->
-      Trace.end_span load_sp;
-      on_machine machine;
-      Elfie_pin.Tools.attach_global_profile machine;
-      Machine.run ~max_ins machine;
-      let threads = Machine.threads machine in
+(* Metrics + span epilogue shared by every path that produced a final
+   outcome. *)
+let finish sp o =
+  let result = outcome_result o in
+  Metrics.inc m_loader_runs ~labels:[ ("result", result) ];
+  if o.graceful then
+    Metrics.observe m_region_instructions (Int64.to_float o.app_retired);
+  Metrics.set m_region_cpi o.region_cpi;
+  Metrics.set m_region_threads (float_of_int o.threads);
+  Trace.end_span sp
+    ~attrs:
+      [
+        ("result", Trace.S result);
+        ("retired", Trace.I o.app_retired);
+        ("cpi", Trace.F o.region_cpi);
+      ];
+  o
+
+(* Outcome of a machine whose [run] has returned: graceful-exit
+   analysis, fault extraction, region/slice counter windows. Shared by
+   the one-shot [run] path and by [resume]d forks. *)
+let collect_outcome machine kernel =
+  let threads = Machine.threads machine in
       let armed = List.filter (fun th -> th.Machine.counter_target <> None) threads in
       (* Graceful = every armed thread either hit its region instruction
          count or exited cleanly through the application's own exit path
@@ -206,7 +179,6 @@ let run ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
             ( "fault",
               Trace.S (match fault with Some f -> f | None -> "none") );
           ];
-      finish
       {
         load_error = None;
         stack_collision = false;
@@ -225,3 +197,110 @@ let run ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
         stdout = Vkernel.stdout_contents kernel;
         threads = List.length threads;
       }
+
+(* Machine + kernel construction shared by [run] and [warm]. *)
+let build_machine ?timing ~seed ~cwd ~kernel_cost fs_init =
+  let machine =
+    Machine.create ?timing (Machine.Free { seed; quantum_min = 50; quantum_max = 200 })
+  in
+  let fs = Fs.create () in
+  fs_init fs;
+  let kernel =
+    Vkernel.create
+      ~config:{ Vkernel.default_config with seed; initial_cwd = cwd; kernel_cost }
+      fs
+  in
+  Vkernel.install kernel machine;
+  if kernel_cost then Machine.set_timer machine ~interval:8192 ~cycles:250 ~seed;
+  (machine, kernel)
+
+let run ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
+    ?(max_ins = 100_000_000L) ?timing ?(kernel_cost = true)
+    ?(on_machine = fun (_ : Machine.t) -> ()) (image : Elfie_elf.Image.t) =
+  let machine, kernel = build_machine ?timing ~seed ~cwd ~kernel_cost fs_init in
+  let sp = Trace.begin_span "runner.region" ~attrs:[ ("seed", Trace.I seed) ] in
+  let load_sp = Trace.begin_span "runner.load" in
+  match Loader.load kernel machine image ~argv:[ "elfie" ] ~env:[] with
+  | exception Loader.Exec_failed msg ->
+      Trace.end_span load_sp ~attrs:[ ("error", Trace.S msg) ];
+      finish sp (failed_outcome msg)
+  | exception Loader.Stack_collision { reserved; needed; stack_top } ->
+      Trace.end_span load_sp ~attrs:[ ("error", Trace.S "stack collision") ];
+      finish sp
+        (failed_outcome ~stack_collision:true
+           (Printf.sprintf
+              "stack collision: only %d pages below 0x%Lx available (%d needed)"
+              reserved stack_top needed))
+  | _tid, _layout ->
+      Trace.end_span load_sp;
+      on_machine machine;
+      Elfie_pin.Tools.attach_global_profile machine;
+      Machine.run ~max_ins machine;
+      finish sp (collect_outcome machine kernel)
+
+(* --- Warm once, fork per trial ----------------------------------------- *)
+
+(* A machine run to its warmup mark and captured copy-on-write: the
+   snapshot freezes the address space (no page copies) and the kernel
+   is kept so each resumed trial can fork its FD table / heap state.
+   Everything per-trial forks off this; the warmed parent itself is
+   never resumed. *)
+type warmed = { w_snapshot : Machine.snapshot; w_kernel : Vkernel.t }
+
+let warmed_pages w = Machine.snapshot_page_count w.w_snapshot
+let warmed_snapshot w = w.w_snapshot
+
+let warm ?(seed = 11L) ?(fs_init = fun (_ : Fs.t) -> ()) ?(cwd = "/")
+    ?(max_ins = 100_000_000L) ?timing ?(kernel_cost = true)
+    (image : Elfie_elf.Image.t) =
+  let machine, kernel = build_machine ?timing ~seed ~cwd ~kernel_cost fs_init in
+  let sp = Trace.begin_span "runner.warm" ~attrs:[ ("seed", Trace.I seed) ] in
+  match Loader.load kernel machine image ~argv:[ "elfie" ] ~env:[] with
+  | exception Loader.Exec_failed msg ->
+      Trace.end_span sp ~attrs:[ ("error", Trace.S msg) ];
+      Error (failed_outcome msg)
+  | exception Loader.Stack_collision { reserved; needed; stack_top } ->
+      Trace.end_span sp ~attrs:[ ("error", Trace.S "stack collision") ];
+      Error
+        (failed_outcome ~stack_collision:true
+           (Printf.sprintf
+              "stack collision: only %d pages below 0x%Lx available (%d needed)"
+              reserved stack_top needed))
+  | _tid, _layout ->
+      Machine.set_stop_on_mark machine true;
+      Elfie_pin.Tools.attach_global_profile machine;
+      Machine.run ~max_ins machine;
+      if Machine.stop_requested machine then begin
+        (* A warmup mark fired: the machine stopped right after the mark
+           instruction, warmed and snapshot-ready. *)
+        let snap = Machine.snapshot machine in
+        Trace.end_span sp
+          ~attrs:
+            [
+              ("result", Trace.S "warmed");
+              ("pages", Trace.I (Int64.of_int (Machine.snapshot_page_count snap)));
+            ];
+        Ok { w_snapshot = snap; w_kernel = kernel }
+      end
+      else begin
+        (* Ran to completion without a mark (no warmup boundary in the
+           image, or it faulted/exited first): report the full outcome
+           so the caller can fall back to one-shot runs. *)
+        let o = collect_outcome machine kernel in
+        Trace.end_span sp ~attrs:[ ("result", Trace.S (outcome_result o)) ];
+        Error o
+      end
+
+let resume ?(max_ins = 100_000_000L)
+    ?(on_machine = fun (_ : Machine.t) -> ()) ~seed w =
+  let machine = Machine.fork ~reseed:seed w.w_snapshot in
+  let kernel = Vkernel.fork w.w_kernel in
+  Vkernel.install kernel machine;
+  let sp =
+    Trace.begin_span "runner.region"
+      ~attrs:[ ("seed", Trace.I seed); ("forked", Trace.B true) ]
+  in
+  on_machine machine;
+  Elfie_pin.Tools.attach_global_profile machine;
+  Machine.run ~max_ins machine;
+  finish sp (collect_outcome machine kernel)

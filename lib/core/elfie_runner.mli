@@ -73,3 +73,57 @@ val run :
   ?on_machine:(Elfie_machine.Machine.t -> unit) ->
   Elfie_elf.Image.t ->
   outcome
+
+(** {2 Warm once, fork per trial}
+
+    Repeated-trial region measurement re-executes the same warmup
+    before every trial; with copy-on-write machine snapshots the warmup
+    runs once. [warm] loads the ELFie and executes it with the given
+    seed until its warmup mark fires, then captures the machine
+    ({!Elfie_machine.Machine.snapshot} — the address space is frozen
+    copy-on-write, nothing is deep-copied) together with the kernel.
+    [resume ~seed] forks an independent machine + kernel off that
+    capture, re-derives the scheduler/timer RNG streams from [seed]
+    (the per-trial variation that distinct full-run seeds used to
+    provide) and runs the slice to completion.
+
+    Determinism contract: [resume ~seed w] is bit-identical to warming
+    a fresh machine with [w]'s warm seed, calling
+    {!Elfie_machine.Machine.reseed} [seed] at the mark stop, and
+    continuing — and forks are independent, so trials may fan out
+    across pool domains with results identical at any [--jobs].
+    Property-tested in [test/test_perf_core.ml].
+
+    [warm] returns [Error outcome] when the run ended without a mark
+    firing — image without a warmup boundary, a pre-mark fault, or a
+    load failure — with the one-shot outcome, so callers fall back to
+    per-trial [run]s. *)
+
+type warmed
+
+val warm :
+  ?seed:int64 ->
+  ?fs_init:(Elfie_kernel.Fs.t -> unit) ->
+  ?cwd:string ->
+  ?max_ins:int64 ->
+  ?timing:Elfie_machine.Timing.config ->
+  ?kernel_cost:bool ->
+  Elfie_elf.Image.t ->
+  (warmed, outcome) result
+
+(** [resume ~seed w] measures one trial off the warmed capture.
+    [max_ins] caps the machine-wide total retired count, which includes
+    the warmup already executed — pass the same value as [warm] for the
+    same cap semantics as a single full run. [on_machine] runs against
+    the fork after the kernel is installed, before execution. *)
+val resume :
+  ?max_ins:int64 ->
+  ?on_machine:(Elfie_machine.Machine.t -> unit) ->
+  seed:int64 ->
+  warmed ->
+  outcome
+
+(** Mapped pages frozen in the warmed capture (fork cost reporting). *)
+val warmed_pages : warmed -> int
+
+val warmed_snapshot : warmed -> Elfie_machine.Machine.snapshot

@@ -21,7 +21,12 @@ let checkpoint machine kernel =
         failwith "Criu.checkpoint: exited thread leaves a tid gap")
     live;
   {
-    pages = Addr_space.pages (Machine.mem machine);
+    (* Freeze the address space copy-on-write instead of deep-copying
+       every page: the checkpoint aliases the live page bytes, and any
+       later write in the checkpointed machine unshares its page first,
+       so the aliased bytes stay exactly as captured. O(pages) pointer
+       work, zero byte copies. *)
+    pages = Addr_space.frozen_pages (Addr_space.freeze (Machine.mem machine));
     contexts = Array.of_list (List.map (fun th -> Context.copy th.Machine.ctx) live);
     fds = Vkernel.fd_table kernel;
     brk = Vkernel.brk kernel;

@@ -27,9 +27,13 @@ type t = {
   cwd : string;
 }
 
-(** Snapshot a live process. Raises [Failure] if a thread has exited
-    (leaving a tid gap), which this simplified process model cannot
-    restore. *)
+(** Snapshot a live process. Memory is captured copy-on-write: the
+    checkpoint aliases the machine's page bytes (zero copies at capture
+    time) and the machine's pages are frozen shared, so writes the
+    process performs after the checkpoint copy their page first and the
+    checkpoint is never perturbed. Raises [Failure] if a thread has
+    exited (leaving a tid gap), which this simplified process model
+    cannot restore. *)
 val checkpoint : Elfie_machine.Machine.t -> Elfie_kernel.Vkernel.t -> t
 
 (** Recreate the process, ready to continue, against the given

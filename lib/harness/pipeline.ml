@@ -89,6 +89,10 @@ let make_region_elfie run_spec ~name ~warmup ~start ~length =
         Some (Elfie_core.Pinball2elf.convert ~options pinball, sysstate)
       end
 
+(* Region measurement (both entry points below) warms each ELFie once
+   per attempt and forks the copy-on-write capture per trial — see
+   Perf.elfie_region — so adding trials costs slice execution only, not
+   repeated warmups, and results stay identical at any [--jobs]. *)
 let measure_elfie ?(trials = 3) ?(base_seed = 2000L) (image, sysstate) =
   Perf.elfie_region ~trials ~base_seed
     ~fs_init:(fun fs -> Elfie_pin.Sysstate.install sysstate fs ~workdir)

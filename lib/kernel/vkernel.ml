@@ -101,6 +101,40 @@ let syscall_histogram t =
 let set_recorder t r = t.recorder <- r
 let stack_random_offset t = t.stack_offset
 
+(* Independent clone for machine forks: the filesystem, FD table (fresh
+   [File] records — positions are mutable), output buffer, heap/mmap
+   cursors, syscall RNG (at its exact stream position) and tallies are
+   all duplicated. The stack offset is preserved verbatim rather than
+   re-drawn — the forked machine's stack is already laid out. The
+   recorder is not carried over; re-attach one if the fork is logged.
+   The clone is not yet installed on any machine: call {!install} with
+   the forked machine. *)
+let fork t =
+  let fds = Hashtbl.create (max 16 (Hashtbl.length t.fds)) in
+  Hashtbl.iter
+    (fun fd target ->
+      Hashtbl.replace fds fd
+        (match target with
+        | Console -> Console
+        | File f -> File { path = f.path; pos = f.pos }))
+    t.fds;
+  let stdout_buf = Buffer.create (max 256 (Buffer.length t.stdout_buf)) in
+  Buffer.add_buffer stdout_buf t.stdout_buf;
+  {
+    cfg = t.cfg;
+    fs = Fs.copy t.fs;
+    fds;
+    cwd = t.cwd;
+    brk = t.brk;
+    next_mmap = t.next_mmap;
+    stdout_buf;
+    rng = Elfie_util.Rng.copy t.rng;
+    stack_offset = t.stack_offset;
+    syscall_count = t.syscall_count;
+    histogram = Hashtbl.copy t.histogram;
+    recorder = None;
+  }
+
 let preopen_fd t ~fd ~path =
   if Fs.exists t.fs path then begin
     Hashtbl.replace t.fds fd (File { path; pos = 0 });

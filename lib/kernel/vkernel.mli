@@ -34,6 +34,14 @@ val fs : t -> Fs.t
 (** Install this kernel as the machine's syscall handler. *)
 val install : t -> Elfie_machine.Machine.t -> unit
 
+(** Independent clone for {!Elfie_machine.Machine.fork}ed machines:
+    filesystem, FD table (including file positions), output buffer,
+    heap/mmap cursors, syscall RNG stream position and tallies are all
+    duplicated; the stack-randomization offset is preserved, not
+    re-drawn. The clone has no recorder and is not installed anywhere —
+    call {!install} with the forked machine. *)
+val fork : t -> t
+
 val cwd : t -> string
 val set_cwd : t -> string -> unit
 

@@ -13,8 +13,17 @@ let offset_in_page addr = Int64.to_int (Int64.logand addr page_mask)
    has decoded instructions out of a page, any later write to it must
    bump the generation counter so translated-block caches invalidate
    (self-modifying code). The bit makes that a single load on the write
-   path instead of a code-range lookup. *)
-type page = { data : bytes; mutable is_code : bool }
+   path instead of a code-range lookup.
+
+   The [shared] bit is the copy-on-write machinery: [freeze] marks every
+   page shared and records the byte pointers; from then on the frozen
+   bytes are immutable by contract, and the first write through any
+   space holding them swaps in a private copy first ([unshare], reached
+   from [dirty], which every write path already goes through). A page
+   record itself is never shared between spaces — only the frozen bytes
+   are — so swapping [data] inside a record is invisible to every other
+   space and to the soft-TLB, which caches records, not bytes. *)
+type page = { mutable data : bytes; mutable is_code : bool; mutable shared : bool }
 
 (* Soft-TLB: a small direct-mapped cache of recent page-number ->
    page translations in front of the hash table. Only [unmap] can make
@@ -24,7 +33,7 @@ type page = { data : bytes; mutable is_code : bool }
    the probe is pointer- and allocation-free. *)
 let tlb_bits = 6
 let tlb_size = 1 lsl tlb_bits
-let no_page = { data = Bytes.create 0; is_code = false }
+let no_page = { data = Bytes.create 0; is_code = false; shared = false }
 
 type t = {
   pages : (int64, page) Hashtbl.t;
@@ -35,6 +44,9 @@ type t = {
      poll this single field as the "has anything been dirtied since
      translation" fast-path flag. *)
   mutable code_writes : int;
+  (* Pages lazily privatised by a write to shared (frozen) backing —
+     the fork cost actually paid, in pages touched. *)
+  mutable cow_copies : int;
   tlb_tags : int array;  (* page number, or -1 for empty *)
   tlb_pages : page array;
 }
@@ -44,6 +56,7 @@ let create () =
     pages = Hashtbl.create 256;
     generation = 0;
     code_writes = 0;
+    cow_copies = 0;
     tlb_tags = Array.make tlb_size (-1);
     tlb_pages = Array.make tlb_size no_page;
   }
@@ -99,7 +112,7 @@ let map t ~addr ~len =
     (fun n ->
       if not (Hashtbl.mem t.pages n) then
         Hashtbl.replace t.pages n
-          { data = Bytes.make page_size '\000'; is_code = false })
+          { data = Bytes.make page_size '\000'; is_code = false; shared = false })
     (range_pages addr len)
 
 let unmap t ~addr ~len =
@@ -118,9 +131,20 @@ let note_code t ~addr ~len =
       | None -> ())
     (range_pages addr len)
 
+(* Copy-on-write: the first write to a page whose bytes are frozen
+   swaps in a private copy. Out of line — the hot write paths only pay
+   the [shared] load. *)
+let unshare t page =
+  page.data <- Bytes.copy page.data;
+  page.shared <- false;
+  t.cow_copies <- t.cow_copies + 1
+
 (* Writes into pages holding decoded instructions invalidate block
-   caches; plain data writes leave the generation alone. *)
+   caches; plain data writes leave the generation alone. Every write
+   path goes through here before mutating, so this is also the single
+   copy-on-write unshare point. *)
 let[@inline] dirty t page =
+  if page.shared then unshare t page;
   if page.is_code then begin
     t.generation <- t.generation + 1;
     t.code_writes <- t.code_writes + 1
@@ -263,15 +287,70 @@ let copy t =
   let pages = Hashtbl.create (Hashtbl.length t.pages) in
   Hashtbl.iter
     (fun n page ->
-      Hashtbl.replace pages n { data = Bytes.copy page.data; is_code = page.is_code })
+      Hashtbl.replace pages n
+        { data = Bytes.copy page.data; is_code = page.is_code; shared = false })
     t.pages;
   {
     pages;
     generation = t.generation;
     code_writes = t.code_writes;
+    cow_copies = 0;
     tlb_tags = Array.make tlb_size (-1);
     tlb_pages = Array.make tlb_size no_page;
   }
 
 let generation t = t.generation
 let code_writes t = t.code_writes
+let cow_copies t = t.cow_copies
+
+(* --- Copy-on-write snapshots --------------------------------------- *)
+
+(* A frozen view: page numbers plus the byte pointers and code bits as
+   of the freeze. The bytes are immutable from the moment they appear
+   here — any space still holding them (the frozen parent included)
+   copies before its next write — so the view stays exact forever at
+   zero byte-copy cost. *)
+type frozen = {
+  f_pages : (int64 * bytes * bool) array;
+  f_generation : int;
+  f_code_writes : int;
+}
+
+let freeze t =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun pn page ->
+      page.shared <- true;
+      acc := (pn, page.data, page.is_code) :: !acc)
+    t.pages;
+  let f_pages = Array.of_list !acc in
+  (* Hashtbl iteration order is not specified; fix it so two freezes of
+     equal spaces are structurally equal. *)
+  Array.sort (fun (a, _, _) (b, _, _) -> Int64.unsigned_compare a b) f_pages;
+  { f_pages; f_generation = t.generation; f_code_writes = t.code_writes }
+
+(* O(pages) fresh 3-word records pointing at the frozen bytes — no page
+   contents are copied; the fork pays per page it later writes. *)
+let fork f =
+  let pages = Hashtbl.create (max 256 (Array.length f.f_pages)) in
+  Array.iter
+    (fun (pn, data, is_code) ->
+      Hashtbl.replace pages pn { data; is_code; shared = true })
+    f.f_pages;
+  {
+    pages;
+    generation = f.f_generation;
+    code_writes = f.f_code_writes;
+    cow_copies = 0;
+    tlb_tags = Array.make tlb_size (-1);
+    tlb_pages = Array.make tlb_size no_page;
+  }
+
+let frozen_page_count f = Array.length f.f_pages
+
+(* The frozen image as [(page_base, contents)], sorted, WITHOUT copying:
+   callers (checkpointing) must treat the bytes as read-only, which the
+   freeze contract already guarantees machine-side. *)
+let frozen_pages f =
+  Array.to_list
+    (Array.map (fun (pn, data, _) -> (Int64.shift_left pn page_bits, data)) f.f_pages)

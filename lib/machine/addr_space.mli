@@ -70,6 +70,39 @@ val page_count : t -> int
 (** Deep copy (pinball logger snapshot). *)
 val copy : t -> t
 
+(** {2 Copy-on-write snapshots}
+
+    [freeze t] marks every mapped page as shared and returns an
+    immutable view of the current image in O(pages) pointer work — no
+    page contents are copied. From that moment the captured bytes are
+    never mutated: the first write landing in a shared page (through
+    [t] itself or through any fork) swaps in a private copy of that
+    page first, so the frozen view stays byte-exact forever and each
+    space pays only for the pages it actually touches.
+
+    [fork f] materialises a fresh address space backed by the frozen
+    bytes, again in O(pages) record allocation with zero byte copying.
+    Forks are independent of each other and of the parent: the only
+    shared state is the immutable frozen bytes, so forks may run on
+    different domains concurrently. The fork starts with a cold
+    soft-TLB and inherits the frozen generation counters. *)
+
+type frozen
+
+val freeze : t -> frozen
+val fork : frozen -> t
+val frozen_page_count : frozen -> int
+
+(** The frozen image as [(page_base, contents)], sorted by address,
+    {e aliasing} the frozen bytes (zero-copy). Callers must treat the
+    bytes as read-only — the freeze contract already guarantees no
+    machine will mutate them. *)
+val frozen_pages : frozen -> (int64 * bytes) list
+
+(** Pages privatised so far by writes into shared backing — the
+    realised copy-on-write cost of this space, in pages. *)
+val cow_copies : t -> int
+
 (** [note_code t ~addr ~len] marks every mapped page overlapping
     [addr, addr+len) as holding decoded instructions. The executor calls
     this when it translates a block; from then on any write landing in

@@ -113,6 +113,18 @@ let access t addr =
     end
   end
 
+(* Structural duplicate: tags, recency and stats all copied, so the
+   clone hits and misses exactly as the original would from here on.
+   Cost is proportional to the configured geometry, not to traffic. *)
+let copy t =
+  {
+    t with
+    tags = Array.copy t.tags;
+    lru = Array.copy t.lru;
+    stamp = Array.copy t.stamp;
+    touched = Hashtbl.copy t.touched;
+  }
+
 let hits t = t.hits
 let misses t = t.misses
 let footprint_lines t = Hashtbl.length t.touched

@@ -24,6 +24,10 @@ val create : ?track_footprint:bool -> config -> t
     on miss the line is filled. *)
 val access : t -> int64 -> bool
 
+(** Independent structural clone — identical future hit/miss behaviour,
+    identical stats, no shared mutable state (machine snapshots). *)
+val copy : t -> t
+
 val hits : t -> int
 val misses : t -> int
 

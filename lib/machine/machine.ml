@@ -199,6 +199,12 @@ and t = {
   mutable live_links : int;  (* installed chain edges in this generation *)
   stats : core_stats;  (* monotone per-machine counters *)
   stats_flushed : core_stats;  (* snapshot at the last metrics flush *)
+  (* [Addr_space.cow_copies t.mem] at the last metrics flush. *)
+  mutable cow_flushed : int;
+  (* When set, a firing warmup mark also requests a stop: [run] returns
+     right after the mark instruction retires, leaving the machine
+     warmed and snapshot-ready. *)
+  mutable stop_on_mark : bool;
 }
 
 let block_memo_size = 64 (* power of two *)
@@ -289,6 +295,8 @@ let create ?(timing = Timing.default) scheduler =
     live_links = 0;
     stats = fresh_stats ();
     stats_flushed = fresh_stats ();
+    cow_flushed = 0;
+    stop_on_mark = false;
   }
 
 let mem t = t.mem
@@ -446,6 +454,21 @@ let m_chain_exits =
   Metrics.counter "elfie_core_chain_exits"
     ~help:"Chained runs broken back to dispatch, by reason"
 
+(* Copy-on-write snapshot efficacy: captures/forks are bumped at the
+   call site; CoW page privatisations flush as per-machine deltas with
+   the other core counters. *)
+let m_snap_captures =
+  Metrics.counter "elfie_snapshot_captures_total"
+    ~help:"Machine snapshots captured (address space frozen)"
+
+let m_snap_forks =
+  Metrics.counter "elfie_snapshot_forks_total"
+    ~help:"Machines forked from a snapshot"
+
+let m_snap_cow_pages =
+  Metrics.counter "elfie_snapshot_cow_page_copies_total"
+    ~help:"Pages privatised lazily by a write into frozen snapshot backing"
+
 let flush_core_metrics t =
   let bump ?labels fam live flushed =
     if live > flushed then
@@ -470,7 +493,12 @@ let flush_core_metrics t =
   f.st_x_fuel <- s.st_x_fuel;
   f.st_x_fault <- s.st_x_fault;
   f.st_x_inval <- s.st_x_inval;
-  f.st_x_stop <- s.st_x_stop
+  f.st_x_stop <- s.st_x_stop;
+  let cow = Addr_space.cow_copies t.mem in
+  if cow > t.cow_flushed then begin
+    Metrics.inc ~by:(float_of_int (cow - t.cow_flushed)) m_snap_cow_pages;
+    t.cow_flushed <- cow
+  end
 
 (* --- Instruction semantics --------------------------------------------- *)
 
@@ -1635,7 +1663,8 @@ let retire t th =
   | Some target when th.retired >= target ->
       th.mark_target <- None;
       th.mark_retired <- Some th.retired;
-      th.mark_cycles <- th.cycles
+      th.mark_cycles <- th.cycles;
+      if t.stop_on_mark then t.stop_requested <- true
   | Some _ | None -> ());
   match th.counter_target with
   | Some target when th.retired >= target ->
@@ -2196,3 +2225,200 @@ let run ?max_ins t =
       in
       loop ());
   flush_core_metrics t
+
+(* --- Copy-on-write machine snapshots ----------------------------------- *)
+
+(* Everything a forked machine needs, captured by value: the address
+   space is frozen (pointer work only), contexts and the timing model
+   are copied, RNGs are duplicated at their exact stream position.
+   Derived caches (block cache, memo, soft-TLB, chain links) are NOT
+   captured — a fork re-translates lazily, which both keeps the capture
+   O(pages + threads) and makes forks trivially safe to run on separate
+   domains (translated [bb] records hold mutable link arrays that
+   [resolve_links] writes; sharing them across forks would race). *)
+type snap_thread = {
+  sn_tid : int;
+  sn_ctx : Context.t;
+  sn_state : thread_state;
+  sn_retired : int64;
+  sn_cycles : int64;
+  sn_counter_target : int64 option;
+  sn_counter_fired : bool;
+  sn_arm_retired : int64;
+  sn_arm_cycles : int64;
+  sn_mark_target : int64 option;
+  sn_mark_retired : int64 option;
+  sn_mark_cycles : int64;
+  sn_timer_left : int;
+}
+
+type snap_sched =
+  | Sn_free of {
+      rng : Elfie_util.Rng.t;
+      quantum_min : int;
+      quantum_max : int;
+      pending : (int * int) option;
+    }
+  | Sn_recorded of (int * int) list
+
+type snapshot = {
+  snap_mem : Addr_space.frozen;
+  snap_threads : snap_thread array;
+  snap_timing : Timing.t;  (* private copy; each fork copies it again *)
+  snap_sched : snap_sched;
+  snap_timer : (int * int * Elfie_util.Rng.t) option;
+  snap_ring0 : int64;
+  snap_retired_total : int64;
+  snap_record_schedule : bool;
+  snap_schedule_rev : (int * int) list;
+  snap_schedule_cut : bool;
+  snap_group_exit : int option;
+  snap_chain_enabled : bool;
+}
+
+let snapshot t =
+  Metrics.inc m_snap_captures;
+  {
+    snap_mem = Addr_space.freeze t.mem;
+    snap_threads =
+      Array.map
+        (fun th ->
+          {
+            sn_tid = th.tid;
+            sn_ctx = Context.copy th.ctx;
+            sn_state = th.state;
+            sn_retired = th.retired;
+            sn_cycles = th.cycles;
+            sn_counter_target = th.counter_target;
+            sn_counter_fired = th.counter_fired;
+            sn_arm_retired = th.arm_retired;
+            sn_arm_cycles = th.arm_cycles;
+            sn_mark_target = th.mark_target;
+            sn_mark_retired = th.mark_retired;
+            sn_mark_cycles = th.mark_cycles;
+            sn_timer_left = th.timer_left;
+          })
+        t.thread_arr;
+    snap_timing = Timing.copy t.timing;
+    snap_sched =
+      (match t.sched with
+      | S_free s ->
+          Sn_free
+            {
+              rng = Elfie_util.Rng.copy s.rng;
+              quantum_min = s.quantum_min;
+              quantum_max = s.quantum_max;
+              pending = s.pending;
+            }
+      | S_recorded slices -> Sn_recorded !slices);
+    snap_timer =
+      Option.map (fun (i, c, rng) -> (i, c, Elfie_util.Rng.copy rng)) t.timer;
+    snap_ring0 = t.ring0;
+    snap_retired_total = t.retired_total;
+    snap_record_schedule = t.record_schedule;
+    snap_schedule_rev = t.schedule_rev;
+    snap_schedule_cut = t.schedule_cut;
+    snap_group_exit = t.group_exit_status;
+    snap_chain_enabled = t.chain_enabled;
+  }
+
+let snapshot_pages snap = Addr_space.frozen_pages snap.snap_mem
+let snapshot_page_count snap = Addr_space.frozen_page_count snap.snap_mem
+
+(* Re-derive the machine's nondeterminism sources from [seed] at the
+   current point: the scheduler and timer streams restart from
+   seed-derived states and any partially consumed quantum is dropped,
+   so the continuation depends only on (architectural state, seed).
+   Applying the same seed to a fork and to an identically warmed fresh
+   machine yields bit-identical continuations — the per-trial variation
+   handle for warm-once/fork-many measurement. *)
+let reseed t seed =
+  let base = Elfie_util.Rng.create seed in
+  (match t.sched with
+  | S_free s ->
+      Elfie_util.Rng.reseed s.rng (Elfie_util.Rng.next64 base);
+      s.pending <- None
+  | S_recorded _ -> ());
+  match t.timer with
+  | Some (_, _, rng) -> Elfie_util.Rng.reseed rng (Elfie_util.Rng.next64 base)
+  | None -> ()
+
+let clear_stop t = t.stop_requested <- false
+let set_stop_on_mark t b = t.stop_on_mark <- b
+
+let fork ?reseed:seed snap =
+  Metrics.inc m_snap_forks;
+  let thread_arr =
+    Array.map
+      (fun sn ->
+        {
+          tid = sn.sn_tid;
+          ctx = Context.copy sn.sn_ctx;
+          state = sn.sn_state;
+          retired = sn.sn_retired;
+          cycles = sn.sn_cycles;
+          counter_target = sn.sn_counter_target;
+          counter_fired = sn.sn_counter_fired;
+          arm_retired = sn.sn_arm_retired;
+          arm_cycles = sn.sn_arm_cycles;
+          mark_target = sn.sn_mark_target;
+          mark_retired = sn.sn_mark_retired;
+          mark_cycles = sn.sn_mark_cycles;
+          timer_left = sn.sn_timer_left;
+        })
+      snap.snap_threads
+  in
+  let sched =
+    match snap.snap_sched with
+    | Sn_free s ->
+        S_free
+          {
+            rng = Elfie_util.Rng.copy s.rng;
+            quantum_min = s.quantum_min;
+            quantum_max = s.quantum_max;
+            pending = s.pending;
+          }
+    | Sn_recorded slices -> S_recorded (ref slices)
+  in
+  let m =
+    {
+      mem = Addr_space.fork snap.snap_mem;
+      thread_list = List.rev (Array.to_list thread_arr);
+      thread_arr;
+      hooks = fresh_hooks ();
+      timing = Timing.copy snap.snap_timing;
+      sched;
+      syscall_handler =
+        (fun _ _ -> failwith "Machine: no syscall handler installed");
+      syscall_filter = None;
+      stop_requested = false;
+      ring0 = snap.snap_ring0;
+      retired_total = snap.snap_retired_total;
+      record_schedule = snap.snap_record_schedule;
+      schedule_rev = snap.snap_schedule_rev;
+      schedule_cut = snap.snap_schedule_cut;
+      block_cache = Hashtbl.create 1024;
+      decode_generation = -1;
+      timer =
+        Option.map
+          (fun (i, c, rng) -> (i, c, Elfie_util.Rng.copy rng))
+          snap.snap_timer;
+      group_exit_status = snap.snap_group_exit;
+      exec_cost = 0;
+      dyn_cost = 0;
+      block_memo_pc = Array.make block_memo_size (-1L);
+      block_memo = Array.make block_memo_size dummy_bb;
+      block_observer = None;
+      chain_enabled = snap.snap_chain_enabled;
+      mega_idx = 0;
+      mega_cw = 0;
+      took = 0;
+      live_links = 0;
+      stats = fresh_stats ();
+      stats_flushed = fresh_stats ();
+      cow_flushed = 0;
+      stop_on_mark = false;
+    }
+  in
+  (match seed with Some s -> reseed m s | None -> ());
+  m

@@ -199,3 +199,57 @@ val elapsed_cycles : t -> int64
 (** True when every thread exited with status 0 (no faults, no nonzero
     exits). *)
 val all_exited_cleanly : t -> bool
+
+(** {2 Copy-on-write snapshots}
+
+    [snapshot t] captures the machine in O(pages + threads) pointer
+    work: the address space is frozen copy-on-write
+    ({!Addr_space.freeze} — no page contents are copied; the first
+    write to a shared page, by the parent or any fork, privatises just
+    that page), contexts and the timing model are copied, and every RNG
+    is duplicated at its exact stream position. The parent stays fully
+    usable.
+
+    [fork snap] materialises an independent machine from the capture,
+    again without copying page contents. Forks share only the immutable
+    frozen bytes, so any number of them may run concurrently on
+    separate domains. Derived caches are deliberately not forked —
+    the block cache, block memo, soft-TLB and superblock chain links
+    are rebuilt lazily (they hold arrays that chain resolution mutates,
+    so sharing them across forks would race); hooks, the block
+    observer, the syscall handler/filter and any pending stop are
+    reset, and the kernel must be re-installed on the fork.
+
+    [fork ~reseed:seed snap] additionally re-derives the scheduler and
+    timer RNG streams from [seed] at the fork point (dropping any
+    partially consumed quantum). Applying {!reseed} with the same seed
+    to an identically warmed fresh machine yields a bit-identical
+    continuation — the per-trial variation handle used by
+    warm-once/fork-many measurement, property-tested in
+    [test/test_perf_core.ml]. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val fork : ?reseed:int64 -> snapshot -> t
+
+(** The frozen memory image as [(page_base, contents)], sorted,
+    aliasing the frozen bytes (zero-copy; treat as read-only). Used by
+    the Vcriu checkpointer. *)
+val snapshot_pages : snapshot -> (int64 * bytes) list
+
+val snapshot_page_count : snapshot -> int
+
+(** Restart the scheduler and timer RNG streams from [seed] at the
+    current execution point, dropping any partially consumed scheduler
+    quantum. See {!fork}. *)
+val reseed : t -> int64 -> unit
+
+(** Clear a previously requested (or {!set_stop_on_mark}-triggered)
+    stop so {!run} can be called again to continue. *)
+val clear_stop : t -> unit
+
+(** When enabled, a firing warmup mark ({!arm_mark}) also requests a
+    stop: {!run} returns right after the mark retires, leaving the
+    machine warmed and ready for {!snapshot}. *)
+val set_stop_on_mark : t -> bool -> unit

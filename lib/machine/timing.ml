@@ -54,6 +54,17 @@ let create cfg =
     predictor = Bytes.make predictor_entries '\002';
   }
 
+(* Independent clone: forked machines must charge the same penalties
+   the parent would have, without aliasing predictor or tag state. *)
+let copy t =
+  {
+    cfg = t.cfg;
+    l1 = Cache.copy t.l1;
+    l2 = Cache.copy t.l2;
+    llc = Cache.copy t.llc;
+    predictor = Bytes.copy t.predictor;
+  }
+
 let ins_cost t k = t.cfg.base_cycles k
 
 let mem_cost t addr =

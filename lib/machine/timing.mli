@@ -26,6 +26,10 @@ type t
 
 val create : config -> t
 
+(** Independent clone (caches + predictor); identical future costs,
+    no shared mutable state. Used by machine snapshots. *)
+val copy : t -> t
+
 (** Base cost of executing one instruction of a class. *)
 val ins_cost : t -> Elfie_isa.Insn.klass -> int
 

@@ -58,7 +58,25 @@ let elfie_region_detailed ?(trials = 3) ?(base_seed = 2000L) ?fs_init ?cwd
        thread-safety (tools attach counters through it), so those runs
        stay sequential. *)
     | Some _ -> List.map trial idxs
-    | None -> Elfie_util.Pool.map trial idxs
+    | None -> (
+        (* Warm once at the base seed, fork per trial: the warmup
+           executes a single time and each trial forks the captured
+           machine copy-on-write, re-deriving its scheduler/timer
+           streams from the trial seed. Forks are independent, so they
+           fan out across pool domains with results identical at any
+           [--jobs]. An image without a warmup mark (or one that fails
+           before it) falls back to one full run per trial. *)
+        match
+          Elfie_core.Elfie_runner.warm ~seed:base_seed ?fs_init ?cwd ?max_ins
+            image
+        with
+        | Ok warmed ->
+            Elfie_util.Pool.map
+              (fun i ->
+                let seed = Int64.add base_seed (Int64.of_int i) in
+                Elfie_core.Elfie_runner.resume ~seed ?max_ins warmed)
+              idxs
+        | Error _ -> Elfie_util.Pool.map trial idxs)
   in
   let ok =
     List.filter (fun (o : Elfie_core.Elfie_runner.outcome) -> o.graceful) results

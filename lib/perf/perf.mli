@@ -28,7 +28,15 @@ val whole_program : ?trials:int -> ?base_seed:int64 -> Elfie_pin.Run.spec -> sam
 
 (** Measure an ELFie region natively, [trials] times. Uses the slice-CPI
     counter window (post-warmup) when the ELFie carries a warmup mark.
-    Failed (non-graceful) trials are excluded from the mean. *)
+    Failed (non-graceful) trials are excluded from the mean.
+
+    Warm-once methodology: the warmup executes a single time at
+    [base_seed] (run to the warmup mark and captured copy-on-write via
+    {!Elfie_core.Elfie_runner.warm}), then each trial forks the capture
+    and re-derives its scheduler/timer streams from [base_seed + i] —
+    bit-identical to warming every trial from scratch with those seeds,
+    at a fraction of the cost, sequentially or across pool domains.
+    Images without a warmup mark fall back to one full run per trial. *)
 val elfie_region :
   ?trials:int ->
   ?base_seed:int64 ->
@@ -41,7 +49,9 @@ val elfie_region :
 (** Like {!elfie_region}, but also returns every trial's raw outcome (in
     trial order) so supervision layers can classify {e why} trials
     failed instead of only counting them. [on_machine] is forwarded to
-    the runner — the hook watchdog instrumentation attaches through. *)
+    the runner — the hook watchdog instrumentation attaches through.
+    Passing [on_machine] keeps the sequential per-trial full-run path
+    (the callback is caller state of unknown thread/fork safety). *)
 val elfie_region_detailed :
   ?trials:int ->
   ?base_seed:int64 ->

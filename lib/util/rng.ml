@@ -13,6 +13,11 @@ let next64 t =
 
 let split t = create (next64 t)
 
+(* Same stream position as [t], advancing independently from here on. *)
+let copy t = { state = t.state }
+
+let reseed t seed = t.state <- seed
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Masking to 62 bits keeps the value a non-negative OCaml int. *)

@@ -13,6 +13,17 @@ val create : int64 -> t
 (** Independent child generator; advances the parent. *)
 val split : t -> t
 
+(** Duplicate at the current stream position without advancing the
+    parent: both generators produce the identical remaining stream.
+    Used by machine snapshots so a forked machine replays the exact
+    scheduler/timer jitter the parent would have seen. *)
+val copy : t -> t
+
+(** Restart the stream from [seed] in place, as if freshly {!create}d.
+    Machine snapshots use this to re-derive per-trial variation at a
+    fork point. *)
+val reseed : t -> int64 -> unit
+
 val next64 : t -> int64
 
 (** [int t bound] draws uniformly from [0, bound); [bound] must be

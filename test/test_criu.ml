@@ -74,6 +74,27 @@ let test_mt_checkpoint () =
   Alcotest.(check bool) "MT continuation completes" true
     (Elfie_machine.Machine.all_exited_cleanly m)
 
+let test_checkpoint_unperturbed_by_parent_writes () =
+  (* The checkpoint aliases the process's pages copy-on-write instead of
+     deep-copying them: letting the checkpointed process keep running
+     (dirtying its memory) must not change what the checkpoint restores. *)
+  let rs = Tutil.tiny_run_spec "criucow" in
+  let machine, kernel = run_to rs 30_000L in
+  let cp = Criu.checkpoint machine kernel in
+  let reference = Criu.of_files (Criu.to_files cp) in
+  (* Continue the parent well past the checkpoint — tens of thousands of
+     stores land in pages the checkpoint references. *)
+  Elfie_machine.Machine.run ~max_ins:60_000L machine;
+  Alcotest.(check bool) "parent kept running" true
+    (Elfie_machine.Machine.total_retired machine > 30_000L);
+  Alcotest.(check bool) "checkpoint unperturbed by post-checkpoint writes" true
+    (Criu.equal cp reference);
+  (* And it still restores into a run that completes cleanly. *)
+  let m, _ = Criu.restore cp (Elfie_kernel.Fs.create ()) in
+  Elfie_machine.Machine.run m;
+  Alcotest.(check bool) "restored continuation completes" true
+    (Elfie_machine.Machine.all_exited_cleanly m)
+
 let test_contrast_with_elfie_sizes () =
   (* The comparison the paper tabulates: both artifacts exist here, so
      measure them. The checkpoint holds the full process image; the
@@ -103,5 +124,7 @@ let suite =
     Alcotest.test_case "serialization roundtrip" `Quick test_serialization_roundtrip;
     Alcotest.test_case "restore repeatable (ST)" `Quick test_restore_is_repeatable;
     Alcotest.test_case "MT checkpoint" `Quick test_mt_checkpoint;
+    Alcotest.test_case "checkpoint unperturbed by parent writes" `Quick
+      test_checkpoint_unperturbed_by_parent_writes;
     Alcotest.test_case "contrast with ELFie" `Quick test_contrast_with_elfie_sizes;
   ]

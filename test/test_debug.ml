@@ -127,6 +127,103 @@ let test_registers_at_app_entry () =
   | other ->
       Alcotest.failf "unexpected stop: %s" (Format.asprintf "%a" Debugger.pp_stop other)
 
+(* --- Time travel -------------------------------------------------------- *)
+
+let steps_forward dbg n =
+  for _ = 1 to n do
+    ignore (Debugger.step dbg)
+  done
+
+(* Full-state equality of two debugged processes: every thread's context
+   and retired count, and every mapped page. *)
+let check_same_process msg a b =
+  let ma = Debugger.machine a and mb = Debugger.machine b in
+  let tha = Elfie_machine.Machine.threads ma
+  and thb = Elfie_machine.Machine.threads mb in
+  Alcotest.(check int) (msg ^ ": thread count") (List.length thb) (List.length tha);
+  List.iter2
+    (fun (ta : Elfie_machine.Machine.thread) (tb : Elfie_machine.Machine.thread) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: tid %d context" msg ta.Elfie_machine.Machine.tid)
+        true
+        (Elfie_machine.Context.equal ta.Elfie_machine.Machine.ctx
+           tb.Elfie_machine.Machine.ctx);
+      Alcotest.check Tutil.i64
+        (Printf.sprintf "%s: tid %d retired" msg ta.Elfie_machine.Machine.tid)
+        tb.Elfie_machine.Machine.retired ta.Elfie_machine.Machine.retired)
+    tha thb;
+  let pages m = Elfie_machine.Addr_space.pages (Elfie_machine.Machine.mem m) in
+  Alcotest.(check bool)
+    (msg ^ ": memory identical")
+    true
+    (List.equal
+       (fun (x, p) (y, q) -> x = y && Bytes.equal p q)
+       (pages ma) (pages mb))
+
+let test_reverse_stepi_exact () =
+  (* Forward 80, reverse 30: the reversed process must be bit-identical
+     to a fresh one stepped forward 50 — registers, retired counts and
+     every memory page. *)
+  let _, image, fs_init = elfie () in
+  let dbg = Debugger.launch ~fs_init ~cwd:"/work" ~snapshot_every:16 image in
+  steps_forward dbg 80;
+  Alcotest.(check int) "forward icount" 80 (Debugger.icount dbg);
+  Alcotest.(check bool) "waypoints dropped" true (Debugger.waypoint_count dbg > 1);
+  (match Debugger.reverse_stepi ~n:30 dbg with
+  | Debugger.Step_done _ -> ()
+  | other ->
+      Alcotest.failf "reverse: %s" (Format.asprintf "%a" Debugger.pp_stop other));
+  Alcotest.(check int) "reversed icount" 50 (Debugger.icount dbg);
+  let fresh = Debugger.launch ~fs_init ~cwd:"/work" image in
+  steps_forward fresh 50;
+  check_same_process "reversed vs fresh" dbg fresh;
+  (* Re-stepping forward off the reversed state stays on the recorded
+     timeline. *)
+  steps_forward dbg 30;
+  steps_forward fresh 30;
+  check_same_process "re-forwarded vs fresh" dbg fresh
+
+let test_reverse_at_history_begin () =
+  let _, image, fs_init = elfie () in
+  let dbg = Debugger.launch ~fs_init ~cwd:"/work" image in
+  (match Debugger.reverse_stepi dbg with
+  | Debugger.History_begin -> ()
+  | other ->
+      Alcotest.failf "expected history begin, got %s"
+        (Format.asprintf "%a" Debugger.pp_stop other));
+  (* Reversing down to step 0 reports the boundary too. *)
+  steps_forward dbg 5;
+  match Debugger.reverse_stepi ~n:99 dbg with
+  | Debugger.History_begin -> Alcotest.(check int) "at zero" 0 (Debugger.icount dbg)
+  | other ->
+      Alcotest.failf "expected history begin, got %s"
+        (Format.asprintf "%a" Debugger.pp_stop other)
+
+let test_reverse_continue_rewinds_to_breakpoint () =
+  let _, image, fs_init = elfie () in
+  let dbg = Debugger.launch ~fs_init ~cwd:"/work" ~snapshot_every:16 image in
+  let bp =
+    match Debugger.break_symbol dbg "outer_loop" with
+    | Ok a -> a
+    | Error e -> Alcotest.fail e
+  in
+  (match Debugger.continue_ dbg with
+  | Debugger.Breakpoint _ -> ()
+  | other ->
+      Alcotest.failf "no forward hit: %s" (Format.asprintf "%a" Debugger.pp_stop other));
+  let at_bp = Debugger.icount dbg in
+  steps_forward dbg 40;
+  match Debugger.reverse_continue dbg with
+  | Debugger.Breakpoint { tid; addr } ->
+      Alcotest.check Tutil.i64 "same breakpoint" bp addr;
+      Alcotest.check Tutil.i64 "rip back on the breakpoint" bp
+        (Debugger.registers dbg ~tid).Elfie_machine.Context.rip;
+      Alcotest.(check bool) "strictly before current" true
+        (Debugger.icount dbg >= at_bp && Debugger.icount dbg < at_bp + 40)
+  | other ->
+      Alcotest.failf "reverse-continue: %s"
+        (Format.asprintf "%a" Debugger.pp_stop other)
+
 let suite =
   [
     Alcotest.test_case "break on elfie_on_start" `Quick test_break_on_elfie_on_start;
@@ -140,4 +237,9 @@ let suite =
     Alcotest.test_case "unknown symbol" `Quick test_unknown_symbol;
     Alcotest.test_case "registers restored at app entry" `Quick
       test_registers_at_app_entry;
+    Alcotest.test_case "reverse-stepi is exact" `Quick test_reverse_stepi_exact;
+    Alcotest.test_case "reverse at history begin" `Quick
+      test_reverse_at_history_begin;
+    Alcotest.test_case "reverse-continue rewinds to breakpoint" `Quick
+      test_reverse_continue_rewinds_to_breakpoint;
   ]

@@ -671,6 +671,158 @@ let prop_chain_equiv =
       let c = run ~chain:true ~per_ins:true in
       a = b && a = c)
 
+(* --- copy-on-write snapshots: warm once, fork many ---------------------------- *)
+
+(* Two threads of a random branchy kernel, no stacks needed (the kernels
+   are jump/ALU only). *)
+let mk_snapshot_machine prog ~seed =
+  let m =
+    Machine.create (Machine.Free { seed; quantum_min = 13; quantum_max = 41 })
+  in
+  Addr_space.store (Machine.mem m) 0x1000L prog.Builder.code;
+  for _ = 0 to 1 do
+    let ctx = Context.create () in
+    ctx.Context.rip <- 0x1000L;
+    ignore (Machine.add_thread m ctx)
+  done;
+  m
+
+(* Run to thread 0's warmup mark and stop there, warmed. *)
+let warm_to_mark prog ~seed ~mark =
+  let m = mk_snapshot_machine prog ~seed in
+  Machine.arm_mark m 0 ~target:mark;
+  Machine.set_stop_on_mark m true;
+  Machine.run m;
+  m
+
+(* Continue a warmed machine to completion, observing BBV slices and a
+   sampling profile, and project everything the trial semantics promise:
+   per-thread contexts/counters, machine totals, BBV, profiler state. *)
+let continue_observed m =
+  let observe, finish = Elfie_pin.Bbv.collector ~slice_size:97L in
+  let p = Profile.create ~interval:7 () in
+  Machine.set_block_observer m
+    (Some
+       (fun ~tid ~pcs ~n ~ends_block ->
+         observe ~tid ~pcs ~n ~ends_block;
+         Profile.note_block p ~tid ~pcs ~n ~ends_block));
+  Machine.run m;
+  let ctxs =
+    List.map
+      (fun th ->
+        ( th.Machine.tid,
+          Context.to_bytes th.Machine.ctx,
+          th.Machine.retired,
+          th.Machine.cycles ))
+      (Machine.threads m)
+  in
+  ( ctxs,
+    Machine.total_retired m,
+    Machine.elapsed_cycles m,
+    finish (),
+    ( Profile.instructions p,
+      Profile.samples p,
+      Profile.hot_pcs ~k:50 p,
+      Profile.hot_blocks ~k:50 p ) )
+
+let trial_eq (c1, t1, e1, b1, p1) (c2, t2, e2, b2, p2) =
+  c1 = c2 && t1 = t2 && e1 = e2 && bbv_profile_eq b1 b2 && p1 = p2
+
+(* The warm-once/fork-many determinism contract behind
+   Elfie_runner.warm/resume: forking a captured machine with a trial
+   seed must be indistinguishable — contexts, cycles, BBV slices,
+   profiler state — from re-warming a fresh machine with the warm seed
+   and reseeding it at the mark; and forks are independent, so the pool
+   fan-out equals the sequential run and the capture survives any
+   number of (page-dirtying) forks. *)
+let prop_fork_equals_fresh_warmup =
+  QCheck.Test.make
+    ~name:"forked trials ≡ fresh-warmup trials (ctx, cycles, BBV, profile)"
+    ~count:30
+    (QCheck.make ~print:show_branchy_kernel branchy_kernel_gen)
+    (fun kernel ->
+      let prog = assemble_branchy kernel in
+      let warm_seed = 5L and mark = 20L in
+      let parent = warm_to_mark prog ~seed:warm_seed ~mark in
+      if not (Machine.stop_requested parent) then
+        QCheck.Test.fail_report "warmup mark never fired";
+      let snap = Machine.snapshot parent in
+      let forked s = continue_observed (Machine.fork ~reseed:s snap) in
+      let fresh s =
+        let m = warm_to_mark prog ~seed:warm_seed ~mark in
+        Machine.reseed m s;
+        Machine.clear_stop m;
+        Machine.set_stop_on_mark m false;
+        continue_observed m
+      in
+      let seeds = [ 101L; 202L; 303L ] in
+      let forked_seq = List.map forked seeds in
+      let forked_par = Pool.map ~jobs:3 forked seeds in
+      let fresh_seq = List.map fresh seeds in
+      List.for_all2 trial_eq forked_seq fresh_seq
+      && List.for_all2 trial_eq forked_seq forked_par
+      (* The capture is still pristine after every fork above dirtied
+         its own pages. *)
+      && trial_eq (forked 101L) (List.hd forked_seq))
+
+(* SMC across a fork: a fork patches a code page that the parent (and
+   later forks) still execute. The write must unshare only the fork's
+   copy — the parent and a fork taken afterwards keep running the
+   original code, while the patching fork sees its own modification. *)
+let test_smc_across_fork () =
+  let b = Builder.create () in
+  let f = Builder.new_label b in
+  Builder.call b f;
+  Builder.ins b (Mov_rr (Reg.R8, Reg.RBX));
+  (* save the pre-fork call's result *)
+  Builder.call b f;
+  Builder.ins b Hlt;
+  Builder.bind b f;
+  Builder.ins b (Mov_ri (Reg.RBX, 1L));
+  Builder.ins b Ret;
+  let prog = Builder.assemble b ~base:0x1000L in
+  (* The immediate's low byte sits at offset 2 of f's Mov_ri. *)
+  let patch_addr = Int64.add (Builder.resolve b prog f) 2L in
+  let mk () =
+    let m =
+      Machine.create (Machine.Free { seed = 3L; quantum_min = 50; quantum_max = 50 })
+    in
+    Addr_space.store (Machine.mem m) 0x1000L prog.Builder.code;
+    Addr_space.map (Machine.mem m) ~addr:0x8000L ~len:4096;
+    let ctx = Context.create () in
+    ctx.Context.rip <- 0x1000L;
+    Context.set ctx Reg.RSP 0x9000L;
+    ignore (Machine.add_thread m ctx);
+    m
+  in
+  let parent = mk () in
+  (* Stop after call+f body+ret+mov: warmed, first result saved. *)
+  Machine.arm_mark parent 0 ~target:4L;
+  Machine.set_stop_on_mark parent true;
+  Machine.run parent;
+  Alcotest.(check bool) "mark stopped the parent" true
+    (Machine.stop_requested parent);
+  let snap = Machine.snapshot parent in
+  let result m = Context.get (Machine.thread m 0).Machine.ctx Reg.RBX in
+  let first_result m = Context.get (Machine.thread m 0).Machine.ctx Reg.R8 in
+  (* Fork 1 patches f's immediate (low byte at offset 2 of Mov_ri) from
+     1 to 2 — self-modifying relative to the shared frozen pages. *)
+  let fork1 = Machine.fork snap in
+  Addr_space.write (Machine.mem fork1) patch_addr 1 2L;
+  Machine.run fork1;
+  Alcotest.check Tutil.i64 "fork1 saw its own patch" 2L (result fork1);
+  Alcotest.check Tutil.i64 "fork1 kept the pre-fork result" 1L (first_result fork1);
+  (* A fork taken after fork1 ran still sees the original code. *)
+  let fork2 = Machine.fork snap in
+  Machine.run fork2;
+  Alcotest.check Tutil.i64 "fork2 unaffected by fork1's write" 1L (result fork2);
+  (* The parent, resumed after both forks, executes the page fork1
+     wrote: it must still run the original bytes. *)
+  Machine.clear_stop parent;
+  Machine.set_stop_on_mark parent false;
+  Machine.run parent;
+  Alcotest.check Tutil.i64 "parent unaffected by fork1's write" 1L (result parent)
+
 (* --- work pool --------------------------------------------------------------- *)
 
 let test_pool_map_order () =
@@ -877,6 +1029,8 @@ let suite =
     Alcotest.test_case "chain: fault mid-chain re-materialises flags" `Quick
       test_chain_fault_mid_chain_flags;
     QCheck_alcotest.to_alcotest prop_chain_equiv;
+    QCheck_alcotest.to_alcotest prop_fork_equals_fresh_warmup;
+    Alcotest.test_case "SMC across fork" `Quick test_smc_across_fork;
     Alcotest.test_case "pool: map order" `Quick test_pool_map_order;
     Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
     Alcotest.test_case "pool: labelled exception context" `Quick
